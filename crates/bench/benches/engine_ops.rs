@@ -1,0 +1,46 @@
+//! Engine-level operation benchmarks: single TPC-C transactions on
+//! preloaded ERMIA-SI / ERMIA-SSN / Silo databases, plus the SSN-overhead
+//! ablation (the cost of serializability on an uncontended workload —
+//! the paper's "ERMIA-SSN pays an additional cost for serializability").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ermia_workloads::driver::Workload;
+use ermia_workloads::tpcc::{TpccConfig, TpccWorkload, NEWORDER, PAYMENT, STOCKLEVEL};
+use ermia_workloads::{Engine, ErmiaEngine, SiloEngine};
+
+fn bench_engine<E: Engine>(c: &mut Criterion, engine: E, label: &str) {
+    let wl = TpccWorkload::new(TpccConfig::small(1));
+    wl.load(&engine);
+    let mut worker = engine.register_worker();
+    let mut ws = <TpccWorkload as Workload<E>>::worker_state(&wl, 0, 1);
+
+    let mut group = c.benchmark_group(format!("tpcc-txn/{label}"));
+    group.throughput(Throughput::Elements(1));
+    for (name, ty) in [("neworder", NEWORDER), ("payment", PAYMENT), ("stocklevel", STOCKLEVEL)] {
+        group.bench_function(name, |b| {
+            b.iter(|| <TpccWorkload as Workload<E>>::execute(&wl, &mut worker, &mut ws, ty).is_ok());
+        });
+    }
+    group.finish();
+}
+
+fn engines(c: &mut Criterion) {
+    bench_engine(
+        c,
+        ErmiaEngine::si(ermia::Database::open(ermia::DbConfig::in_memory()).unwrap()),
+        "ermia-si",
+    );
+    bench_engine(
+        c,
+        ErmiaEngine::ssn(ermia::Database::open(ermia::DbConfig::in_memory()).unwrap()),
+        "ermia-ssn",
+    );
+    bench_engine(c, SiloEngine::new(silo_occ::SiloDb::open(silo_occ::SiloConfig::default())), "silo");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = engines
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 1: microbenchmark throughput at different read-set sizes as
+//! the write/read ratio increases (1K reads left panel, 10K right).
+//!
+//! Paper result: ERMIA-SI/SSN stay flat while Silo-OCC's throughput
+//! drops sharply once even 0.1–1% of touched records are updates —
+//! OCC's sensitivity to read-write contention.
+
+use ermia_bench::{banner, bench_three, ktps, Harness, ENGINES};
+use ermia_workloads::micro::{MicroConfig, MicroWorkload};
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 1", "micro throughput vs write ratio (1K and 10K read sets)", &h);
+
+    let read_sets: &[usize] = if h.quick { &[200, 1_000] } else { &[1_000, 10_000] };
+    let ratios = [0.001, 0.003, 0.01, 0.03, 0.1];
+    let rows = if h.quick { 20_000 } else { 100_000 };
+    let cfg = h.run_config(h.threads);
+
+    for &reads in read_sets {
+        println!("\n-- read set = {reads} records, {} threads --", h.threads);
+        println!("{:>12} {:>12} {:>12} {:>12}   (kTps)", "w/r ratio", ENGINES[0], ENGINES[1], ENGINES[2]);
+        for ratio in ratios {
+            let results = bench_three(
+                || MicroWorkload::new(MicroConfig { rows, reads, write_ratio: ratio }),
+                &cfg,
+            );
+            println!(
+                "{:>12} {:>12} {:>12} {:>12}",
+                format!("{ratio}"),
+                ktps(results[0].tps()),
+                ktps(results[1].tps()),
+                ktps(results[2].tps()),
+            );
+        }
+    }
+}

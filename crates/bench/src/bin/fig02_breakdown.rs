@@ -1,0 +1,47 @@
+//! Figure 2: per-transaction-type commit-rate breakdown for TPC-C
+//! (left) and TPC-C + Q2* at 10% footprint (right).
+//!
+//! Paper result: under plain TPC-C the three systems post comparable
+//! commit rates; once Q2* joins the mix, Silo-OCC commits almost no Q2*
+//! transactions (starvation) while ERMIA keeps its commit rate high.
+
+use ermia_bench::{banner, bench_three, Harness};
+use ermia_workloads::tpcc::TpccWorkload;
+use ermia_workloads::tpcc_hybrid::TpccHybridWorkload;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 2", "TPC-C commit-rate breakdown, without and with Q2* (10%)", &h);
+    let cfg = h.run_config(h.threads);
+    let warehouses = h.threads as u32;
+
+    println!("\n-- TPC-C --");
+    let results = bench_three(|| TpccWorkload::new(h.tpcc_config(warehouses)), &cfg);
+    print_breakdown(&results);
+
+    println!("\n-- TPC-C + Q2* (10% size) --");
+    let results =
+        bench_three(|| TpccHybridWorkload::new(h.tpcc_config(warehouses), 10), &cfg);
+    print_breakdown(&results);
+}
+
+fn print_breakdown(results: &[ermia_workloads::BenchResult]) {
+    let types: Vec<&str> = results[0].per_type.iter().map(|t| t.name).collect();
+    print!("{:<14}", "type \\ engine");
+    for r in results {
+        print!(" {:>12}", r.engine);
+    }
+    println!("   (commits/s)");
+    for ty in types {
+        print!("{ty:<14}");
+        for r in results {
+            print!(" {:>12.1}", r.tps_of(ty));
+        }
+        println!();
+    }
+    print!("{:<14}", "TOTAL");
+    for r in results {
+        print!(" {:>12.1}", r.tps());
+    }
+    println!();
+}

@@ -1,0 +1,65 @@
+//! Figure 5: TPC-C-hybrid over varying Q2* transaction size.
+//!
+//! Three panels: normalized overall throughput (to ERMIA-SI), normalized
+//! Q2* throughput, and Q2* abort ratio. Paper result: Silo-OCC's Q2*
+//! commits collapse to near zero past small footprints (two orders of
+//! magnitude under ERMIA from the 40% mark) with abort ratios heading to
+//! 100%, while ERMIA's only aborts are Q2*-vs-Q2* write-write conflicts.
+
+use ermia_bench::{banner, bench_three, Harness, ENGINES};
+use ermia_workloads::tpcc_hybrid::TpccHybridWorkload;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 5", "TPC-C-hybrid vs Q2* size (overall / Q2* tps / Q2* abort ratio)", &h);
+    let cfg = h.run_config(h.threads);
+    let warehouses = h.threads as u32;
+    let sizes: &[u32] = if h.quick { &[1, 20, 60] } else { &[1, 20, 40, 60, 80, 100] };
+
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let results =
+            bench_three(|| TpccHybridWorkload::new(h.tpcc_config(warehouses), size), &cfg);
+        rows.push((size, results));
+    }
+
+    println!("\n-- overall throughput (normalized to ERMIA-SI; absolute SI tps in parens) --");
+    println!("{:>6} {:>18} {:>10} {:>10}", "size%", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for (size, r) in &rows {
+        let base = r[0].tps().max(1e-9);
+        println!(
+            "{:>6} {:>10.3} ({:>6.0}) {:>10.3} {:>10.3}",
+            size,
+            1.0,
+            base,
+            r[1].tps() / base,
+            r[2].tps() / base
+        );
+    }
+
+    println!("\n-- Q2* throughput (normalized to ERMIA-SI; absolute SI commits/s in parens) --");
+    println!("{:>6} {:>18} {:>10} {:>10}", "size%", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for (size, r) in &rows {
+        let base = r[0].tps_of("Q2*").max(1e-9);
+        println!(
+            "{:>6} {:>10.3} ({:>6.1}) {:>10.3} {:>10.3}",
+            size,
+            1.0,
+            base,
+            r[1].tps_of("Q2*") / base,
+            r[2].tps_of("Q2*") / base
+        );
+    }
+
+    println!("\n-- Q2* abort ratio (%) --");
+    println!("{:>6} {:>10} {:>10} {:>10}", "size%", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for (size, r) in &rows {
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1}",
+            size,
+            r[0].stats_of("Q2*").map_or(0.0, |s| s.abort_ratio()),
+            r[1].stats_of("Q2*").map_or(0.0, |s| s.abort_ratio()),
+            r[2].stats_of("Q2*").map_or(0.0, |s| s.abort_ratio()),
+        );
+    }
+}

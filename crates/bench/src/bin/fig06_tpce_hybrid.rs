@@ -1,0 +1,61 @@
+//! Figure 6: TPC-E-hybrid over varying AssetEval transaction size.
+//!
+//! Same three panels as Fig. 5 for the brokerage workload. Paper
+//! result: a milder Silo curve than TPC-C-hybrid (less contention), but
+//! the same collapse of the read-mostly transaction at larger footprints.
+
+use ermia_bench::{banner, bench_three, Harness, ENGINES};
+use ermia_workloads::tpce_hybrid::TpceHybridWorkload;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 6", "TPC-E-hybrid vs AssetEval size (overall / AssetEval tps / abort ratio)", &h);
+    let cfg = h.run_config(h.threads);
+    let sizes: &[u32] = if h.quick { &[1, 20, 60] } else { &[1, 20, 40, 60, 80, 100] };
+
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let results = bench_three(|| TpceHybridWorkload::new(h.tpce_config(), size), &cfg);
+        rows.push((size, results));
+    }
+
+    println!("\n-- overall throughput (normalized to ERMIA-SI; absolute SI tps in parens) --");
+    println!("{:>6} {:>18} {:>10} {:>10}", "size%", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for (size, r) in &rows {
+        let base = r[0].tps().max(1e-9);
+        println!(
+            "{:>6} {:>10.3} ({:>6.0}) {:>10.3} {:>10.3}",
+            size,
+            1.0,
+            base,
+            r[1].tps() / base,
+            r[2].tps() / base
+        );
+    }
+
+    println!("\n-- AssetEval throughput (normalized to ERMIA-SI; absolute in parens) --");
+    println!("{:>6} {:>18} {:>10} {:>10}", "size%", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for (size, r) in &rows {
+        let base = r[0].tps_of("AssetEval").max(1e-9);
+        println!(
+            "{:>6} {:>10.3} ({:>6.1}) {:>10.3} {:>10.3}",
+            size,
+            1.0,
+            base,
+            r[1].tps_of("AssetEval") / base,
+            r[2].tps_of("AssetEval") / base
+        );
+    }
+
+    println!("\n-- AssetEval abort ratio (%) --");
+    println!("{:>6} {:>10} {:>10} {:>10}", "size%", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for (size, r) in &rows {
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1}",
+            size,
+            r[0].stats_of("AssetEval").map_or(0.0, |s| s.abort_ratio()),
+            r[1].stats_of("AssetEval").map_or(0.0, |s| s.abort_ratio()),
+            r[2].stats_of("AssetEval").map_or(0.0, |s| s.abort_ratio()),
+        );
+    }
+}

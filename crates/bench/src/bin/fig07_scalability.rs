@@ -1,0 +1,42 @@
+//! Figure 7: TPC-C and TPC-E throughput vs thread count.
+//!
+//! Paper result: ERMIA achieves near-linear scalability and comparable
+//! peak performance to Silo-OCC on both benchmarks (Silo slightly ahead
+//! thanks to its lower-overhead CC when contention is low).
+
+use ermia_bench::{banner, bench_three, ktps, Harness, ENGINES};
+use ermia_workloads::tpcc::TpccWorkload;
+use ermia_workloads::tpce::TpceWorkload;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 7", "TPC-C and TPC-E scalability", &h);
+
+    println!("\n-- TPC-C (warehouses = threads) --");
+    println!("{:>8} {:>12} {:>12} {:>12}   (kTps)", "threads", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for &n in &h.thread_sweep {
+        let cfg = h.run_config(n);
+        let results = bench_three(|| TpccWorkload::new(h.tpcc_config(n as u32)), &cfg);
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            n,
+            ktps(results[0].tps()),
+            ktps(results[1].tps()),
+            ktps(results[2].tps()),
+        );
+    }
+
+    println!("\n-- TPC-E --");
+    println!("{:>8} {:>12} {:>12} {:>12}   (kTps)", "threads", ENGINES[0], ENGINES[1], ENGINES[2]);
+    for &n in &h.thread_sweep {
+        let cfg = h.run_config(n);
+        let results = bench_three(|| TpceWorkload::new(h.tpce_config()), &cfg);
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            n,
+            ktps(results[0].tps()),
+            ktps(results[1].tps()),
+            ktps(results[2].tps()),
+        );
+    }
+}

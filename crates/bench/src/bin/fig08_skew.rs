@@ -1,0 +1,43 @@
+//! Figure 8: TPC-C with uniformly random and 80-20 skewed warehouse
+//! access, vs thread count.
+//!
+//! Paper result: growing access skew suppresses Silo-OCC more than
+//! ERMIA — with high skew Silo drops toward ERMIA-SSN's level, because
+//! OCC pays for contention with aborted work while SI absorbs
+//! read-write conflicts in versions.
+
+use ermia_bench::{banner, bench_three, ktps, Harness, ENGINES};
+use ermia_workloads::tpcc::{PartitionAccess, TpccWorkload};
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 8", "TPC-C with uniform and 80-20 skewed partition access", &h);
+
+    for (label, access) in
+        [("uniform random", PartitionAccess::Uniform), ("80-20 skew", PartitionAccess::Skew8020)]
+    {
+        println!("\n-- TPC-C, {label} access --");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}   (kTps)",
+            "threads", ENGINES[0], ENGINES[1], ENGINES[2]
+        );
+        for &n in &h.thread_sweep {
+            let cfg = h.run_config(n);
+            let results = bench_three(
+                || {
+                    let mut c = h.tpcc_config(n as u32);
+                    c.access = access;
+                    TpccWorkload::new(c)
+                },
+                &cfg,
+            );
+            println!(
+                "{:>8} {:>12} {:>12} {:>12}",
+                n,
+                ktps(results[0].tps()),
+                ktps(results[1].tps()),
+                ktps(results[2].tps()),
+            );
+        }
+    }
+}

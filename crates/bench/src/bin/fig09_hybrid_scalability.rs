@@ -1,0 +1,32 @@
+//! Figure 9: TPC-E-hybrid scalability at 10% and 60% AssetEval size.
+//!
+//! Paper result: overwhelmed by CC pressure, Silo-OCC loses linear
+//! scalability in the heterogeneous mix — and it worsens with larger
+//! read-mostly transactions — while ERMIA keeps scaling.
+
+use ermia_bench::{banner, bench_three, Harness, ENGINES};
+use ermia_workloads::tpce_hybrid::TpceHybridWorkload;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 9", "TPC-E-hybrid scalability at 10% / 60% AssetEval", &h);
+
+    for size in [10u32, 60] {
+        println!("\n-- AssetEval size {size}% --");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}   (tps)",
+            "threads", ENGINES[0], ENGINES[1], ENGINES[2]
+        );
+        for &n in &h.thread_sweep {
+            let cfg = h.run_config(n);
+            let results = bench_three(|| TpceHybridWorkload::new(h.tpce_config(), size), &cfg);
+            println!(
+                "{:>8} {:>12.0} {:>12.0} {:>12.0}",
+                n,
+                results[0].tps(),
+                results[1].tps(),
+                results[2].tps(),
+            );
+        }
+    }
+}

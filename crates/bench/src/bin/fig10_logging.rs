@@ -1,0 +1,36 @@
+//! Figure 10: per-transaction vs per-operation logging (ERMIA-SI,
+//! TPC-C) vs thread count.
+//!
+//! Paper result: the single round trip to the centralized log buffer
+//! per transaction scales; forcing a round trip per update operation
+//! (the traditional WAL discipline) does not scale at all, even though
+//! both use a single atomic instruction to reserve space.
+
+use ermia_bench::{banner, fresh_si, ktps, Harness};
+use ermia_workloads::driver::run;
+use ermia_workloads::tpcc::TpccWorkload;
+use ermia_workloads::ErmiaEngine;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 10", "ERMIA-SI per-transaction vs per-operation logging (TPC-C)", &h);
+
+    println!("{:>8} {:>12} {:>12}   (kTps)", "threads", "Per-TX", "Per-OP");
+    for &n in &h.thread_sweep {
+        let cfg = h.run_config(n);
+        let per_tx = {
+            let e = fresh_si();
+            run(&e, &TpccWorkload::new(h.tpcc_config(n as u32)), &cfg)
+        };
+        let per_op = {
+            let db = ermia::Database::open(ermia::DbConfig {
+                per_op_logging: true,
+                ..ermia::DbConfig::in_memory()
+            })
+            .expect("open ermia");
+            let e = ErmiaEngine::si(db);
+            run(&e, &TpccWorkload::new(h.tpcc_config(n as u32)), &cfg)
+        };
+        println!("{:>8} {:>12} {:>12}", n, ktps(per_tx.tps()), ktps(per_op.tps()));
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 12: latency of the Q2* transaction at 60% and 80% footprint,
+//! vs thread count.
+//!
+//! Paper result: ERMIA's Q2* latency is consistent with negligible
+//! variance; under Silo-OCC latency grows faster with parallelism and
+//! fluctuates once transactions exceed ~200 ms, because committing
+//! writers hold their whole write set locked during read validation and
+//! readers must wait.
+
+use ermia_bench::{banner, bench_three, Harness, ENGINES};
+use ermia_workloads::tpcc_hybrid::TpccHybridWorkload;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Figure 12", "Q2* latency at 60% / 80% size (avg; max in parens, ms)", &h);
+    let warehouses = h.threads as u32;
+
+    for size in [60u32, 80] {
+        println!("\n-- Q2* size {size}% --");
+        println!("{:>8} {:>20} {:>20} {:>20}", "threads", ENGINES[0], ENGINES[1], ENGINES[2]);
+        for &n in &h.thread_sweep {
+            let cfg = h.run_config(n);
+            let results =
+                bench_three(|| TpccHybridWorkload::new(h.tpcc_config(warehouses), size), &cfg);
+            let cell = |r: &ermia_workloads::BenchResult| {
+                r.stats_of("Q2*").map_or("-".to_string(), |s| {
+                    if s.commits == 0 {
+                        format!("no commits ({})", s.aborts)
+                    } else {
+                        format!("{:.1} ({:.1})", s.latency_avg_ms(), s.latency_max_ns as f64 / 1e6)
+                    }
+                })
+            };
+            println!(
+                "{:>8} {:>20} {:>20} {:>20}",
+                n,
+                cell(&results[0]),
+                cell(&results[1]),
+                cell(&results[2])
+            );
+        }
+    }
+}

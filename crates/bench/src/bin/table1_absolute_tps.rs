@@ -1,0 +1,42 @@
+//! Table 1: absolute overall TPS of ERMIA-SI in TPC-C-hybrid and
+//! TPC-E-hybrid over varying read-mostly transaction sizes.
+//!
+//! Paper row shape: throughput falls steeply with footprint size (e.g.
+//! TPC-C-hybrid: 70,319 tps at 1% down to 647 at 100%) because the
+//! read-mostly transactions occupy most of the cycles.
+
+use ermia_bench::{banner, fresh_si, Harness};
+use ermia_workloads::driver::run;
+use ermia_workloads::tpcc_hybrid::TpccHybridWorkload;
+use ermia_workloads::tpce_hybrid::TpceHybridWorkload;
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Table 1", "absolute TPS of ERMIA-SI vs read-mostly transaction size", &h);
+    let cfg = h.run_config(h.threads);
+    let warehouses = h.threads as u32;
+    let sizes: &[u32] =
+        if h.quick { &[1, 10, 40, 100] } else { &[1, 5, 10, 20, 40, 60, 80, 100] };
+
+    print!("{:>14}", "size%");
+    for s in sizes {
+        print!(" {:>9}", s);
+    }
+    println!();
+
+    print!("{:>14}", "TPC-C-hybrid");
+    for &size in sizes {
+        let e = fresh_si();
+        let r = run(&e, &TpccHybridWorkload::new(h.tpcc_config(warehouses), size), &cfg);
+        print!(" {:>9.0}", r.tps());
+    }
+    println!();
+
+    print!("{:>14}", "TPC-E-hybrid");
+    for &size in sizes {
+        let e = fresh_si();
+        let r = run(&e, &TpceHybridWorkload::new(h.tpce_config(), size), &cfg);
+        print!(" {:>9.0}", r.tps());
+    }
+    println!();
+}

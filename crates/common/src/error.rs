@@ -1,0 +1,84 @@
+//! Transaction outcome taxonomy.
+//!
+//! The evaluation (§4.3) cares *why* transactions abort — write-write
+//! conflicts vs. OCC read-validation failures vs. SSN exclusion-window
+//! violations — so the reason is a first-class enum that the benchmark
+//! driver aggregates per transaction type.
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AbortReason {
+    /// First-updater-wins: the head version is uncommitted, or a committed
+    /// head is newer than the updater's snapshot (ERMIA, §3.6.1).
+    WriteWriteConflict,
+    /// SSN exclusion-window test failed: π(T) ≤ η(T) (ERMIA-SSN, §3.6.2).
+    SsnExclusion,
+    /// OCC read-set validation failed: a read record was overwritten or is
+    /// locked by another committing writer (Silo).
+    ReadValidation,
+    /// A leaf node in the transaction's node set changed version — a
+    /// possible phantom (both engines, §3.6.2).
+    Phantom,
+    /// Insert of a key that already exists (unique-constraint violation).
+    DuplicateKey,
+    /// The application requested the abort (e.g. TPC-C NewOrder rollback).
+    UserRequested,
+    /// Internal resource pressure (log buffer wait exhausted, TID table
+    /// full). Rare; counted separately so it never masquerades as a
+    /// CC-induced abort.
+    ResourceExhausted,
+}
+
+impl AbortReason {
+    /// Short stable label used by the benchmark reporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::WriteWriteConflict => "ww-conflict",
+            AbortReason::SsnExclusion => "ssn-exclusion",
+            AbortReason::ReadValidation => "read-validation",
+            AbortReason::Phantom => "phantom",
+            AbortReason::DuplicateKey => "dup-key",
+            AbortReason::UserRequested => "user",
+            AbortReason::ResourceExhausted => "resource",
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::error::Error for AbortReason {}
+
+/// Result of a data operation inside a transaction. An `Err` dooms the
+/// transaction: the caller must abort (the engines also mark the
+/// transaction context doomed so further operations fail fast — the
+/// paper's "early detection of doomed transactions").
+pub type OpResult<T> = Result<T, AbortReason>;
+
+/// Result of a commit attempt.
+pub type TxResult<T> = Result<T, AbortReason>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            AbortReason::WriteWriteConflict,
+            AbortReason::SsnExclusion,
+            AbortReason::ReadValidation,
+            AbortReason::Phantom,
+            AbortReason::DuplicateKey,
+            AbortReason::UserRequested,
+            AbortReason::ResourceExhausted,
+        ];
+        let mut labels: Vec<_> = all.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

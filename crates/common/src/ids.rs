@@ -1,0 +1,96 @@
+//! Identifier newtypes: objects, tables, indexes, and transactions.
+
+/// A logical object identifier — an index into a table's indirection array.
+///
+/// OIDs are what indexes store at their leaf level (§3.2): updates install
+/// new versions behind the same OID, so index entries never change on update.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Oid(pub u32);
+
+impl Oid {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a table (and its indirection array) within a database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TableId(pub u32);
+
+/// Identifies an index (primary or secondary) within a database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IndexId(pub u32);
+
+/// Number of low-order bits of a TID that hold the context-table slot.
+pub const TID_SLOT_BITS: u32 = 16;
+
+/// Capacity of the transaction context table (§3.5: "currently 64k entries").
+pub const TID_TABLE_CAPACITY: usize = 1 << TID_SLOT_BITS;
+
+/// A transaction identifier: a context-table slot tagged with a generation.
+///
+/// The generation distinguishes the current owner of a slot from earlier
+/// transactions that happened to use the same slot (§3.5). TIDs fit in 63
+/// bits so they can share the version-stamp word with LSNs (see
+/// [`crate::Stamp`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Tid(u64);
+
+impl Tid {
+    /// Compose a TID from a generation and slot.
+    #[inline]
+    pub fn new(generation: u64, slot: usize) -> Tid {
+        debug_assert!(slot < TID_TABLE_CAPACITY);
+        debug_assert!(generation <= (u64::MAX >> (TID_SLOT_BITS + 1)));
+        Tid((generation << TID_SLOT_BITS) | slot as u64)
+    }
+
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Tid {
+        Tid(raw)
+    }
+
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The context-table slot this transaction occupies.
+    #[inline]
+    pub const fn slot(self) -> usize {
+        (self.0 & ((1 << TID_SLOT_BITS) - 1)) as usize
+    }
+
+    /// The slot generation, distinguishing reuse across transactions.
+    #[inline]
+    pub const fn generation(self) -> u64 {
+        self.0 >> TID_SLOT_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_roundtrip() {
+        let t = Tid::new(42, 1234);
+        assert_eq!(t.generation(), 42);
+        assert_eq!(t.slot(), 1234);
+    }
+
+    #[test]
+    fn tid_generation_zero() {
+        let t = Tid::new(0, 0);
+        assert_eq!(t.raw(), 0);
+        assert_eq!(t.slot(), 0);
+    }
+
+    #[test]
+    fn tid_max_slot() {
+        let t = Tid::new(7, TID_TABLE_CAPACITY - 1);
+        assert_eq!(t.slot(), TID_TABLE_CAPACITY - 1);
+        assert_eq!(t.generation(), 7);
+    }
+}

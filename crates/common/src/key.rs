@@ -1,0 +1,150 @@
+//! Order-preserving key encoding.
+//!
+//! Index keys are byte strings compared lexicographically. The composers
+//! here encode integers big-endian and strings length-delimited with a
+//! 0x00 terminator convention so that composite keys sort exactly like
+//! their tuple of components. All TPC-C/TPC-E keys in the workloads crate
+//! go through [`KeyWriter`].
+
+/// Builds a composite, order-preserving byte key.
+///
+/// Reuse one `KeyWriter` per worker thread and call [`KeyWriter::reset`]
+/// between keys to avoid per-key allocation.
+#[derive(Default, Clone, Debug)]
+pub struct KeyWriter {
+    buf: Vec<u8>,
+}
+
+impl KeyWriter {
+    pub fn new() -> KeyWriter {
+        KeyWriter { buf: Vec::with_capacity(32) }
+    }
+
+    /// Clear the buffer for the next key.
+    #[inline]
+    pub fn reset(&mut self) -> &mut Self {
+        self.buf.clear();
+        self
+    }
+
+    #[inline]
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    #[inline]
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    #[inline]
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    #[inline]
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a string component. Interior NULs are not allowed (none of
+    /// the benchmark strings contain them); the component is terminated
+    /// with a 0x00 byte so that `"ab" < "abc"` holds for composites.
+    #[inline]
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        debug_assert!(!s.as_bytes().contains(&0));
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.push(0);
+        self
+    }
+
+    /// The encoded key bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Copy out the encoded key.
+    #[inline]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+/// Decode a big-endian `u64` at `pos`; panics if out of bounds.
+#[inline]
+pub fn decode_u64_at(key: &[u8], pos: usize) -> u64 {
+    u64::from_be_bytes(key[pos..pos + 8].try_into().expect("key too short"))
+}
+
+/// Decode a big-endian `u32` at `pos`; panics if out of bounds.
+#[inline]
+pub fn decode_u32_at(key: &[u8], pos: usize) -> u32 {
+    u32::from_be_bytes(key[pos..pos + 4].try_into().expect("key too short"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(f: impl FnOnce(&mut KeyWriter)) -> Vec<u8> {
+        let mut w = KeyWriter::new();
+        f(&mut w);
+        w.to_vec()
+    }
+
+    #[test]
+    fn integers_sort_big_endian() {
+        let a = key(|w| {
+            w.u32(1);
+        });
+        let b = key(|w| {
+            w.u32(256);
+        });
+        assert!(a < b);
+    }
+
+    #[test]
+    fn composite_orders_by_components() {
+        let a = key(|w| {
+            w.u32(1).u32(999);
+        });
+        let b = key(|w| {
+            w.u32(2).u32(0);
+        });
+        assert!(a < b);
+    }
+
+    #[test]
+    fn string_prefix_sorts_before_extension() {
+        let a = key(|w| {
+            w.str("ab").u32(9);
+        });
+        let b = key(|w| {
+            w.str("abc").u32(0);
+        });
+        assert!(a < b);
+    }
+
+    #[test]
+    fn reset_reuses_buffer() {
+        let mut w = KeyWriter::new();
+        w.u64(7);
+        let first = w.to_vec();
+        w.reset().u64(7);
+        assert_eq!(first, w.as_bytes());
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let k = key(|w| {
+            w.u32(77).u64(0xdeadbeef);
+        });
+        assert_eq!(decode_u32_at(&k, 0), 77);
+        assert_eq!(decode_u64_at(&k, 4), 0xdeadbeef);
+    }
+}

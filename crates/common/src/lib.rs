@@ -1,0 +1,23 @@
+//! Shared primitive types for the ERMIA reproduction.
+//!
+//! This crate holds the vocabulary types every other crate speaks:
+//! log sequence numbers ([`Lsn`]) with the paper's segmented encoding,
+//! object/table/transaction identifiers ([`Oid`], [`TableId`], [`Tid`]),
+//! creation-stamp words ([`Stamp`]) that hold either an LSN or a TID,
+//! the transaction abort taxonomy ([`AbortReason`]), and order-preserving
+//! key encoding ([`KeyWriter`]).
+//!
+//! Nothing in here allocates on hot paths or takes locks; the types are
+//! plain newtypes over machine words so they can live inside atomics.
+
+pub mod error;
+pub mod ids;
+pub mod key;
+pub mod lsn;
+pub mod stamp;
+
+pub use error::{AbortReason, OpResult, TxResult};
+pub use ids::{IndexId, Oid, TableId, Tid};
+pub use key::{decode_u32_at, decode_u64_at, KeyWriter};
+pub use lsn::Lsn;
+pub use stamp::Stamp;

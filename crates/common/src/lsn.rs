@@ -1,0 +1,130 @@
+//! Log sequence numbers with the paper's segmented encoding (§3.3, Fig. 4).
+//!
+//! An LSN packs a *logical byte offset* in the high bits and a *modulo
+//! segment number* in the low [`SEGMENT_BITS`] bits:
+//!
+//! ```text
+//!   63                         4 3      0
+//!  +----------------------------+--------+
+//!  |      logical offset        | segno  |
+//!  +----------------------------+--------+
+//! ```
+//!
+//! Placing the segment number in the low-order bits preserves the total
+//! order of logical offsets, so LSNs can be compared directly while still
+//! identifying the physical log segment file the offset maps to. The LSN
+//! space is monotonic but *not* contiguous: aborted reservations, skip
+//! records and segment-boundary "dead zones" leave holes, which is exactly
+//! what lets the log hand out space with a single `fetch_add`.
+
+/// Number of low-order bits that hold the modulo segment number.
+pub const SEGMENT_BITS: u32 = 4;
+
+/// Number of log segments in existence at any time (16 in the paper's
+/// prototype). Segment numbers are recycled modulo this value.
+pub const NUM_SEGMENTS: u64 = 1 << SEGMENT_BITS;
+
+/// Mask extracting the segment number from a raw LSN word.
+pub const SEGMENT_MASK: u64 = NUM_SEGMENTS - 1;
+
+/// A log sequence number: logical offset plus modulo segment number.
+///
+/// `Lsn` is also ERMIA's global timestamp domain — begin timestamps and
+/// commit timestamps are LSNs, and their `Ord` follows commit order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(u64);
+
+impl Lsn {
+    /// The null LSN: offset 0 in segment 0. Used as "no LSN yet".
+    pub const NULL: Lsn = Lsn(0);
+
+    /// Maximum representable LSN; used as the +∞ sentinel for SSN sstamps.
+    pub const MAX: Lsn = Lsn(u64::MAX >> 1);
+
+    /// Build an LSN from a logical byte offset and a segment number.
+    ///
+    /// # Panics
+    /// In debug builds, if `segment >= NUM_SEGMENTS` or the offset would
+    /// overflow the 60 offset bits.
+    #[inline]
+    pub fn from_parts(offset: u64, segment: u64) -> Lsn {
+        debug_assert!(segment < NUM_SEGMENTS);
+        debug_assert!(offset <= (u64::MAX >> SEGMENT_BITS));
+        Lsn((offset << SEGMENT_BITS) | segment)
+    }
+
+    /// Reinterpret a raw 64-bit word as an LSN.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Lsn {
+        Lsn(raw)
+    }
+
+    /// The raw 64-bit word (offset ≪ 4 | segno).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The logical byte offset in the LSN space.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.0 >> SEGMENT_BITS
+    }
+
+    /// The modulo segment number (0..16).
+    #[inline]
+    pub const fn segment(self) -> u64 {
+        self.0 & SEGMENT_MASK
+    }
+
+    /// True iff this is the null LSN.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lsn({:#x}@{})", self.offset(), self.segment())
+    }
+}
+
+impl std::fmt::Display for Lsn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}.{}", self.offset(), self.segment())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_parts() {
+        let lsn = Lsn::from_parts(0x1234_5678, 5);
+        assert_eq!(lsn.offset(), 0x1234_5678);
+        assert_eq!(lsn.segment(), 5);
+    }
+
+    #[test]
+    fn order_follows_offsets() {
+        // Offsets dominate the comparison even across segment numbers.
+        let a = Lsn::from_parts(100, 15);
+        let b = Lsn::from_parts(101, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn null_is_smallest() {
+        assert!(Lsn::NULL < Lsn::from_parts(1, 0));
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn::from_parts(0, 1).is_null());
+    }
+
+    #[test]
+    fn max_fits_in_stamp_domain() {
+        // Lsn::MAX must leave the top bit clear: Stamp uses it as the TID flag.
+        assert_eq!(Lsn::MAX.raw() >> 63, 0);
+    }
+}

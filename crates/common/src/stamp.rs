@@ -1,0 +1,91 @@
+//! Version creation-stamp words: LSN or TID, distinguished by the high bit.
+//!
+//! During forward processing a transaction stamps the versions it creates
+//! with its TID; post-commit it replaces the TID with its commit LSN
+//! (§3.1). Readers that encounter a TID-stamped version must consult the
+//! owner's context in the TID table to learn the true status. Both states
+//! live in a single 64-bit word so the swap is one atomic store.
+
+use crate::{Lsn, Tid};
+
+/// High bit set ⇒ the stamp word carries a TID, clear ⇒ a (committed) LSN.
+const TID_FLAG: u64 = 1 << 63;
+
+/// A version's creation stamp: either the creator's TID (still in flight /
+/// not yet post-committed) or the creator's commit LSN.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Stamp(u64);
+
+impl Stamp {
+    /// Stamp carrying a commit LSN.
+    #[inline]
+    pub fn from_lsn(lsn: Lsn) -> Stamp {
+        debug_assert_eq!(lsn.raw() & TID_FLAG, 0, "LSN overflows stamp domain");
+        Stamp(lsn.raw())
+    }
+
+    /// Stamp carrying an in-flight transaction's TID.
+    #[inline]
+    pub fn from_tid(tid: Tid) -> Stamp {
+        debug_assert_eq!(tid.raw() & TID_FLAG, 0, "TID overflows stamp domain");
+        Stamp(tid.raw() | TID_FLAG)
+    }
+
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Stamp {
+        Stamp(raw)
+    }
+
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True iff the word holds a TID (creator not yet post-committed).
+    #[inline]
+    pub const fn is_tid(self) -> bool {
+        self.0 & TID_FLAG != 0
+    }
+
+    /// Interpret as a TID. Caller must have checked [`Stamp::is_tid`].
+    #[inline]
+    pub fn as_tid(self) -> Tid {
+        debug_assert!(self.is_tid());
+        Tid::from_raw(self.0 & !TID_FLAG)
+    }
+
+    /// Interpret as a commit LSN. Caller must have checked `!is_tid()`.
+    #[inline]
+    pub fn as_lsn(self) -> Lsn {
+        debug_assert!(!self.is_tid());
+        Lsn::from_raw(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_roundtrip() {
+        let lsn = Lsn::from_parts(0xdead_beef, 3);
+        let s = Stamp::from_lsn(lsn);
+        assert!(!s.is_tid());
+        assert_eq!(s.as_lsn(), lsn);
+    }
+
+    #[test]
+    fn tid_roundtrip() {
+        let tid = Tid::new(99, 7);
+        let s = Stamp::from_tid(tid);
+        assert!(s.is_tid());
+        assert_eq!(s.as_tid(), tid);
+    }
+
+    #[test]
+    fn tid_and_lsn_never_collide() {
+        let s1 = Stamp::from_lsn(Lsn::MAX);
+        let s2 = Stamp::from_tid(Tid::from_raw(Lsn::MAX.raw()));
+        assert_ne!(s1.raw(), s2.raw());
+    }
+}

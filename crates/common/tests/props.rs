@@ -1,0 +1,85 @@
+//! Property tests for the vocabulary types: encoded keys must order
+//! exactly like their component tuples, and the identifier encodings
+//! must be lossless.
+
+use ermia_common::{decode_u32_at, decode_u64_at, KeyWriter, Lsn, Stamp, Tid};
+use proptest::prelude::*;
+
+proptest! {
+    /// Composite (u32, u64) keys compare like tuples.
+    #[test]
+    fn composite_u32_u64_orders_like_tuple(a1: u32, b1: u64, a2: u32, b2: u64) {
+        let mut k1 = KeyWriter::new();
+        k1.u32(a1).u64(b1);
+        let mut k2 = KeyWriter::new();
+        k2.u32(a2).u64(b2);
+        prop_assert_eq!(
+            k1.as_bytes().cmp(k2.as_bytes()),
+            (a1, b1).cmp(&(a2, b2))
+        );
+    }
+
+    /// (string, u32) composites order like tuples for NUL-free strings.
+    #[test]
+    fn composite_str_u32_orders_like_tuple(
+        s1 in "[a-zA-Z0-9]{0,12}",
+        n1: u32,
+        s2 in "[a-zA-Z0-9]{0,12}",
+        n2: u32,
+    ) {
+        let mut k1 = KeyWriter::new();
+        k1.str(&s1).u32(n1);
+        let mut k2 = KeyWriter::new();
+        k2.str(&s2).u32(n2);
+        prop_assert_eq!(
+            k1.as_bytes().cmp(k2.as_bytes()),
+            (s1.as_str(), n1).cmp(&(s2.as_str(), n2))
+        );
+    }
+
+    /// Decoders invert the writer.
+    #[test]
+    fn key_decode_roundtrip(a: u32, b: u64, c: u32) {
+        let mut k = KeyWriter::new();
+        k.u32(a).u64(b).u32(c);
+        let bytes = k.as_bytes();
+        prop_assert_eq!(decode_u32_at(bytes, 0), a);
+        prop_assert_eq!(decode_u64_at(bytes, 4), b);
+        prop_assert_eq!(decode_u32_at(bytes, 12), c);
+    }
+
+    /// LSN part extraction inverts composition, and ordering follows
+    /// (offset, segment) lexicographically.
+    #[test]
+    fn lsn_roundtrip_and_order(
+        off1 in 0u64..(1 << 59),
+        seg1 in 0u64..16,
+        off2 in 0u64..(1 << 59),
+        seg2 in 0u64..16,
+    ) {
+        let l1 = Lsn::from_parts(off1, seg1);
+        let l2 = Lsn::from_parts(off2, seg2);
+        prop_assert_eq!(l1.offset(), off1);
+        prop_assert_eq!(l1.segment(), seg1);
+        prop_assert_eq!(l1.cmp(&l2), (off1, seg1).cmp(&(off2, seg2)));
+    }
+
+    /// Stamps never confuse TIDs with LSNs.
+    #[test]
+    fn stamp_discriminates(raw in 0u64..(1 << 63)) {
+        let as_lsn = Stamp::from_lsn(Lsn::from_raw(raw));
+        let as_tid = Stamp::from_tid(Tid::from_raw(raw));
+        prop_assert!(!as_lsn.is_tid());
+        prop_assert!(as_tid.is_tid());
+        prop_assert_eq!(as_lsn.as_lsn().raw(), raw);
+        prop_assert_eq!(as_tid.as_tid().raw(), raw);
+    }
+
+    /// TID slot/generation packing is lossless.
+    #[test]
+    fn tid_pack_roundtrip(generation in 0u64..(1 << 40), slot in 0usize..(1 << 16)) {
+        let tid = Tid::new(generation, slot);
+        prop_assert_eq!(tid.generation(), generation);
+        prop_assert_eq!(tid.slot(), slot);
+    }
+}

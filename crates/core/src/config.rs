@@ -1,0 +1,74 @@
+//! Engine configuration.
+
+use std::time::Duration;
+
+use ermia_log::LogConfig;
+
+/// Isolation level of a transaction.
+///
+/// Both run on the same snapshot-isolation machinery; `Serializable`
+/// additionally runs the SSN certifier and node-set phantom validation.
+/// The paper's two flavors: `Snapshot` = ERMIA-SI, `Serializable` =
+/// ERMIA-SSN.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsolationLevel {
+    Snapshot,
+    Serializable,
+}
+
+/// Database configuration.
+#[derive(Clone, Debug)]
+pub struct DbConfig {
+    /// Log manager configuration (directory, segment/buffer sizes, ...).
+    pub log: LogConfig,
+    /// Wait for the group-commit flusher before reporting commit.
+    pub synchronous_commit: bool,
+    /// Run the background version garbage collector.
+    pub enable_gc: bool,
+    /// GC sweep interval.
+    pub gc_interval: Duration,
+    /// Epoch ticker interval for the RCU timescale (tree/version memory).
+    pub rcu_epoch_interval: Duration,
+    /// Emulate traditional per-operation logging: every update takes its
+    /// own round trip to the centralized log buffer instead of one block
+    /// per transaction (the Fig. 10 ablation).
+    pub per_op_logging: bool,
+    /// Collect per-component time breakdowns in each worker (Fig. 11).
+    pub profile: bool,
+    /// Values at or above this size are diverted to the large-object
+    /// (blob) store at commit; the log carries only an indirect pointer
+    /// (§3.3, log feature 4). `usize::MAX` disables diversion.
+    pub large_value_threshold: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            log: LogConfig::default(),
+            synchronous_commit: false,
+            enable_gc: true,
+            gc_interval: Duration::from_millis(20),
+            rcu_epoch_interval: Duration::from_millis(2),
+            per_op_logging: false,
+            profile: false,
+            large_value_threshold: usize::MAX,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Everything in memory; the configuration used by tests and the
+    /// CC-focused experiments.
+    pub fn in_memory() -> DbConfig {
+        DbConfig { log: LogConfig::in_memory(), ..DbConfig::default() }
+    }
+
+    /// Log to `dir` (checkpoints go to `dir` as well).
+    pub fn durable(dir: impl Into<std::path::PathBuf>) -> DbConfig {
+        DbConfig {
+            log: LogConfig { dir: Some(dir.into()), ..LogConfig::default() },
+            synchronous_commit: true,
+            ..DbConfig::default()
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The `Database`: catalog, resource managers, lifecycle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ermia_common::{IndexId, Lsn, TableId};
+use ermia_epoch::{EpochManager, Ticker};
+use ermia_index::BTree;
+use ermia_log::{CheckpointStore, LogManager};
+use ermia_storage::{GarbageCollector, OidArray, TidManager};
+use parking_lot::RwLock;
+
+use crate::config::DbConfig;
+use crate::worker::Worker;
+
+/// A table: an indirection array plus its primary index.
+pub struct Table {
+    pub id: TableId,
+    pub name: String,
+    pub oids: Arc<OidArray>,
+    /// Primary index: encoded key → OID.
+    pub primary: Arc<BTree>,
+    pub primary_index: IndexId,
+}
+
+/// An index registration (primary or secondary). All indexes map keys to
+/// OIDs of their owning table, so record updates never touch them (§3.2).
+pub struct IndexInfo {
+    pub id: IndexId,
+    pub name: String,
+    pub table: TableId,
+    pub tree: Arc<BTree>,
+    pub is_primary: bool,
+}
+
+pub(crate) struct Catalog {
+    pub tables: Vec<Arc<Table>>,
+    pub indexes: Vec<Arc<IndexInfo>>,
+    pub table_names: HashMap<String, TableId>,
+    pub index_names: HashMap<String, IndexId>,
+}
+
+pub(crate) struct DbInner {
+    pub cfg: DbConfig,
+    pub log: LogManager,
+    pub tid: TidManager,
+    pub catalog: RwLock<Catalog>,
+    /// GC timescale: dead version reclamation (multi-transaction scale).
+    pub gc_epoch: EpochManager,
+    /// RCU timescale: tree nodes / key buffers (medium scale).
+    pub rcu_epoch: EpochManager,
+    /// TID timescale: context recycling pressure valve (very short).
+    pub tid_epoch: EpochManager,
+    pub checkpoints: Option<CheckpointStore>,
+    /// Large-object side storage (§3.3 feature 4).
+    pub blobs: ermia_log::BlobStore,
+    /// Commits since the last checkpoint (stats).
+    pub commits: AtomicU64,
+    pub aborts: AtomicU64,
+    /// Per-component time breakdown folded in from retired workers
+    /// (Fig. 11 instrumentation; populated when `cfg.profile` is set).
+    pub breakdown: parking_lot::Mutex<crate::profile::Breakdown>,
+}
+
+/// A memory-optimized multi-version database (the paper's ERMIA engine).
+///
+/// Cheap to clone and share across threads. Each worker thread calls
+/// [`Database::register_worker`] once and runs transactions through its
+/// [`Worker`].
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+    // Background services; dropped (stopped) with the last Database clone.
+    _services: Arc<Services>,
+}
+
+struct Services {
+    _tickers: Vec<Ticker>,
+    _gc: parking_lot::Mutex<Option<GarbageCollector>>,
+}
+
+impl Database {
+    /// Open a database. If the log directory already contains segments,
+    /// call [`Database::recover`] after re-declaring the schema.
+    pub fn open(cfg: DbConfig) -> std::io::Result<Database> {
+        let log = LogManager::open(cfg.log.clone())?;
+        let checkpoints = match &cfg.log.dir {
+            Some(dir) => Some(CheckpointStore::new(dir.join("checkpoints"))?),
+            None => None,
+        };
+        let blobs = match &cfg.log.dir {
+            Some(dir) => ermia_log::BlobStore::open(dir)?,
+            None => ermia_log::BlobStore::in_memory(),
+        };
+        let inner = Arc::new(DbInner {
+            log,
+            tid: TidManager::new(),
+            catalog: RwLock::new(Catalog {
+                tables: Vec::new(),
+                indexes: Vec::new(),
+                table_names: HashMap::new(),
+                index_names: HashMap::new(),
+            }),
+            gc_epoch: EpochManager::new("gc"),
+            rcu_epoch: EpochManager::new("rcu"),
+            tid_epoch: EpochManager::new("tid"),
+            checkpoints,
+            blobs,
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            breakdown: parking_lot::Mutex::new(crate::profile::Breakdown::default()),
+            cfg,
+        });
+        let cfg = &inner.cfg;
+        let mut tickers = vec![
+            Ticker::start(inner.rcu_epoch.clone(), cfg.rcu_epoch_interval),
+            Ticker::start(inner.gc_epoch.clone(), cfg.gc_interval.max(Duration::from_millis(1))),
+            Ticker::start(inner.tid_epoch.clone(), Duration::from_millis(1)),
+        ];
+        tickers.shrink_to_fit();
+        let services = Arc::new(Services { _tickers: tickers, _gc: parking_lot::Mutex::new(None) });
+        let db = Database { inner, _services: services };
+        if db.inner.cfg.enable_gc {
+            db.start_gc();
+        }
+        Ok(db)
+    }
+
+    fn start_gc(&self) {
+        let inner = Arc::clone(&self.inner);
+        let horizon = move || {
+            // Versions below every active transaction's begin stamp are
+            // reclaimable; fall back to the log tail when idle.
+            let tail = inner.log.tail_lsn();
+            inner.tid.min_active_begin(tail)
+        };
+        // The GC sweeps whatever tables exist at each pass; re-arm when
+        // tables are created (cheap: GC restart on DDL).
+        let arrays: Vec<Arc<OidArray>> =
+            self.inner.catalog.read().tables.iter().map(|t| Arc::clone(&t.oids)).collect();
+        let gc = GarbageCollector::start(
+            arrays,
+            self.inner.gc_epoch.clone(),
+            horizon,
+            self.inner.cfg.gc_interval,
+        );
+        *self._services._gc.lock() = Some(gc);
+    }
+
+    /// Create (or look up, by name) a table with its primary index.
+    pub fn create_table(&self, name: &str) -> TableId {
+        {
+            let catalog = self.inner.catalog.read();
+            if let Some(&id) = catalog.table_names.get(name) {
+                return id;
+            }
+        }
+        let mut catalog = self.inner.catalog.write();
+        if let Some(&id) = catalog.table_names.get(name) {
+            return id;
+        }
+        let id = TableId(catalog.tables.len() as u32);
+        let index_id = IndexId(catalog.indexes.len() as u32);
+        let tree = Arc::new(BTree::new());
+        let table = Arc::new(Table {
+            id,
+            name: name.to_owned(),
+            oids: Arc::new(OidArray::new()),
+            primary: Arc::clone(&tree),
+            primary_index: index_id,
+        });
+        catalog.indexes.push(Arc::new(IndexInfo {
+            id: index_id,
+            name: format!("{name}.primary"),
+            table: id,
+            tree,
+            is_primary: true,
+        }));
+        catalog.table_names.insert(name.to_owned(), id);
+        catalog.tables.push(table);
+        drop(catalog);
+        if self.inner.cfg.enable_gc {
+            self.start_gc(); // re-arm with the new array
+        }
+        id
+    }
+
+    /// Create (or look up) a secondary index on `table`. Secondary keys
+    /// must be immutable fields of the record: entries map to OIDs and
+    /// are not versioned, so updates must never change them.
+    pub fn create_secondary_index(&self, table: TableId, name: &str) -> IndexId {
+        {
+            let catalog = self.inner.catalog.read();
+            if let Some(&id) = catalog.index_names.get(name) {
+                return id;
+            }
+        }
+        let mut catalog = self.inner.catalog.write();
+        if let Some(&id) = catalog.index_names.get(name) {
+            return id;
+        }
+        let id = IndexId(catalog.indexes.len() as u32);
+        catalog.indexes.push(Arc::new(IndexInfo {
+            id,
+            name: name.to_owned(),
+            table,
+            tree: Arc::new(BTree::new()),
+            is_primary: false,
+        }));
+        catalog.index_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.inner.catalog.read().table_names.get(name).copied()
+    }
+
+    /// Look up a (secondary) index id by name.
+    pub fn index_id(&self, name: &str) -> Option<IndexId> {
+        self.inner.catalog.read().index_names.get(name).copied()
+    }
+
+    /// The primary index id of a table.
+    pub fn primary_index(&self, table: TableId) -> IndexId {
+        self.inner.catalog.read().tables[table.0 as usize].primary_index
+    }
+
+    pub(crate) fn table(&self, id: TableId) -> Arc<Table> {
+        Arc::clone(&self.inner.catalog.read().tables[id.0 as usize])
+    }
+
+    pub(crate) fn index(&self, id: IndexId) -> Arc<IndexInfo> {
+        Arc::clone(&self.inner.catalog.read().indexes[id.0 as usize])
+    }
+
+    /// Register the calling thread as a worker.
+    pub fn register_worker(&self) -> Worker {
+        Worker::new(self.clone())
+    }
+
+    /// The log manager (stats, durability control).
+    pub fn log(&self) -> &LogManager {
+        &self.inner.log
+    }
+
+    /// Committed / aborted transaction totals.
+    pub fn txn_counts(&self) -> (u64, u64) {
+        (self.inner.commits.load(Ordering::Relaxed), self.inner.aborts.load(Ordering::Relaxed))
+    }
+
+    /// Epoch-manager statistics for the three timescales (gc, rcu, tid).
+    pub fn epoch_stats(&self) -> [ermia_epoch::EpochStats; 3] {
+        [
+            self.inner.gc_epoch.stats(),
+            self.inner.rcu_epoch.stats(),
+            self.inner.tid_epoch.stats(),
+        ]
+    }
+
+    /// Current log tail — the begin timestamp a transaction starting now
+    /// would get.
+    pub fn now_lsn(&self) -> Lsn {
+        self.inner.log.tail_lsn()
+    }
+
+    /// Retire log segments made obsolete by the most recent checkpoint
+    /// and prune superseded checkpoints. Returns the number of segments
+    /// removed.
+    pub fn truncate_log(&self) -> std::io::Result<usize> {
+        let Some(store) = &self.inner.checkpoints else { return Ok(0) };
+        let Some((meta, _)) = store.latest()? else { return Ok(0) };
+        store.prune()?;
+        self.inner.log.truncate_before(meta.begin.offset())
+    }
+
+    /// Aggregate per-component time breakdown across retired workers
+    /// (requires `cfg.profile`; live workers fold in on drop).
+    pub fn breakdown(&self) -> crate::profile::Breakdown {
+        *self.inner.breakdown.lock()
+    }
+}

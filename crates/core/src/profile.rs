@@ -1,0 +1,59 @@
+//! Per-component time breakdown (the Fig. 11 instrumentation).
+//!
+//! The paper reports CPU cycles per transaction spent in Masstree, the
+//! indirection arrays, the log manager, and everything else. We measure
+//! the same boundaries with monotonic-clock nanoseconds, accumulated per
+//! worker with zero synchronization; the harness sums across workers.
+
+use std::time::Instant;
+
+/// Accumulated nanoseconds per engine component.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Breakdown {
+    /// Index (B+-tree) probes, inserts, scans.
+    pub index_ns: u64,
+    /// Indirection-array + version-chain work (visibility checks, CAS
+    /// installs, chain traversal).
+    pub indirection_ns: u64,
+    /// Log manager work (allocation, serialization, buffer copy).
+    pub log_ns: u64,
+    /// Everything else (benchmark logic, commit bookkeeping).
+    pub other_ns: u64,
+    /// Transactions measured.
+    pub txns: u64,
+}
+
+impl Breakdown {
+    pub fn add(&mut self, other: &Breakdown) {
+        self.index_ns += other.index_ns;
+        self.indirection_ns += other.indirection_ns;
+        self.log_ns += other.log_ns;
+        self.other_ns += other.other_ns;
+        self.txns += other.txns;
+    }
+
+    /// Total measured nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.index_ns + self.indirection_ns + self.log_ns + self.other_ns
+    }
+}
+
+/// Scoped timer: adds elapsed time to a counter on drop. Constructed
+/// only when profiling is enabled, so the hot path pays one branch.
+pub(crate) struct Timed {
+    start: Instant,
+}
+
+impl Timed {
+    #[inline]
+    pub fn start(enabled: bool) -> Option<Timed> {
+        enabled.then(|| Timed { start: Instant::now() })
+    }
+
+    #[inline]
+    pub fn stop(this: Option<Timed>, counter: &mut u64) {
+        if let Some(t) = this {
+            *counter += t.start.elapsed().as_nanos() as u64;
+        }
+    }
+}

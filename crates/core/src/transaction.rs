@@ -1,0 +1,938 @@
+//! Transactions: snapshot isolation, the Serial Safety Net, and the
+//! pre-commit / post-commit pipeline (paper §3.1, §3.6).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ermia_common::{AbortReason, IndexId, Lsn, Oid, OpResult, Stamp, TableId, Tid, TxResult};
+use ermia_epoch::Guard;
+use ermia_index::{BTree, InsertOutcome, LeafSnapshot, ScanControl};
+use ermia_storage::{OidArray, TidStatus, TxContext, Version};
+
+use crate::config::IsolationLevel;
+use crate::database::{Database, IndexInfo, Table};
+use crate::profile::Timed;
+use crate::worker::{Scratch, Worker};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WriteKind {
+    Insert,
+    Update,
+    Delete,
+}
+
+struct WriteEntry {
+    table: Arc<Table>,
+    oid: Oid,
+    key: Box<[u8]>,
+    /// The version we installed (TID-stamped until post-commit).
+    new: *mut Version,
+    /// The committed version we overwrote (null for inserts).
+    prev: *mut Version,
+    kind: WriteKind,
+}
+
+struct SecondaryEntry {
+    index: Arc<IndexInfo>,
+    key: Box<[u8]>,
+    oid: Oid,
+}
+
+/// An in-flight transaction. Created by [`Worker::begin`]; consumed by
+/// [`Transaction::commit`] or [`Transaction::abort`] (dropping an
+/// unfinished transaction aborts it).
+pub struct Transaction<'w> {
+    db: &'w Database,
+    scratch: &'w mut Scratch,
+    /// Pin on the GC timescale: versions we can reach stay allocated.
+    guard_gc: Guard<'w>,
+    /// Pin on the RCU timescale: tree nodes / key buffers stay allocated.
+    guard_rcu: Guard<'w>,
+    /// Pin on the TID timescale.
+    _guard_tid: Guard<'w>,
+    tid: Tid,
+    begin: Lsn,
+    isolation: IsolationLevel,
+    /// SSN η(T): latest committed predecessor stamp.
+    pstamp: u64,
+    /// SSN π(T): earliest successor stamp (∞ = none).
+    sstamp: u64,
+    reads: Vec<*mut Version>,
+    writes: Vec<WriteEntry>,
+    secondary: Vec<SecondaryEntry>,
+    node_set: Vec<(Arc<BTree>, LeafSnapshot)>,
+    doomed: Option<AbortReason>,
+    finished: bool,
+}
+
+/// Outcome of a visibility probe on one chain.
+struct VisibleVersion {
+    ptr: *mut Version,
+    /// Effective creation stamp (resolved through the TID table when the
+    /// version has not finished post-commit).
+    cstamp: u64,
+    /// Created by this very transaction.
+    own: bool,
+}
+
+impl<'w> Transaction<'w> {
+    pub(crate) fn begin(worker: &'w mut Worker, isolation: IsolationLevel) -> Transaction<'w> {
+        let Worker { db, gc_handle, rcu_handle, tid_handle, scratch } = worker;
+        // Conditional quiescent points: transaction boundaries are where
+        // workers hold no epoch-protected references.
+        let guard_gc = gc_handle.pin();
+        let guard_rcu = rcu_handle.pin();
+        let guard_tid = tid_handle.pin();
+        let begin = db.inner.log.tail_lsn();
+        let (tid, _ctx) = db.inner.tid.acquire(begin, &mut scratch.tid_hint);
+        scratch.logbuf.clear();
+        Transaction {
+            db,
+            scratch,
+            guard_gc,
+            guard_rcu,
+            _guard_tid: guard_tid,
+            tid,
+            begin,
+            isolation,
+            pstamp: 0,
+            sstamp: Lsn::MAX.raw(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            secondary: Vec::new(),
+            node_set: Vec::new(),
+            doomed: None,
+            finished: false,
+        }
+    }
+
+    /// This transaction's ID.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The begin timestamp (snapshot point).
+    pub fn begin_lsn(&self) -> Lsn {
+        self.begin
+    }
+
+    /// True once a CC violation doomed the transaction: further data
+    /// operations fail fast with the original reason — the paper's early
+    /// detection of transactions destined to abort.
+    pub fn is_doomed(&self) -> bool {
+        self.doomed.is_some()
+    }
+
+    #[inline]
+    fn ctx(&self) -> &TxContext {
+        self.db.inner.tid.ctx(self.tid)
+    }
+
+    #[inline]
+    fn check_doomed(&self) -> OpResult<()> {
+        match self.doomed {
+            Some(r) => Err(r),
+            None => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn doom(&mut self, r: AbortReason) -> AbortReason {
+        self.doomed = Some(r);
+        r
+    }
+
+    fn serializable(&self) -> bool {
+        self.isolation == IsolationLevel::Serializable
+    }
+
+    /// Indices of node-set entries for `tree` that are currently valid.
+    /// Captured immediately before one of our own inserts so that
+    /// [`Transaction::refresh_node_set`] can distinguish self-inflicted
+    /// version bumps from genuine concurrent phantoms.
+    fn valid_node_entries(&self, tree: &Arc<BTree>) -> Vec<usize> {
+        self.node_set
+            .iter()
+            .enumerate()
+            .filter(|(_, (t2, snap))| Arc::ptr_eq(t2, tree) && t2.validate(snap))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Re-stamp entries that were valid before our own insert and are
+    /// stale now: the change is (with overwhelming probability) ours.
+    /// Entries already stale beforehand keep their old stamp and abort
+    /// the transaction at pre-commit — a real phantom.
+    fn refresh_node_set(&mut self, valid_before: &[usize]) {
+        for &i in valid_before {
+            let (tree, snap) = &mut self.node_set[i];
+            if !tree.validate(snap) {
+                tree.refresh_snapshot(snap);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Visibility (§3.6.1)
+    // ------------------------------------------------------------------
+
+    /// Walk a version chain and return the version this snapshot reads.
+    ///
+    /// `None` means the record does not exist in this snapshot (no
+    /// visible version, or the visible version is a tombstone). Under
+    /// SSN, skipping committed-but-too-new versions registers an
+    /// anti-dependency: this transaction must serialize before their
+    /// creators.
+    fn fetch_visible(&mut self, oids: &OidArray, oid: Oid) -> OpResult<Option<VisibleVersion>> {
+        let mut cur = oids.head(oid);
+        let mut skipped_min: u64 = u64::MAX;
+        let result = loop {
+            if cur.is_null() {
+                break None;
+            }
+            let v = unsafe { &*cur };
+            match self.visibility_of(v) {
+                Visibility::Visible { cstamp, own } => {
+                    break Some(VisibleVersion { ptr: cur, cstamp, own });
+                }
+                Visibility::SkipCommitted { cstamp } => {
+                    skipped_min = skipped_min.min(cstamp);
+                    cur = v.next.load(Ordering::Acquire);
+                }
+                Visibility::SkipUncommitted => {
+                    cur = v.next.load(Ordering::Acquire);
+                }
+            }
+        };
+        if self.serializable() && skipped_min != u64::MAX {
+            // We read beneath committed overwrites: π(T) shrinks to the
+            // earliest of their stamps.
+            self.sstamp = self.sstamp.min(skipped_min);
+            if self.sstamp <= self.pstamp {
+                return Err(self.doom(AbortReason::SsnExclusion));
+            }
+        }
+        match result {
+            Some(vis) => {
+                if unsafe { (*vis.ptr).tombstone } {
+                    Ok(None)
+                } else {
+                    Ok(Some(vis))
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Decide visibility of a single version, resolving TID stamps
+    /// through the owner's context (§3.5) and spinning through the brief
+    /// pre-commit window when the verdict depends on an undecided
+    /// transaction with an older commit stamp.
+    fn visibility_of(&self, v: &Version) -> Visibility {
+        loop {
+            let stamp = v.stamp();
+            if !stamp.is_tid() {
+                let c = stamp.as_lsn().raw();
+                if c < self.begin.raw() {
+                    return Visibility::Visible { cstamp: c, own: false };
+                }
+                return Visibility::SkipCommitted { cstamp: c };
+            }
+            let owner = stamp.as_tid();
+            if owner == self.tid {
+                return Visibility::Visible { cstamp: u64::MAX, own: true };
+            }
+            match self.db.inner.tid.inquire(owner) {
+                TidStatus::InFlight => return Visibility::SkipUncommitted,
+                TidStatus::Precommit(c) => {
+                    if !c.is_null() && c.raw() >= self.begin.raw() {
+                        // Even if it commits, it commits after us.
+                        return Visibility::SkipCommitted { cstamp: c.raw() };
+                    }
+                    // Undecided with a (possibly) older stamp: the window
+                    // spans no I/O; wait briefly for the verdict.
+                    std::thread::yield_now();
+                }
+                TidStatus::Committed(c) => {
+                    if c.raw() < self.begin.raw() {
+                        return Visibility::Visible { cstamp: c.raw(), own: false };
+                    }
+                    return Visibility::SkipCommitted { cstamp: c.raw() };
+                }
+                TidStatus::Aborted => return Visibility::SkipUncommitted,
+                TidStatus::Stale => {
+                    // Post-commit finished: the stamp is now an LSN.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// SSN read registration (in-flight exclusion-window maintenance).
+    fn register_read(&mut self, vis: &VisibleVersion) -> OpResult<()> {
+        if vis.own || !self.serializable() {
+            return Ok(());
+        }
+        let v = unsafe { &*vis.ptr };
+        // η(T) absorbs the creator's stamp; π(T) shrinks to the
+        // overwriter's stamp if the version is already overwritten.
+        self.pstamp = self.pstamp.max(vis.cstamp);
+        let vs = v.sstamp.load(Ordering::Acquire);
+        if vs != Lsn::MAX.raw() {
+            self.sstamp = self.sstamp.min(vs);
+        }
+        if self.sstamp <= self.pstamp {
+            return Err(self.doom(AbortReason::SsnExclusion));
+        }
+        self.reads.push(vis.ptr);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data operations (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Read a record by primary key; `f` receives the visible payload.
+    pub fn read<R>(
+        &mut self,
+        table: TableId,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> OpResult<Option<R>> {
+        self.check_doomed()?;
+        let t = self.db.table(table);
+        let profile = self.db.inner.cfg.profile;
+        let timer = Timed::start(profile);
+        let (oid, snap) = t.primary.get(&self.guard_rcu, key);
+        Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+        let Some(oid) = oid else {
+            if self.serializable() {
+                self.node_set.push((Arc::clone(&t.primary), snap));
+            }
+            return Ok(None);
+        };
+        let timer = Timed::start(profile);
+        let vis = self.fetch_visible(&t.oids, Oid(oid as u32))?;
+        Timed::stop(timer, &mut self.scratch.breakdown.indirection_ns);
+        match vis {
+            Some(vis) => {
+                self.register_read(&vis)?;
+                let data = unsafe { &(*vis.ptr).data };
+                Ok(Some(f(data)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Read through a secondary index.
+    pub fn read_secondary<R>(
+        &mut self,
+        index: IndexId,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> OpResult<Option<R>> {
+        self.check_doomed()?;
+        let idx = self.db.index(index);
+        let t = self.db.table(idx.table);
+        let (oid, snap) = idx.tree.get(&self.guard_rcu, key);
+        let Some(oid) = oid else {
+            if self.serializable() {
+                self.node_set.push((Arc::clone(&idx.tree), snap));
+            }
+            return Ok(None);
+        };
+        match self.fetch_visible(&t.oids, Oid(oid as u32))? {
+            Some(vis) => {
+                self.register_read(&vis)?;
+                let data = unsafe { &(*vis.ptr).data };
+                Ok(Some(f(data)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Update a record; returns false if the key does not exist in this
+    /// snapshot. First-updater-wins: a conflicting concurrent writer
+    /// dooms this transaction immediately.
+    pub fn update(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<bool> {
+        self.check_doomed()?;
+        let t = self.db.table(table);
+        let profile = self.db.inner.cfg.profile;
+        let timer = Timed::start(profile);
+        let (oid, snap) = t.primary.get(&self.guard_rcu, key);
+        Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+        let Some(oid) = oid else {
+            if self.serializable() {
+                self.node_set.push((Arc::clone(&t.primary), snap));
+            }
+            return Ok(false);
+        };
+        let timer = Timed::start(profile);
+        let r = self.install_version(&t, Oid(oid as u32), key, value, WriteKind::Update);
+        Timed::stop(timer, &mut self.scratch.breakdown.indirection_ns);
+        r
+    }
+
+    /// Delete a record (tombstone install, §3.2); returns false on miss.
+    pub fn delete(&mut self, table: TableId, key: &[u8]) -> OpResult<bool> {
+        self.check_doomed()?;
+        let t = self.db.table(table);
+        let (oid, snap) = t.primary.get(&self.guard_rcu, key);
+        let Some(oid) = oid else {
+            if self.serializable() {
+                self.node_set.push((Arc::clone(&t.primary), snap));
+            }
+            return Ok(false);
+        };
+        self.install_version(&t, Oid(oid as u32), key, &[], WriteKind::Delete)
+    }
+
+    /// Install a new version behind `oid` with the first-updater-wins
+    /// write-write conflict rule (§3.6.1).
+    fn install_version(
+        &mut self,
+        t: &Arc<Table>,
+        oid: Oid,
+        key: &[u8],
+        value: &[u8],
+        kind: WriteKind,
+    ) -> OpResult<bool> {
+        loop {
+            let head = t.oids.head(oid);
+            if head.is_null() {
+                return Ok(false);
+            }
+            let hv = unsafe { &*head };
+            let stamp = hv.stamp();
+            if stamp.is_tid() {
+                let owner = stamp.as_tid();
+                if owner == self.tid {
+                    if hv.tombstone && kind != WriteKind::Insert {
+                        // We deleted it earlier in this transaction.
+                        return Ok(false);
+                    }
+                    return self.replace_own_head(t, oid, head, value, kind);
+                }
+                match self.db.inner.tid.inquire(owner) {
+                    // An uncommitted head version acts as a write lock:
+                    // the doomed (second) updater aborts immediately,
+                    // minimizing wasted work.
+                    TidStatus::InFlight | TidStatus::Precommit(_) | TidStatus::Aborted => {
+                        return Err(self.doom(AbortReason::WriteWriteConflict));
+                    }
+                    TidStatus::Committed(_) | TidStatus::Stale => {
+                        // Owner finished (or is finishing) post-commit;
+                        // re-read the stamp.
+                        std::thread::yield_now();
+                        continue;
+                    }
+                }
+            }
+            let c = stamp.as_lsn();
+            // Forbid updating a record whose committed head postdates our
+            // snapshot (lost-update prevention).
+            if c.raw() >= self.begin.raw() {
+                return Err(self.doom(AbortReason::WriteWriteConflict));
+            }
+            if hv.tombstone && kind != WriteKind::Insert {
+                // Deleted in our snapshot: nothing to update.
+                return Ok(false);
+            }
+            if self.serializable() {
+                // Overwriting `head`: its readers become predecessors.
+                self.pstamp = self.pstamp.max(hv.pstamp.load(Ordering::Acquire));
+                if self.sstamp <= self.pstamp {
+                    return Err(self.doom(AbortReason::SsnExclusion));
+                }
+            }
+            let new = Version::alloc(
+                Stamp::from_tid(self.tid),
+                value,
+                kind == WriteKind::Delete,
+            );
+            unsafe { (*new).next.store(head, Ordering::Relaxed) };
+            match t.oids.cas_head(oid, head, new) {
+                Ok(()) => {
+                    self.log_op_if_per_op(t.id, oid, key, value, kind);
+                    let kind = if kind == WriteKind::Insert { WriteKind::Update } else { kind };
+                    self.writes.push(WriteEntry {
+                        table: Arc::clone(t),
+                        oid,
+                        key: key.to_vec().into_boxed_slice(),
+                        new,
+                        prev: head,
+                        kind,
+                    });
+                    return Ok(true);
+                }
+                Err(_) => {
+                    // Another writer won the CAS: first-updater-wins.
+                    unsafe { drop(Box::from_raw(new)) };
+                    return Err(self.doom(AbortReason::WriteWriteConflict));
+                }
+            }
+        }
+    }
+
+    /// Overwrite our own uncommitted head version (repeated update of the
+    /// same record inside one transaction).
+    fn replace_own_head(
+        &mut self,
+        t: &Arc<Table>,
+        oid: Oid,
+        head: *mut Version,
+        value: &[u8],
+        kind: WriteKind,
+    ) -> OpResult<bool> {
+        let next = unsafe { (*head).next.load(Ordering::Relaxed) };
+        let new = Version::alloc(Stamp::from_tid(self.tid), value, kind == WriteKind::Delete);
+        unsafe { (*new).next.store(next, Ordering::Relaxed) };
+        t.oids
+            .cas_head(oid, head, new)
+            .expect("own uncommitted head cannot be displaced");
+        // The old private version may still be referenced by concurrent
+        // readers resolving visibility: mark it dead (+∞ stamp, so they
+        // skip it rather than spin or misread it post-commit) and retire.
+        unsafe {
+            (*head).clsn.store(Stamp::from_lsn(Lsn::MAX).raw(), Ordering::Release);
+            self.guard_gc.defer_drop(head);
+        }
+        let entry = self
+            .writes
+            .iter_mut()
+            .find(|w| w.oid == oid && Arc::ptr_eq(&w.table, t))
+            .expect("own head implies a write-set entry");
+        entry.new = new;
+        entry.kind = match (entry.kind, kind) {
+            (WriteKind::Insert, _) => WriteKind::Insert,
+            (_, k) => k,
+        };
+        Ok(true)
+    }
+
+    /// Insert a new record; returns its OID. Inserting a key whose
+    /// visible version is a tombstone revives the record; inserting a
+    /// live duplicate dooms the transaction.
+    pub fn insert(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<Oid> {
+        self.check_doomed()?;
+        let t = self.db.table(table);
+        let profile = self.db.inner.cfg.profile;
+        loop {
+            // Obtain a new OID and publish the version, then index it
+            // (§3.2 Insert: contention-free).
+            let oid = t.oids.allocate();
+            let new = Version::alloc(Stamp::from_tid(self.tid), value, false);
+            t.oids.store_head(oid, new);
+            let valid_before = self.valid_node_entries(&t.primary);
+            let timer = Timed::start(profile);
+            let outcome = t.primary.insert(&self.guard_rcu, key, oid.0 as u64);
+            Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+            match outcome {
+                InsertOutcome::Inserted => {
+                    self.refresh_node_set(&valid_before);
+                    self.log_op_if_per_op(t.id, oid, key, value, WriteKind::Insert);
+                    self.writes.push(WriteEntry {
+                        table: Arc::clone(&t),
+                        oid,
+                        key: key.to_vec().into_boxed_slice(),
+                        new,
+                        prev: std::ptr::null_mut(),
+                        kind: WriteKind::Insert,
+                    });
+                    return Ok(oid);
+                }
+                InsertOutcome::Duplicate(existing) => {
+                    // Unpublish our speculative record.
+                    t.oids.store_head(oid, std::ptr::null_mut());
+                    unsafe { self.guard_gc.defer_drop(new) };
+                    t.oids.recycle(oid);
+                    let existing = Oid(existing as u32);
+                    // Revive if the visible version is a tombstone.
+                    if t.oids.head(existing).is_null() {
+                        // The owning insert rolled back between our index
+                        // probe and now; retry from the top.
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let vis = self.fetch_visible(&t.oids, existing)?;
+                    if vis.is_some() {
+                        return Err(self.doom(AbortReason::DuplicateKey));
+                    }
+                    // Invisible or deleted: attempt a tombstone overwrite
+                    // under first-updater-wins.
+                    match self.install_version(&t, existing, key, value, WriteKind::Insert) {
+                        Ok(true) => return Ok(existing),
+                        Ok(false) => {
+                            // Record vanished mid-flight (concurrent
+                            // insert rollback): retry.
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Add a secondary-index entry pointing at `oid` (obtained from
+    /// [`Transaction::insert`]). Secondary keys must be immutable.
+    pub fn insert_secondary(&mut self, index: IndexId, key: &[u8], oid: Oid) -> OpResult<()> {
+        self.check_doomed()?;
+        let idx = self.db.index(index);
+        let valid_before = self.valid_node_entries(&idx.tree);
+        match idx.tree.insert(&self.guard_rcu, key, oid.0 as u64) {
+            InsertOutcome::Inserted => {
+                self.refresh_node_set(&valid_before);
+                self.secondary.push(SecondaryEntry {
+                    index: idx,
+                    key: key.to_vec().into_boxed_slice(),
+                    oid,
+                });
+                Ok(())
+            }
+            InsertOutcome::Duplicate(_) => Err(self.doom(AbortReason::DuplicateKey)),
+        }
+    }
+
+    /// Range scan over any index (primary or secondary), ascending, both
+    /// bounds inclusive. `f` receives (key, payload) for each visible
+    /// record and returns `false` to stop. Returns the delivered count.
+    pub fn scan(
+        &mut self,
+        index: IndexId,
+        low: &[u8],
+        high: &[u8],
+        limit: Option<usize>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> OpResult<usize> {
+        self.check_doomed()?;
+        let idx = self.db.index(index);
+        let t = self.db.table(idx.table);
+        let profile = self.db.inner.cfg.profile;
+
+        let mut delivered = 0usize;
+        let mut resume: Vec<u8> = low.to_vec();
+        loop {
+            // Phase 1: collect a batch of (key, oid) pairs from the tree.
+            // Collection is separate from visibility so the tree callbacks
+            // don't need mutable access to transaction state.
+            let cap = limit.map_or(usize::MAX, |l| (l - delivered) * 2 + 64);
+            let mut items: Vec<(Vec<u8>, u64)> = Vec::new();
+            let mut truncated = false;
+            let timer = Timed::start(profile);
+            {
+                let node_set = &mut self.node_set;
+                let serializable = self.isolation == IsolationLevel::Serializable;
+                let tree = &idx.tree;
+                tree.scan(
+                    &self.guard_rcu,
+                    &resume,
+                    high,
+                    |snap| {
+                        if serializable {
+                            node_set.push((Arc::clone(tree), snap));
+                        }
+                    },
+                    |k, v| {
+                        items.push((k.to_vec(), v));
+                        if items.len() >= cap {
+                            truncated = true;
+                            ScanControl::Stop
+                        } else {
+                            ScanControl::Continue
+                        }
+                    },
+                );
+            }
+            Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+
+            // Phase 2: visibility + delivery.
+            let timer = Timed::start(profile);
+            let mut stopped = false;
+            for (k, oidval) in &items {
+                let vis = self.fetch_visible(&t.oids, Oid(*oidval as u32))?;
+                if let Some(vis) = vis {
+                    self.register_read(&vis)?;
+                    let data = unsafe { &(*vis.ptr).data };
+                    delivered += 1;
+                    if !f(k, data) || limit.is_some_and(|l| delivered >= l) {
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+            Timed::stop(timer, &mut self.scratch.breakdown.indirection_ns);
+            if stopped || !truncated {
+                return Ok(delivered);
+            }
+            // Resume after the last collected key.
+            let (last, _) = items.last().expect("truncated implies items");
+            resume.clear();
+            resume.extend_from_slice(last);
+            resume.push(0);
+        }
+    }
+
+    /// Fig. 10 emulation: "enforcing a log-buffer round trip for every
+    /// single update operation".
+    fn log_op_if_per_op(&mut self, table: TableId, oid: Oid, key: &[u8], value: &[u8], kind: WriteKind) {
+        if !self.db.inner.cfg.per_op_logging {
+            return;
+        }
+        let mut buf = ermia_log::TxLogBuffer::new();
+        match kind {
+            WriteKind::Insert => buf.add_insert(table, oid, key, value),
+            WriteKind::Update => buf.add_update(table, oid, key, value),
+            WriteKind::Delete => buf.add_delete(table, oid, key),
+        }
+        let res = self.db.inner.log.allocate(buf.block_len()).expect("log allocation");
+        let lsn = res.lsn();
+        let block = buf.serialize(lsn);
+        res.fill(block);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit pipeline (§3.1, §3.6; SSN Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// Commit. On success returns the commit LSN.
+    pub fn commit(mut self) -> TxResult<Lsn> {
+        if let Some(r) = self.doomed {
+            self.do_abort();
+            return Err(r);
+        }
+        if self.writes.is_empty() && self.secondary.is_empty() {
+            return self.commit_readonly();
+        }
+        let db = self.db;
+        let profile = db.inner.cfg.profile;
+        let ctx = db.inner.tid.ctx(self.tid);
+
+        // --- Pre-commit ------------------------------------------------
+        // Publish intent, then fix our global order and reserve log space
+        // with the single atomic fetch-and-add.
+        ctx.enter_pending();
+        let timer = Timed::start(profile);
+        let blob_threshold = db.inner.cfg.large_value_threshold;
+        for w in &self.writes {
+            let (key, data, kind) = unsafe { (&w.key, &(*w.new).data, w.kind) };
+            let indirect = kind != WriteKind::Delete && data.len() >= blob_threshold;
+            if indirect {
+                // Divert the payload to the blob store; the log record
+                // carries only the fixed-size reference (§3.3 feature 4).
+                let blob = db.inner.blobs.append(data).expect("blob append");
+                let kind = match kind {
+                    WriteKind::Insert => ermia_log::LogRecordKind::Insert,
+                    _ => ermia_log::LogRecordKind::Update,
+                };
+                self.scratch.logbuf.add_indirect(kind, w.table.id, w.oid, key, &blob.encode());
+                continue;
+            }
+            match kind {
+                WriteKind::Insert => self.scratch.logbuf.add_insert(w.table.id, w.oid, key, data),
+                WriteKind::Update => self.scratch.logbuf.add_update(w.table.id, w.oid, key, data),
+                WriteKind::Delete => self.scratch.logbuf.add_delete(w.table.id, w.oid, key),
+            }
+        }
+        for s in &self.secondary {
+            self.scratch.logbuf.add_secondary_insert(s.index.table, s.index.id.0, s.oid, &s.key);
+        }
+        let reservation = match db.inner.log.allocate(self.scratch.logbuf.block_len()) {
+            Ok(r) => r,
+            Err(_) => {
+                ctx.abort();
+                self.rollback();
+                self.release(false);
+                return Err(AbortReason::ResourceExhausted);
+            }
+        };
+        let cstamp = reservation.lsn();
+        ctx.enter_precommit(cstamp);
+        Timed::stop(timer, &mut self.scratch.breakdown.log_ns);
+
+        // --- CC commit protocol (SSN exclusion-window test) -------------
+        if self.serializable() {
+            for w in &self.writes {
+                if !w.prev.is_null() {
+                    let p = unsafe { &*w.prev };
+                    self.pstamp = self.pstamp.max(p.pstamp.load(Ordering::Acquire));
+                }
+            }
+            self.sstamp = self.sstamp.min(cstamp.raw());
+            for &r in &self.reads {
+                let vs = unsafe { (*r).sstamp.load(Ordering::Acquire) };
+                self.sstamp = self.sstamp.min(vs);
+            }
+            if self.sstamp <= self.pstamp {
+                drop(reservation); // becomes a skip record
+                ctx.abort();
+                self.rollback();
+                self.release(false);
+                return Err(AbortReason::SsnExclusion);
+            }
+            // Phantom protection: node-set validation (§3.6.2).
+            for (tree, snap) in &self.node_set {
+                if !tree.validate(snap) {
+                    drop(reservation);
+                    ctx.abort();
+                    self.rollback();
+                    self.release(false);
+                    return Err(AbortReason::Phantom);
+                }
+            }
+        }
+
+        // --- Populate the centralized log buffer -----------------------
+        let timer = Timed::start(profile);
+        let end_offset = reservation.end_offset();
+        let block = self.scratch.logbuf.serialize(cstamp);
+        reservation.fill(block);
+        if db.inner.cfg.synchronous_commit {
+            db.inner.log.wait_durable(end_offset);
+        }
+        Timed::stop(timer, &mut self.scratch.breakdown.log_ns);
+
+        // All updates become visible atomically at this store.
+        ctx.commit(cstamp);
+
+        // --- Post-commit ------------------------------------------------
+        let sstamp_final = self.sstamp;
+        for w in &self.writes {
+            let new = unsafe { &*w.new };
+            if self.serializable() {
+                if !w.prev.is_null() {
+                    // π(V_prev): our low watermark caps its readers.
+                    unsafe { (*w.prev).sstamp.fetch_min(sstamp_final, Ordering::AcqRel) };
+                }
+                new.pstamp.store(cstamp.raw(), Ordering::Release);
+            }
+            // Replace the TID stamp with the commit LSN so readers can
+            // check visibility without consulting our context.
+            new.clsn.store(Stamp::from_lsn(cstamp).raw(), Ordering::Release);
+        }
+        if self.serializable() {
+            for &r in &self.reads {
+                unsafe { (*r).raise_pstamp(cstamp.raw()) };
+            }
+        }
+        self.release(true);
+        Ok(cstamp)
+    }
+
+    /// Read-only commit: no log space needed. Under SSN the transaction
+    /// still needs a commit stamp for the exclusion test and for
+    /// registering itself on read versions; we use the current log tail
+    /// (monotonic, possibly shared — a documented approximation that can
+    /// only add false positives, never lost dependencies).
+    fn commit_readonly(mut self) -> TxResult<Lsn> {
+        let db = self.db;
+        let ctx = db.inner.tid.ctx(self.tid);
+        let cstamp = db.inner.log.tail_lsn();
+        if self.serializable() {
+            self.sstamp = self.sstamp.min(cstamp.raw());
+            for &r in &self.reads {
+                let vs = unsafe { (*r).sstamp.load(Ordering::Acquire) };
+                self.sstamp = self.sstamp.min(vs);
+            }
+            if self.sstamp <= self.pstamp {
+                ctx.abort();
+                self.release(false);
+                return Err(AbortReason::SsnExclusion);
+            }
+            for (tree, snap) in &self.node_set {
+                if !tree.validate(snap) {
+                    ctx.abort();
+                    self.release(false);
+                    return Err(AbortReason::Phantom);
+                }
+            }
+            for &r in &self.reads {
+                unsafe { (*r).raise_pstamp(cstamp.raw()) };
+            }
+        }
+        ctx.enter_pending();
+        ctx.enter_precommit(cstamp);
+        ctx.commit(cstamp);
+        self.release(true);
+        Ok(cstamp)
+    }
+
+    /// Abort explicitly.
+    pub fn abort(mut self) {
+        self.do_abort();
+    }
+
+    fn do_abort(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.ctx().abort();
+        self.rollback();
+        self.release(false);
+    }
+
+    /// Undo installed versions and speculative index entries.
+    fn rollback(&mut self) {
+        for w in self.writes.drain(..).rev() {
+            // Re-stamp the dead version with +∞ before unlinking so
+            // concurrent readers already holding the pointer classify it
+            // as "committed far in the future" and skip past it, instead
+            // of spinning on a TID whose slot will be recycled.
+            unsafe {
+                (*w.new).clsn.store(Stamp::from_lsn(Lsn::MAX).raw(), Ordering::Release);
+            }
+            match w.kind {
+                WriteKind::Insert => {
+                    // Remove the index entry, unpublish, recycle.
+                    w.table.primary.remove(&self.guard_rcu, &w.key);
+                    w.table.oids.store_head(w.oid, std::ptr::null_mut());
+                    unsafe { self.guard_gc.defer_drop(w.new) };
+                    w.table.oids.recycle(w.oid);
+                }
+                WriteKind::Update | WriteKind::Delete => {
+                    // Unlink our version from the chain head.
+                    w.table
+                        .oids
+                        .cas_head(w.oid, w.new, w.prev)
+                        .expect("uncommitted head owned by us");
+                    unsafe { self.guard_gc.defer_drop(w.new) };
+                }
+            }
+        }
+        for s in self.secondary.drain(..).rev() {
+            s.index.tree.remove(&self.guard_rcu, &s.key);
+        }
+    }
+
+    /// Common epilogue: return resources and deregister.
+    fn release(&mut self, committed: bool) {
+        // The context may be released only after every TID-stamped
+        // version has been re-stamped or unlinked (Stale inquiries then
+        // re-read a proper stamp).
+        self.db.inner.tid.release(self.tid);
+        if committed {
+            self.db.inner.commits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.db.inner.aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.scratch.breakdown.txns += 1;
+        self.finished = true;
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.do_abort();
+        }
+    }
+}
+
+enum Visibility {
+    Visible { cstamp: u64, own: bool },
+    /// Committed, but after our snapshot.
+    SkipCommitted { cstamp: u64 },
+    /// In flight or aborted.
+    SkipUncommitted,
+}

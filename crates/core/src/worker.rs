@@ -1,0 +1,83 @@
+//! Worker threads: per-thread engine state.
+//!
+//! When a transaction enters the system it joins three epoch-based
+//! resource managers — log, TID, and garbage collection (§3.1
+//! *Initialization*). A [`Worker`] holds the thread's registrations with
+//! all three plus reusable scratch buffers, so beginning a transaction is
+//! allocation-free in the steady state.
+
+use ermia_epoch::EpochHandle;
+use ermia_log::TxLogBuffer;
+
+use crate::config::IsolationLevel;
+use crate::database::Database;
+use crate::profile::Breakdown;
+use crate::transaction::Transaction;
+
+/// Per-thread handle for running transactions against a [`Database`].
+pub struct Worker {
+    pub(crate) db: Database,
+    pub(crate) gc_handle: EpochHandle,
+    pub(crate) rcu_handle: EpochHandle,
+    pub(crate) tid_handle: EpochHandle,
+    pub(crate) scratch: Scratch,
+}
+
+/// Mutable per-thread scratch reused across transactions.
+pub(crate) struct Scratch {
+    pub tid_hint: usize,
+    pub logbuf: TxLogBuffer,
+    pub breakdown: Breakdown,
+}
+
+impl Worker {
+    pub(crate) fn new(db: Database) -> Worker {
+        let gc_handle = db.inner.gc_epoch.register();
+        let rcu_handle = db.inner.rcu_epoch.register();
+        let tid_handle = db.inner.tid_epoch.register();
+        // Scatter TID probe cursors across the table.
+        let tid_hint = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) % ermia_common::ids::TID_TABLE_CAPACITY
+        };
+        Worker {
+            db,
+            gc_handle,
+            rcu_handle,
+            tid_handle,
+            scratch: Scratch { tid_hint, logbuf: TxLogBuffer::new(), breakdown: Breakdown::default() },
+        }
+    }
+
+    /// Begin a transaction at the given isolation level.
+    pub fn begin(&mut self, isolation: IsolationLevel) -> Transaction<'_> {
+        Transaction::begin(self, isolation)
+    }
+
+    /// The accumulated per-component time breakdown (when
+    /// [`DbConfig::profile`](crate::DbConfig) is on).
+    pub fn breakdown(&self) -> Breakdown {
+        self.scratch.breakdown
+    }
+
+    pub fn reset_breakdown(&mut self) {
+        self.scratch.breakdown = Breakdown::default();
+    }
+
+    /// The owning database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Fold this worker's breakdown into the database aggregate so
+        // the Fig. 11 harness can read it after the run.
+        if self.db.inner.cfg.profile {
+            self.db.inner.breakdown.lock().add(&self.scratch.breakdown);
+        }
+    }
+}

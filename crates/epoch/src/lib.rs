@@ -1,0 +1,45 @@
+//! Epoch-based resource management (paper §3.4).
+//!
+//! ERMIA instantiates several epoch managers, all running at different time
+//! scales, to simplify all types of resource management in the system: a
+//! multi-transaction-scale manager drives garbage collection of dead
+//! versions, a medium-scale manager implements RCU for physical memory and
+//! data-structure reclamation, and a very short-timescale manager guards
+//! transaction-ID recycling.
+//!
+//! The design follows the paper's three especially useful characteristics:
+//!
+//! 1. **Lock-free activity reporting.** Threads interact with the manager
+//!    through thread-private slots they grant it access to; activating
+//!    (pinning) and quiescing are a handful of atomic operations on a
+//!    cache-padded private word.
+//! 2. **Conditional quiescent points.** [`EpochHandle::quiesce`] is a read
+//!    of a single shared variable in the common case where the current
+//!    epoch is not trying to close, so highly active threads can announce
+//!    quiescent points frequently at negligible cost.
+//! 3. **Three epochs tracked at once.** Where a traditional scheme has only
+//!    *open* and *closed* epochs — flagging every busy thread as a
+//!    straggler when an epoch closes — this manager inserts a *closing*
+//!    epoch between them. Threads active in the closing epoch (the
+//!    previous epoch) are ignored; only threads still active two or more
+//!    epochs behind are true stragglers. Stragglers never compromise
+//!    safety — they merely block epoch advancement (and therefore
+//!    reclamation), exactly as the paper states: "the worst-case duration
+//!    of any epoch remains the same: it cannot be reclaimed until the last
+//!    straggler leaves."
+//!
+//! Reclamation is two-phase RCU (§2 "Epoch-based resource management"):
+//! the caller first makes the resource unreachable to new arrivals
+//! (unlinking it from whatever shared structure published it), then hands
+//! it to [`Guard::defer`]; the manager runs the deferred destructor only
+//! once every thread has quiesced past the retiring epoch, guaranteeing
+//! all thread-private references have died.
+
+mod manager;
+mod ticker;
+
+pub use manager::{EpochHandle, EpochManager, EpochPhase, EpochStats, Guard, QUIESCENT};
+pub use ticker::Ticker;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,38 @@
+//! Concurrent ordered index: the Masstree substitute.
+//!
+//! ERMIA uses Masstree for indexing, as Silo does (§3.1). This crate
+//! provides the two properties the engines rely on, with a different but
+//! equivalent structure — a B+-tree with **optimistic lock coupling**:
+//!
+//! * **Lock-free reads, fine-grained writes.** Readers never take locks;
+//!   they snapshot a node's version word, read optimistically, and
+//!   validate the version afterwards, restarting on interference.
+//!   Writers lock individual nodes via a CAS on the same version word.
+//! * **Node versions for phantom protection.** Any insertion, deletion,
+//!   or split of a leaf bumps its version. Transactions record
+//!   `(leaf, version)` pairs for every leaf a scan (or failed point
+//!   lookup) touches — the *node set* — and re-validate them at
+//!   pre-commit, exactly the tree-version validation strategy ERMIA
+//!   inherits from Silo (§3.6.2).
+//!
+//! The tree maps byte-string keys to `u64` values. In ERMIA the value is
+//! an OID — "different from traditional designs which give access to data
+//! in the leaf nodes, we store object IDs in the leaf level" (§3.1) — so
+//! updates never touch the tree; in the Silo baseline it is a record
+//! pointer, which is likewise stable across updates.
+//!
+//! Memory reclamation: key buffers displaced by removals are retired
+//! through an [`ermia_epoch::EpochManager`]; readers hold an epoch guard
+//! for the duration of an operation, so a pointer read from a slot is
+//! always dereferenceable even if it lost its slot concurrently. Interior
+//! nodes are never freed while the tree lives (there are no merges; empty
+//! leaves persist until the tree drops), which also makes node-set
+//! handles stable without pinning.
+
+mod node;
+mod tree;
+
+pub use tree::{BTree, InsertOutcome, LeafSnapshot, ScanControl};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,145 @@
+//! B+-tree nodes with version-word optimistic lock coupling.
+//!
+//! Version word protocol: the word is even when unlocked; bit 0 set means
+//! write-locked. Readers spin past the lock bit, remember the even value,
+//! and re-check it after their optimistic reads; any mutation ends with a
+//! `+2` store, so a changed (or odd) word invalidates them.
+//!
+//! All mutable node state lives in atomics so concurrent optimistic
+//! readers never perform a torn read; they may observe *inconsistent
+//! combinations* (mid-shift), but version validation discards those
+//! results. Key-buffer pointers read from slots are dereferenceable under
+//! an epoch guard because displaced buffers are retired, not dropped.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum keys per node. Split at capacity; no merging.
+pub const MAX_KEYS: usize = 30;
+
+/// A heap-allocated key. Stored behind thin pointers in node slots.
+pub struct KeyBuf {
+    pub bytes: Box<[u8]>,
+}
+
+impl KeyBuf {
+    pub fn alloc(bytes: &[u8]) -> *mut KeyBuf {
+        Box::into_raw(Box::new(KeyBuf { bytes: bytes.to_vec().into_boxed_slice() }))
+    }
+}
+
+/// Common node header. `#[repr(C)]` with the header first lets child
+/// pointers be passed around as `*mut NodeHdr` and downcast via `is_leaf`.
+#[repr(C)]
+pub struct NodeHdr {
+    pub version: AtomicU64,
+    pub is_leaf: bool,
+}
+
+pub const LOCKED: u64 = 1;
+
+impl NodeHdr {
+    fn new(is_leaf: bool) -> NodeHdr {
+        NodeHdr { version: AtomicU64::new(0), is_leaf }
+    }
+
+    /// Optimistic read entry: spin until unlocked, return the stable
+    /// (even) version.
+    #[inline]
+    pub fn read_lock(&self) -> u64 {
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            if v & LOCKED == 0 {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Optimistic read exit: true iff nothing happened since `read_lock`.
+    #[inline]
+    pub fn check(&self, v: u64) -> bool {
+        self.version.load(Ordering::Acquire) == v
+    }
+
+    /// Try to upgrade an optimistic read to a write lock.
+    #[inline]
+    pub fn try_lock(&self, v: u64) -> bool {
+        self.version.compare_exchange(v, v | LOCKED, Ordering::Acquire, Ordering::Relaxed).is_ok()
+    }
+
+    /// Release a write lock, bumping the version to invalidate readers.
+    #[inline]
+    pub fn unlock(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert!(v & LOCKED != 0);
+        self.version.store(v + 1, Ordering::Release);
+    }
+
+    /// Release a write lock *without* bumping the version — only legal
+    /// when the critical section made no modification, so concurrent
+    /// optimistic readers (and recorded node sets) stay valid.
+    #[inline]
+    pub fn unlock_unchanged(&self, v: u64) {
+        debug_assert_eq!(self.version.load(Ordering::Relaxed), v | LOCKED);
+        self.version.store(v, Ordering::Release);
+    }
+
+    /// Current version (for node-set validation): `None` while locked.
+    #[inline]
+    pub fn stable_version(&self) -> Option<u64> {
+        let v = self.version.load(Ordering::Acquire);
+        (v & LOCKED == 0).then_some(v)
+    }
+}
+
+/// Leaf node: sorted key slots with `u64` values and a right-sibling
+/// chain for range scans.
+#[repr(C)]
+pub struct LeafNode {
+    pub hdr: NodeHdr,
+    pub nkeys: AtomicUsize,
+    pub keys: [AtomicPtr<KeyBuf>; MAX_KEYS],
+    pub vals: [AtomicU64; MAX_KEYS],
+    pub next: AtomicPtr<LeafNode>,
+}
+
+impl LeafNode {
+    pub fn alloc() -> *mut LeafNode {
+        Box::into_raw(Box::new(LeafNode {
+            hdr: NodeHdr::new(true),
+            nkeys: AtomicUsize::new(0),
+            keys: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            vals: std::array::from_fn(|_| AtomicU64::new(0)),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+
+    pub fn as_hdr(ptr: *mut LeafNode) -> *mut NodeHdr {
+        ptr.cast()
+    }
+}
+
+/// Inner node: `nkeys` separators and `nkeys + 1` children. Child `i`
+/// covers keys `< keys[i]`; the last child covers the rest.
+#[repr(C)]
+pub struct InnerNode {
+    pub hdr: NodeHdr,
+    pub nkeys: AtomicUsize,
+    pub keys: [AtomicPtr<KeyBuf>; MAX_KEYS],
+    pub children: [AtomicPtr<NodeHdr>; MAX_KEYS + 1],
+}
+
+impl InnerNode {
+    pub fn alloc() -> *mut InnerNode {
+        Box::into_raw(Box::new(InnerNode {
+            hdr: NodeHdr::new(false),
+            nkeys: AtomicUsize::new(0),
+            keys: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            children: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }))
+    }
+
+    pub fn as_hdr(ptr: *mut InnerNode) -> *mut NodeHdr {
+        ptr.cast()
+    }
+}

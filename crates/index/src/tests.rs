@@ -1,0 +1,316 @@
+use std::collections::BTreeMap;
+
+use ermia_epoch::EpochManager;
+
+use crate::{BTree, InsertOutcome, ScanControl};
+
+fn setup() -> (BTree, EpochManager) {
+    (BTree::new(), EpochManager::new("index-test"))
+}
+
+fn key(i: u64) -> Vec<u8> {
+    i.to_be_bytes().to_vec()
+}
+
+#[test]
+fn insert_get_roundtrip() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    assert_eq!(t.insert(&g, b"alpha", 1), InsertOutcome::Inserted);
+    assert_eq!(t.insert(&g, b"beta", 2), InsertOutcome::Inserted);
+    assert_eq!(t.get(&g, b"alpha").0, Some(1));
+    assert_eq!(t.get(&g, b"beta").0, Some(2));
+    assert_eq!(t.get(&g, b"gamma").0, None);
+}
+
+#[test]
+fn duplicate_insert_reports_existing() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    t.insert(&g, b"k", 7);
+    assert_eq!(t.insert(&g, b"k", 8), InsertOutcome::Duplicate(7));
+    assert_eq!(t.get(&g, b"k").0, Some(7));
+}
+
+#[test]
+fn many_inserts_force_splits_sorted_order() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    const N: u64 = 5_000;
+    for i in 0..N {
+        assert_eq!(t.insert(&g, &key(i), i), InsertOutcome::Inserted);
+    }
+    for i in 0..N {
+        assert_eq!(t.get(&g, &key(i)).0, Some(i), "missing key {i}");
+    }
+}
+
+#[test]
+fn many_inserts_random_order() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    // Deterministic pseudo-random permutation.
+    let mut keys: Vec<u64> = (0..4_000).map(|i| (i * 2_654_435_761u64) % 1_000_003).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut shuffled = keys.clone();
+    // Simple LCG shuffle.
+    let mut state = 0x12345678u64;
+    for i in (1..shuffled.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        shuffled.swap(i, j);
+    }
+    for &k in &shuffled {
+        t.insert(&g, &key(k), k);
+    }
+    for &k in &keys {
+        assert_eq!(t.get(&g, &key(k)).0, Some(k));
+    }
+}
+
+#[test]
+fn remove_then_get_misses() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    for i in 0..200u64 {
+        t.insert(&g, &key(i), i);
+    }
+    for i in (0..200u64).step_by(2) {
+        assert_eq!(t.remove(&g, &key(i)), Some(i));
+    }
+    for i in 0..200u64 {
+        let expect = if i % 2 == 0 { None } else { Some(i) };
+        assert_eq!(t.get(&g, &key(i)).0, expect);
+    }
+    assert_eq!(t.remove(&g, &key(0)), None, "double remove");
+}
+
+#[test]
+fn scan_returns_sorted_range() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    for i in 0..1_000u64 {
+        t.insert(&g, &key(i * 2), i * 2); // even keys only
+    }
+    let mut got = Vec::new();
+    t.scan(&g, &key(100), &key(140), |_| {}, |k, v| {
+        assert_eq!(k, v.to_be_bytes());
+        got.push(v);
+        ScanControl::Continue
+    });
+    let expect: Vec<u64> = (100..=140).filter(|x| x % 2 == 0).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn scan_stop_early() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    for i in 0..500u64 {
+        t.insert(&g, &key(i), i);
+    }
+    let mut got = Vec::new();
+    t.scan(&g, &key(0), &key(499), |_| {}, |_, v| {
+        got.push(v);
+        if got.len() == 10 { ScanControl::Stop } else { ScanControl::Continue }
+    });
+    assert_eq!(got, (0..10).collect::<Vec<u64>>());
+}
+
+#[test]
+fn scan_empty_range() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    for i in 0..100u64 {
+        t.insert(&g, &key(i), i);
+    }
+    let mut n = 0;
+    t.scan(&g, &key(200), &key(300), |_| {}, |_, _| {
+        n += 1;
+        ScanControl::Continue
+    });
+    assert_eq!(n, 0);
+}
+
+#[test]
+fn node_set_detects_phantom_insert() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    for i in 0..10u64 {
+        t.insert(&g, &key(i * 10), i);
+    }
+    // Record the node set for a range scan.
+    let mut snaps = Vec::new();
+    t.scan(&g, &key(0), &key(100), |s| snaps.push(s), |_, _| ScanControl::Continue);
+    assert!(!snaps.is_empty());
+    assert!(snaps.iter().all(|s| t.validate(s)), "clean scan must validate");
+
+    // A phantom: insert into the scanned range.
+    t.insert(&g, &key(55), 55);
+    assert!(snaps.iter().any(|s| !t.validate(s)), "insert in range must invalidate");
+}
+
+#[test]
+fn node_set_miss_is_also_protected() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    t.insert(&g, &key(1), 1);
+    let (found, snap) = t.get(&g, &key(2));
+    assert_eq!(found, None);
+    assert!(t.validate(&snap));
+    // Inserting the very key we missed must invalidate the snapshot.
+    t.insert(&g, &key(2), 2);
+    assert!(!t.validate(&snap));
+}
+
+#[test]
+fn duplicate_insert_does_not_invalidate_node_set() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    t.insert(&g, &key(1), 1);
+    let (_, snap) = t.get(&g, &key(1));
+    // A failed (duplicate) insert makes no modification.
+    assert_eq!(t.insert(&g, &key(1), 9), InsertOutcome::Duplicate(1));
+    assert!(t.validate(&snap));
+}
+
+#[test]
+fn matches_btreemap_reference() {
+    let (t, mgr) = setup();
+    let h = mgr.register();
+    let g = h.pin();
+    let mut reference = BTreeMap::new();
+    let mut state = 42u64;
+    for _ in 0..20_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let k = (state >> 40) % 2_000;
+        let op = (state >> 20) % 3;
+        match op {
+            0 | 1 => {
+                let outcome = t.insert(&g, &key(k), k);
+                match reference.entry(k) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        assert_eq!(outcome, InsertOutcome::Inserted);
+                        e.insert(k);
+                    }
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        assert_eq!(outcome, InsertOutcome::Duplicate(k));
+                    }
+                }
+            }
+            _ => {
+                let got = t.remove(&g, &key(k));
+                assert_eq!(got, reference.remove(&k));
+            }
+        }
+    }
+    // Full scan equals reference iteration.
+    let mut got = Vec::new();
+    t.scan(&g, &key(0), &key(u64::MAX), |_| {}, |_, v| {
+        got.push(v);
+        ScanControl::Continue
+    });
+    let expect: Vec<u64> = reference.values().copied().collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn concurrent_disjoint_inserts() {
+    const THREADS: u64 = 4;
+    const PER: u64 = 3_000;
+    let t = BTree::new();
+    let mgr = EpochManager::new("stress");
+    crossbeam::scope(|s| {
+        for tid in 0..THREADS {
+            let t = &t;
+            let mgr = mgr.clone();
+            s.spawn(move |_| {
+                let h = mgr.register();
+                for i in 0..PER {
+                    let g = h.pin();
+                    let k = tid * PER + i;
+                    assert_eq!(t.insert(&g, &key(k), k), InsertOutcome::Inserted);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let h = mgr.register();
+    let g = h.pin();
+    let mut count = 0u64;
+    let mut prev: Option<Vec<u8>> = None;
+    t.scan(&g, &key(0), &key(u64::MAX), |_| {}, |k, v| {
+        if let Some(p) = &prev {
+            assert!(k > p.as_slice(), "scan order violated");
+        }
+        prev = Some(k.to_vec());
+        assert_eq!(k, v.to_be_bytes());
+        count += 1;
+        ScanControl::Continue
+    });
+    assert_eq!(count, THREADS * PER);
+}
+
+#[test]
+fn concurrent_readers_during_writes() {
+    const N: u64 = 8_000;
+    let t = BTree::new();
+    let mgr = EpochManager::new("rw-stress");
+    let ticker = ermia_epoch::Ticker::start(mgr.clone(), std::time::Duration::from_millis(1));
+    crossbeam::scope(|s| {
+        // Writer inserts ascending keys, removing every third behind itself.
+        {
+            let t = &t;
+            let mgr = mgr.clone();
+            s.spawn(move |_| {
+                let h = mgr.register();
+                for i in 0..N {
+                    let g = h.pin();
+                    t.insert(&g, &key(i), i);
+                    if i % 3 == 0 && i > 100 {
+                        t.remove(&g, &key(i - 100));
+                    }
+                }
+            });
+        }
+        // Readers continuously get and scan; values must always be
+        // self-consistent (val == key) whenever found.
+        for _ in 0..2 {
+            let t = &t;
+            let mgr = mgr.clone();
+            s.spawn(move |_| {
+                let h = mgr.register();
+                let mut state = 7u64;
+                for _ in 0..20_000 {
+                    let g = h.pin();
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = (state >> 33) % N;
+                    if let (Some(v), _) = t.get(&g, &key(k)) {
+                        assert_eq!(v, k);
+                    }
+                    if state.is_multiple_of(64) {
+                        let lo = (state >> 33) % N;
+                        t.scan(&g, &key(lo), &key(lo + 50), |_| {}, |kb, v| {
+                            assert_eq!(kb, v.to_be_bytes());
+                            ScanControl::Continue
+                        });
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    drop(ticker);
+}

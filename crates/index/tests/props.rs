@@ -1,0 +1,76 @@
+//! Property test: the concurrent B+-tree, driven single-threaded by an
+//! arbitrary operation sequence, behaves exactly like `BTreeMap`.
+
+use std::collections::BTreeMap;
+
+use ermia_epoch::EpochManager;
+use ermia_index::{BTree, InsertOutcome, ScanControl};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u64),
+    Remove(u16),
+    Get(u16),
+    Scan(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u16>().prop_map(Op::Remove),
+        any::<u16>().prop_map(Op::Get),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #[test]
+    fn tree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let tree = BTree::new();
+        let mgr = EpochManager::new("prop");
+        let handle = mgr.register();
+        let g = handle.pin();
+        let mut model: BTreeMap<u16, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let got = tree.insert(&g, &k.to_be_bytes(), v);
+                    match model.get(&k) {
+                        Some(&existing) => prop_assert_eq!(got, InsertOutcome::Duplicate(existing)),
+                        None => {
+                            prop_assert_eq!(got, InsertOutcome::Inserted);
+                            model.insert(k, v);
+                        }
+                    }
+                }
+                Op::Remove(k) => {
+                    let got = tree.remove(&g, &k.to_be_bytes());
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                Op::Get(k) => {
+                    let (got, _) = tree.get(&g, &k.to_be_bytes());
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                Op::Scan(lo, hi) => {
+                    let mut got = Vec::new();
+                    tree.scan(
+                        &g,
+                        &lo.to_be_bytes(),
+                        &hi.to_be_bytes(),
+                        |_| {},
+                        |k, v| {
+                            got.push((u16::from_be_bytes(k.try_into().unwrap()), v));
+                            ScanControl::Continue
+                        },
+                    );
+                    let expect: Vec<(u16, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+    }
+}

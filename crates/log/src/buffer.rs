@@ -1,0 +1,257 @@
+//! The centralized log ring buffer.
+//!
+//! Logical LSN offsets map directly onto ring positions (`offset % cap`),
+//! so a reservation made with the global `fetch_add` already names its
+//! buffer space — no further coordination is needed to find where to
+//! copy. Writers copy their pre-serialized block and mark the range
+//! *filled*; a completion tracker merges out-of-order fills into a
+//! contiguous watermark the flusher can drain. Dead-zone ranges (which
+//! map to no disk location) are marked filled without a copy so they
+//! never stall the watermark.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+pub struct RingBuffer {
+    cap: u64,
+    data: Box<[u8]>,
+    /// Contiguous prefix of the LSN space that has been filled.
+    filled: AtomicU64,
+    /// Prefix that the flusher has drained to stable storage (or
+    /// discarded, for dead zones / in-memory logs).
+    flushed: AtomicU64,
+    state: Mutex<FillState>,
+    /// Signaled when `filled` advances (flusher waits here).
+    filled_cv: Condvar,
+    /// Signaled when `flushed` advances (writers waiting for space).
+    space_cv: Condvar,
+}
+
+struct FillState {
+    /// Out-of-order filled ranges: start → end, disjoint, all > filled.
+    pending: BTreeMap<u64, u64>,
+}
+
+// The data array is written through a raw pointer by concurrent writers
+// holding disjoint reservations and read by the flusher only below the
+// filled watermark; see `write_range` / `read_range` for the argument.
+unsafe impl Sync for RingBuffer {}
+
+impl RingBuffer {
+    /// `cap` bytes of buffer, beginning life with watermarks at `start`
+    /// (the initial LSN offset).
+    pub fn new(cap: u64, start: u64) -> RingBuffer {
+        assert!(cap > 0);
+        RingBuffer {
+            cap,
+            data: vec![0u8; cap as usize].into_boxed_slice(),
+            filled: AtomicU64::new(start),
+            flushed: AtomicU64::new(start),
+            state: Mutex::new(FillState { pending: BTreeMap::new() }),
+            filled_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn capacity(&self) -> u64 {
+        self.cap
+    }
+
+    #[inline]
+    pub fn filled(&self) -> u64 {
+        self.filled.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn flushed(&self) -> u64 {
+        self.flushed.load(Ordering::Acquire)
+    }
+
+    /// Block until the ring can hold bytes up to logical offset `end`
+    /// (i.e. `end - flushed <= cap`). Called once per reservation; in the
+    /// common case (log buffer not full) this is a single atomic load.
+    pub fn wait_for_space(&self, end: u64) {
+        if end.saturating_sub(self.flushed()) <= self.cap {
+            return;
+        }
+        let mut state = self.state.lock();
+        while end - self.flushed() > self.cap {
+            self.space_cv.wait_for(&mut state, Duration::from_millis(10));
+        }
+    }
+
+    /// Copy `bytes` into the ring at logical offset `offset` and mark the
+    /// range filled. The caller must own the reservation for
+    /// `offset..offset+bytes.len()` and have waited for space.
+    pub fn write(&self, offset: u64, bytes: &[u8]) {
+        let len = bytes.len() as u64;
+        debug_assert!(len <= self.cap);
+        debug_assert!(offset + len - self.flushed() <= self.cap + self.cap, "writer skipped wait_for_space");
+        let pos = (offset % self.cap) as usize;
+        let first = std::cmp::min(bytes.len(), self.cap as usize - pos);
+        // SAFETY: reservations hand out disjoint logical ranges, and a
+        // range's ring bytes are not read by the flusher until the writer
+        // publishes them via mark_filled (Release). So this region is
+        // exclusively ours for the duration of the copy.
+        unsafe {
+            let base = self.data.as_ptr() as *mut u8;
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), base.add(pos), first);
+            if first < bytes.len() {
+                std::ptr::copy_nonoverlapping(bytes.as_ptr().add(first), base, bytes.len() - first);
+            }
+        }
+        self.mark_filled(offset, len);
+    }
+
+    /// Mark `offset..offset+len` filled without copying (dead zones).
+    pub fn mark_filled(&self, offset: u64, len: u64) {
+        let mut state = self.state.lock();
+        let mut end = offset + len;
+        let cur = self.filled.load(Ordering::Relaxed);
+        debug_assert!(offset >= cur, "double fill at {offset:#x} (filled {cur:#x})");
+        if offset == cur {
+            // Extends the contiguous prefix; absorb any adjacent pending
+            // ranges that now connect.
+            while let Some((&s, &e)) = state.pending.first_key_value() {
+                if s <= end {
+                    state.pending.pop_first();
+                    end = end.max(e);
+                } else {
+                    break;
+                }
+            }
+            self.filled.store(end, Ordering::Release);
+            drop(state);
+            // Wake the flusher only when a meaningful batch accumulated;
+            // its periodic timeout drains the tail (group commit). A wake
+            // per commit would cost a scheduler round trip per
+            // transaction.
+            if end.saturating_sub(self.flushed()) >= self.cap / 4 {
+                self.filled_cv.notify_all();
+            }
+        } else {
+            state.pending.insert(offset, end);
+        }
+    }
+
+    /// Flusher side: wait until `filled > from` or the timeout elapses;
+    /// returns the current filled watermark.
+    pub fn wait_filled(&self, from: u64, timeout: Duration) -> u64 {
+        let cur = self.filled();
+        if cur > from {
+            return cur;
+        }
+        let mut state = self.state.lock();
+        let cur = self.filled();
+        if cur > from {
+            return cur;
+        }
+        self.filled_cv.wait_for(&mut state, timeout);
+        self.filled()
+    }
+
+    /// Flusher side: hand the bytes of `range` (all below the filled
+    /// watermark) to `sink` in at most two slices (ring wrap).
+    ///
+    /// # Panics
+    /// If the range is not entirely filled or longer than the capacity.
+    pub fn read_range(&self, start: u64, end: u64, mut sink: impl FnMut(&[u8])) {
+        assert!(end <= self.filled());
+        assert!(end - start <= self.cap);
+        if start == end {
+            return;
+        }
+        let pos = (start % self.cap) as usize;
+        let len = (end - start) as usize;
+        let first = std::cmp::min(len, self.cap as usize - pos);
+        // SAFETY: below the filled watermark no writer touches these
+        // bytes (reservations are monotonic and disjoint), and the
+        // Acquire load of `filled` synchronizes with the writers'
+        // Release publication.
+        unsafe {
+            let base = self.data.as_ptr();
+            sink(std::slice::from_raw_parts(base.add(pos), first));
+            if first < len {
+                sink(std::slice::from_raw_parts(base, len - first));
+            }
+        }
+    }
+
+    /// Flusher side: advance the flushed watermark and wake space waiters.
+    pub fn mark_flushed(&self, to: u64) {
+        debug_assert!(to <= self.filled());
+        self.flushed.store(to, Ordering::Release);
+        self.space_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_fills_advance_watermark() {
+        let rb = RingBuffer::new(1024, 0);
+        assert_eq!(rb.capacity(), 1024);
+        rb.write(0, &[1; 100]);
+        assert_eq!(rb.filled(), 100);
+        rb.write(100, &[2; 50]);
+        assert_eq!(rb.filled(), 150);
+    }
+
+    #[test]
+    fn out_of_order_fills_merge() {
+        let rb = RingBuffer::new(1024, 0);
+        rb.write(100, &[2; 50]);
+        assert_eq!(rb.filled(), 0);
+        rb.mark_filled(150, 10); // dead zone, also pending
+        rb.write(0, &[1; 100]);
+        assert_eq!(rb.filled(), 160);
+    }
+
+    #[test]
+    fn read_range_sees_written_bytes_across_wrap() {
+        let rb = RingBuffer::new(128, 0);
+        rb.write(0, &[7; 100]);
+        rb.read_range(0, 100, |s| assert!(s.iter().all(|&b| b == 7)));
+        rb.mark_flushed(100);
+        // This write wraps: positions 100..128 then 0..72.
+        rb.write(100, &[9; 100]);
+        let mut total = 0;
+        let mut chunks = 0;
+        rb.read_range(100, 200, |s| {
+            assert!(s.iter().all(|&b| b == 9));
+            total += s.len();
+            chunks += 1;
+        });
+        assert_eq!(total, 100);
+        assert_eq!(chunks, 2);
+    }
+
+    #[test]
+    fn wait_for_space_blocks_until_flush() {
+        let rb = std::sync::Arc::new(RingBuffer::new(100, 0));
+        rb.write(0, &[1; 100]);
+        let rb2 = std::sync::Arc::clone(&rb);
+        let t = std::thread::spawn(move || {
+            rb2.wait_for_space(200); // needs flushed >= 100
+            rb2.write(100, &[2; 100]);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rb.filled(), 100, "writer must not proceed before flush");
+        rb.mark_flushed(100);
+        t.join().unwrap();
+        assert_eq!(rb.filled(), 200);
+    }
+
+    #[test]
+    fn wait_filled_times_out() {
+        let rb = RingBuffer::new(64, 0);
+        let got = rb.wait_filled(0, Duration::from_millis(5));
+        assert_eq!(got, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Checkpoint storage (§3.7).
+//!
+//! OID arrays are periodically copied (non-atomically — a *fuzzy*
+//! checkpoint) to secondary storage. The engine serializes its snapshot
+//! payload; this module stores it beside the log and records the location
+//! of the most recent checkpoint in the name of an empty *marker file*,
+//! exactly as the paper describes, so recovery can find it without
+//! reading the log first.
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use ermia_common::Lsn;
+
+/// Metadata identifying a checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// LSN at which the fuzzy snapshot began: recovery replays the log
+    /// from here.
+    pub begin: Lsn,
+}
+
+/// Reads and writes checkpoint payloads + marker files in a directory.
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    fn payload_path(&self, begin: Lsn) -> PathBuf {
+        self.dir.join(format!("chk-{:016x}.bin", begin.raw()))
+    }
+
+    fn marker_path(&self, begin: Lsn) -> PathBuf {
+        self.dir.join(format!("chk-marker-{:016x}", begin.raw()))
+    }
+
+    /// Persist a checkpoint: payload first, then the marker (the marker's
+    /// existence implies a complete payload).
+    pub fn write(&self, meta: CheckpointMeta, payload: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join("chk-tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(payload)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.payload_path(meta.begin))?;
+        std::fs::File::create(self.marker_path(meta.begin))?.sync_data()?;
+        Ok(())
+    }
+
+    /// Find the most recent complete checkpoint, if any.
+    pub fn latest(&self) -> io::Result<Option<(CheckpointMeta, Vec<u8>)>> {
+        let mut best: Option<Lsn> = None;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(hex) = name.strip_prefix("chk-marker-") {
+                if let Ok(raw) = u64::from_str_radix(hex, 16) {
+                    let lsn = Lsn::from_raw(raw);
+                    if best.is_none_or(|b| lsn > b) {
+                        best = Some(lsn);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(begin) => {
+                let payload = std::fs::read(self.payload_path(begin))?;
+                Ok(Some((CheckpointMeta { begin }, payload)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Drop all but the most recent checkpoint (background housekeeping).
+    pub fn prune(&self) -> io::Result<usize> {
+        let Some((latest, _)) = self.latest()? else { return Ok(0) };
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = name
+                .strip_prefix("chk-marker-")
+                .or_else(|| name.strip_prefix("chk-").map(|s| s.trim_end_matches(".bin")))
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .is_some_and(|raw| Lsn::from_raw(raw) < latest.begin);
+            if stale {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ermia-chk-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_then_latest() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(store.latest().unwrap().is_none());
+        store.write(CheckpointMeta { begin: Lsn::from_parts(100, 0) }, b"snapshot-a").unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(200, 0) }, b"snapshot-b").unwrap();
+        let (meta, payload) = store.latest().unwrap().unwrap();
+        assert_eq!(meta.begin, Lsn::from_parts(200, 0));
+        assert_eq!(payload, b"snapshot-b");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_latest() {
+        let dir = tmpdir("prune");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(1, 0) }, b"a").unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(2, 0) }, b"b").unwrap();
+        let removed = store.prune().unwrap();
+        assert_eq!(removed, 2); // old payload + old marker
+        let (meta, payload) = store.latest().unwrap().unwrap();
+        assert_eq!(meta.begin, Lsn::from_parts(2, 0));
+        assert_eq!(payload, b"b");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

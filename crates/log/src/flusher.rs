@@ -1,0 +1,86 @@
+//! Background group-commit flusher.
+//!
+//! Drains the contiguous filled prefix of the ring buffer into the
+//! segment files, skipping dead zones, then advances the durable
+//! watermark and wakes committers waiting in
+//! [`crate::LogManager::wait_durable`].
+
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::manager::LogInner;
+
+pub(crate) fn spawn(inner: Arc<LogInner>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("log-flusher".into())
+        .spawn(move || run(&inner))
+        .expect("spawn log flusher")
+}
+
+fn run(inner: &LogInner) {
+    let mut flushed = inner.buffer.flushed();
+    loop {
+        let hi = inner.buffer.wait_filled(flushed, inner.cfg.flush_interval);
+        if hi == flushed {
+            if inner.stop.load(Ordering::Acquire) && inner.buffer.filled() == flushed {
+                return;
+            }
+            continue;
+        }
+        flush_range(inner, flushed, hi);
+        inner.buffer.mark_flushed(hi);
+        inner.durable.store(hi, Ordering::Release);
+        inner.stats.flush_batches.fetch_add(1, Ordering::Relaxed);
+        inner.stats.flushed_bytes.fetch_add(hi - flushed, Ordering::Relaxed);
+        // Wake group-commit waiters.
+        let _g = inner.durable_mx.lock();
+        inner.durable_cv.notify_all();
+        flushed = hi;
+    }
+}
+
+/// Write `[lo, hi)` to the segment files. Dead zones map to no file and
+/// are skipped; in-memory segments (no file) are drained without I/O.
+fn flush_range(inner: &LogInner, lo: u64, hi: u64) {
+    let mut pos = lo;
+    let mut touched: Vec<Arc<crate::segment::Segment>> = Vec::new();
+    while pos < hi {
+        match inner.segments.lookup(pos) {
+            Some(seg) => {
+                let stop = hi.min(seg.end);
+                if let Some(file) = &seg.file {
+                    let mut file_pos = seg.file_pos(pos);
+                    inner.buffer.read_range(pos, stop, |chunk| {
+                        file.write_all_at(chunk, file_pos).expect("log write failed");
+                        file_pos += chunk.len() as u64;
+                    });
+                    if inner.cfg.fsync {
+                        touched.push(Arc::clone(&seg));
+                    }
+                }
+                pos = stop;
+            }
+            None => {
+                // Dead zone: hop to the next segment start (or the end of
+                // the batch).
+                let next = inner
+                    .segments
+                    .all()
+                    .iter()
+                    .map(|s| s.start)
+                    .filter(|&s| s > pos)
+                    .min()
+                    .unwrap_or(hi)
+                    .min(hi);
+                pos = next;
+            }
+        }
+    }
+    touched.dedup_by_key(|s| s.index);
+    for seg in touched {
+        if let Some(file) = &seg.file {
+            file.sync_data().expect("log fsync failed");
+        }
+    }
+}

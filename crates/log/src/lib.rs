@@ -1,0 +1,52 @@
+//! Scalable centralized log manager (paper §3.3, Fig. 4).
+//!
+//! ERMIA's log retains the benefits of a serial "history of the world"
+//! while largely avoiding the contention that normally accompanies a
+//! centralized log. The four properties the paper calls out:
+//!
+//! 1. **Sparse communication.** Most update transactions issue exactly one
+//!    global atomic `fetch_add` before committing — even across corner
+//!    cases such as a full log buffer or a log file rotation.
+//! 2. **Private log buffers.** Transactions maintain log records privately
+//!    while in flight ([`TxLogBuffer`]) and aggregate them into one large
+//!    block before inserting it into the centralized ring buffer.
+//! 3. **Early commit LSNs.** A transaction acquires its commit LSN at the
+//!    start of pre-commit, so all committing transactions agree on their
+//!    relative commit order before any validation work happens.
+//! 4. **Decoupled LSN space.** The LSN space is monotonic but not
+//!    contiguous: aborted reservations become skip records, and segment
+//!    races leave *dead zones* that map to no disk location.
+//!
+//! The key observation is that sequence numbers need only translate
+//! *efficiently* to physical locations, not contiguously: an LSN packs a
+//! logical offset with a modulo segment number (see [`ermia_common::Lsn`]),
+//! and a constant-time segment-table lookup validates and converts LSNs to
+//! file offsets.
+//!
+//! Durability is group commit: a background flusher drains the contiguous
+//! filled prefix of the ring buffer to the segment files and advances the
+//! durable-LSN watermark.
+
+mod blob;
+mod buffer;
+mod checkpoint;
+mod flusher;
+mod manager;
+mod records;
+mod recovery;
+mod segment;
+mod txlog;
+
+pub use blob::{BlobRef, BlobStore};
+pub use checkpoint::{CheckpointMeta, CheckpointStore};
+pub use manager::{LogConfig, LogManager, LogStats, Reservation};
+pub use records::{
+    checksum32, checksum64, BlockKind, LogBlockHeader, LogRecord, LogRecordKind,
+    BLOCK_HEADER_LEN, BLOCK_MAGIC, MIN_BLOCK_LEN, RECORD_HEADER_LEN,
+};
+pub use recovery::{LogScanner, ScannedBlock};
+pub use segment::{Segment, SegmentTable};
+pub use txlog::TxLogBuffer;
+
+#[cfg(test)]
+mod tests;

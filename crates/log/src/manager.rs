@@ -1,0 +1,385 @@
+//! The log manager front end: LSN allocation and the commit data path.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::utils::CachePadded;
+use ermia_common::Lsn;
+use parking_lot::{Condvar, Mutex};
+
+use crate::buffer::RingBuffer;
+use crate::flusher;
+use crate::records::{BlockKind, LogBlockHeader, BLOCK_HEADER_LEN, MIN_BLOCK_LEN};
+use crate::segment::{Segment, SegmentTable};
+
+/// Log manager configuration.
+#[derive(Clone, Debug)]
+pub struct LogConfig {
+    /// Directory for segment files; `None` keeps the log in memory only
+    /// (useful for CC-only experiments — the paper writes to tmpfs).
+    pub dir: Option<PathBuf>,
+    /// Size of each segment file in bytes (multiple of 32).
+    pub segment_size: u64,
+    /// Centralized ring buffer capacity in bytes.
+    pub buffer_size: u64,
+    /// `fsync` segment files on every flush batch.
+    pub fsync: bool,
+    /// Flusher wakeup interval when idle.
+    pub flush_interval: Duration,
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig {
+            dir: None,
+            segment_size: 256 << 20,
+            buffer_size: 64 << 20,
+            fsync: false,
+            flush_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+impl LogConfig {
+    /// In-memory log with small sizes, for tests.
+    pub fn in_memory() -> LogConfig {
+        LogConfig { dir: None, segment_size: 16 << 20, buffer_size: 4 << 20, ..LogConfig::default() }
+    }
+}
+
+/// Counters exposed for the evaluation (Fig. 10/11 instrumentation).
+#[derive(Debug, Default)]
+pub struct LogStats {
+    pub allocations: AtomicU64,
+    pub rotations: AtomicU64,
+    pub skip_blocks: AtomicU64,
+    pub dead_zone_bytes: AtomicU64,
+    pub flush_batches: AtomicU64,
+    pub flushed_bytes: AtomicU64,
+}
+
+pub(crate) struct LogInner {
+    pub(crate) cfg: LogConfig,
+    /// The single global allocation point: the logical LSN offset.
+    pub(crate) next: CachePadded<AtomicU64>,
+    pub(crate) segments: SegmentTable,
+    pub(crate) buffer: RingBuffer,
+    /// Offset up to which the log is durable (flusher-owned).
+    pub(crate) durable: AtomicU64,
+    pub(crate) durable_mx: Mutex<()>,
+    pub(crate) durable_cv: Condvar,
+    pub(crate) stats: LogStats,
+    pub(crate) stop: AtomicBool,
+}
+
+/// The scalable centralized log manager (§3.3).
+///
+/// A transaction with a reasonably small write footprint acquires a
+/// totally-ordered commit timestamp *and* reserves all needed log space
+/// with a single global atomic `fetch_add` ([`LogManager::allocate`]).
+pub struct LogManager {
+    inner: Arc<LogInner>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl LogManager {
+    /// Open (or create) a log under `cfg`. If the directory already holds
+    /// segment files, the segment table is reconstructed from their names
+    /// and allocation resumes after the existing tail.
+    pub fn open(cfg: LogConfig) -> io::Result<LogManager> {
+        assert_eq!(cfg.segment_size % MIN_BLOCK_LEN as u64, 0, "segment size must be 32-aligned");
+        assert!(cfg.buffer_size >= 4096, "log buffer too small");
+        if let Some(dir) = &cfg.dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let (segments, start) = match &cfg.dir {
+            Some(dir) => match SegmentTable::reopen(dir, cfg.segment_size)? {
+                Some(table) => {
+                    let tail = crate::recovery::find_tail(&table)?;
+                    (table, tail)
+                }
+                None => (SegmentTable::create(Some(dir), cfg.segment_size, 0)?, 0),
+            },
+            None => (SegmentTable::create(None, cfg.segment_size, 0)?, 0),
+        };
+        let inner = Arc::new(LogInner {
+            next: CachePadded::new(AtomicU64::new(start)),
+            buffer: RingBuffer::new(cfg.buffer_size, start),
+            segments,
+            durable: AtomicU64::new(start),
+            durable_mx: Mutex::new(()),
+            durable_cv: Condvar::new(),
+            stats: LogStats::default(),
+            stop: AtomicBool::new(false),
+            cfg,
+        });
+        let flusher = flusher::spawn(Arc::clone(&inner));
+        let mgr = LogManager { inner, flusher: Mutex::new(Some(flusher)) };
+        if start == 0 {
+            // Burn offset 0 with a skip block: LSN 0 stays the "null"
+            // sentinel (begin stamps, SSN η initialization) and never
+            // names a real commit.
+            mgr.allocate(MIN_BLOCK_LEN)?.fill_skip();
+        }
+        Ok(mgr)
+    }
+
+    /// Current tail of the LSN space, used as a begin timestamp: every
+    /// commit stamp allocated after this call compares greater.
+    #[inline]
+    pub fn tail_lsn(&self) -> Lsn {
+        Lsn::from_parts(self.inner.next.load(Ordering::SeqCst), 0)
+    }
+
+    /// Reserve `len` bytes of log space and acquire the corresponding
+    /// totally-ordered LSN. One `fetch_add` in the common case; corner
+    /// cases (segment full, between segments, buffer full) are handled
+    /// exactly as §3.3 describes.
+    pub fn allocate(&self, len: usize) -> io::Result<Reservation<'_>> {
+        let inner = &*self.inner;
+        let len = (len.max(BLOCK_HEADER_LEN)).div_ceil(MIN_BLOCK_LEN) * MIN_BLOCK_LEN;
+        let len64 = len as u64;
+        assert!(len64 <= inner.cfg.segment_size, "block exceeds segment size");
+        assert!(len64 <= inner.cfg.buffer_size, "block exceeds log buffer");
+        inner.stats.allocations.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let off = inner.next.fetch_add(len64, Ordering::SeqCst);
+            let seg = inner.segments.current();
+            if seg.contains(off, len64) {
+                // Common case: the claimed block lies in the open segment.
+                inner.buffer.wait_for_space(off + len64);
+                return Ok(Reservation {
+                    mgr: self,
+                    lsn: seg.lsn(off),
+                    offset: off,
+                    len,
+                    filled: false,
+                });
+            }
+            if off >= seg.start && off < seg.end {
+                // Our block straddles the end of the segment: it cannot be
+                // used; write a skip record to "close" the segment, then
+                // compete to open the next one.
+                let pad = seg.end - off;
+                self.write_skip(&seg, off, pad);
+                let new_start = inner.next.load(Ordering::SeqCst).max(seg.end);
+                inner.segments.open_next(seg.index, new_start)?;
+                inner.stats.rotations.fetch_add(1, Ordering::Relaxed);
+                // The remainder of our claim lies beyond the old segment;
+                // retire it now that the rotation is visible.
+                self.retire_range(seg.end, off + len64 - seg.end);
+                continue;
+            }
+            if off >= seg.end {
+                // Between segments: compete to open the next segment;
+                // blocks preceding the winner's start do not correspond to
+                // a valid location on disk and must be discarded.
+                let new_start = inner.next.load(Ordering::SeqCst).max(seg.end);
+                inner.segments.open_next(seg.index, new_start)?;
+                inner.stats.rotations.fetch_add(1, Ordering::Relaxed);
+            }
+            // `off < seg.start` (stale claim) or post-rotation loser:
+            // retire the whole claim and retry.
+            self.retire_range(off, len64);
+        }
+    }
+
+    /// Write a skip block at `off` covering `pad` bytes of `seg`.
+    fn write_skip(&self, seg: &Segment, off: u64, pad: u64) {
+        debug_assert!(pad >= BLOCK_HEADER_LEN as u64 && pad.is_multiple_of(MIN_BLOCK_LEN as u64));
+        let inner = &*self.inner;
+        inner.buffer.wait_for_space(off + BLOCK_HEADER_LEN as u64);
+        let header = LogBlockHeader {
+            kind: BlockKind::Skip,
+            nrec: 0,
+            len: pad as u32,
+            checksum: 0,
+            cstamp: seg.lsn(off),
+            prev: 0,
+        };
+        let mut buf = [0u8; BLOCK_HEADER_LEN];
+        header.encode_into(&mut buf);
+        inner.buffer.write(off, &buf);
+        if pad > BLOCK_HEADER_LEN as u64 {
+            // Bytes after a skip header are never examined; publish the
+            // range without copying.
+            inner.buffer.mark_filled(off + BLOCK_HEADER_LEN as u64, pad - BLOCK_HEADER_LEN as u64);
+        }
+        inner.stats.skip_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retire a claimed range that will never carry a transaction block:
+    /// subranges that map to a real segment get skip records (so recovery
+    /// can hop over them); subranges in dead zones are published without
+    /// content — they map to no location on disk and are never referenced.
+    fn retire_range(&self, mut off: u64, len: u64) {
+        let inner = &*self.inner;
+        let end = off + len;
+        while off < end {
+            match inner.segments.lookup(off) {
+                Some(seg) => {
+                    let stop = end.min(seg.end);
+                    self.write_skip(&seg, off, stop - off);
+                    off = stop;
+                }
+                None => {
+                    let next_start = inner
+                        .segments
+                        .all()
+                        .iter()
+                        .map(|s| s.start)
+                        .filter(|&s| s > off)
+                        .min()
+                        .unwrap_or(end)
+                        .min(end);
+                    inner.stats.dead_zone_bytes.fetch_add(next_start - off, Ordering::Relaxed);
+                    inner.buffer.mark_filled(off, next_start - off);
+                    off = next_start;
+                }
+            }
+        }
+    }
+
+    /// The durable watermark: all log bytes below this logical offset
+    /// have been handed to stable storage.
+    #[inline]
+    pub fn durable_offset(&self) -> u64 {
+        self.inner.durable.load(Ordering::Acquire)
+    }
+
+    /// Block until the block ending at logical offset `end` is durable
+    /// (group commit).
+    pub fn wait_durable(&self, end: u64) {
+        if self.durable_offset() >= end {
+            return;
+        }
+        let mut g = self.inner.durable_mx.lock();
+        while self.inner.durable.load(Ordering::Acquire) < end {
+            self.inner.durable_cv.wait_for(&mut g, Duration::from_millis(10));
+        }
+    }
+
+    /// Access the segment table (recovery, tests).
+    pub fn segments(&self) -> &SegmentTable {
+        &self.inner.segments
+    }
+
+    pub fn stats(&self) -> &LogStats {
+        &self.inner.stats
+    }
+
+    pub fn config(&self) -> &LogConfig {
+        &self.inner.cfg
+    }
+
+    /// Translate an LSN to its segment and file position, per Fig. 4(a).
+    /// Returns `None` for LSNs in dead zones or with a stale/mismatched
+    /// segment number ("invalid, too old").
+    pub fn lsn_to_file(&self, lsn: Lsn) -> Option<(Arc<Segment>, u64)> {
+        let seg = self.inner.segments.lookup(lsn.offset())?;
+        if seg.segno() != lsn.segment() {
+            return None;
+        }
+        let pos = seg.file_pos(lsn.offset());
+        Some((seg, pos))
+    }
+
+    /// Flush everything currently filled and wait until durable.
+    pub fn sync(&self) {
+        let target = self.inner.buffer.filled();
+        self.wait_durable(target);
+    }
+
+    /// Truncate the log: retire every segment entirely below `offset`
+    /// (typically a durable checkpoint's begin offset — "the log can be
+    /// truncated at the first hole without losing any committed work",
+    /// §2). Only durable prefixes may be truncated.
+    pub fn truncate_before(&self, offset: u64) -> io::Result<usize> {
+        let durable = self.durable_offset();
+        let bound = offset.min(durable);
+        self.inner.segments.retire_below(bound)
+    }
+}
+
+impl Drop for LogManager {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.flusher.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A claimed block of log space: the commit LSN plus the right to fill
+/// the corresponding ring-buffer bytes exactly once.
+///
+/// Dropping an unfilled reservation writes a skip record — the abort
+/// path "simply writes a skip record" (§3.3).
+pub struct Reservation<'a> {
+    mgr: &'a LogManager,
+    lsn: Lsn,
+    offset: u64,
+    len: usize,
+    filled: bool,
+}
+
+impl Reservation<'_> {
+    /// The totally-ordered LSN this reservation fixed — the commit
+    /// timestamp.
+    #[inline]
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// Logical offset one past this block (pass to
+    /// [`LogManager::wait_durable`] for synchronous commit).
+    #[inline]
+    pub fn end_offset(&self) -> u64 {
+        self.offset + self.len as u64
+    }
+
+    /// Reserved length in bytes (already rounded to block granularity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy the serialized block into the centralized buffer. `block`
+    /// must be exactly the reserved length.
+    pub fn fill(mut self, block: &[u8]) {
+        assert_eq!(block.len(), self.len, "block length must match reservation");
+        self.mgr.inner.buffer.write(self.offset, block);
+        self.filled = true;
+    }
+
+    /// Abort path: turn the whole reservation into a skip record.
+    pub fn fill_skip(mut self) {
+        self.do_skip();
+        self.filled = true;
+    }
+
+    fn do_skip(&self) {
+        let seg = self
+            .mgr
+            .inner
+            .segments
+            .lookup(self.offset)
+            .expect("reservation was validated against a segment");
+        self.mgr.write_skip(&seg, self.offset, self.len as u64);
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if !self.filled {
+            self.do_skip();
+        }
+    }
+}

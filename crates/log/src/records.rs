@@ -1,0 +1,283 @@
+//! On-disk log block and record formats.
+//!
+//! The unit of log insertion is a *block*: one block per committing
+//! transaction (aggregated from its private buffer), or a skip record.
+//! Blocks begin with a fixed [`LogBlockHeader`]; transaction blocks carry
+//! a sequence of [`LogRecord`]s. Recovery examines only block headers to
+//! roll the OID arrays forward (§3.7) but the records carry full keys and
+//! payloads so the reproduction can rebuild the entire database from the
+//! log ("the log is the database").
+
+use ermia_common::{Lsn, Oid, TableId};
+
+/// Magic value identifying a block header ("ERML").
+pub const BLOCK_MAGIC: u32 = 0x4552_4d4c;
+
+/// Serialized size of a block header in bytes.
+pub const BLOCK_HEADER_LEN: usize = 32;
+
+/// Minimum allocation the LSN space will hand out; a closing skip record
+/// must always fit in the remainder of a segment, so segment sizes are
+/// multiples of this and all allocations are rounded up to it.
+pub const MIN_BLOCK_LEN: usize = BLOCK_HEADER_LEN;
+
+/// Block kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum BlockKind {
+    /// A committed transaction's updates.
+    Txn = 1,
+    /// Dead space: an aborted reservation or a segment-closing pad. The
+    /// header's `len` covers the whole skipped range.
+    Skip = 2,
+    /// Checkpoint begin marker (payload: none).
+    CheckpointBegin = 3,
+    /// Checkpoint end marker (payload: the checkpoint's metadata).
+    CheckpointEnd = 4,
+}
+
+impl BlockKind {
+    pub fn from_u8(v: u8) -> Option<BlockKind> {
+        match v {
+            1 => Some(BlockKind::Txn),
+            2 => Some(BlockKind::Skip),
+            3 => Some(BlockKind::CheckpointBegin),
+            4 => Some(BlockKind::CheckpointEnd),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed-size header at the start of every log block.
+///
+/// Layout (little-endian):
+/// ```text
+/// 0  magic      u32
+/// 4  kind       u8
+/// 5  (pad)      u8
+/// 6  nrec       u16     number of records in a Txn block
+/// 8  len        u32     total block length including header
+/// 12 checksum   u32     checksum64 of the payload, folded to 32 bits
+/// 16 cstamp     u64     committer's commit LSN (raw), 0 for skips
+/// 24 prev       u64     reserved: backward chain for overflow blocks
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LogBlockHeader {
+    pub kind: BlockKind,
+    pub nrec: u16,
+    pub len: u32,
+    pub checksum: u32,
+    pub cstamp: Lsn,
+    pub prev: u64,
+}
+
+impl LogBlockHeader {
+    pub fn encode_into(&self, out: &mut [u8]) {
+        assert!(out.len() >= BLOCK_HEADER_LEN);
+        out[0..4].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
+        out[4] = self.kind as u8;
+        out[5] = 0;
+        out[6..8].copy_from_slice(&self.nrec.to_le_bytes());
+        out[8..12].copy_from_slice(&self.len.to_le_bytes());
+        out[12..16].copy_from_slice(&self.checksum.to_le_bytes());
+        out[16..24].copy_from_slice(&self.cstamp.raw().to_le_bytes());
+        out[24..32].copy_from_slice(&self.prev.to_le_bytes());
+    }
+
+    /// Decode a header; `None` if the magic doesn't match (a hole).
+    pub fn decode(buf: &[u8]) -> Option<LogBlockHeader> {
+        if buf.len() < BLOCK_HEADER_LEN {
+            return None;
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != BLOCK_MAGIC {
+            return None;
+        }
+        let kind = BlockKind::from_u8(buf[4])?;
+        Some(LogBlockHeader {
+            kind,
+            nrec: u16::from_le_bytes(buf[6..8].try_into().unwrap()),
+            len: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            checksum: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            cstamp: Lsn::from_raw(u64::from_le_bytes(buf[16..24].try_into().unwrap())),
+            prev: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+        })
+    }
+}
+
+/// Record kinds within a transaction block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum LogRecordKind {
+    /// New object: allocates the OID during recovery replay.
+    Insert = 1,
+    /// New version behind an existing OID.
+    Update = 2,
+    /// Tombstone.
+    Delete = 3,
+    /// Secondary-index entry: `key` is the secondary key, `oid` the
+    /// primary record, and the first 4 bytes of `value` the index id.
+    SecondaryInsert = 4,
+}
+
+impl LogRecordKind {
+    pub fn from_u8(v: u8) -> Option<LogRecordKind> {
+        match v {
+            1 => Some(LogRecordKind::Insert),
+            2 => Some(LogRecordKind::Update),
+            3 => Some(LogRecordKind::Delete),
+            4 => Some(LogRecordKind::SecondaryInsert),
+            _ => None,
+        }
+    }
+}
+
+/// One logical update inside a transaction block.
+///
+/// Record layout: `kind u8, flags u8, key_len u16, table u32, oid u32,
+/// val_len u32` (16 bytes) followed by key then value bytes. Flag bit 0
+/// marks an *indirect* value: the bytes are a [`crate::BlobRef`] into
+/// the large-object store rather than the payload itself (§3.3,
+/// "large object writes can be diverted to secondary storage").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    pub kind: LogRecordKind,
+    pub table: TableId,
+    pub oid: Oid,
+    pub key: Vec<u8>,
+    pub value: Vec<u8>,
+    /// Value is a blob reference, not the payload.
+    pub indirect: bool,
+}
+
+const FLAG_INDIRECT: u8 = 0b1;
+
+pub const RECORD_HEADER_LEN: usize = 16;
+
+impl LogRecord {
+    /// Serialized length of this record.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_HEADER_LEN + self.key.len() + self.value.len()
+    }
+
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.kind as u8);
+        out.push(if self.indirect { FLAG_INDIRECT } else { 0 });
+        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.table.0.to_le_bytes());
+        out.extend_from_slice(&self.oid.0.to_le_bytes());
+        out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(&self.value);
+    }
+
+    /// Decode one record at `buf[pos..]`, returning it and the position of
+    /// the next record. `None` on malformed input.
+    pub fn decode(buf: &[u8], pos: usize) -> Option<(LogRecord, usize)> {
+        if buf.len() < pos + RECORD_HEADER_LEN {
+            return None;
+        }
+        let b = &buf[pos..];
+        let kind = LogRecordKind::from_u8(b[0])?;
+        let indirect = b[1] & FLAG_INDIRECT != 0;
+        let key_len = u16::from_le_bytes(b[2..4].try_into().unwrap()) as usize;
+        let table = TableId(u32::from_le_bytes(b[4..8].try_into().unwrap()));
+        let oid = Oid(u32::from_le_bytes(b[8..12].try_into().unwrap()));
+        let val_len = u32::from_le_bytes(b[12..16].try_into().unwrap()) as usize;
+        let body = pos + RECORD_HEADER_LEN;
+        if buf.len() < body + key_len + val_len {
+            return None;
+        }
+        let key = buf[body..body + key_len].to_vec();
+        let value = buf[body + key_len..body + key_len + val_len].to_vec();
+        Some((LogRecord { kind, table, oid, key, value, indirect }, body + key_len + val_len))
+    }
+}
+
+/// FNV-1a over the payload; cheap and good enough to catch torn writes.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fold a 64-bit checksum into the header's 32-bit field.
+pub fn checksum32(bytes: &[u8]) -> u32 {
+    let h = checksum64(bytes);
+    (h ^ (h >> 32)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = LogBlockHeader {
+            kind: BlockKind::Txn,
+            nrec: 3,
+            len: 128,
+            checksum: 0xabcd,
+            cstamp: Lsn::from_parts(77, 4),
+            prev: 0,
+        };
+        let mut buf = [0u8; BLOCK_HEADER_LEN];
+        h.encode_into(&mut buf);
+        let d = LogBlockHeader::decode(&buf).unwrap();
+        assert_eq!(d.kind, BlockKind::Txn);
+        assert_eq!(d.nrec, 3);
+        assert_eq!(d.len, 128);
+        assert_eq!(d.checksum, 0xabcd);
+        assert_eq!(d.cstamp, Lsn::from_parts(77, 4));
+    }
+
+    #[test]
+    fn header_rejects_bad_magic() {
+        let buf = [0u8; BLOCK_HEADER_LEN];
+        assert!(LogBlockHeader::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = LogRecord {
+            kind: LogRecordKind::Update,
+            table: TableId(9),
+            oid: Oid(1234),
+            key: b"key-1".to_vec(),
+            value: vec![7; 100],
+            indirect: false,
+        };
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        assert_eq!(buf.len(), r.encoded_len());
+        let (d, next) = LogRecord::decode(&buf, 0).unwrap();
+        assert_eq!(d, r);
+        assert_eq!(next, buf.len());
+    }
+
+    #[test]
+    fn record_decode_rejects_truncation() {
+        let r = LogRecord {
+            kind: LogRecordKind::Insert,
+            table: TableId(1),
+            oid: Oid(1),
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+            indirect: true,
+        };
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        assert!(LogRecord::decode(&buf[..buf.len() - 1], 0).is_none());
+    }
+
+    #[test]
+    fn checksum_differs_on_flip() {
+        let a = checksum32(b"hello world");
+        let mut v = b"hello world".to_vec();
+        v[3] ^= 1;
+        assert_ne!(a, checksum32(&v));
+    }
+}

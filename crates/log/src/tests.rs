@@ -1,0 +1,264 @@
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ermia_common::{Oid, TableId};
+
+use crate::{
+    BlockKind, LogConfig, LogManager, LogScanner, TxLogBuffer, MIN_BLOCK_LEN,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ermia-log-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg(dir: Option<PathBuf>) -> LogConfig {
+    LogConfig {
+        dir,
+        segment_size: 4096,
+        buffer_size: 1 << 20,
+        fsync: false,
+        flush_interval: std::time::Duration::from_micros(100),
+    }
+}
+
+fn commit_block(log: &LogManager, table: u32, oid: u32, val: &[u8]) -> ermia_common::Lsn {
+    let mut tx = TxLogBuffer::new();
+    tx.add_update(TableId(table), Oid(oid), b"key", val);
+    let res = log.allocate(tx.block_len()).unwrap();
+    let lsn = res.lsn();
+    let block = tx.serialize(lsn);
+    res.fill(block);
+    lsn
+}
+
+#[test]
+fn allocate_fill_scan_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+    let l1 = commit_block(&log, 1, 10, b"hello");
+    let l2 = commit_block(&log, 2, 20, b"world");
+    assert!(l1 < l2);
+    log.sync();
+
+    let mut scanner = LogScanner::new(log.segments(), 0);
+    let b1 = scanner.next_block().unwrap().expect("first block");
+    assert_eq!(b1.lsn, l1);
+    assert_eq!(b1.header.kind, BlockKind::Txn);
+    let recs = b1.records();
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].oid, Oid(10));
+    assert_eq!(recs[0].value, b"hello");
+    let b2 = scanner.next_block().unwrap().expect("second block");
+    assert_eq!(b2.records()[0].value, b"world");
+    assert!(scanner.next_block().unwrap().is_none());
+    drop(log);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dropped_reservation_becomes_skip() {
+    let dir = tmpdir("skip");
+    let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+    let l1 = commit_block(&log, 1, 1, b"a");
+    {
+        let _res = log.allocate(64).unwrap();
+        // dropped unfilled: aborted transaction
+    }
+    let l3 = commit_block(&log, 1, 2, b"b");
+    assert!(l1 < l3);
+    log.sync();
+
+    let mut scanner = LogScanner::new(log.segments(), 0);
+    let vals: Vec<Vec<u8>> = std::iter::from_fn(|| scanner.next_block().unwrap())
+        .map(|b| b.records()[0].value.clone())
+        .collect();
+    assert_eq!(vals, vec![b"a".to_vec(), b"b".to_vec()]);
+    drop(log);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn segment_rotation_preserves_blocks() {
+    let dir = tmpdir("rotate");
+    let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+    // Each block is ~64 bytes; a 4 KiB segment rotates every ~60 commits.
+    let n = 400;
+    let mut lsns = Vec::new();
+    for i in 0..n {
+        lsns.push(commit_block(&log, 1, i, format!("value-{i}").as_bytes()));
+    }
+    assert!(log.stats().rotations.load(Ordering::Relaxed) >= 4, "expected several rotations");
+    log.sync();
+
+    let mut scanner = LogScanner::new(log.segments(), 0);
+    let mut seen = Vec::new();
+    while let Some(block) = scanner.next_block().unwrap() {
+        for rec in block.records() {
+            seen.push(rec.value);
+        }
+    }
+    assert_eq!(seen.len(), n as usize);
+    for (i, v) in seen.iter().enumerate() {
+        assert_eq!(v, format!("value-{i}").as_bytes());
+    }
+    // LSNs are strictly increasing.
+    assert!(lsns.windows(2).all(|w| w[0] < w[1]));
+    drop(log);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopen_resumes_after_tail() {
+    let dir = tmpdir("reopen");
+    {
+        let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+        for i in 0..50 {
+            commit_block(&log, 1, i, b"first-run");
+        }
+        log.sync();
+    }
+    let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+    let resumed_tail = log.tail_lsn();
+    assert!(resumed_tail.offset() > 0, "tail must resume after existing blocks");
+    commit_block(&log, 1, 999, b"second-run");
+    log.sync();
+
+    let mut scanner = LogScanner::new(log.segments(), 0);
+    let mut count = 0;
+    let mut last = None;
+    while let Some(block) = scanner.next_block().unwrap() {
+        count += 1;
+        last = Some(block.records()[0].value.clone());
+    }
+    assert_eq!(count, 51);
+    assert_eq!(last.unwrap(), b"second-run");
+    drop(log);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wait_durable_blocks_until_flushed() {
+    let dir = tmpdir("durable");
+    let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+    let mut tx = TxLogBuffer::new();
+    tx.add_insert(TableId(1), Oid(1), b"k", b"v");
+    let res = log.allocate(tx.block_len()).unwrap();
+    let end = res.end_offset();
+    let block = tx.serialize(res.lsn());
+    res.fill(block);
+    log.wait_durable(end);
+    assert!(log.durable_offset() >= end);
+    drop(log);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lsn_to_file_validates_segment_number() {
+    let dir = tmpdir("lookup");
+    let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+    let lsn = commit_block(&log, 1, 1, b"x");
+    let (seg, pos) = log.lsn_to_file(lsn).expect("valid lsn");
+    assert_eq!(seg.segno(), lsn.segment());
+    assert_eq!(pos, lsn.offset() - seg.start);
+    // An LSN with a mismatched segment number is rejected.
+    let bogus = ermia_common::Lsn::from_parts(lsn.offset(), (lsn.segment() + 1) % 16);
+    assert!(log.lsn_to_file(bogus).is_none());
+    drop(log);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn in_memory_mode_allocates_and_recycles_buffer() {
+    let log = LogManager::open(LogConfig {
+        dir: None,
+        segment_size: 1 << 20,
+        buffer_size: 64 << 10,
+        ..LogConfig::default()
+    })
+    .unwrap();
+    // Write far more than the buffer capacity; the flusher must recycle.
+    for i in 0..5_000 {
+        commit_block(&log, 1, i, &[0xAB; 100]);
+    }
+    assert!(log.tail_lsn().offset() > 64 << 10);
+}
+
+#[test]
+fn concurrent_commits_all_recovered_in_order() {
+    const THREADS: u32 = 4;
+    const PER_THREAD: u32 = 300;
+    let dir = tmpdir("concurrent");
+    let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
+
+    crossbeam::scope(|s| {
+        for t in 0..THREADS {
+            let log = &log;
+            s.spawn(move |_| {
+                for i in 0..PER_THREAD {
+                    let payload = format!("t{t}-i{i}");
+                    commit_block(log, t, i, payload.as_bytes());
+                }
+            });
+        }
+    })
+    .unwrap();
+    log.sync();
+
+    let mut scanner = LogScanner::new(log.segments(), 0);
+    let mut seen = std::collections::HashSet::new();
+    let mut last_lsn = None;
+    while let Some(block) = scanner.next_block().unwrap() {
+        if let Some(prev) = last_lsn {
+            assert!(block.lsn > prev, "scan order must follow LSN order");
+        }
+        last_lsn = Some(block.lsn);
+        for rec in block.records() {
+            assert!(seen.insert(String::from_utf8(rec.value).unwrap()), "duplicate block");
+        }
+    }
+    assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+    drop(log);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn per_operation_allocation_is_slower_shape() {
+    // Sanity for the Fig. 10 experiment plumbing: allocating per record
+    // costs more fetch_adds than one block per transaction.
+    let log = LogManager::open(LogConfig::in_memory()).unwrap();
+    let before = log.stats().allocations.load(Ordering::Relaxed);
+    // per-transaction: 1 allocation for 10 records
+    let mut tx = TxLogBuffer::new();
+    for i in 0..10 {
+        tx.add_update(TableId(1), Oid(i), b"k", b"v");
+    }
+    let res = log.allocate(tx.block_len()).unwrap();
+    let block = tx.serialize(res.lsn());
+    res.fill(block);
+    // per-operation: 10 allocations
+    for i in 0..10u32 {
+        commit_block(&log, 1, i, b"v");
+    }
+    let after = log.stats().allocations.load(Ordering::Relaxed);
+    assert_eq!(after - before, 11);
+}
+
+#[test]
+fn block_len_rounding_matches_reservation() {
+    let log = LogManager::open(LogConfig::in_memory()).unwrap();
+    let mut tx = TxLogBuffer::new();
+    tx.add_insert(TableId(1), Oid(1), b"odd-key", b"odd-value-bytes");
+    let res = log.allocate(tx.block_len()).unwrap();
+    assert_eq!(res.len() % MIN_BLOCK_LEN, 0);
+    let block = tx.serialize(res.lsn());
+    assert_eq!(block.len(), res.len());
+    res.fill(block);
+}

@@ -1,0 +1,184 @@
+//! Private per-transaction log buffers (paper §3.1, §3.3 feature 2).
+//!
+//! Each transaction accumulates the descriptors of its inserts, updates
+//! and deletes privately to avoid log-buffer contention, then serializes
+//! them as one block into the space reserved by its single commit-time
+//! `fetch_add`.
+
+use ermia_common::{Lsn, Oid, TableId};
+
+use crate::records::{
+    checksum32, BlockKind, LogBlockHeader, LogRecord, LogRecordKind, BLOCK_HEADER_LEN,
+    MIN_BLOCK_LEN,
+};
+
+/// A transaction's private log buffer.
+///
+/// Reused across transactions by the worker thread ([`TxLogBuffer::clear`])
+/// so steady-state operation allocates only for record payload copies.
+#[derive(Default)]
+pub struct TxLogBuffer {
+    records: Vec<LogRecord>,
+    payload_bytes: usize,
+    scratch: Vec<u8>,
+}
+
+impl TxLogBuffer {
+    pub fn new() -> TxLogBuffer {
+        TxLogBuffer::default()
+    }
+
+    pub fn add_insert(&mut self, table: TableId, oid: Oid, key: &[u8], value: &[u8]) {
+        self.push(LogRecordKind::Insert, table, oid, key, value);
+    }
+
+    pub fn add_update(&mut self, table: TableId, oid: Oid, key: &[u8], value: &[u8]) {
+        self.push(LogRecordKind::Update, table, oid, key, value);
+    }
+
+    pub fn add_delete(&mut self, table: TableId, oid: Oid, key: &[u8]) {
+        self.push(LogRecordKind::Delete, table, oid, key, &[]);
+    }
+
+    /// Record a secondary-index entry so recovery can rebuild the index.
+    pub fn add_secondary_insert(&mut self, table: TableId, index_raw: u32, oid: Oid, key: &[u8]) {
+        self.push(LogRecordKind::SecondaryInsert, table, oid, key, &index_raw.to_le_bytes());
+    }
+
+    /// Log an insert/update whose value was diverted to the blob store;
+    /// `blob_ref` is the encoded [`crate::BlobRef`].
+    pub fn add_indirect(
+        &mut self,
+        kind: LogRecordKind,
+        table: TableId,
+        oid: Oid,
+        key: &[u8],
+        blob_ref: &[u8],
+    ) {
+        let rec = LogRecord {
+            kind,
+            table,
+            oid,
+            key: key.to_vec(),
+            value: blob_ref.to_vec(),
+            indirect: true,
+        };
+        self.payload_bytes += rec.encoded_len();
+        self.records.push(rec);
+    }
+
+    fn push(&mut self, kind: LogRecordKind, table: TableId, oid: Oid, key: &[u8], value: &[u8]) {
+        let rec =
+            LogRecord { kind, table, oid, key: key.to_vec(), value: value.to_vec(), indirect: false };
+        self.payload_bytes += rec.encoded_len();
+        self.records.push(rec);
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate the buffered records (post-commit walks them to re-stamp
+    /// versions; tests inspect them).
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// The block length a commit must reserve: header + records, rounded
+    /// up to the minimum block granularity so segment tails always fit a
+    /// skip header.
+    pub fn block_len(&self) -> usize {
+        let raw = BLOCK_HEADER_LEN + self.payload_bytes;
+        raw.div_ceil(MIN_BLOCK_LEN) * MIN_BLOCK_LEN
+    }
+
+    /// Serialize the block with commit stamp `cstamp` into an internal
+    /// scratch buffer and return it. Length equals [`TxLogBuffer::block_len`].
+    pub fn serialize(&mut self, cstamp: Lsn) -> &[u8] {
+        let total = self.block_len();
+        self.scratch.clear();
+        self.scratch.resize(BLOCK_HEADER_LEN, 0);
+        for rec in &self.records {
+            rec.encode_into(&mut self.scratch);
+        }
+        self.scratch.resize(total, 0); // zero pad to block granularity
+        let checksum = checksum32(&self.scratch[BLOCK_HEADER_LEN..]);
+        let header = LogBlockHeader {
+            kind: BlockKind::Txn,
+            nrec: self.records.len() as u16,
+            len: total as u32,
+            checksum,
+            cstamp,
+            prev: 0,
+        };
+        let mut head = [0u8; BLOCK_HEADER_LEN];
+        header.encode_into(&mut head);
+        self.scratch[..BLOCK_HEADER_LEN].copy_from_slice(&head);
+        &self.scratch
+    }
+
+    /// Reset for the next transaction, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.payload_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::LogBlockHeader;
+
+    #[test]
+    fn block_len_is_padded() {
+        let mut b = TxLogBuffer::new();
+        assert_eq!(b.block_len(), BLOCK_HEADER_LEN);
+        b.add_insert(TableId(1), Oid(1), b"k", b"v");
+        assert_eq!(b.block_len() % MIN_BLOCK_LEN, 0);
+        assert!(b.block_len() >= BLOCK_HEADER_LEN + 18);
+    }
+
+    #[test]
+    fn serialize_roundtrips_records() {
+        let mut b = TxLogBuffer::new();
+        b.add_insert(TableId(1), Oid(10), b"alpha", b"AAAA");
+        b.add_update(TableId(2), Oid(20), b"beta", b"BBBBBB");
+        b.add_delete(TableId(1), Oid(10), b"alpha");
+        let cstamp = Lsn::from_parts(0x99, 2);
+        let bytes = b.serialize(cstamp).to_vec();
+
+        let header = LogBlockHeader::decode(&bytes).unwrap();
+        assert_eq!(header.kind, BlockKind::Txn);
+        assert_eq!(header.nrec, 3);
+        assert_eq!(header.len as usize, bytes.len());
+        assert_eq!(header.cstamp, cstamp);
+        assert_eq!(header.checksum, checksum32(&bytes[BLOCK_HEADER_LEN..]));
+
+        let mut pos = BLOCK_HEADER_LEN;
+        let (r1, p) = LogRecord::decode(&bytes, pos).unwrap();
+        assert_eq!(r1.kind, LogRecordKind::Insert);
+        assert_eq!(r1.key, b"alpha");
+        pos = p;
+        let (r2, p) = LogRecord::decode(&bytes, pos).unwrap();
+        assert_eq!(r2.kind, LogRecordKind::Update);
+        assert_eq!(r2.value, b"BBBBBB");
+        pos = p;
+        let (r3, _) = LogRecord::decode(&bytes, pos).unwrap();
+        assert_eq!(r3.kind, LogRecordKind::Delete);
+        assert!(r3.value.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut b = TxLogBuffer::new();
+        b.add_insert(TableId(1), Oid(1), b"k", b"v");
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.block_len(), BLOCK_HEADER_LEN);
+    }
+}

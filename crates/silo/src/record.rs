@@ -1,0 +1,170 @@
+//! Silo records: single-version, in-place update, TID-word protected.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// TID word layout: `[ epoch (24) | sequence (37) | flags (3) ]`.
+pub const TID_LOCK: u64 = 0b001;
+/// Record is logically absent (pre-commit insert, or deleted).
+pub const TID_ABSENT: u64 = 0b010;
+const FLAG_BITS: u32 = 3;
+const SEQ_BITS: u32 = 37;
+
+/// Compose a TID word from an epoch and sequence number (flags clear).
+#[inline]
+pub fn pack_tid(epoch: u64, seq: u64) -> u64 {
+    debug_assert!(seq < (1 << SEQ_BITS));
+    (epoch << (SEQ_BITS + FLAG_BITS)) | (seq << FLAG_BITS)
+}
+
+/// The (epoch, seq) pair of a word, ignoring flags.
+#[inline]
+pub fn unpack_tid(word: u64) -> (u64, u64) {
+    (word >> (SEQ_BITS + FLAG_BITS), (word >> FLAG_BITS) & ((1 << SEQ_BITS) - 1))
+}
+
+/// Immutable payload buffer; swapped atomically on update, retired via
+/// the epoch manager so optimistic readers never chase freed memory.
+pub struct DataBuf {
+    /// Snapshot epoch in which this value was created.
+    pub snap_epoch: u64,
+    pub bytes: Box<[u8]>,
+}
+
+impl DataBuf {
+    pub fn alloc(snap_epoch: u64, bytes: &[u8]) -> *mut DataBuf {
+        Box::into_raw(Box::new(DataBuf { snap_epoch, bytes: bytes.to_vec().into_boxed_slice() }))
+    }
+}
+
+/// A snapshot-chain entry: a displaced value readable by read-only
+/// snapshot transactions.
+pub struct SnapVersion {
+    pub buf: *mut DataBuf,
+    pub next: AtomicPtr<SnapVersion>,
+}
+
+// SAFETY: the raw `buf` pointer is uniquely owned by the chain entry;
+// entries move between threads only when retired through the epoch
+// manager, at which point the retiring closure is the sole owner.
+unsafe impl Send for SnapVersion {}
+unsafe impl Sync for SnapVersion {}
+
+/// A Silo record. Under normal circumstances the system maintains only
+/// a single committed version of an object (plus the read-only snapshot
+/// chain when enabled).
+pub struct Record {
+    pub tid_word: AtomicU64,
+    pub data: AtomicPtr<DataBuf>,
+    /// Read-only snapshot chain (newest first).
+    pub snaps: AtomicPtr<SnapVersion>,
+    /// Last snapshot epoch for which a value was pushed (lock-protected).
+    pub last_push: AtomicU64,
+}
+
+impl Record {
+    /// Allocate a record in the ABSENT (pre-commit) state.
+    pub fn alloc_absent(snap_epoch: u64, bytes: &[u8]) -> *mut Record {
+        Box::into_raw(Box::new(Record {
+            tid_word: AtomicU64::new(TID_ABSENT),
+            data: AtomicPtr::new(DataBuf::alloc(snap_epoch, bytes)),
+            snaps: AtomicPtr::new(std::ptr::null_mut()),
+            last_push: AtomicU64::new(0),
+        }))
+    }
+
+    /// Optimistic stable read: returns `(word, data)` where `word` was
+    /// identical before and after the data pointer was fetched. The
+    /// returned reference is valid under the caller's epoch guard.
+    #[inline]
+    pub fn stable_read(&self) -> (u64, *mut DataBuf) {
+        loop {
+            let w1 = self.tid_word.load(Ordering::Acquire);
+            if w1 & TID_LOCK != 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            let buf = self.data.load(Ordering::Acquire);
+            if self.tid_word.load(Ordering::Acquire) == w1 {
+                return (w1, buf);
+            }
+        }
+    }
+
+    /// Try to lock (phase 1). Fails if already locked.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        let w = self.tid_word.load(Ordering::Relaxed);
+        if w & TID_LOCK != 0 {
+            return false;
+        }
+        self.tid_word
+            .compare_exchange(w, w | TID_LOCK, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Spin-lock (phase 1 on the sorted write set cannot deadlock).
+    #[inline]
+    pub fn lock(&self) {
+        let mut spins = 0u32;
+        while !self.try_lock() {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Release without changing the TID (validation-failure path).
+    #[inline]
+    pub fn unlock(&self) {
+        let w = self.tid_word.load(Ordering::Relaxed);
+        debug_assert!(w & TID_LOCK != 0);
+        self.tid_word.store(w & !TID_LOCK, Ordering::Release);
+    }
+
+    /// Release installing a new word (phase 3; also clears/sets ABSENT).
+    #[inline]
+    pub fn unlock_with(&self, word: u64) {
+        debug_assert!(word & TID_LOCK == 0);
+        self.tid_word.store(word, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_pack_roundtrip() {
+        let w = pack_tid(5, 1234);
+        assert_eq!(unpack_tid(w), (5, 1234));
+        assert_eq!(w & TID_LOCK, 0);
+        assert_eq!(w & TID_ABSENT, 0);
+    }
+
+    #[test]
+    fn tid_order_epoch_dominates() {
+        assert!(pack_tid(2, 0) > pack_tid(1, u32::MAX as u64));
+    }
+
+    #[test]
+    fn stable_read_and_lock() {
+        let r = Record::alloc_absent(0, b"hello");
+        let rr = unsafe { &*r };
+        rr.unlock_with(pack_tid(1, 1));
+        let (w, buf) = rr.stable_read();
+        assert_eq!(w, pack_tid(1, 1));
+        assert_eq!(unsafe { (*buf).bytes.as_ref() }, b"hello");
+        assert!(rr.try_lock());
+        assert!(!rr.try_lock());
+        rr.unlock();
+        let (w2, _) = rr.stable_read();
+        assert_eq!(w2, w);
+        unsafe {
+            drop(Box::from_raw(rr.data.load(Ordering::Relaxed)));
+            drop(Box::from_raw(r));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Version-chain garbage collection (paper §3.2, §3.4).
+//!
+//! "The garbage collector periodically goes over all indirection arrays
+//! to remove versions that are not needed by any transaction." A version
+//! is unneeded once a *newer committed* version exists whose stamp is at
+//! or below the reclamation horizon — the minimum begin timestamp of any
+//! in-flight transaction — because every current and future snapshot
+//! then reads that newer version (or something newer still).
+//!
+//! Reclamation is two-phase: the collector unlinks the dead suffix of a
+//! chain (making it unreachable to new traversals) and retires each node
+//! through the epoch manager, which frees it only after all possibly-
+//! referencing threads have quiesced.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ermia_common::{Lsn, Stamp};
+use ermia_epoch::EpochManager;
+
+use crate::oid_array::OidArray;
+use crate::version::Version;
+
+/// Collector statistics.
+#[derive(Debug, Default)]
+pub struct GcStats {
+    /// Versions unlinked and retired.
+    pub reclaimed: AtomicU64,
+    /// Full passes over the indirection arrays.
+    pub passes: AtomicU64,
+}
+
+/// Background garbage collector over a set of indirection arrays.
+pub struct GarbageCollector {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<GcStats>,
+}
+
+impl GarbageCollector {
+    /// Start collecting over `arrays`. `horizon` supplies the current
+    /// reclamation horizon (min active begin timestamp); `epoch` is the
+    /// GC-timescale epoch manager versions are retired through.
+    pub fn start(
+        arrays: Vec<Arc<OidArray>>,
+        epoch: EpochManager,
+        horizon: impl Fn() -> Lsn + Send + 'static,
+        interval: Duration,
+    ) -> GarbageCollector {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(GcStats::default());
+        let stop2 = Arc::clone(&stop);
+        let stats2 = Arc::clone(&stats);
+        let thread = std::thread::Builder::new()
+            .name("ermia-gc".into())
+            .spawn(move || {
+                let handle = epoch.register();
+                while !stop2.load(Ordering::Acquire) {
+                    let h = horizon();
+                    let mut reclaimed = 0;
+                    for arr in &arrays {
+                        let guard = handle.pin();
+                        reclaimed += sweep_array(arr, h, &guard);
+                        drop(guard);
+                        epoch.advance_and_collect();
+                    }
+                    stats2.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+                    stats2.passes.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn gc");
+        GarbageCollector { stop, thread: Some(thread), stats }
+    }
+
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+}
+
+impl Drop for GarbageCollector {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One pass over an array: truncate every chain behind its horizon
+/// version. Returns the number of versions retired.
+pub fn sweep_array(arr: &OidArray, horizon: Lsn, guard: &ermia_epoch::Guard<'_>) -> u64 {
+    let mut reclaimed = 0;
+    arr.for_each(|_oid, head| {
+        reclaimed += sweep_chain(head, horizon, guard);
+    });
+    reclaimed
+}
+
+/// Truncate one chain: find the first *committed* version with stamp
+/// strictly below `horizon` — the boundary every active and future
+/// snapshot reads (visibility is `cstamp < begin`, so the comparison
+/// here must be strict too) — and retire everything older than it.
+fn sweep_chain(head: *mut Version, horizon: Lsn, guard: &ermia_epoch::Guard<'_>) -> u64 {
+    let mut boundary: *mut Version = head;
+    // Walk to the boundary. TID-stamped (in-flight) and too-new versions
+    // must all stay.
+    loop {
+        if boundary.is_null() {
+            return 0;
+        }
+        let v = unsafe { &*boundary };
+        let stamp = Stamp::from_raw(v.clsn.load(Ordering::Acquire));
+        if !stamp.is_tid() && stamp.as_lsn() < horizon {
+            break;
+        }
+        boundary = v.next.load(Ordering::Acquire);
+    }
+    // Detach the suffix after the boundary and retire it.
+    let bref = unsafe { &*boundary };
+    let mut dead = bref.next.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    let mut n = 0;
+    while !dead.is_null() {
+        let next = unsafe { (*dead).next.load(Ordering::Acquire) };
+        // SAFETY: unlinked above; traversals that already hold the
+        // pointer are protected by their epoch pins.
+        unsafe { guard.defer_drop(dead) };
+        dead = next;
+        n += 1;
+    }
+    n
+}

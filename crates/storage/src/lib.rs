@@ -1,0 +1,35 @@
+//! ERMIA's physical storage layer (paper §3.2, §3.5).
+//!
+//! Three pieces live here:
+//!
+//! * [`OidArray`] — the latch-free indirection arrays. Every logical
+//!   object (database record) is identified by an OID mapping to a slot
+//!   holding a pointer to its version chain. A single compare-and-swap
+//!   against the slot installs a new version; an uncommitted head version
+//!   acts as a write lock, making write-write conflicts easy to detect.
+//! * [`Version`] — the singly-linked version chain nodes, each stamped
+//!   with a [`Stamp`](ermia_common::Stamp) (the creator's TID while in
+//!   flight, the commit LSN after post-commit) plus the SSN η/π stamps.
+//! * [`TidManager`] — the fixed-capacity transaction context table.
+//!   TIDs combine a slot index with a generation, and inquiries about a
+//!   TID-stamped version have exactly the paper's three outcomes:
+//!   in-flight, ended (with the end stamp), or stale generation (caller
+//!   re-reads the version, which is then guaranteed to carry an LSN).
+//!
+//! The [`gc`] module implements the background garbage collector that
+//! "periodically goes over all indirection arrays to remove versions that
+//! are not needed by any transaction", retiring them through the epoch
+//! manager.
+
+pub mod gc;
+pub mod oid_array;
+pub mod tid;
+pub mod version;
+
+pub use gc::{GcStats, GarbageCollector};
+pub use oid_array::OidArray;
+pub use tid::{TidManager, TidStatus, TxContext};
+pub use version::Version;
+
+#[cfg(test)]
+mod tests;

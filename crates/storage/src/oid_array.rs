@@ -1,0 +1,186 @@
+//! Latch-free indirection arrays (paper §3.2).
+//!
+//! A linear array of slots indexed by OID; each slot holds the physical
+//! pointer to the head of the record's version chain. The array is
+//! paged and pages materialize on demand with a CAS, so growth never
+//! blocks readers. OID allocation is "completely contention-free: it
+//! simply means writing to an element in an array because no two threads
+//! will be allocated the same new OID".
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use ermia_common::Oid;
+use parking_lot::Mutex;
+
+use crate::version::Version;
+
+/// Slots per page (2^14 × 8 B = 128 KiB pages).
+const PAGE_SHIFT: u32 = 14;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Max pages (2^14 pages × 2^14 slots = 256M OIDs per table).
+const PAGE_COUNT: usize = 1 << 14;
+
+struct Page {
+    slots: Box<[AtomicU64]>,
+}
+
+impl Page {
+    fn alloc() -> *mut Page {
+        let slots: Vec<AtomicU64> = (0..PAGE_SIZE).map(|_| AtomicU64::new(0)).collect();
+        Box::into_raw(Box::new(Page { slots: slots.into_boxed_slice() }))
+    }
+}
+
+/// One table's indirection array.
+pub struct OidArray {
+    pages: Box<[AtomicPtr<Page>]>,
+    next_oid: AtomicU32,
+    /// OIDs recycled by the garbage collector.
+    free: Mutex<Vec<Oid>>,
+}
+
+impl Default for OidArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OidArray {
+    pub fn new() -> OidArray {
+        let pages: Vec<AtomicPtr<Page>> =
+            (0..PAGE_COUNT).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        OidArray {
+            pages: pages.into_boxed_slice(),
+            // OID 0 is reserved as "invalid".
+            next_oid: AtomicU32::new(1),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocate a fresh OID (recycled if the GC returned any).
+    pub fn allocate(&self) -> Oid {
+        if let Some(oid) = self.free.lock().pop() {
+            return oid;
+        }
+        let oid = self.next_oid.fetch_add(1, Ordering::Relaxed);
+        assert!((oid as usize) < PAGE_COUNT * PAGE_SIZE, "OID space exhausted");
+        Oid(oid)
+    }
+
+    /// Return an OID to the allocator (GC of deleted records).
+    pub fn recycle(&self, oid: Oid) {
+        self.free.lock().push(oid);
+    }
+
+    /// Highest OID ever allocated plus one (iteration bound).
+    pub fn high_water(&self) -> u32 {
+        self.next_oid.load(Ordering::Acquire)
+    }
+
+    /// Bump the allocator past `oid` (recovery replay of inserts).
+    pub fn ensure_allocated(&self, oid: Oid) {
+        self.next_oid.fetch_max(oid.0 + 1, Ordering::AcqRel);
+    }
+
+    fn page(&self, oid: Oid) -> &Page {
+        let pi = oid.index() >> PAGE_SHIFT;
+        let ptr = self.pages[pi].load(Ordering::Acquire);
+        if !ptr.is_null() {
+            // SAFETY: pages are never freed while the array lives.
+            return unsafe { &*ptr };
+        }
+        // Materialize the page; losers free their copy.
+        let fresh = Page::alloc();
+        match self.pages[pi].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => unsafe { &*fresh },
+            Err(existing) => {
+                // SAFETY: `fresh` never escaped.
+                unsafe { drop(Box::from_raw(fresh)) };
+                unsafe { &*existing }
+            }
+        }
+    }
+
+    #[inline]
+    fn slot(&self, oid: Oid) -> &AtomicU64 {
+        &self.page(oid).slots[oid.index() & (PAGE_SIZE - 1)]
+    }
+
+    /// Load the version-chain head for `oid`.
+    #[inline]
+    pub fn head(&self, oid: Oid) -> *mut Version {
+        self.slot(oid).load(Ordering::Acquire) as *mut Version
+    }
+
+    /// Install `new` as the head iff the head is still `expected` — the
+    /// single CAS that installs a new version (§3.2). On failure returns
+    /// the observed head.
+    #[inline]
+    pub fn cas_head(
+        &self,
+        oid: Oid,
+        expected: *mut Version,
+        new: *mut Version,
+    ) -> Result<(), *mut Version> {
+        self.slot(oid)
+            .compare_exchange(expected as u64, new as u64, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| ())
+            .map_err(|cur| cur as *mut Version)
+    }
+
+    /// Unconditional store (insert of a freshly allocated OID, recovery).
+    #[inline]
+    pub fn store_head(&self, oid: Oid, head: *mut Version) {
+        self.slot(oid).store(head as u64, Ordering::Release);
+    }
+
+    /// Visit every allocated OID with a non-null chain head (GC,
+    /// checkpointing). The walk is not atomic with respect to concurrent
+    /// updates — callers handle staleness (fuzzy by design, §3.7).
+    pub fn for_each(&self, mut f: impl FnMut(Oid, *mut Version)) {
+        let high = self.high_water();
+        for raw in 1..high {
+            let oid = Oid(raw);
+            let pi = oid.index() >> PAGE_SHIFT;
+            let page = self.pages[pi].load(Ordering::Acquire);
+            if page.is_null() {
+                continue;
+            }
+            let head =
+                unsafe { (*page).slots[oid.index() & (PAGE_SIZE - 1)].load(Ordering::Acquire) };
+            let head = head as *mut Version;
+            if !head.is_null() {
+                f(oid, head);
+            }
+        }
+    }
+}
+
+impl Drop for OidArray {
+    fn drop(&mut self) {
+        // Free remaining version chains, then the pages. Single-threaded
+        // by &mut.
+        for page_ptr in self.pages.iter() {
+            let page = page_ptr.load(Ordering::Relaxed);
+            if page.is_null() {
+                continue;
+            }
+            unsafe {
+                for slot in (*page).slots.iter() {
+                    let mut v = slot.load(Ordering::Relaxed) as *mut Version;
+                    while !v.is_null() {
+                        let next = (*v).next.load(Ordering::Relaxed);
+                        drop(Box::from_raw(v));
+                        v = next;
+                    }
+                }
+                drop(Box::from_raw(page));
+            }
+        }
+    }
+}

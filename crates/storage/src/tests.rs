@@ -1,0 +1,268 @@
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ermia_common::{Lsn, Oid, Stamp, Tid};
+use ermia_epoch::EpochManager;
+
+use crate::{GarbageCollector, OidArray, TidManager, TidStatus, Version};
+
+#[test]
+fn oid_allocation_is_unique_and_dense() {
+    let arr = OidArray::new();
+    let a = arr.allocate();
+    let b = arr.allocate();
+    assert_ne!(a, b);
+    assert_eq!(a, Oid(1));
+    assert_eq!(b, Oid(2));
+}
+
+#[test]
+fn head_store_and_cas() {
+    let arr = OidArray::new();
+    let oid = arr.allocate();
+    assert!(arr.head(oid).is_null());
+
+    let v1 = Version::alloc(Stamp::from_lsn(Lsn::from_parts(1, 0)), b"v1", false);
+    arr.store_head(oid, v1);
+    assert_eq!(arr.head(oid), v1);
+
+    let v2 = Version::alloc(Stamp::from_lsn(Lsn::from_parts(2, 0)), b"v2", false);
+    unsafe { (*v2).next.store(v1, Ordering::Relaxed) };
+    assert!(arr.cas_head(oid, v1, v2).is_ok());
+    assert_eq!(arr.head(oid), v2);
+
+    // Stale CAS fails and reports the current head.
+    let v3 = Version::alloc(Stamp::from_lsn(Lsn::from_parts(3, 0)), b"v3", false);
+    assert_eq!(arr.cas_head(oid, v1, v3).unwrap_err(), v2);
+    unsafe { drop(Box::from_raw(v3)) };
+}
+
+#[test]
+fn oid_array_spans_pages() {
+    let arr = OidArray::new();
+    // Touch slots in different pages (page = 2^14 slots).
+    let far = Oid(3 * (1 << 14) + 7);
+    arr.ensure_allocated(far);
+    let v = Version::alloc(Stamp::from_lsn(Lsn::from_parts(1, 0)), b"far", false);
+    arr.store_head(far, v);
+    assert_eq!(arr.head(far), v);
+    assert!(arr.high_water() > far.0);
+}
+
+#[test]
+fn for_each_visits_live_chains() {
+    let arr = OidArray::new();
+    for i in 0..10 {
+        let oid = arr.allocate();
+        if i % 2 == 0 {
+            let v = Version::alloc(Stamp::from_lsn(Lsn::from_parts(i, 0)), b"x", false);
+            arr.store_head(oid, v);
+        }
+    }
+    let mut seen = 0;
+    arr.for_each(|_, head| {
+        assert!(!head.is_null());
+        seen += 1;
+    });
+    assert_eq!(seen, 5);
+}
+
+#[test]
+fn recycled_oids_are_reused() {
+    let arr = OidArray::new();
+    let a = arr.allocate();
+    arr.recycle(a);
+    assert_eq!(arr.allocate(), a);
+}
+
+#[test]
+fn tid_acquire_release_inquire() {
+    let mgr = TidManager::new();
+    let mut hint = 0;
+    let (tid, ctx) = mgr.acquire(Lsn::from_parts(5, 0), &mut hint);
+    assert_eq!(ctx.begin(), Lsn::from_parts(5, 0));
+    assert_eq!(mgr.inquire(tid), TidStatus::InFlight);
+
+    ctx.enter_pending();
+    assert!(matches!(mgr.inquire(tid), TidStatus::Precommit(_)));
+    let c = Lsn::from_parts(9, 1);
+    ctx.enter_precommit(c);
+    assert_eq!(mgr.inquire(tid), TidStatus::Precommit(c));
+    ctx.commit(c);
+    assert_eq!(mgr.inquire(tid), TidStatus::Committed(c));
+
+    mgr.release(tid);
+    assert_eq!(mgr.inquire(tid), TidStatus::Stale);
+    assert_eq!(mgr.in_use(), 0);
+}
+
+#[test]
+fn stale_generation_detected() {
+    let mgr = TidManager::new();
+    let mut hint = 0;
+    let (tid1, ctx) = mgr.acquire(Lsn::from_parts(1, 0), &mut hint);
+    ctx.abort();
+    mgr.release(tid1);
+    // Force reuse of the same slot.
+    hint = tid1.slot().wrapping_sub(1);
+    let (tid2, _) = mgr.acquire(Lsn::from_parts(2, 0), &mut hint);
+    assert_eq!(tid2.slot(), tid1.slot());
+    assert_eq!(tid2.generation(), tid1.generation() + 1);
+    // The old TID now reports Stale even though the slot is ACTIVE.
+    assert_eq!(mgr.inquire(tid1), TidStatus::Stale);
+    assert_eq!(mgr.inquire(tid2), TidStatus::InFlight);
+}
+
+#[test]
+fn min_active_begin_tracks_oldest() {
+    let mgr = TidManager::new();
+    let mut hint = 0;
+    let fallback = Lsn::from_parts(100, 0);
+    assert_eq!(mgr.min_active_begin(fallback), fallback);
+    let (t1, _) = mgr.acquire(Lsn::from_parts(10, 0), &mut hint);
+    let (t2, _) = mgr.acquire(Lsn::from_parts(20, 0), &mut hint);
+    assert_eq!(mgr.min_active_begin(fallback), Lsn::from_parts(10, 0));
+    mgr.ctx(t1).abort();
+    mgr.release(t1);
+    assert_eq!(mgr.min_active_begin(fallback), Lsn::from_parts(20, 0));
+    mgr.ctx(t2).abort();
+    mgr.release(t2);
+}
+
+#[test]
+fn concurrent_tid_churn() {
+    let mgr = Arc::new(TidManager::new());
+    crossbeam::scope(|s| {
+        for t in 0..4usize {
+            let mgr = Arc::clone(&mgr);
+            s.spawn(move |_| {
+                let mut hint = t * 1000;
+                for i in 0..5_000u64 {
+                    let (tid, ctx) = mgr.acquire(Lsn::from_parts(i + 1, 0), &mut hint);
+                    ctx.enter_pending();
+                    let c = Lsn::from_parts(i + 2, 0);
+                    ctx.enter_precommit(c);
+                    ctx.commit(c);
+                    assert_eq!(mgr.inquire(tid), TidStatus::Committed(c));
+                    mgr.release(tid);
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(mgr.in_use(), 0);
+}
+
+fn make_chain(arr: &OidArray, oid: Oid, stamps: &[u64]) -> Vec<*mut Version> {
+    // stamps oldest-first; returns ptrs oldest-first.
+    let mut ptrs = Vec::new();
+    let mut prev: *mut Version = std::ptr::null_mut();
+    for &s in stamps {
+        let v = Version::alloc(Stamp::from_lsn(Lsn::from_parts(s, 0)), &s.to_le_bytes(), false);
+        unsafe { (*v).next.store(prev, Ordering::Relaxed) };
+        prev = v;
+        ptrs.push(v);
+    }
+    arr.store_head(oid, prev);
+    ptrs
+}
+
+#[test]
+fn gc_truncates_dead_suffix() {
+    let arr = Arc::new(OidArray::new());
+    let epoch = EpochManager::new("gc-test");
+    let oid = arr.allocate();
+    // Chain (newest first after build): 50, 30, 20, 10.
+    make_chain(&arr, oid, &[10, 20, 30, 50]);
+
+    // Horizon 35: versions ≤ 35 newest is 30; 20 and 10 are dead.
+    let handle = epoch.register();
+    let guard = handle.pin();
+    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(35, 0), &guard);
+    drop(guard);
+    assert_eq!(reclaimed, 2);
+
+    // Chain is now 50 → 30 → ∅.
+    let head = arr.head(oid);
+    let s0 = unsafe { (*head).stamp().as_lsn() };
+    assert_eq!(s0, Lsn::from_parts(50, 0));
+    let n1 = unsafe { (*head).next.load(Ordering::Acquire) };
+    let s1 = unsafe { (*n1).stamp().as_lsn() };
+    assert_eq!(s1, Lsn::from_parts(30, 0));
+    assert!(unsafe { (*n1).next.load(Ordering::Acquire) }.is_null());
+
+    for _ in 0..3 {
+        epoch.advance_and_collect();
+    }
+    assert_eq!(epoch.stats().pending, 0, "retired versions must be freed");
+}
+
+#[test]
+fn gc_keeps_everything_when_horizon_old() {
+    let arr = Arc::new(OidArray::new());
+    let epoch = EpochManager::new("gc-test2");
+    let oid = arr.allocate();
+    make_chain(&arr, oid, &[10, 20, 30]);
+    let handle = epoch.register();
+    let guard = handle.pin();
+    // Horizon 5: no committed version ≤ 5 — nothing reclaimable.
+    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(5, 0), &guard);
+    assert_eq!(reclaimed, 0);
+}
+
+#[test]
+fn gc_skips_inflight_heads() {
+    let arr = Arc::new(OidArray::new());
+    let epoch = EpochManager::new("gc-test3");
+    let oid = arr.allocate();
+    make_chain(&arr, oid, &[10, 20]);
+    // Push a TID-stamped (uncommitted) version on top.
+    let head = arr.head(oid);
+    let inflight = Version::alloc(Stamp::from_tid(Tid::new(1, 1)), b"dirty", false);
+    unsafe { (*inflight).next.store(head, Ordering::Relaxed) };
+    arr.store_head(oid, inflight);
+
+    let handle = epoch.register();
+    let guard = handle.pin();
+    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(100, 0), &guard);
+    // Only version 10 dies (20 is the boundary; the in-flight head stays).
+    assert_eq!(reclaimed, 1);
+    assert_eq!(arr.head(oid), inflight);
+}
+
+#[test]
+fn background_collector_runs() {
+    let arr = Arc::new(OidArray::new());
+    let epoch = EpochManager::new("gc-bg");
+    let oid = arr.allocate();
+    make_chain(&arr, oid, &[1, 2, 3, 4, 5, 6, 7, 8]);
+    let gc = GarbageCollector::start(
+        vec![Arc::clone(&arr)],
+        epoch.clone(),
+        || Lsn::from_parts(1000, 0),
+        Duration::from_millis(1),
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(gc.stats().passes.load(Ordering::Relaxed) > 0);
+    assert_eq!(gc.stats().reclaimed.load(Ordering::Relaxed), 7);
+    drop(gc);
+}
+
+#[test]
+fn version_stamp_transitions() {
+    let v = Version::alloc(Stamp::from_tid(Tid::new(3, 9)), b"payload", false);
+    let vref = unsafe { &*v };
+    assert!(vref.stamp().is_tid());
+    assert_eq!(vref.stamp().as_tid(), Tid::new(3, 9));
+    // Post-commit re-stamp.
+    vref.clsn.store(Stamp::from_lsn(Lsn::from_parts(77, 2)).raw(), Ordering::Release);
+    assert!(!vref.stamp().is_tid());
+    assert_eq!(vref.stamp().as_lsn(), Lsn::from_parts(77, 2));
+    // SSN stamps.
+    assert!(!vref.is_overwritten());
+    vref.raise_pstamp(10);
+    vref.raise_pstamp(5);
+    assert_eq!(vref.pstamp.load(Ordering::Relaxed), 10);
+    unsafe { drop(Box::from_raw(v)) };
+}

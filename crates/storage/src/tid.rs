@@ -1,0 +1,250 @@
+//! Transaction ID management (paper §3.5).
+//!
+//! A fixed-capacity table (64K entries) of transaction contexts. Each
+//! TID combines an offset into the table with a generation that
+//! distinguishes it from other transactions that happened to use the same
+//! slot. Allocation, inquiry and release are all lock-free.
+//!
+//! ## The commit word
+//!
+//! The context packs commit state and commit stamp into one atomic word
+//! so that readers performing visibility checks see a consistent
+//! (state, cstamp) pair:
+//!
+//! ```text
+//! word = (cstamp.raw() << 3) | tag
+//! tag: 0 FREE · 1 ACTIVE · 2 PENDING · 3 PRECOMMIT · 4 COMMITTED · 5 ABORTED
+//! ```
+//!
+//! The owner drives the word through `ACTIVE → PENDING → PRECOMMIT(c) →
+//! COMMITTED(c) | ABORTED → FREE`. `PENDING` is published *before* the
+//! commit-LSN `fetch_add`, which gives snapshot readers the guarantee
+//! they need: if a reader (whose begin timestamp was taken earlier)
+//! observes `ACTIVE`, the owner's eventual commit stamp must be larger
+//! than the reader's begin timestamp, so "invisible" is the consistent
+//! verdict. Observing `PENDING`/`PRECOMMIT` with a possibly-smaller stamp
+//! tells the reader to spin briefly for the outcome (the window spans no
+//! I/O — just the SSN test and log-buffer copy).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ermia_common::ids::TID_TABLE_CAPACITY;
+use ermia_common::{Lsn, Tid};
+
+const TAG_BITS: u32 = 3;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+
+const TAG_FREE: u64 = 0;
+const TAG_ACTIVE: u64 = 1;
+const TAG_PENDING: u64 = 2;
+const TAG_PRECOMMIT: u64 = 3;
+const TAG_COMMITTED: u64 = 4;
+const TAG_ABORTED: u64 = 5;
+
+/// Outcome of a TID inquiry (§3.5: "three possible outcomes").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TidStatus {
+    /// (a) The transaction is still in flight with no commit stamp yet.
+    InFlight,
+    /// The transaction entered pre-commit: it holds commit stamp `Lsn`
+    /// but its fate is undecided — visibility checkers with an older
+    /// begin stamp must wait for the verdict.
+    Precommit(Lsn),
+    /// (b) The transaction has ended; the end stamp is returned.
+    Committed(Lsn),
+    /// The transaction aborted; its versions are being unlinked.
+    Aborted,
+    /// (c) The supplied TID is from a previous generation. The caller
+    /// should re-read the location that produced the TID — the
+    /// transaction has finished post-commit, so the location is
+    /// guaranteed to contain a proper commit stamp.
+    Stale,
+}
+
+/// One entry in the TID table.
+pub struct TxContext {
+    /// Full TID of the current owner (identifies the generation).
+    owner: AtomicU64,
+    /// The commit word (see module docs).
+    word: AtomicU64,
+    /// Owner's begin timestamp (raw LSN).
+    begin: AtomicU64,
+    /// SSN η(T): latest committed predecessor stamp.
+    pub pstamp: AtomicU64,
+    /// SSN π(T): earliest successor stamp (∞ when none).
+    pub sstamp: AtomicU64,
+}
+
+impl TxContext {
+    /// Owner's begin timestamp.
+    #[inline]
+    pub fn begin(&self) -> Lsn {
+        Lsn::from_raw(self.begin.load(Ordering::Acquire))
+    }
+
+    /// Decode the commit word.
+    #[inline]
+    pub fn status(&self) -> TidStatus {
+        decode(self.word.load(Ordering::Acquire))
+    }
+
+    /// Publish "about to acquire a commit stamp" — must precede the
+    /// commit-LSN `fetch_add` (see module docs).
+    #[inline]
+    pub fn enter_pending(&self) {
+        debug_assert_eq!(self.word.load(Ordering::Relaxed) & TAG_MASK, TAG_ACTIVE);
+        self.word.store(TAG_PENDING, Ordering::SeqCst);
+    }
+
+    /// Publish the acquired commit stamp (fate still undecided).
+    #[inline]
+    pub fn enter_precommit(&self, cstamp: Lsn) {
+        debug_assert_eq!(self.word.load(Ordering::Relaxed) & TAG_MASK, TAG_PENDING);
+        self.word.store((cstamp.raw() << TAG_BITS) | TAG_PRECOMMIT, Ordering::SeqCst);
+    }
+
+    /// Decide commit: updates become visible atomically at this store.
+    #[inline]
+    pub fn commit(&self, cstamp: Lsn) {
+        self.word.store((cstamp.raw() << TAG_BITS) | TAG_COMMITTED, Ordering::SeqCst);
+    }
+
+    /// Decide abort.
+    #[inline]
+    pub fn abort(&self) {
+        self.word.store(TAG_ABORTED, Ordering::SeqCst);
+    }
+
+    /// The commit stamp, once decided (panics otherwise; debug aid).
+    #[inline]
+    pub fn cstamp(&self) -> Lsn {
+        let w = self.word.load(Ordering::Acquire);
+        debug_assert!(w & TAG_MASK == TAG_COMMITTED || w & TAG_MASK == TAG_PRECOMMIT);
+        Lsn::from_raw(w >> TAG_BITS)
+    }
+}
+
+#[inline]
+fn decode(word: u64) -> TidStatus {
+    match word & TAG_MASK {
+        TAG_ACTIVE => TidStatus::InFlight,
+        TAG_PENDING => TidStatus::Precommit(Lsn::NULL),
+        TAG_PRECOMMIT => TidStatus::Precommit(Lsn::from_raw(word >> TAG_BITS)),
+        TAG_COMMITTED => TidStatus::Committed(Lsn::from_raw(word >> TAG_BITS)),
+        TAG_ABORTED => TidStatus::Aborted,
+        // FREE (or torn generation): the slot owner finished entirely.
+        _ => TidStatus::Stale,
+    }
+}
+
+/// The lock-free transaction context table.
+pub struct TidManager {
+    slots: Box<[TxContext]>,
+}
+
+impl Default for TidManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TidManager {
+    pub fn new() -> TidManager {
+        let slots: Vec<TxContext> = (0..TID_TABLE_CAPACITY)
+            .map(|i| TxContext {
+                owner: AtomicU64::new(Tid::new(0, i).raw()),
+                word: AtomicU64::new(TAG_FREE),
+                begin: AtomicU64::new(0),
+                pstamp: AtomicU64::new(0),
+                sstamp: AtomicU64::new(Lsn::MAX.raw()),
+            })
+            .collect();
+        TidManager { slots: slots.into_boxed_slice() }
+    }
+
+    /// Claim a context for a transaction beginning at `begin`.
+    ///
+    /// `hint` is a per-worker probe cursor: successive claims from one
+    /// thread walk disjoint regions, so the common case is one CAS.
+    pub fn acquire(&self, begin: Lsn, hint: &mut usize) -> (Tid, &TxContext) {
+        for _ in 0..TID_TABLE_CAPACITY {
+            *hint = (*hint + 1) % TID_TABLE_CAPACITY;
+            let ctx = &self.slots[*hint];
+            if ctx.word.load(Ordering::Relaxed) != TAG_FREE {
+                continue;
+            }
+            if ctx
+                .word
+                .compare_exchange(TAG_FREE, TAG_ACTIVE, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // We own the slot: advance the generation, publish begin.
+            let old = ctx.owner.load(Ordering::Relaxed);
+            let tid = Tid::new(Tid::from_raw(old).generation() + 1, *hint);
+            ctx.begin.store(begin.raw(), Ordering::Relaxed);
+            ctx.pstamp.store(0, Ordering::Relaxed);
+            ctx.sstamp.store(Lsn::MAX.raw(), Ordering::Relaxed);
+            ctx.owner.store(tid.raw(), Ordering::Release);
+            return (tid, ctx);
+        }
+        panic!("TID table exhausted: more than {TID_TABLE_CAPACITY} in-flight transactions");
+    }
+
+    /// Direct access to a context by TID slot. Callers that own the TID
+    /// (the executing transaction) use this; inquirers use
+    /// [`TidManager::inquire`].
+    #[inline]
+    pub fn ctx(&self, tid: Tid) -> &TxContext {
+        &self.slots[tid.slot()]
+    }
+
+    /// Ask about another transaction's fate (§3.5).
+    pub fn inquire(&self, tid: Tid) -> TidStatus {
+        let ctx = &self.slots[tid.slot()];
+        if ctx.owner.load(Ordering::Acquire) != tid.raw() {
+            return TidStatus::Stale;
+        }
+        let status = ctx.status();
+        // The owner could have released and a successor claimed the slot
+        // between the two loads; re-check the generation.
+        if ctx.owner.load(Ordering::Acquire) != tid.raw() {
+            return TidStatus::Stale;
+        }
+        status
+    }
+
+    /// Release a context once post-commit (or abort cleanup) is complete
+    /// — i.e. after every version stamped with this TID has been
+    /// re-stamped or unlinked, so Stale inquiries can safely re-read.
+    pub fn release(&self, tid: Tid) {
+        let ctx = &self.slots[tid.slot()];
+        debug_assert_eq!(ctx.owner.load(Ordering::Relaxed), tid.raw());
+        ctx.word.store(TAG_FREE, Ordering::Release);
+    }
+
+    /// The smallest begin timestamp among in-flight transactions, or
+    /// `fallback` if none — the GC's reclamation horizon.
+    pub fn min_active_begin(&self, fallback: Lsn) -> Lsn {
+        let mut min = fallback;
+        for ctx in self.slots.iter() {
+            let w = ctx.word.load(Ordering::Acquire);
+            match w & TAG_MASK {
+                TAG_ACTIVE | TAG_PENDING | TAG_PRECOMMIT => {
+                    let b = Lsn::from_raw(ctx.begin.load(Ordering::Acquire));
+                    if b < min {
+                        min = b;
+                    }
+                }
+                _ => {}
+            }
+        }
+        min
+    }
+
+    /// Number of currently claimed slots (tests / stats).
+    pub fn in_use(&self) -> usize {
+        self.slots.iter().filter(|c| c.word.load(Ordering::Relaxed) != TAG_FREE).count()
+    }
+}

@@ -1,0 +1,65 @@
+//! Version chain nodes.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use ermia_common::{Lsn, Stamp};
+
+/// One version of a database record.
+///
+/// Versions are heap-allocated, linked newest-first from an indirection
+/// array slot, and reclaimed through the epoch manager once invisible to
+/// every active transaction.
+#[repr(C)]
+pub struct Version {
+    /// Creation stamp: the creator's TID until post-commit, then the
+    /// commit LSN (§3.1). See [`Stamp`].
+    pub clsn: AtomicU64,
+    /// Next older version (null at the chain tail).
+    pub next: AtomicPtr<Version>,
+    /// SSN η(V): the commit stamp of the latest committed transaction
+    /// that read this version.
+    pub pstamp: AtomicU64,
+    /// SSN π(V): the low watermark of the transaction that overwrote
+    /// this version (∞ while unoverwritten).
+    pub sstamp: AtomicU64,
+    /// Tombstone marker — "delete is treated as an update with tombstone
+    /// marking" (§3.2).
+    pub tombstone: bool,
+    /// The record payload.
+    pub data: Box<[u8]>,
+}
+
+impl Version {
+    /// Allocate a version stamped with `stamp`, returning an owning raw
+    /// pointer (managed by the caller / epoch GC thereafter).
+    pub fn alloc(stamp: Stamp, data: &[u8], tombstone: bool) -> *mut Version {
+        Box::into_raw(Box::new(Version {
+            clsn: AtomicU64::new(stamp.raw()),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            pstamp: AtomicU64::new(0),
+            sstamp: AtomicU64::new(Lsn::MAX.raw()),
+            tombstone,
+            data: data.to_vec().into_boxed_slice(),
+        }))
+    }
+
+    /// The current creation stamp.
+    #[inline]
+    pub fn stamp(&self) -> Stamp {
+        Stamp::from_raw(self.clsn.load(Ordering::Acquire))
+    }
+
+    /// Monotonically raise `pstamp` to at least `to` (SSN read
+    /// registration; lock-free max).
+    #[inline]
+    pub fn raise_pstamp(&self, to: u64) {
+        self.pstamp.fetch_max(to, Ordering::AcqRel);
+    }
+
+    /// True if this version has been overwritten by a committed
+    /// transaction (its π is finite).
+    #[inline]
+    pub fn is_overwritten(&self) -> bool {
+        self.sstamp.load(Ordering::Acquire) != Lsn::MAX.raw()
+    }
+}

@@ -1,0 +1,531 @@
+//! TPC-C schema: records, binary layouts, key builders.
+//!
+//! Records carry every column the transaction logic touches plus filler
+//! bytes sized so row widths approximate the specification (stock ≈
+//! 300 B, customer ≈ 650 B, ...). Encoding is a simple little-endian
+//! field sequence; strings are u16-length-prefixed.
+
+use ermia_common::KeyWriter;
+
+// --- tiny binary codec -------------------------------------------------
+
+pub struct Enc {
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc { buf: Vec::with_capacity(128) }
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    pub fn filler(&mut self, n: usize) -> &mut Self {
+        self.buf.resize(self.buf.len() + n, 0xAB);
+        self
+    }
+}
+
+impl Default for Enc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    pub fn u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    pub fn i64(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    pub fn str(&mut self) -> String {
+        let len = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap()) as usize;
+        self.pos += 2;
+        let s = String::from_utf8_lossy(&self.buf[self.pos..self.pos + len]).into_owned();
+        self.pos += len;
+        s
+    }
+}
+
+// --- records -----------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Warehouse {
+    pub name: String,
+    pub tax: f64,
+    pub ytd: f64,
+}
+
+impl Warehouse {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.str(&self.name).f64(self.tax).f64(self.ytd).filler(70);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> Warehouse {
+        let mut d = Dec::new(buf);
+        Warehouse { name: d.str(), tax: d.f64(), ytd: d.f64() }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct District {
+    pub tax: f64,
+    pub ytd: f64,
+    pub next_o_id: u32,
+}
+
+impl District {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.f64(self.tax).f64(self.ytd).u32(self.next_o_id).filler(75);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> District {
+        let mut d = Dec::new(buf);
+        District { tax: d.f64(), ytd: d.f64(), next_o_id: d.u32() }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Customer {
+    pub first: String,
+    pub middle: String,
+    pub last: String,
+    pub balance: f64,
+    pub ytd_payment: f64,
+    pub payment_cnt: u32,
+    pub delivery_cnt: u32,
+    pub credit: String,
+    pub discount: f64,
+    pub data: String,
+}
+
+impl Customer {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.str(&self.first)
+            .str(&self.middle)
+            .str(&self.last)
+            .f64(self.balance)
+            .f64(self.ytd_payment)
+            .u32(self.payment_cnt)
+            .u32(self.delivery_cnt)
+            .str(&self.credit)
+            .f64(self.discount)
+            .str(&self.data)
+            .filler(120);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> Customer {
+        let mut d = Dec::new(buf);
+        Customer {
+            first: d.str(),
+            middle: d.str(),
+            last: d.str(),
+            balance: d.f64(),
+            ytd_payment: d.f64(),
+            payment_cnt: d.u32(),
+            delivery_cnt: d.u32(),
+            credit: d.str(),
+            discount: d.f64(),
+            data: d.str(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Order {
+    pub c_id: u32,
+    pub entry_d: u64,
+    /// 0 = not yet delivered.
+    pub carrier_id: u32,
+    pub ol_cnt: u32,
+    pub all_local: bool,
+}
+
+impl Order {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.c_id)
+            .u64(self.entry_d)
+            .u32(self.carrier_id)
+            .u32(self.ol_cnt)
+            .u8(self.all_local as u8);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> Order {
+        let mut d = Dec::new(buf);
+        Order {
+            c_id: d.u32(),
+            entry_d: d.u64(),
+            carrier_id: d.u32(),
+            ol_cnt: d.u32(),
+            all_local: d.u8() != 0,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderLine {
+    pub i_id: u32,
+    pub supply_w: u32,
+    /// 0 = not yet delivered.
+    pub delivery_d: u64,
+    pub quantity: u32,
+    pub amount: f64,
+    pub dist_info: String,
+}
+
+impl OrderLine {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.i_id)
+            .u32(self.supply_w)
+            .u64(self.delivery_d)
+            .u32(self.quantity)
+            .f64(self.amount)
+            .str(&self.dist_info);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> OrderLine {
+        let mut d = Dec::new(buf);
+        OrderLine {
+            i_id: d.u32(),
+            supply_w: d.u32(),
+            delivery_d: d.u64(),
+            quantity: d.u32(),
+            amount: d.f64(),
+            dist_info: d.str(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    pub name: String,
+    pub price: f64,
+    pub data: String,
+}
+
+impl Item {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.str(&self.name).f64(self.price).str(&self.data);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> Item {
+        let mut d = Dec::new(buf);
+        Item { name: d.str(), price: d.f64(), data: d.str() }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stock {
+    pub quantity: i64,
+    pub ytd: f64,
+    pub order_cnt: u32,
+    pub remote_cnt: u32,
+    pub dist_info: String,
+    pub data: String,
+}
+
+impl Stock {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.i64(self.quantity)
+            .f64(self.ytd)
+            .u32(self.order_cnt)
+            .u32(self.remote_cnt)
+            .str(&self.dist_info)
+            .str(&self.data)
+            .filler(160);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> Stock {
+        let mut d = Dec::new(buf);
+        Stock {
+            quantity: d.i64(),
+            ytd: d.f64(),
+            order_cnt: d.u32(),
+            remote_cnt: d.u32(),
+            dist_info: d.str(),
+            data: d.str(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct History {
+    pub amount: f64,
+    pub data: String,
+}
+
+impl History {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.f64(self.amount).str(&self.data);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> History {
+        let mut d = Dec::new(buf);
+        History { amount: d.f64(), data: d.str() }
+    }
+}
+
+/// TPC-CH Supplier (used by the hybrid Q2\* transaction).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Supplier {
+    pub name: String,
+    pub region: u32,
+}
+
+impl Supplier {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.str(&self.name).u32(self.region).filler(40);
+        e.buf
+    }
+
+    pub fn decode(buf: &[u8]) -> Supplier {
+        let mut d = Dec::new(buf);
+        Supplier { name: d.str(), region: d.u32() }
+    }
+}
+
+// --- key builders -------------------------------------------------------
+
+pub fn k_warehouse(k: &mut KeyWriter, w: u32) -> &[u8] {
+    k.reset().u32(w).as_bytes()
+}
+
+pub fn k_district(k: &mut KeyWriter, w: u32, d: u8) -> &[u8] {
+    k.reset().u32(w).u8(d).as_bytes()
+}
+
+pub fn k_customer(k: &mut KeyWriter, w: u32, d: u8, c: u32) -> &[u8] {
+    k.reset().u32(w).u8(d).u32(c).as_bytes()
+}
+
+pub fn k_customer_name<'k>(
+    k: &'k mut KeyWriter,
+    w: u32,
+    d: u8,
+    last: &str,
+    first: &str,
+    c: u32,
+) -> &'k [u8] {
+    k.reset().u32(w).u8(d).str(last).str(first).u32(c).as_bytes()
+}
+
+/// Prefix bounds for a by-last-name lookup.
+pub fn k_customer_name_range(
+    lo: &mut KeyWriter,
+    hi: &mut KeyWriter,
+    w: u32,
+    d: u8,
+    last: &str,
+) -> (Vec<u8>, Vec<u8>) {
+    lo.reset().u32(w).u8(d).str(last);
+    hi.reset().u32(w).u8(d).str(last);
+    let mut h = hi.to_vec();
+    h.extend_from_slice(&[0xFF; 16]);
+    (lo.to_vec(), h)
+}
+
+pub fn k_history(k: &mut KeyWriter, w: u32, d: u8, c: u32, seq: u64) -> &[u8] {
+    k.reset().u32(w).u8(d).u32(c).u64(seq).as_bytes()
+}
+
+pub fn k_neworder(k: &mut KeyWriter, w: u32, d: u8, o: u32) -> &[u8] {
+    k.reset().u32(w).u8(d).u32(o).as_bytes()
+}
+
+pub fn k_order(k: &mut KeyWriter, w: u32, d: u8, o: u32) -> &[u8] {
+    k.reset().u32(w).u8(d).u32(o).as_bytes()
+}
+
+/// Order-by-customer secondary key. The order id is bit-inverted so an
+/// ascending scan with limit 1 yields the customer's *newest* order.
+pub fn k_order_customer(k: &mut KeyWriter, w: u32, d: u8, c: u32, o: u32) -> &[u8] {
+    k.reset().u32(w).u8(d).u32(c).u32(!o).as_bytes()
+}
+
+pub fn k_orderline(k: &mut KeyWriter, w: u32, d: u8, o: u32, ol: u8) -> &[u8] {
+    k.reset().u32(w).u8(d).u32(o).u8(ol).as_bytes()
+}
+
+pub fn k_item(k: &mut KeyWriter, i: u32) -> &[u8] {
+    k.reset().u32(i).as_bytes()
+}
+
+pub fn k_stock(k: &mut KeyWriter, w: u32, i: u32) -> &[u8] {
+    k.reset().u32(w).u32(i).as_bytes()
+}
+
+pub fn k_supplier(k: &mut KeyWriter, su: u32) -> &[u8] {
+    k.reset().u32(su).as_bytes()
+}
+
+/// Stock-by-supplier secondary key (TPC-CH mapping).
+pub fn k_stock_supplier(k: &mut KeyWriter, su: u32, w: u32, i: u32) -> &[u8] {
+    k.reset().u32(su).u32(w).u32(i).as_bytes()
+}
+
+/// The TPC-CH supplier of a stock row: `(s_w_id * s_i_id) mod 10_000`.
+pub fn supplier_of(w: u32, i: u32, suppliers: u32) -> u32 {
+    (w.wrapping_mul(i)) % suppliers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips() {
+        let c = Customer {
+            first: "Fn".into(),
+            middle: "OE".into(),
+            last: "BARBARBAR".into(),
+            balance: -10.0,
+            ytd_payment: 10.0,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            credit: "GC".into(),
+            discount: 0.05,
+            data: "x".repeat(250),
+        };
+        assert_eq!(Customer::decode(&c.encode()), c);
+        assert!(c.encode().len() > 380, "customer row should be realistically wide");
+
+        let s = Stock {
+            quantity: 42,
+            ytd: 0.0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            dist_info: "d".repeat(24),
+            data: "y".repeat(50),
+        };
+        assert_eq!(Stock::decode(&s.encode()), s);
+        assert!(s.encode().len() > 250);
+
+        let o = Order { c_id: 7, entry_d: 99, carrier_id: 0, ol_cnt: 11, all_local: true };
+        assert_eq!(Order::decode(&o.encode()), o);
+
+        let ol = OrderLine {
+            i_id: 5,
+            supply_w: 2,
+            delivery_d: 0,
+            quantity: 5,
+            amount: 12.5,
+            dist_info: "z".repeat(24),
+        };
+        assert_eq!(OrderLine::decode(&ol.encode()), ol);
+
+        let d = District { tax: 0.1, ytd: 30_000.0, next_o_id: 3001 };
+        assert_eq!(District::decode(&d.encode()), d);
+
+        let w = Warehouse { name: "W1".into(), tax: 0.07, ytd: 300_000.0 };
+        assert_eq!(Warehouse::decode(&w.encode()), w);
+
+        let i = Item { name: "widget".into(), price: 9.99, data: "info".into() };
+        assert_eq!(Item::decode(&i.encode()), i);
+
+        let h = History { amount: 10.0, data: "W1 D1".into() };
+        assert_eq!(History::decode(&h.encode()), h);
+
+        let su = Supplier { name: "Supplier#1".into(), region: 3 };
+        assert_eq!(Supplier::decode(&su.encode()), su);
+    }
+
+    #[test]
+    fn order_customer_key_sorts_newest_first() {
+        let mut k = KeyWriter::new();
+        let k_new = k_order_customer(&mut k, 1, 1, 5, 100).to_vec();
+        let mut k2 = KeyWriter::new();
+        let k_old = k_order_customer(&mut k2, 1, 1, 5, 99).to_vec();
+        assert!(k_new < k_old, "newer orders must sort first");
+    }
+
+    #[test]
+    fn name_range_covers_all_firsts() {
+        let mut k = KeyWriter::new();
+        let key = k_customer_name(&mut k, 1, 2, "ABLE", "Zed", 9).to_vec();
+        let mut lo = KeyWriter::new();
+        let mut hi = KeyWriter::new();
+        let (l, h) = k_customer_name_range(&mut lo, &mut hi, 1, 2, "ABLE");
+        assert!(l.as_slice() <= key.as_slice() && key.as_slice() <= h.as_slice());
+        // A different last name is outside the range.
+        let other = k_customer_name(&mut k, 1, 2, "ABLEX", "A", 1).to_vec();
+        assert!(other.as_slice() > h.as_slice() || other.as_slice() < l.as_slice());
+    }
+}

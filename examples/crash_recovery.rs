@@ -1,0 +1,89 @@
+//! Durability walkthrough: write, checkpoint, write more, "crash"
+//! (drop without clean shutdown), then recover from the checkpoint plus
+//! the log tail.
+//!
+//! ERMIA recovery (§3.7) is simple because the log contains only
+//! committed work: restore the fuzzy checkpoint, roll the tail forward,
+//! and truncate at the first hole — no undo ever.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use ermia::{Database, DbConfig, IsolationLevel};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("ermia-example-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let declare_schema = |db: &Database| {
+        let t = db.create_table("ledger");
+        let idx = db.create_secondary_index(t, "ledger.by_owner");
+        (t, idx)
+    };
+
+    // --- First life: write, checkpoint, write more, crash ---------------
+    {
+        let db = Database::open(DbConfig::durable(&dir)).unwrap();
+        let (ledger, by_owner) = declare_schema(&db);
+        let mut w = db.register_worker();
+
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        for i in 0..100u32 {
+            let oid = tx
+                .insert(ledger, &i.to_be_bytes(), format!("entry-{i}").as_bytes())
+                .unwrap();
+            tx.insert_secondary(by_owner, &(10_000 + i).to_be_bytes(), oid).unwrap();
+        }
+        tx.commit().unwrap();
+        println!("wrote 100 ledger entries");
+
+        let chk = db.checkpoint().unwrap();
+        println!("fuzzy checkpoint taken at LSN {chk}");
+
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        tx.update(ledger, &7u32.to_be_bytes(), b"entry-7-amended").unwrap();
+        tx.insert(ledger, &999u32.to_be_bytes(), b"post-checkpoint entry").unwrap();
+        tx.delete(ledger, &13u32.to_be_bytes()).unwrap();
+        tx.commit().unwrap();
+        db.log().sync();
+        println!("post-checkpoint work committed and durable... crashing now (no shutdown)");
+        // Dropping everything here models a crash: nothing else is flushed.
+    }
+
+    // --- Second life: recover -------------------------------------------
+    {
+        let db = Database::open(DbConfig::durable(&dir)).unwrap();
+        let (ledger, by_owner) = declare_schema(&db);
+        let stats = db.recover().unwrap();
+        println!(
+            "recovered: {} records from the checkpoint, {} log blocks ({} records) replayed",
+            stats.checkpoint_records, stats.replayed_blocks, stats.replayed_records
+        );
+
+        let mut w = db.register_worker();
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        let amended =
+            tx.read(ledger, &7u32.to_be_bytes(), |v| String::from_utf8_lossy(v).into_owned())
+                .unwrap();
+        let late =
+            tx.read(ledger, &999u32.to_be_bytes(), |v| String::from_utf8_lossy(v).into_owned())
+                .unwrap();
+        let deleted = tx.read(ledger, &13u32.to_be_bytes(), |_| ()).unwrap();
+        let via_secondary = tx
+            .read_secondary(by_owner, &10_042u32.to_be_bytes(), |v| {
+                String::from_utf8_lossy(v).into_owned()
+            })
+            .unwrap();
+        tx.commit().unwrap();
+
+        assert_eq!(amended.as_deref(), Some("entry-7-amended"));
+        assert_eq!(late.as_deref(), Some("post-checkpoint entry"));
+        assert_eq!(deleted, None);
+        assert_eq!(via_secondary.as_deref(), Some("entry-42"));
+        println!("verified: update, post-checkpoint insert, delete, and secondary index all survive");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("done");
+}

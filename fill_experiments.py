@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Inline the measured figure outputs into EXPERIMENTS.md."""
+import re, sys
+
+MAP = {
+    "{{FIG01}}": "results/fig01_micro_full.txt",
+    "{{FIG02}}": "results/fig02_breakdown_full.txt",
+    "{{FIG05}}": "results/fig05_tpcc_hybrid_full.txt",
+    "{{FIG06}}": "results/fig06_tpce_hybrid_full.txt",
+    "{{TABLE1}}": "results/table1_absolute_tps_full.txt",
+    "{{FIG07}}": "results/fig07_scalability_full.txt",
+    "{{FIG08}}": "results/fig08_skew_full.txt",
+    "{{FIG09}}": "results/fig09_hybrid_scalability_full.txt",
+    "{{FIG10}}": "results/fig10_logging_full.txt",
+    "{{FIG11}}": "results/fig11_breakdown_full.txt",
+    "{{FIG12}}": "results/fig12_latency_full.txt",
+}
+
+def clean(path):
+    out = []
+    for line in open(path):
+        if "conda" in line or line.startswith("===="):
+            continue
+        if line.startswith("(") and "per point" in line:
+            continue
+        if line.strip().startswith("Figure") or line.strip().startswith("Table 1:"):
+            continue
+        out.append(line.rstrip())
+    # drop leading/trailing blank lines
+    while out and not out[0].strip():
+        out.pop(0)
+    while out and not out[-1].strip():
+        out.pop()
+    return "\n".join(out)
+
+doc = open("EXPERIMENTS.md").read()
+for marker, path in MAP.items():
+    doc = doc.replace(marker, clean(path))
+open("EXPERIMENTS.md", "w").write(doc)
+print("filled")

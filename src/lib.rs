@@ -1,0 +1,20 @@
+//! Facade crate for the ERMIA SIGMOD'16 reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests have a single dependency. See the individual
+//! crates for the real APIs:
+//!
+//! * [`ermia`] — the ERMIA engine (SI + SSN).
+//! * [`silo`] — the Silo-OCC baseline.
+//! * [`workloads`] — TPC-C / TPC-E / hybrid / micro workloads + driver.
+//! * [`log`], [`index`], [`storage`], [`epoch`], [`common`] — the
+//!   physical-layer substrates.
+
+pub use ermia;
+pub use ermia_common as common;
+pub use ermia_epoch as epoch;
+pub use ermia_index as index;
+pub use ermia_log as log;
+pub use ermia_storage as storage;
+pub use ermia_workloads as workloads;
+pub use silo_occ as silo;

@@ -1,0 +1,209 @@
+//! Property test: an arbitrary single-threaded sequence of transactions
+//! (each a batch of operations ending in commit or abort) leaves the
+//! ERMIA engine in exactly the state a `BTreeMap` model predicts —
+//! under both isolation levels, and identically for the Silo baseline.
+
+use std::collections::BTreeMap;
+
+use ermia_repro::workloads::EngineTxn;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u8, u64),
+    Update(u8, u64),
+    Delete(u8),
+    Read(u8),
+}
+
+#[derive(Clone, Debug)]
+struct TxnPlan {
+    ops: Vec<Op>,
+    commit: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        any::<u8>().prop_map(Op::Read),
+    ]
+}
+
+fn txn_strategy() -> impl Strategy<Value = TxnPlan> {
+    (proptest::collection::vec(op_strategy(), 1..12), any::<bool>())
+        .prop_map(|(ops, commit)| TxnPlan { ops, commit })
+}
+
+/// Drive one engine through the plans, checking against the model.
+/// Duplicate inserts doom a transaction, so the model mirrors that:
+/// a doomed transaction's effects never apply.
+fn check_engine<W>(mut worker: W, plans: &[TxnPlan]) -> Result<(), TestCaseError>
+where
+    W: EngineWorkerLike,
+{
+    let mut model: BTreeMap<u8, u64> = BTreeMap::new();
+    for plan in plans {
+        let mut staged = model.clone();
+        let mut doomed = false;
+        let mut tx = worker.begin_rw();
+        for op in &plan.ops {
+            if doomed {
+                break;
+            }
+            match *op {
+                Op::Insert(k, v) => {
+                    let r = tx.insert(ermia_common::TableId(0), &[k], &v.to_le_bytes());
+                    if let std::collections::btree_map::Entry::Vacant(e) = staged.entry(k) {
+                        prop_assert!(r.is_ok());
+                        e.insert(v);
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate insert must doom");
+                        doomed = true;
+                    }
+                }
+                Op::Update(k, v) => {
+                    let r = tx.update(ermia_common::TableId(0), &[k], &v.to_le_bytes());
+                    match r {
+                        Ok(found) => {
+                            prop_assert_eq!(found, staged.contains_key(&k));
+                            if found {
+                                staged.insert(k, v);
+                            }
+                        }
+                        Err(_) => doomed = true,
+                    }
+                }
+                Op::Delete(k) => {
+                    let r = tx.delete(ermia_common::TableId(0), &[k]);
+                    match r {
+                        Ok(found) => {
+                            prop_assert_eq!(found, staged.contains_key(&k));
+                            staged.remove(&k);
+                        }
+                        Err(_) => doomed = true,
+                    }
+                }
+                Op::Read(k) => {
+                    let mut got = None;
+                    let r = tx.read(ermia_common::TableId(0), &[k], &mut |v| {
+                        got = Some(u64::from_le_bytes(v.try_into().unwrap()));
+                    });
+                    match r {
+                        Ok(found) => {
+                            prop_assert_eq!(found, staged.contains_key(&k));
+                            prop_assert_eq!(got, staged.get(&k).copied());
+                        }
+                        Err(_) => doomed = true,
+                    }
+                }
+            }
+        }
+        if plan.commit && !doomed {
+            if tx.commit_ok() {
+                model = staged;
+            }
+        } else {
+            tx.abort_self();
+        }
+    }
+    // Final state: read everything back in a fresh transaction.
+    let mut tx = worker.begin_rw();
+    for k in 0u8..=255 {
+        let mut got = None;
+        let found = tx
+            .read(ermia_common::TableId(0), &[k], &mut |v| {
+                got = Some(u64::from_le_bytes(v.try_into().unwrap()));
+            })
+            .unwrap();
+        prop_assert_eq!(found, model.contains_key(&k), "key {} presence", k);
+        prop_assert_eq!(got, model.get(&k).copied());
+    }
+    tx.abort_self();
+    Ok(())
+}
+
+/// Minimal object-safe-ish shim over the two engines' workers so the
+/// model checker is written once.
+trait EngineWorkerLike {
+    type T<'a>: EngineTxn
+    where
+        Self: 'a;
+    fn begin_rw(&mut self) -> Shim<Self::T<'_>>;
+}
+
+struct Shim<T: EngineTxn>(Option<T>);
+
+impl<T: EngineTxn> Shim<T> {
+    fn insert(&mut self, t: ermia_common::TableId, k: &[u8], v: &[u8]) -> Result<u64, ermia_common::AbortReason> {
+        self.0.as_mut().unwrap().insert(t, k, v)
+    }
+    fn update(&mut self, t: ermia_common::TableId, k: &[u8], v: &[u8]) -> Result<bool, ermia_common::AbortReason> {
+        self.0.as_mut().unwrap().update(t, k, v)
+    }
+    fn delete(&mut self, t: ermia_common::TableId, k: &[u8]) -> Result<bool, ermia_common::AbortReason> {
+        self.0.as_mut().unwrap().delete(t, k)
+    }
+    fn read(
+        &mut self,
+        t: ermia_common::TableId,
+        k: &[u8],
+        out: &mut dyn FnMut(&[u8]),
+    ) -> Result<bool, ermia_common::AbortReason> {
+        self.0.as_mut().unwrap().read(t, k, out)
+    }
+    fn commit_ok(mut self) -> bool {
+        self.0.take().unwrap().commit().is_ok()
+    }
+    fn abort_self(mut self) {
+        self.0.take().unwrap().abort()
+    }
+}
+
+impl EngineWorkerLike for ermia::Worker {
+    type T<'a> = ermia::Transaction<'a>;
+    fn begin_rw(&mut self) -> Shim<ermia::Transaction<'_>> {
+        Shim(Some(self.begin(ermia::IsolationLevel::Serializable)))
+    }
+}
+
+struct SiWorker(ermia::Worker);
+impl EngineWorkerLike for SiWorker {
+    type T<'a> = ermia::Transaction<'a>;
+    fn begin_rw(&mut self) -> Shim<ermia::Transaction<'_>> {
+        Shim(Some(self.0.begin(ermia::IsolationLevel::Snapshot)))
+    }
+}
+
+impl EngineWorkerLike for silo_occ::SiloWorker {
+    type T<'a> = silo_occ::SiloTxn<'a>;
+    fn begin_rw(&mut self) -> Shim<silo_occ::SiloTxn<'_>> {
+        Shim(Some(self.begin(silo_occ::TxnMode::ReadWrite)))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ermia_ssn_matches_model(plans in proptest::collection::vec(txn_strategy(), 1..16)) {
+        let db = ermia::Database::open(ermia::DbConfig::in_memory()).unwrap();
+        db.create_table("t");
+        check_engine(db.register_worker(), &plans)?;
+    }
+
+    #[test]
+    fn ermia_si_matches_model(plans in proptest::collection::vec(txn_strategy(), 1..16)) {
+        let db = ermia::Database::open(ermia::DbConfig::in_memory()).unwrap();
+        db.create_table("t");
+        check_engine(SiWorker(db.register_worker()), &plans)?;
+    }
+
+    #[test]
+    fn silo_matches_model(plans in proptest::collection::vec(txn_strategy(), 1..16)) {
+        let db = silo_occ::SiloDb::open(silo_occ::SiloConfig::default());
+        db.create_table("t");
+        check_engine(db.register_worker(), &plans)?;
+    }
+}
