@@ -27,6 +27,12 @@ pub enum AbortReason {
     /// full). Rare; counted separately so it never masquerades as a
     /// CC-induced abort.
     ResourceExhausted,
+    /// The commit could not be made durable: the log is poisoned after an
+    /// unrecoverable I/O error, or the group-commit wait timed out. The
+    /// transaction is rolled back in memory, but its block may already sit
+    /// in the log — its on-disk fate is indeterminate until restart
+    /// recovery truncates at the first hole (see [`LogError`]).
+    LogFailure,
 }
 
 impl AbortReason {
@@ -40,6 +46,7 @@ impl AbortReason {
             AbortReason::DuplicateKey => "dup-key",
             AbortReason::UserRequested => "user",
             AbortReason::ResourceExhausted => "resource",
+            AbortReason::LogFailure => "log-failure",
         }
     }
 }
@@ -61,6 +68,44 @@ pub type OpResult<T> = Result<T, AbortReason>;
 /// Result of a commit attempt.
 pub type TxResult<T> = Result<T, AbortReason>;
 
+/// Why a durability wait failed.
+///
+/// Once the log flusher exhausts its bounded retries on a transient I/O
+/// error — or hits a non-retryable one (fsync failure, ENOSPC, device
+/// gone) — the log enters a *poisoned* state: the durable watermark is
+/// frozen, every pending and future `wait_durable` returns
+/// [`LogError::Poisoned`], and new log-space allocations fail. The
+/// process must restart and run recovery, which truncates the log at the
+/// first hole; transactions whose durability was never acknowledged may
+/// or may not survive, but every acknowledged one will.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogError {
+    /// The flusher stopped after an unrecoverable I/O error; nothing past
+    /// the current durable watermark will ever persist.
+    Poisoned {
+        /// `std::io::ErrorKind` of the fatal error.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail from the underlying error.
+        detail: String,
+    },
+    /// The durability wait exceeded its timeout. The log itself may still
+    /// be healthy (e.g. a stall); the commit's fate is indeterminate.
+    Timeout,
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Poisoned { kind, detail } => {
+                write!(f, "log poisoned by unrecoverable I/O error ({kind:?}): {detail}")
+            }
+            LogError::Timeout => f.write_str("durability wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +120,7 @@ mod tests {
             AbortReason::DuplicateKey,
             AbortReason::UserRequested,
             AbortReason::ResourceExhausted,
+            AbortReason::LogFailure,
         ];
         let mut labels: Vec<_> = all.iter().map(|r| r.label()).collect();
         labels.sort_unstable();

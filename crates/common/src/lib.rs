@@ -16,7 +16,7 @@ pub mod key;
 pub mod lsn;
 pub mod stamp;
 
-pub use error::{AbortReason, OpResult, TxResult};
+pub use error::{AbortReason, LogError, OpResult, TxResult};
 pub use ids::{IndexId, Oid, TableId, Tid};
 pub use key::{decode_u32_at, decode_u64_at, KeyWriter};
 pub use lsn::Lsn;

@@ -143,10 +143,26 @@ impl Database {
             }
             stats.replayed_blocks += 1;
             let cstamp = block.header.cstamp;
-            for rec in block.records() {
+            let recs = block.records();
+            // Every record in a block shares the commit stamp, so the
+            // stamp-based idempotency check in `apply_record` cannot order
+            // multiple ops on the same OID within one transaction (e.g.
+            // delete-then-reinsert of a key). Only the last image per OID
+            // is the committed outcome; apply that one alone.
+            let mut last_per_oid = std::collections::HashMap::new();
+            for (i, rec) in recs.iter().enumerate() {
+                if !matches!(rec.kind, LogRecordKind::SecondaryInsert) {
+                    last_per_oid.insert((rec.table.0, rec.oid.0), i);
+                }
+            }
+            for (i, rec) in recs.iter().enumerate() {
                 stats.replayed_records += 1;
                 match rec.kind {
                     LogRecordKind::Insert | LogRecordKind::Update | LogRecordKind::Delete => {
+                        if last_per_oid.get(&(rec.table.0, rec.oid.0)) != Some(&i) {
+                            stats.skipped_stale += 1;
+                            continue;
+                        }
                         // Indirect values live in the blob store; the log
                         // record carries the reference.
                         let resolved;

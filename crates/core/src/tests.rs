@@ -543,7 +543,7 @@ fn checkpoint_and_recovery_roundtrip() {
         tx.insert(t, &999u32.to_be_bytes(), b"post-checkpoint-insert").unwrap();
         tx.delete(t, &9u32.to_be_bytes()).unwrap();
         tx.commit().unwrap();
-        db.log().sync();
+        db.log().sync().unwrap();
     }
     // Reopen: re-declare schema, recover, verify.
     {
@@ -584,7 +584,7 @@ fn recovery_without_checkpoint_replays_whole_log() {
         tx.insert(t, b"a", b"1").unwrap();
         tx.insert(t, b"b", b"2").unwrap();
         tx.commit().unwrap();
-        db.log().sync();
+        db.log().sync().unwrap();
     }
     {
         let db = Database::open(DbConfig::durable(&dir)).unwrap();
@@ -823,7 +823,7 @@ fn large_values_divert_to_blobs_and_recover() {
         tx.insert(t, b"small", b"tiny-value").unwrap();
         tx.insert(t, b"large", &big).unwrap();
         tx.commit().unwrap();
-        db.log().sync();
+        db.log().sync().unwrap();
         assert!(db.inner.blobs.size() >= big.len() as u64, "big value must hit the blob store");
         // The log block must be small: it carries a 12-byte reference,
         // not 32 KiB.
@@ -857,7 +857,7 @@ fn log_truncation_after_checkpoint() {
             tx.insert(t, &i.to_be_bytes(), &[0xAB; 128]).unwrap();
             tx.commit().unwrap();
         }
-        db.log().sync();
+        db.log().sync().unwrap();
         let before = db.log().segments().all().len();
         assert!(before > 2, "need several segments to make truncation meaningful");
         db.checkpoint().unwrap();
@@ -865,7 +865,7 @@ fn log_truncation_after_checkpoint() {
         let mut tx = w.begin(SI);
         tx.insert(t, b"after", b"x").unwrap();
         tx.commit().unwrap();
-        db.log().sync();
+        db.log().sync().unwrap();
         let removed = db.truncate_log().unwrap();
         assert!(removed > 0, "old segments must be retired");
         assert!(db.log().segments().all().len() < before);

@@ -504,7 +504,12 @@ impl<'w> Transaction<'w> {
             .expect("own head implies a write-set entry");
         entry.new = new;
         entry.kind = match (entry.kind, kind) {
+            // Created in this txn: rollback must unindex and recycle.
             (WriteKind::Insert, _) => WriteKind::Insert,
+            // Reviving our own tombstone of a pre-existing record: the
+            // net effect is an update, and rollback must restore the
+            // committed head rather than drop the record.
+            (_, WriteKind::Insert) => WriteKind::Update,
             (_, k) => k,
         };
         Ok(true)
@@ -716,7 +721,13 @@ impl<'w> Transaction<'w> {
         let timer = Timed::start(profile);
         let blob_threshold = db.inner.cfg.large_value_threshold;
         for w in &self.writes {
-            let (key, data, kind) = unsafe { (&w.key, &(*w.new).data, w.kind) };
+            let (key, data, tombstone) = unsafe { (&w.key, &(*w.new).data, (*w.new).tombstone) };
+            // The entry coalesces every op this txn applied to the
+            // record; what commits is the final version, so its tombstone
+            // flag (not the entry kind) decides the record kind. An
+            // insert-then-delete must log a delete, or replay would
+            // resurrect the key with the tombstone's empty payload.
+            let kind = if tombstone { WriteKind::Delete } else { w.kind };
             let indirect = kind != WriteKind::Delete && data.len() >= blob_threshold;
             if indirect {
                 // Divert the payload to the blob store; the log record
@@ -744,7 +755,14 @@ impl<'w> Transaction<'w> {
                 ctx.abort();
                 self.rollback();
                 self.release(false);
-                return Err(AbortReason::ResourceExhausted);
+                // A poisoned log rejects all allocations until restart;
+                // anything else is transient resource pressure.
+                let reason = if db.inner.log.is_poisoned() {
+                    AbortReason::LogFailure
+                } else {
+                    AbortReason::ResourceExhausted
+                };
+                return Err(reason);
             }
         };
         let cstamp = reservation.lsn();
@@ -788,8 +806,15 @@ impl<'w> Transaction<'w> {
         let end_offset = reservation.end_offset();
         let block = self.scratch.logbuf.serialize(cstamp);
         reservation.fill(block);
-        if db.inner.cfg.synchronous_commit {
-            db.inner.log.wait_durable(end_offset);
+        if db.inner.cfg.synchronous_commit && db.inner.log.wait_durable(end_offset).is_err() {
+            // The commit block never became durable (poisoned log) or its
+            // fate is unknown (timeout). Roll back in memory and surface
+            // the failure; restart recovery truncates at the first hole,
+            // so an unacknowledged block can never resurrect past one.
+            ctx.abort();
+            self.rollback();
+            self.release(false);
+            return Err(AbortReason::LogFailure);
         }
         Timed::stop(timer, &mut self.scratch.breakdown.log_ns);
 

@@ -10,7 +10,7 @@
 //! never stall the watermark.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -23,6 +23,9 @@ pub struct RingBuffer {
     /// Prefix that the flusher has drained to stable storage (or
     /// discarded, for dead zones / in-memory logs).
     flushed: AtomicU64,
+    /// Set when the flusher dies on an unrecoverable I/O error: space
+    /// will never free up again, so waiters must give up.
+    poisoned: AtomicBool,
     state: Mutex<FillState>,
     /// Signaled when `filled` advances (flusher waits here).
     filled_cv: Condvar,
@@ -50,6 +53,7 @@ impl RingBuffer {
             data: vec![0u8; cap as usize].into_boxed_slice(),
             filled: AtomicU64::new(start),
             flushed: AtomicU64::new(start),
+            poisoned: AtomicBool::new(false),
             state: Mutex::new(FillState { pending: BTreeMap::new() }),
             filled_cv: Condvar::new(),
             space_cv: Condvar::new(),
@@ -71,17 +75,39 @@ impl RingBuffer {
         self.flushed.load(Ordering::Acquire)
     }
 
+    /// Mark the buffer dead: the flusher will never drain it again. Wakes
+    /// every waiter so they can observe the failure instead of blocking
+    /// forever.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _state = self.state.lock();
+        self.space_cv.notify_all();
+        self.filled_cv.notify_all();
+    }
+
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Block until the ring can hold bytes up to logical offset `end`
     /// (i.e. `end - flushed <= cap`). Called once per reservation; in the
     /// common case (log buffer not full) this is a single atomic load.
-    pub fn wait_for_space(&self, end: u64) {
+    /// Returns `false` if the buffer was poisoned while (or before)
+    /// waiting — the space will never become available.
+    #[must_use]
+    pub fn wait_for_space(&self, end: u64) -> bool {
         if end.saturating_sub(self.flushed()) <= self.cap {
-            return;
+            return !self.is_poisoned();
         }
         let mut state = self.state.lock();
         while end - self.flushed() > self.cap {
+            if self.is_poisoned() {
+                return false;
+            }
             self.space_cv.wait_for(&mut state, Duration::from_millis(10));
         }
+        !self.is_poisoned()
     }
 
     /// Copy `bytes` into the ring at logical offset `offset` and mark the
@@ -238,7 +264,7 @@ mod tests {
         rb.write(0, &[1; 100]);
         let rb2 = std::sync::Arc::clone(&rb);
         let t = std::thread::spawn(move || {
-            rb2.wait_for_space(200); // needs flushed >= 100
+            assert!(rb2.wait_for_space(200)); // needs flushed >= 100
             rb2.write(100, &[2; 100]);
         });
         std::thread::sleep(Duration::from_millis(20));
@@ -253,5 +279,18 @@ mod tests {
         let rb = RingBuffer::new(64, 0);
         let got = rb.wait_filled(0, Duration::from_millis(5));
         assert_eq!(got, 0);
+    }
+
+    #[test]
+    fn poison_unblocks_space_waiters() {
+        let rb = std::sync::Arc::new(RingBuffer::new(100, 0));
+        rb.write(0, &[1; 100]);
+        let rb2 = std::sync::Arc::clone(&rb);
+        let t = std::thread::spawn(move || rb2.wait_for_space(200));
+        std::thread::sleep(Duration::from_millis(20));
+        rb.poison();
+        assert!(!t.join().unwrap(), "poisoned wait must report failure");
+        assert!(!rb.wait_for_space(120), "fast path also observes poison");
+        assert!(rb.is_poisoned());
     }
 }

@@ -12,6 +12,13 @@ use std::path::PathBuf;
 
 use ermia_common::Lsn;
 
+use crate::records::checksum32;
+
+/// Magic prefix of a checkpoint payload file.
+const CHECKPOINT_MAGIC: [u8; 4] = *b"ECHK";
+/// magic + u64 payload length + u32 checksum.
+const CHECKPOINT_HEADER_LEN: usize = 4 + 8 + 4;
+
 /// Metadata identifying a checkpoint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CheckpointMeta {
@@ -29,6 +36,12 @@ impl CheckpointStore {
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<CheckpointStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // A leftover `chk-tmp` means a checkpoint died mid-write (before
+        // its rename); it is garbage from a previous incarnation.
+        let tmp = dir.join("chk-tmp");
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)?;
+        }
         Ok(CheckpointStore { dir })
     }
 
@@ -40,12 +53,16 @@ impl CheckpointStore {
         self.dir.join(format!("chk-marker-{:016x}", begin.raw()))
     }
 
-    /// Persist a checkpoint: payload first, then the marker (the marker's
-    /// existence implies a complete payload).
+    /// Persist a checkpoint: payload first (framed with a magic, length
+    /// and checksum so a torn or bit-rotted file is detectable), then the
+    /// marker (the marker's existence implies a complete payload).
     pub fn write(&self, meta: CheckpointMeta, payload: &[u8]) -> io::Result<()> {
         let tmp = self.dir.join("chk-tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&CHECKPOINT_MAGIC)?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&checksum32(payload).to_le_bytes())?;
             f.write_all(payload)?;
             f.sync_data()?;
         }
@@ -54,29 +71,44 @@ impl CheckpointStore {
         Ok(())
     }
 
-    /// Find the most recent complete checkpoint, if any.
+    /// Decode and verify one framed payload file; `None` if the file is
+    /// missing, truncated, or fails its checksum.
+    fn read_verified(&self, begin: Lsn) -> Option<Vec<u8>> {
+        let raw = std::fs::read(self.payload_path(begin)).ok()?;
+        if raw.len() < CHECKPOINT_HEADER_LEN || raw[..4] != CHECKPOINT_MAGIC {
+            return None;
+        }
+        let len = u64::from_le_bytes(raw[4..12].try_into().unwrap()) as usize;
+        let sum = u32::from_le_bytes(raw[12..16].try_into().unwrap());
+        let body = &raw[CHECKPOINT_HEADER_LEN..];
+        if body.len() != len || checksum32(body) != sum {
+            return None;
+        }
+        Some(body.to_vec())
+    }
+
+    /// Find the most recent checkpoint whose payload verifies. A corrupt
+    /// or incomplete newest checkpoint falls back to the next-older one —
+    /// recovery then simply replays more of the log.
     pub fn latest(&self) -> io::Result<Option<(CheckpointMeta, Vec<u8>)>> {
-        let mut best: Option<Lsn> = None;
+        let mut marked: Vec<Lsn> = Vec::new();
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             if let Some(hex) = name.strip_prefix("chk-marker-") {
                 if let Ok(raw) = u64::from_str_radix(hex, 16) {
-                    let lsn = Lsn::from_raw(raw);
-                    if best.is_none_or(|b| lsn > b) {
-                        best = Some(lsn);
-                    }
+                    marked.push(Lsn::from_raw(raw));
                 }
             }
         }
-        match best {
-            Some(begin) => {
-                let payload = std::fs::read(self.payload_path(begin))?;
-                Ok(Some((CheckpointMeta { begin }, payload)))
+        marked.sort_unstable();
+        for &begin in marked.iter().rev() {
+            if let Some(payload) = self.read_verified(begin) {
+                return Ok(Some((CheckpointMeta { begin }, payload)));
             }
-            None => Ok(None),
         }
+        Ok(None)
     }
 
     /// Drop all but the most recent checkpoint (background housekeeping).
@@ -121,6 +153,64 @@ mod tests {
         let (meta, payload) = store.latest().unwrap().unwrap();
         assert_eq!(meta.begin, Lsn::from_parts(200, 0));
         assert_eq!(payload, b"snapshot-b");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = tmpdir("corrupt");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(100, 0) }, b"good-old").unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(200, 0) }, b"bad-new").unwrap();
+        // Flip a payload byte in the newest checkpoint: checksum mismatch.
+        let path = store.payload_path(Lsn::from_parts(200, 0));
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let (meta, payload) = store.latest().unwrap().unwrap();
+        assert_eq!(meta.begin, Lsn::from_parts(100, 0), "must fall back past the corrupt one");
+        assert_eq!(payload, b"good-old");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_or_missing_payload_falls_back() {
+        let dir = tmpdir("truncated");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(10, 0) }, b"intact").unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(20, 0) }, b"torn-payload").unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(30, 0) }, b"gone").unwrap();
+        // Truncate one payload mid-body, delete another outright (marker
+        // survives in both cases — the failure modes of a dying disk).
+        let torn = store.payload_path(Lsn::from_parts(20, 0));
+        let raw = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &raw[..raw.len() - 4]).unwrap();
+        std::fs::remove_file(store.payload_path(Lsn::from_parts(30, 0))).unwrap();
+        let (meta, payload) = store.latest().unwrap().unwrap();
+        assert_eq!(meta.begin, Lsn::from_parts(10, 0));
+        assert_eq!(payload, b"intact");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_means_none() {
+        let dir = tmpdir("allbad");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(5, 0) }, b"x").unwrap();
+        std::fs::write(store.payload_path(Lsn::from_parts(5, 0)), b"junk").unwrap();
+        assert!(store.latest().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_is_cleaned_on_open() {
+        let dir = tmpdir("tmpclean");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("chk-tmp"), b"half-written checkpoint").unwrap();
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(!dir.join("chk-tmp").exists(), "stale tmp must be removed");
+        assert!(store.latest().unwrap().is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

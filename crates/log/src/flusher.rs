@@ -4,12 +4,30 @@
 //! segment files, skipping dead zones, then advances the durable
 //! watermark and wakes committers waiting in
 //! [`crate::LogManager::wait_durable`].
+//!
+//! # Failure handling
+//!
+//! Segment writes that fail with a *transient* error (`Interrupted`,
+//! `WouldBlock`, `TimedOut`) are retried with bounded exponential
+//! backoff. Anything else — and any `sync_data` failure, which is never
+//! retryable (a failed fsync says nothing about which dirty pages were
+//! lost) — *poisons* the log: the durable watermark freezes, every
+//! current and future durability waiter is woken with
+//! [`ermia_common::LogError::Poisoned`], the ring buffer stops accepting
+//! writers, and the flusher thread exits.
 
-use std::os::unix::fs::FileExt;
+use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
+
+use ermia_common::LogError;
 
 use crate::manager::LogInner;
+
+/// Transient-error retry budget: 6 attempts, 100µs..=3.2ms backoff.
+const MAX_WRITE_RETRIES: u32 = 6;
+const BACKOFF_BASE_MICROS: u64 = 100;
 
 pub(crate) fn spawn(inner: Arc<LogInner>) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
@@ -28,7 +46,10 @@ fn run(inner: &LogInner) {
             }
             continue;
         }
-        flush_range(inner, flushed, hi);
+        if let Err(err) = flush_range(inner, flushed, hi) {
+            poison(inner, &err);
+            return;
+        }
         inner.buffer.mark_flushed(hi);
         inner.durable.store(hi, Ordering::Release);
         inner.stats.flush_batches.fetch_add(1, Ordering::Relaxed);
@@ -40,21 +61,68 @@ fn run(inner: &LogInner) {
     }
 }
 
+/// Enter the poisoned-log state: record the cause, stop the ring buffer,
+/// and wake every durability waiter so they observe the error instead of
+/// blocking until their timeout.
+fn poison(inner: &LogInner, err: &io::Error) {
+    *inner.poison_cause.lock() =
+        Some(LogError::Poisoned { kind: err.kind(), detail: err.to_string() });
+    inner.poisoned.store(true, Ordering::Release);
+    inner.stats.log_poisoned.store(1, Ordering::Release);
+    inner.buffer.poison();
+    let _g = inner.durable_mx.lock();
+    inner.durable_cv.notify_all();
+}
+
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Positional write with bounded retry on transient errors. Retrying the
+/// whole chunk is idempotent: positional writes to the same offset simply
+/// overwrite any partial progress.
+fn write_with_retry(
+    inner: &LogInner,
+    io: &dyn crate::io::SegmentIo,
+    chunk: &[u8],
+    pos: u64,
+) -> io::Result<()> {
+    let mut attempt = 0;
+    loop {
+        match io.write_all_at(chunk, pos) {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(e.kind()) && attempt < MAX_WRITE_RETRIES => {
+                inner.stats.flush_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(BACKOFF_BASE_MICROS << attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Write `[lo, hi)` to the segment files. Dead zones map to no file and
-/// are skipped; in-memory segments (no file) are drained without I/O.
-fn flush_range(inner: &LogInner, lo: u64, hi: u64) {
+/// are skipped; in-memory segments (no backend) are drained without I/O.
+fn flush_range(inner: &LogInner, lo: u64, hi: u64) -> io::Result<()> {
     let mut pos = lo;
     let mut touched: Vec<Arc<crate::segment::Segment>> = Vec::new();
     while pos < hi {
         match inner.segments.lookup(pos) {
             Some(seg) => {
                 let stop = hi.min(seg.end);
-                if let Some(file) = &seg.file {
+                if let Some(io) = &seg.io {
                     let mut file_pos = seg.file_pos(pos);
+                    let mut result = Ok(());
                     inner.buffer.read_range(pos, stop, |chunk| {
-                        file.write_all_at(chunk, file_pos).expect("log write failed");
-                        file_pos += chunk.len() as u64;
+                        if result.is_ok() {
+                            result = write_with_retry(inner, &**io, chunk, file_pos);
+                            file_pos += chunk.len() as u64;
+                        }
                     });
+                    result?;
                     if inner.cfg.fsync {
                         touched.push(Arc::clone(&seg));
                     }
@@ -79,8 +147,12 @@ fn flush_range(inner: &LogInner, lo: u64, hi: u64) {
     }
     touched.dedup_by_key(|s| s.index);
     for seg in touched {
-        if let Some(file) = &seg.file {
-            file.sync_data().expect("log fsync failed");
+        if let Some(io) = &seg.io {
+            // fsync failures are terminal: after a failed fsync the kernel
+            // may have dropped the dirty pages, so "retry and succeed"
+            // would lie about durability.
+            io.sync_data()?;
         }
     }
+    Ok(())
 }

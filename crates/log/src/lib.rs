@@ -26,11 +26,31 @@
 //! Durability is group commit: a background flusher drains the contiguous
 //! filled prefix of the ring buffer to the segment files and advances the
 //! durable-LSN watermark.
+//!
+//! # Storage backends and failure handling
+//!
+//! All segment I/O is routed through the [`SegmentIo`] trait (positional
+//! `write_all_at` / `read_exact_at` plus `sync_data`), opened per segment
+//! file by the [`SegmentIoFactory`] carried in [`LogConfig::io_factory`].
+//! Production uses [`FileBackend`]; crash tests plug in [`FaultInjector`]
+//! with a deterministic [`FaultPlan`] (fail the Nth write, tear a write
+//! after K bytes, fail an fsync, exhaust a byte budget, or crash outright).
+//!
+//! The flusher retries transient write errors with bounded exponential
+//! backoff; an unrecoverable error *poisons* the log. A poisoned log
+//! freezes its durable watermark, wakes every [`LogManager::wait_durable`]
+//! waiter with [`ermia_common::LogError::Poisoned`], and rejects further
+//! allocations — the database must restart and recover, which truncates
+//! the log at the first hole. `wait_durable` is additionally bounded by
+//! [`LogConfig::wait_durable_timeout`]. The durability contract is: every
+//! acknowledged commit survives recovery; unacknowledged blocks may or may
+//! not, but never past the first hole.
 
 mod blob;
 mod buffer;
 mod checkpoint;
 mod flusher;
+mod io;
 mod manager;
 mod records;
 mod recovery;
@@ -39,6 +59,7 @@ mod txlog;
 
 pub use blob::{BlobRef, BlobStore};
 pub use checkpoint::{CheckpointMeta, CheckpointStore};
+pub use io::{FaultInjector, FaultPlan, FileBackend, SegmentIo, SegmentIoFactory, TornWrite};
 pub use manager::{LogConfig, LogManager, LogStats, Reservation};
 pub use records::{
     checksum32, checksum64, BlockKind, LogBlockHeader, LogRecord, LogRecordKind,

@@ -7,11 +7,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
-use ermia_common::Lsn;
+use ermia_common::{LogError, Lsn};
 use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::RingBuffer;
 use crate::flusher;
+use crate::io::{FileBackend, SegmentIoFactory};
 use crate::records::{BlockKind, LogBlockHeader, BLOCK_HEADER_LEN, MIN_BLOCK_LEN};
 use crate::segment::{Segment, SegmentTable};
 
@@ -29,6 +30,12 @@ pub struct LogConfig {
     pub fsync: bool,
     /// Flusher wakeup interval when idle.
     pub flush_interval: Duration,
+    /// Storage backend opened for each segment file: [`FileBackend`] in
+    /// production, a [`crate::io::FaultInjector`] in crash tests.
+    pub io_factory: Arc<dyn SegmentIoFactory>,
+    /// Overall cap on how long [`LogManager::wait_durable`] blocks before
+    /// giving up with [`LogError::Timeout`].
+    pub wait_durable_timeout: Duration,
 }
 
 impl Default for LogConfig {
@@ -39,6 +46,8 @@ impl Default for LogConfig {
             buffer_size: 64 << 20,
             fsync: false,
             flush_interval: Duration::from_micros(200),
+            io_factory: Arc::new(FileBackend),
+            wait_durable_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -59,6 +68,10 @@ pub struct LogStats {
     pub dead_zone_bytes: AtomicU64,
     pub flush_batches: AtomicU64,
     pub flushed_bytes: AtomicU64,
+    /// Transient write errors the flusher retried.
+    pub flush_retries: AtomicU64,
+    /// 1 once the log has been poisoned by an unrecoverable I/O error.
+    pub log_poisoned: AtomicU64,
 }
 
 pub(crate) struct LogInner {
@@ -73,6 +86,9 @@ pub(crate) struct LogInner {
     pub(crate) durable_cv: Condvar,
     pub(crate) stats: LogStats,
     pub(crate) stop: AtomicBool,
+    /// Set by the flusher when it dies on an unrecoverable I/O error.
+    pub(crate) poisoned: AtomicBool,
+    pub(crate) poison_cause: Mutex<Option<LogError>>,
 }
 
 /// The scalable centralized log manager (§3.3).
@@ -95,15 +111,16 @@ impl LogManager {
         if let Some(dir) = &cfg.dir {
             std::fs::create_dir_all(dir)?;
         }
+        let backend = Arc::clone(&cfg.io_factory);
         let (segments, start) = match &cfg.dir {
-            Some(dir) => match SegmentTable::reopen(dir, cfg.segment_size)? {
+            Some(dir) => match SegmentTable::reopen(dir, Arc::clone(&backend), cfg.segment_size)? {
                 Some(table) => {
                     let tail = crate::recovery::find_tail(&table)?;
                     (table, tail)
                 }
-                None => (SegmentTable::create(Some(dir), cfg.segment_size, 0)?, 0),
+                None => (SegmentTable::create(Some(dir), backend, cfg.segment_size, 0)?, 0),
             },
-            None => (SegmentTable::create(None, cfg.segment_size, 0)?, 0),
+            None => (SegmentTable::create(None, backend, cfg.segment_size, 0)?, 0),
         };
         let inner = Arc::new(LogInner {
             next: CachePadded::new(AtomicU64::new(start)),
@@ -114,6 +131,8 @@ impl LogManager {
             durable_cv: Condvar::new(),
             stats: LogStats::default(),
             stop: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            poison_cause: Mutex::new(None),
             cfg,
         });
         let flusher = flusher::spawn(Arc::clone(&inner));
@@ -144,13 +163,21 @@ impl LogManager {
         let len64 = len as u64;
         assert!(len64 <= inner.cfg.segment_size, "block exceeds segment size");
         assert!(len64 <= inner.cfg.buffer_size, "block exceeds log buffer");
+        if inner.poisoned.load(Ordering::Acquire) {
+            return Err(poisoned_error(inner));
+        }
         inner.stats.allocations.fetch_add(1, Ordering::Relaxed);
         loop {
             let off = inner.next.fetch_add(len64, Ordering::SeqCst);
             let seg = inner.segments.current();
             if seg.contains(off, len64) {
                 // Common case: the claimed block lies in the open segment.
-                inner.buffer.wait_for_space(off + len64);
+                if !inner.buffer.wait_for_space(off + len64) {
+                    // The flusher died while we waited; the claimed range
+                    // will never reach disk. Leave it unfilled — nothing
+                    // will ever drain past the poison point anyway.
+                    return Err(poisoned_error(inner));
+                }
                 return Ok(Reservation {
                     mgr: self,
                     lsn: seg.lsn(off),
@@ -191,7 +218,11 @@ impl LogManager {
     fn write_skip(&self, seg: &Segment, off: u64, pad: u64) {
         debug_assert!(pad >= BLOCK_HEADER_LEN as u64 && pad.is_multiple_of(MIN_BLOCK_LEN as u64));
         let inner = &*self.inner;
-        inner.buffer.wait_for_space(off + BLOCK_HEADER_LEN as u64);
+        if !inner.buffer.wait_for_space(off + BLOCK_HEADER_LEN as u64) {
+            // Poisoned: the skip record can never reach disk, and recovery
+            // treats the unfilled range as the first hole. Nothing to do.
+            return;
+        }
         let header = LogBlockHeader {
             kind: BlockKind::Skip,
             nrec: 0,
@@ -251,15 +282,58 @@ impl LogManager {
     }
 
     /// Block until the block ending at logical offset `end` is durable
-    /// (group commit).
-    pub fn wait_durable(&self, end: u64) {
+    /// (group commit), up to the configured `wait_durable_timeout`.
+    ///
+    /// Fails with [`LogError::Poisoned`] when the flusher has died on an
+    /// unrecoverable I/O error (all pending waiters are woken immediately
+    /// when that happens) and [`LogError::Timeout`] if the watermark does
+    /// not reach `end` in time.
+    pub fn wait_durable(&self, end: u64) -> Result<(), LogError> {
+        self.wait_durable_for(end, self.inner.cfg.wait_durable_timeout)
+    }
+
+    /// [`Self::wait_durable`] with an explicit overall timeout.
+    pub fn wait_durable_for(&self, end: u64, timeout: Duration) -> Result<(), LogError> {
+        let inner = &*self.inner;
+        let deadline = std::time::Instant::now() + timeout;
         if self.durable_offset() >= end {
-            return;
+            return Ok(());
         }
-        let mut g = self.inner.durable_mx.lock();
-        while self.inner.durable.load(Ordering::Acquire) < end {
-            self.inner.durable_cv.wait_for(&mut g, Duration::from_millis(10));
+        let mut g = inner.durable_mx.lock();
+        loop {
+            // Durability first: a block flushed just before the poison (or
+            // the deadline) still counts.
+            if inner.durable.load(Ordering::Acquire) >= end {
+                return Ok(());
+            }
+            if inner.poisoned.load(Ordering::Acquire) {
+                return Err(self.poison_cause_or_default());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(LogError::Timeout);
+            }
+            let step = (deadline - now).min(Duration::from_millis(10));
+            inner.durable_cv.wait_for(&mut g, step);
         }
+    }
+
+    /// True once the log has entered the terminal poisoned state.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The error that poisoned the log, if it is poisoned.
+    pub fn poison_cause(&self) -> Option<LogError> {
+        self.inner.poison_cause.lock().clone()
+    }
+
+    fn poison_cause_or_default(&self) -> LogError {
+        self.poison_cause().unwrap_or(LogError::Poisoned {
+            kind: std::io::ErrorKind::Other,
+            detail: "log poisoned".into(),
+        })
     }
 
     /// Access the segment table (recovery, tests).
@@ -288,9 +362,21 @@ impl LogManager {
     }
 
     /// Flush everything currently filled and wait until durable.
-    pub fn sync(&self) {
+    pub fn sync(&self) -> Result<(), LogError> {
         let target = self.inner.buffer.filled();
-        self.wait_durable(target);
+        self.wait_durable(target)
+    }
+
+    /// Stop and join the flusher thread without touching the rest of the
+    /// log state. Test hook: lets durability waits run against a log
+    /// whose flusher is gone (they must time out, not hang).
+    #[doc(hidden)]
+    pub fn halt_flusher_for_test(&self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.flusher.lock().take() {
+            let _ = handle.join();
+        }
+        self.inner.stop.store(false, Ordering::Release);
     }
 
     /// Truncate the log: retire every segment entirely below `offset`
@@ -302,6 +388,15 @@ impl LogManager {
         let bound = offset.min(durable);
         self.inner.segments.retire_below(bound)
     }
+}
+
+/// The `io::Error` surfaced by [`LogManager::allocate`] on a poisoned log.
+fn poisoned_error(inner: &LogInner) -> io::Error {
+    let detail = match &*inner.poison_cause.lock() {
+        Some(cause) => cause.to_string(),
+        None => "log poisoned".to_string(),
+    };
+    io::Error::other(detail)
 }
 
 impl Drop for LogManager {

@@ -7,7 +7,6 @@
 //! uncommitted state.
 
 use std::io;
-use std::os::unix::fs::FileExt;
 use std::sync::Arc;
 
 use ermia_common::Lsn;
@@ -87,7 +86,7 @@ impl LogScanner {
                 self.offset = seg.end;
                 continue;
             }
-            let Some(file) = &seg.file else {
+            let Some(file) = &seg.io else {
                 return Ok(None); // in-memory segments are not scannable
             };
             let mut head = [0u8; BLOCK_HEADER_LEN];

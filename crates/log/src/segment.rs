@@ -6,7 +6,6 @@
 //! reconstructed at startup even if the configured segment size has since
 //! changed: `log-<segno:02x>-<start:x>-<end:x>`.
 
-use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -14,6 +13,8 @@ use std::sync::Arc;
 use ermia_common::lsn::{NUM_SEGMENTS, SEGMENT_BITS};
 use ermia_common::Lsn;
 use parking_lot::{Mutex, RwLock};
+
+use crate::io::{SegmentIo, SegmentIoFactory};
 
 /// One physical log segment.
 #[derive(Debug)]
@@ -24,8 +25,8 @@ pub struct Segment {
     pub start: u64,
     /// One past the last logical offset mapped by this segment.
     pub end: u64,
-    /// Backing file (written via positional I/O; `None` for in-memory logs).
-    pub file: Option<File>,
+    /// Storage backend (positional I/O; `None` for in-memory logs).
+    pub io: Option<Arc<dyn SegmentIo>>,
     pub path: Option<PathBuf>,
 }
 
@@ -81,6 +82,7 @@ impl Segment {
 pub struct SegmentTable {
     dir: Option<PathBuf>,
     segment_size: u64,
+    backend: Arc<dyn SegmentIoFactory>,
     current: RwLock<Arc<Segment>>,
     history: Mutex<Vec<Arc<Segment>>>,
     /// Serializes segment rotation ("threads compete to open the next
@@ -90,32 +92,45 @@ pub struct SegmentTable {
 
 impl SegmentTable {
     /// Create the table with its first segment starting at offset
-    /// `start`. `dir = None` keeps segments purely in memory (tests).
-    pub fn create(dir: Option<&Path>, segment_size: u64, start: u64) -> io::Result<SegmentTable> {
-        let first = Arc::new(Self::open_segment(dir, 0, start, start + segment_size)?);
+    /// `start`, opening segment storage through `backend`. `dir = None`
+    /// keeps segments purely in memory (tests).
+    pub fn create(
+        dir: Option<&Path>,
+        backend: Arc<dyn SegmentIoFactory>,
+        segment_size: u64,
+        start: u64,
+    ) -> io::Result<SegmentTable> {
+        let first = Arc::new(Self::open_segment(dir, &*backend, 0, start, start + segment_size)?);
         Ok(SegmentTable {
             dir: dir.map(|d| d.to_owned()),
             segment_size,
+            backend,
             current: RwLock::new(Arc::clone(&first)),
             history: Mutex::new(vec![first]),
             rotate: Mutex::new(()),
         })
     }
 
-    fn open_segment(dir: Option<&Path>, index: u64, start: u64, end: u64) -> io::Result<Segment> {
-        let (file, path) = match dir {
+    fn open_segment(
+        dir: Option<&Path>,
+        backend: &dyn SegmentIoFactory,
+        index: u64,
+        start: u64,
+        end: u64,
+    ) -> io::Result<Segment> {
+        let (io, path) = match dir {
             Some(dir) => {
                 let path = dir.join(Segment::file_name(index, start, end));
-                let file = OpenOptions::new().create(true).truncate(false).read(true).write(true).open(&path)?;
+                let io = backend.open(&path)?;
                 // Size the (sparse) file up front so unwritten tail regions
                 // read as zeros — a zero magic is how the scanner detects
                 // the first hole.
-                file.set_len(end - start)?;
-                (Some(file), Some(path))
+                io.set_len(end - start)?;
+                (Some(io), Some(path))
             }
             None => (None, None),
         };
-        Ok(Segment { index, start, end, file, path })
+        Ok(Segment { index, start, end, io, path })
     }
 
     /// Snapshot of the segment currently accepting allocations.
@@ -143,6 +158,7 @@ impl SegmentTable {
         debug_assert!(new_start >= cur.end);
         let next = Arc::new(Self::open_segment(
             self.dir.as_deref(),
+            &*self.backend,
             cur.index + 1,
             new_start,
             new_start + self.segment_size,
@@ -195,7 +211,11 @@ impl SegmentTable {
     /// Rebuild a table by scanning `dir` for segment files (recovery /
     /// restart path; paper: "the file name is chosen so the segment table
     /// can be reconstructed easily at start-up").
-    pub fn reopen(dir: &Path, segment_size: u64) -> io::Result<Option<SegmentTable>> {
+    pub fn reopen(
+        dir: &Path,
+        backend: Arc<dyn SegmentIoFactory>,
+        segment_size: u64,
+    ) -> io::Result<Option<SegmentTable>> {
         let mut found: Vec<(u64, u64, u64, PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
@@ -222,12 +242,12 @@ impl SegmentTable {
                     format!("segment file {} has inconsistent modulo number", path.display()),
                 ));
             }
-            let file = OpenOptions::new().read(true).write(true).open(path)?;
+            let io = backend.open(path)?;
             history.push(Arc::new(Segment {
                 index,
                 start: *start,
                 end: *end,
-                file: Some(file),
+                io: Some(io),
                 path: Some(path.clone()),
             }));
         }
@@ -235,6 +255,7 @@ impl SegmentTable {
         Ok(Some(SegmentTable {
             dir: Some(dir.to_owned()),
             segment_size,
+            backend,
             current: RwLock::new(current),
             history: Mutex::new(history),
             rotate: Mutex::new(()),
@@ -248,6 +269,11 @@ const _: () = assert!(SEGMENT_BITS == 4);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::FileBackend;
+
+    fn files() -> Arc<dyn SegmentIoFactory> {
+        Arc::new(FileBackend)
+    }
 
     #[test]
     fn file_name_roundtrip() {
@@ -265,7 +291,7 @@ mod tests {
 
     #[test]
     fn rotation_and_lookup() {
-        let t = SegmentTable::create(None, 1024, 0).unwrap();
+        let t = SegmentTable::create(None, files(), 1024, 0).unwrap();
         let first = t.current();
         assert_eq!(first.segno(), 0);
         assert!(first.contains(0, 1024));
@@ -284,7 +310,7 @@ mod tests {
 
     #[test]
     fn open_next_is_idempotent_for_losers() {
-        let t = SegmentTable::create(None, 1024, 0).unwrap();
+        let t = SegmentTable::create(None, files(), 1024, 0).unwrap();
         let first = t.current();
         let a = t.open_next(first.index, 1024).unwrap();
         // Loser passes the stale index; gets the winner's segment back.
@@ -298,11 +324,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ermia-seg-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         {
-            let t = SegmentTable::create(Some(&dir), 4096, 0).unwrap();
+            let t = SegmentTable::create(Some(&dir), files(), 4096, 0).unwrap();
             let cur = t.current();
             t.open_next(cur.index, 4096).unwrap();
         }
-        let t = SegmentTable::reopen(&dir, 4096).unwrap().expect("segments exist");
+        let t = SegmentTable::reopen(&dir, files(), 4096).unwrap().expect("segments exist");
         let all = t.all();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].start, 0);

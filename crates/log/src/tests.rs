@@ -26,6 +26,7 @@ fn small_cfg(dir: Option<PathBuf>) -> LogConfig {
         buffer_size: 1 << 20,
         fsync: false,
         flush_interval: std::time::Duration::from_micros(100),
+        ..LogConfig::default()
     }
 }
 
@@ -46,7 +47,7 @@ fn allocate_fill_scan_roundtrip() {
     let l1 = commit_block(&log, 1, 10, b"hello");
     let l2 = commit_block(&log, 2, 20, b"world");
     assert!(l1 < l2);
-    log.sync();
+    log.sync().unwrap();
 
     let mut scanner = LogScanner::new(log.segments(), 0);
     let b1 = scanner.next_block().unwrap().expect("first block");
@@ -74,7 +75,7 @@ fn dropped_reservation_becomes_skip() {
     }
     let l3 = commit_block(&log, 1, 2, b"b");
     assert!(l1 < l3);
-    log.sync();
+    log.sync().unwrap();
 
     let mut scanner = LogScanner::new(log.segments(), 0);
     let vals: Vec<Vec<u8>> = std::iter::from_fn(|| scanner.next_block().unwrap())
@@ -96,7 +97,7 @@ fn segment_rotation_preserves_blocks() {
         lsns.push(commit_block(&log, 1, i, format!("value-{i}").as_bytes()));
     }
     assert!(log.stats().rotations.load(Ordering::Relaxed) >= 4, "expected several rotations");
-    log.sync();
+    log.sync().unwrap();
 
     let mut scanner = LogScanner::new(log.segments(), 0);
     let mut seen = Vec::new();
@@ -123,13 +124,13 @@ fn reopen_resumes_after_tail() {
         for i in 0..50 {
             commit_block(&log, 1, i, b"first-run");
         }
-        log.sync();
+        log.sync().unwrap();
     }
     let log = LogManager::open(small_cfg(Some(dir.clone()))).unwrap();
     let resumed_tail = log.tail_lsn();
     assert!(resumed_tail.offset() > 0, "tail must resume after existing blocks");
     commit_block(&log, 1, 999, b"second-run");
-    log.sync();
+    log.sync().unwrap();
 
     let mut scanner = LogScanner::new(log.segments(), 0);
     let mut count = 0;
@@ -154,7 +155,7 @@ fn wait_durable_blocks_until_flushed() {
     let end = res.end_offset();
     let block = tx.serialize(res.lsn());
     res.fill(block);
-    log.wait_durable(end);
+    log.wait_durable(end).unwrap();
     assert!(log.durable_offset() >= end);
     drop(log);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -210,7 +211,7 @@ fn concurrent_commits_all_recovered_in_order() {
         }
     })
     .unwrap();
-    log.sync();
+    log.sync().unwrap();
 
     let mut scanner = LogScanner::new(log.segments(), 0);
     let mut seen = std::collections::HashSet::new();
@@ -261,4 +262,42 @@ fn block_len_rounding_matches_reservation() {
     let block = tx.serialize(res.lsn());
     assert_eq!(block.len(), res.len());
     res.fill(block);
+}
+
+#[test]
+fn wait_durable_times_out_when_flusher_is_dead() {
+    let log = LogManager::open(LogConfig::in_memory()).unwrap();
+    // Kill the flusher: durability can no longer advance.
+    log.halt_flusher_for_test();
+    let mut tx = TxLogBuffer::new();
+    tx.add_insert(TableId(1), Oid(1), b"key", b"value");
+    let res = log.allocate(tx.block_len()).unwrap();
+    let end = res.end_offset();
+    let block = tx.serialize(res.lsn());
+    res.fill(block);
+    let start = std::time::Instant::now();
+    let err = log
+        .wait_durable_for(end, std::time::Duration::from_millis(50))
+        .expect_err("no flusher, no durability");
+    assert_eq!(err, ermia_common::LogError::Timeout);
+    assert!(start.elapsed() >= std::time::Duration::from_millis(50));
+    assert!(!log.is_poisoned(), "a timeout is not a poisoned log");
+}
+
+#[test]
+fn wait_durable_timeout_config_is_honored() {
+    let cfg = LogConfig {
+        wait_durable_timeout: std::time::Duration::from_millis(30),
+        ..LogConfig::in_memory()
+    };
+    let log = LogManager::open(cfg).unwrap();
+    log.halt_flusher_for_test();
+    let mut tx = TxLogBuffer::new();
+    tx.add_insert(TableId(1), Oid(2), b"key", b"value");
+    let res = log.allocate(tx.block_len()).unwrap();
+    let end = res.end_offset();
+    let block = tx.serialize(res.lsn());
+    res.fill(block);
+    // The default-entry wait_durable picks up the configured cap.
+    assert_eq!(log.wait_durable(end), Err(ermia_common::LogError::Timeout));
 }

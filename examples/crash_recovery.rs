@@ -46,7 +46,7 @@ fn main() {
         tx.insert(ledger, &999u32.to_be_bytes(), b"post-checkpoint entry").unwrap();
         tx.delete(ledger, &13u32.to_be_bytes()).unwrap();
         tx.commit().unwrap();
-        db.log().sync();
+        db.log().sync().unwrap();
         println!("post-checkpoint work committed and durable... crashing now (no shutdown)");
         // Dropping everything here models a crash: nothing else is flushed.
     }

@@ -31,7 +31,7 @@ fn tpcc_survives_crash_recovery() {
             &RunConfig::new(2, Duration::from_millis(200)),
         );
         assert!(r2.total_commits() > 0);
-        db.log().sync();
+        db.log().sync().unwrap();
     }
     {
         let db = Database::open(DbConfig::durable(&dir)).unwrap();

@@ -1,0 +1,296 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock micro-benchmark harness with criterion's API
+//! shape: benchmark groups, `bench_function` / `bench_with_input`,
+//! `iter` / `iter_batched`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros. It warms up for
+//! `warm_up_time`, then runs `sample_size` samples of auto-calibrated
+//! batches within `measurement_time`, reporting mean ns/iter (and
+//! derived element throughput) to stdout. No statistics, plots, or
+//! baseline comparisons — enough to keep `cargo bench` meaningful
+//! without the real crate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let name = id.into_id();
+        let cfg = self.clone();
+        run_one(&cfg, &name, None, &mut f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &name, self.throughput, &mut f);
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &name, self.throughput, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    cfg: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        warm_up_time: cfg.warm_up_time,
+        measurement_time: cfg.measurement_time,
+        sample_size: cfg.sample_size,
+        total_ns: 0,
+        total_iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.total_iters == 0 {
+        println!("bench {name:<48} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = bencher.total_ns as f64 / bencher.total_iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            format!("  {per_sec:>14.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            format!("  {:>14.1} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<48} {ns_per_iter:>12.1} ns/iter ({} iters){rate}",
+        bencher.total_iters
+    );
+}
+
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    total_ns: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = (warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1))).max(1);
+        // Split the measurement budget into sample_size batches.
+        let budget = self.measurement_time.as_nanos();
+        let batch = (budget / u128::from(self.sample_size as u64) / per_iter).clamp(1, 1 << 24) as u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total_ns += t0.elapsed().as_nanos();
+            self.total_iters += batch;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup cost is excluded from timing; batches of one keep inputs
+        // fresh, matching iter_batched semantics closely enough.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+        let iters = (self.sample_size as u64).max(1) * 64;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t0.elapsed().as_nanos();
+            self.total_iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("counter", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

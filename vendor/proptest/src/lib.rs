@@ -1,0 +1,597 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait ( `prop_map`, tuples, ranges,
+//! `Just`, `any`, `collection::vec`, a character-class string strategy),
+//! the `proptest!` macro (including `#![proptest_config(..)]` and both
+//! `name in strategy` and `name: type` parameter forms), and the
+//! `prop_assert*` macros.
+//!
+//! Semantics: each test runs `cases` iterations with inputs drawn from a
+//! deterministic per-test RNG. The seed is derived from the test name, or
+//! taken from `PROPTEST_SEED` if set; failures print the seed and case
+//! index so a run can be reproduced exactly. There is no shrinking — a
+//! failing case is reported as-is.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a test case failed (shim: always a failure message).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Unused by the shim; kept so struct-update syntax from real
+        /// proptest configs still compiles.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 96, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used to generate test inputs.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)` (`bound >= 1`), unbiased by rejection.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound >= 1);
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let threshold = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < threshold {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// Derive the base seed for a test: `PROPTEST_SEED` env override, or
+    /// a stable hash of the test name.
+    pub fn base_seed(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+pub use test_runner::{TestCaseError, TestRng};
+
+/// A generator of random values of one type.
+///
+/// Object-safe: `prop_oneof!` erases concrete strategy types behind
+/// `Box<dyn Strategy<Value = V>>`.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: fmt::Debug> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Full-domain strategy for primitives: `any::<T>()`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub trait Arbitrary: fmt::Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// A `&'static str` acts as a string strategy. The shim supports the
+/// character-class pattern family used in this repo — `[chars]{lo,hi}`
+/// (e.g. `"[a-zA-Z0-9]{0,12}"`) plus a bare `[chars]` (one char) — and
+/// treats anything else as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((chars, lo, hi)) => {
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parse `[class]` or `[class]{lo,hi}` into (expanded chars, lo, hi).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = expand_class(&rest[..close]);
+    if class.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((class, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    (lo <= hi).then_some((class, lo, hi))
+}
+
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            if a <= b {
+                for c in a..=b {
+                    out.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{fmt, Range, Strategy, TestRng};
+
+    /// Vector strategy: `len` drawn from `sizes`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty size range");
+        VecStrategy { element, sizes }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+    pub use crate::test_runner::TestCaseError;
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The `proptest!` test-harness macro.
+///
+/// Supports an optional leading `#![proptest_config(EXPR)]`, any number
+/// of test functions with attributes/doc comments, and parameters of the
+/// form `name in strategy` or `name: Type` (the latter sugar for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // Internal rules must precede the catch-all entry rule, or recursive
+    // invocations would re-enter the entry rule and never terminate.
+
+    // No more functions.
+    (@fns [$config:expr]) => {};
+
+    // One function; recurse on the rest.
+    (@fns [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __seed = $crate::test_runner::base_seed(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    __seed ^ (__case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                );
+                let __result = $crate::proptest!(@run __rng, [$($params)*], $body);
+                match __result {
+                    ::core::result::Result::Ok(())
+                    | ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed (reproduce with PROPTEST_SEED={}): {}",
+                            __case + 1, __config.cases, __seed, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@fns [$config] $($rest)*);
+    };
+
+    // Generate bindings for each parameter, then run the body inside a
+    // Result-returning closure so `prop_assert*` and `?` both work.
+    (@run $rng:ident, [$($params:tt)*], $body:block) => {{
+        $crate::proptest!(@bind $rng, [$($params)*]);
+        let mut __closure = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            ::core::result::Result::Ok(())
+        };
+        __closure()
+    }};
+
+    // Parameter binding: `name in strategy` form.
+    (@bind $rng:ident, [$name:ident in $strategy:expr, $($rest:tt)*]) => {
+        let $name = $crate::Strategy::generate(&$strategy, &mut $rng);
+        $crate::proptest!(@bind $rng, [$($rest)*]);
+    };
+    (@bind $rng:ident, [$name:ident in $strategy:expr]) => {
+        let $name = $crate::Strategy::generate(&$strategy, &mut $rng);
+    };
+    // Parameter binding: `name: Type` form.
+    (@bind $rng:ident, [$name:ident : $ty:ty, $($rest:tt)*]) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng, [$($rest)*]);
+    };
+    (@bind $rng:ident, [$name:ident : $ty:ty]) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    (@bind $rng:ident, []) => {};
+
+    // Entry with a config item.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns [$config] $($rest)*);
+    };
+    // Entry without config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns [$crate::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, lo, hi) = super::parse_class_pattern("[a-c0-1]{0,12}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '0', '1']);
+        assert_eq!((lo, hi), (0, 12));
+    }
+
+    #[test]
+    fn string_strategy_respects_pattern() {
+        let mut rng = super::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z0-9]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+        /// Both parameter forms, tuples, maps, oneof, vec.
+        #[test]
+        fn shim_machinery_works(
+            v in collection::vec(any::<u8>(), 0..8),
+            pair in (0u64..100, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+            k: u16,
+            pick in prop_oneof![Just(1u8), Just(2u8), 3u8..=9],
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(pair.0 < 200 && pair.0 % 2 == 0);
+            prop_assert_eq!(k, k);
+            prop_assert!((1..=9).contains(&pick));
+            prop_assert_ne!(pick, 0);
+        }
+
+        #[test]
+        fn question_mark_propagates(x in 0u32..10) {
+            fn helper(x: u32) -> Result<(), TestCaseError> {
+                prop_assert!(x < 10);
+                Ok(())
+            }
+            helper(x)?;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    #[allow(unnameable_test_items)]
+    fn failure_reports_seed() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
