@@ -1,0 +1,217 @@
+//! Commit-path benchmark: demand-driven group commit + allocation-free
+//! hot path.
+//!
+//! Two measurements, emitted as `BENCH_commit_path.json` (set `BENCH_OUT`
+//! to choose the path):
+//!
+//! 1. **Synchronous commit latency** across group-commit flush intervals.
+//!    With demand-driven flusher wakeups, a waiting committer's latency
+//!    tracks the actual flush cost and stays flat as the interval grows;
+//!    interval-driven batching would make p50 ≈ interval/2.
+//! 2. **Allocator traffic per transaction** on the asynchronous-commit
+//!    hot path, counted per-thread by a global allocator shim. After
+//!    warmup, a burst served from the worker's recycled-version cache
+//!    must do zero allocations; a long sustained run reports the
+//!    amortized rate (bounded by the GC's recycling turnaround, not by
+//!    per-transaction costs).
+//!
+//! Runs under `cargo bench -p ermia-bench --bench commit_path`; pass
+//! `-- --quick` for a CI-sized run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use ermia::{Database, DbConfig, IsolationLevel};
+use ermia_log::LogConfig;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+/// Latency of `wait_durable`-inclusive commits at one flush interval.
+fn sync_commit_latency(flush_interval: Duration, txns: usize) -> Vec<Duration> {
+    let cfg = DbConfig {
+        log: LogConfig { flush_interval, ..LogConfig::in_memory() },
+        synchronous_commit: true,
+        ..DbConfig::in_memory()
+    };
+    let db = Database::open(cfg).unwrap();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+    let mut tx = w.begin(IsolationLevel::Snapshot);
+    tx.insert(t, b"hot", b"0").unwrap();
+    tx.commit().unwrap();
+
+    // Warm scratch + version cache a little before timing.
+    for i in 0..50u32 {
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        tx.update(t, b"hot", &i.to_le_bytes()).unwrap();
+        tx.commit().unwrap();
+    }
+
+    let mut samples = Vec::with_capacity(txns);
+    for i in 0..txns {
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        tx.update(t, b"hot", &(i as u64).to_le_bytes()).unwrap();
+        let start = Instant::now();
+        tx.commit().unwrap();
+        samples.push(start.elapsed());
+    }
+    samples
+}
+
+struct AllocStats {
+    burst_txns: usize,
+    burst_allocs: u64,
+    sustained_txns: usize,
+    sustained_allocs: u64,
+    versions_reused: u64,
+}
+
+/// Allocator traffic of the async-commit hot path (the default pipeline).
+fn alloc_traffic(sustained_txns: usize) -> AllocStats {
+    let db = Database::open(DbConfig::in_memory()).unwrap();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+    let mut tx = w.begin(IsolationLevel::Snapshot);
+    tx.insert(t, b"read-target", b"some reasonably sized payload").unwrap();
+    tx.insert(t, b"write-target", b"initial").unwrap();
+    tx.commit().unwrap();
+
+    // Warmup: grow scratch capacities, pile up dead versions, and wait
+    // for the GC to stock the reuse pool (see tests/alloc_free.rs for the
+    // flow-balance argument).
+    for i in 0..300u32 {
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        let _ = tx.read(t, b"read-target", |v| v.len()).unwrap();
+        tx.update(t, b"write-target", &[i as u8; 24]).unwrap();
+        tx.commit().unwrap();
+    }
+    for _ in 0..200 {
+        std::thread::sleep(Duration::from_millis(10));
+        if db.version_pool_size() >= 128 {
+            break;
+        }
+    }
+    let mut tx = w.begin(IsolationLevel::Snapshot);
+    tx.update(t, b"write-target", b"refill").unwrap();
+    tx.commit().unwrap();
+
+    // Burst window: served entirely from worker-owned recycled memory.
+    let burst_txns = 16usize;
+    let before = alloc_calls();
+    for i in 0..burst_txns {
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        let _ = tx.read(t, b"read-target", |v| v.len()).unwrap();
+        tx.update(t, b"write-target", &[i as u8; 24]).unwrap();
+        tx.commit().unwrap();
+    }
+    let burst_allocs = alloc_calls() - before;
+
+    // Sustained run: the amortized rate includes windows where the tight
+    // loop outruns the GC's recycling turnaround and falls back to the
+    // allocator for version nodes.
+    let before = alloc_calls();
+    for i in 0..sustained_txns {
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        let _ = tx.read(t, b"read-target", |v| v.len()).unwrap();
+        tx.update(t, b"write-target", &[(i % 251) as u8; 24]).unwrap();
+        tx.commit().unwrap();
+    }
+    let sustained_allocs = alloc_calls() - before;
+
+    AllocStats {
+        burst_txns,
+        burst_allocs,
+        sustained_txns,
+        sustained_allocs,
+        versions_reused: w.versions_reused(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (lat_txns, sustained_txns) = if quick { (300, 500) } else { (2000, 5000) };
+
+    let intervals =
+        [Duration::from_micros(200), Duration::from_millis(5), Duration::from_millis(50)];
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"commit_path\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"sync_commit_latency\": [\n");
+    for (i, &interval) in intervals.iter().enumerate() {
+        let mut samples = sync_commit_latency(interval, lat_txns);
+        samples.sort();
+        let p50 = percentile_us(&samples, 50.0);
+        let p95 = percentile_us(&samples, 95.0);
+        let p99 = percentile_us(&samples, 99.0);
+        let max = samples.last().unwrap().as_secs_f64() * 1e6;
+        eprintln!(
+            "sync commit @ flush_interval={interval:?}: p50={p50:.1}us p95={p95:.1}us \
+             p99={p99:.1}us max={max:.1}us ({lat_txns} txns)"
+        );
+        let _ = write!(
+            json,
+            "    {{\"flush_interval_us\": {}, \"txns\": {lat_txns}, \"p50_us\": {p50:.1}, \
+             \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1}, \"max_us\": {max:.1}}}",
+            interval.as_micros()
+        );
+        json.push_str(if i + 1 < intervals.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    let a = alloc_traffic(sustained_txns);
+    let burst_rate = a.burst_allocs as f64 / a.burst_txns as f64;
+    let sustained_rate = a.sustained_allocs as f64 / a.sustained_txns as f64;
+    eprintln!(
+        "alloc traffic: burst {} txns -> {} allocs ({burst_rate:.3}/txn); sustained {} txns -> \
+         {} allocs ({sustained_rate:.3}/txn); versions reused {}",
+        a.burst_txns, a.burst_allocs, a.sustained_txns, a.sustained_allocs, a.versions_reused
+    );
+    let _ = writeln!(
+        json,
+        "  \"alloc_free\": {{\"burst_txns\": {}, \"burst_allocs\": {}, \
+         \"burst_allocs_per_txn\": {burst_rate:.3}, \"sustained_txns\": {}, \
+         \"sustained_allocs\": {}, \"sustained_allocs_per_txn\": {sustained_rate:.3}, \
+         \"versions_reused\": {}}}",
+        a.burst_txns, a.burst_allocs, a.sustained_txns, a.sustained_allocs, a.versions_reused
+    );
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_commit_path.json".into());
+    std::fs::write(&out, &json).unwrap();
+    eprintln!("wrote {out}");
+}

@@ -9,7 +9,7 @@ use ermia_common::{IndexId, Lsn, TableId};
 use ermia_epoch::{EpochManager, Ticker};
 use ermia_index::BTree;
 use ermia_log::{CheckpointStore, LogManager};
-use ermia_storage::{GarbageCollector, OidArray, TidManager};
+use ermia_storage::{GarbageCollector, OidArray, TidManager, VersionPool};
 use parking_lot::RwLock;
 
 use crate::config::DbConfig;
@@ -47,12 +47,16 @@ pub(crate) struct DbInner {
     pub log: LogManager,
     pub tid: TidManager,
     pub catalog: RwLock<Catalog>,
-    /// GC timescale: dead version reclamation (multi-transaction scale).
-    pub gc_epoch: EpochManager,
-    /// RCU timescale: tree nodes / key buffers (medium scale).
-    pub rcu_epoch: EpochManager,
-    /// TID timescale: context recycling pressure valve (very short).
-    pub tid_epoch: EpochManager,
+    /// The unified epoch manager. The paper's three timescales (gc, rcu,
+    /// tid) were tracked separately, but every transaction pinned all
+    /// three in lockstep at the same boundaries, so one timeline is
+    /// semantically equivalent and makes begin/end one pin instead of
+    /// three. Resources of every timescale retire through it.
+    pub epoch: EpochManager,
+    /// Recycled version nodes: the GC releases quiesced nodes here and
+    /// workers' per-thread caches draw from it, keeping the steady-state
+    /// write path off the allocator.
+    pub versions: Arc<VersionPool>,
     pub checkpoints: Option<CheckpointStore>,
     /// Large-object side storage (§3.3 feature 4).
     pub blobs: ermia_log::BlobStore,
@@ -103,9 +107,8 @@ impl Database {
                 table_names: HashMap::new(),
                 index_names: HashMap::new(),
             }),
-            gc_epoch: EpochManager::new("gc"),
-            rcu_epoch: EpochManager::new("rcu"),
-            tid_epoch: EpochManager::new("tid"),
+            epoch: EpochManager::new("unified"),
+            versions: Arc::new(VersionPool::default()),
             checkpoints,
             blobs,
             commits: AtomicU64::new(0),
@@ -114,11 +117,10 @@ impl Database {
             cfg,
         });
         let cfg = &inner.cfg;
-        let mut tickers = vec![
-            Ticker::start(inner.rcu_epoch.clone(), cfg.rcu_epoch_interval),
-            Ticker::start(inner.gc_epoch.clone(), cfg.gc_interval.max(Duration::from_millis(1))),
-            Ticker::start(inner.tid_epoch.clone(), Duration::from_millis(1)),
-        ];
+        // One ticker drives the unified timeline at the fastest of the
+        // old per-timescale cadences (the tid valve's 1ms).
+        let tick = cfg.rcu_epoch_interval.min(Duration::from_millis(1));
+        let mut tickers = vec![Ticker::start(inner.epoch.clone(), tick)];
         tickers.shrink_to_fit();
         let services = Arc::new(Services { _tickers: tickers, _gc: parking_lot::Mutex::new(None) });
         let db = Database { inner, _services: services };
@@ -142,9 +144,10 @@ impl Database {
             self.inner.catalog.read().tables.iter().map(|t| Arc::clone(&t.oids)).collect();
         let gc = GarbageCollector::start(
             arrays,
-            self.inner.gc_epoch.clone(),
+            self.inner.epoch.clone(),
             horizon,
             self.inner.cfg.gc_interval,
+            Some(Arc::clone(&self.inner.versions)),
         );
         *self._services._gc.lock() = Some(gc);
     }
@@ -251,13 +254,15 @@ impl Database {
         (self.inner.commits.load(Ordering::Relaxed), self.inner.aborts.load(Ordering::Relaxed))
     }
 
-    /// Epoch-manager statistics for the three timescales (gc, rcu, tid).
-    pub fn epoch_stats(&self) -> [ermia_epoch::EpochStats; 3] {
-        [
-            self.inner.gc_epoch.stats(),
-            self.inner.rcu_epoch.stats(),
-            self.inner.tid_epoch.stats(),
-        ]
+    /// Statistics of the unified epoch manager (all resource timescales
+    /// retire through one timeline).
+    pub fn epoch_stats(&self) -> ermia_epoch::EpochStats {
+        self.inner.epoch.stats()
+    }
+
+    /// Version nodes currently parked in the reuse pool.
+    pub fn version_pool_size(&self) -> usize {
+        self.inner.versions.pooled()
     }
 
     /// Current log tail — the begin timestamp a transaction starting now

@@ -279,7 +279,7 @@ impl Database {
         unsafe { (*new).next.store(head, Ordering::Relaxed) };
         table.oids.store_head(oid, new);
         // Index the key (idempotent: Duplicate means it's already there).
-        let mgr = &self.inner.rcu_epoch;
+        let mgr = &self.inner.epoch;
         let h = mgr.register();
         let g = h.pin();
         let _ = table.primary.insert(&g, key, oid.0 as u64);
@@ -291,7 +291,7 @@ impl Database {
         let Some(idx) = catalog.indexes.get(index_raw as usize) else { return };
         let idx = std::sync::Arc::clone(idx);
         drop(catalog);
-        let h = self.inner.rcu_epoch.register();
+        let h = self.inner.epoch.register();
         let g = h.pin();
         let _ = idx.tree.insert(&g, key, oid.0 as u64);
     }

@@ -621,8 +621,12 @@ fn gc_reclaims_old_versions() {
     }
     std::thread::sleep(std::time::Duration::from_millis(100));
     let stats = db.epoch_stats();
-    // The GC epoch manager must have freed retired versions.
-    assert!(stats[0].freed > 0, "gc must reclaim old versions: {stats:?}");
+    // The unified epoch manager must have retired old versions — either
+    // freed outright or parked in the reuse pool.
+    assert!(
+        stats.freed > 0 || db.version_pool_size() > 0,
+        "gc must reclaim old versions: {stats:?}"
+    );
     // And the table still reads correctly.
     let mut tx = w.begin(SI);
     assert_eq!(get(&mut tx, t, b"hot").as_deref(), Some(&499u32.to_le_bytes()[..]));
@@ -801,11 +805,10 @@ fn secondary_scan_respects_snapshot() {
 fn epoch_stats_visible_through_database() {
     let db = db();
     let stats = db.epoch_stats();
-    assert_eq!(stats.len(), 3);
-    // Tickers advance the timelines in the background.
+    // The ticker advances the unified timeline in the background.
     std::thread::sleep(std::time::Duration::from_millis(30));
     let later = db.epoch_stats();
-    assert!(later[1].epoch > stats[1].epoch, "rcu epoch must tick");
+    assert!(later.epoch > stats.epoch, "unified epoch must tick");
 }
 
 #[test]
@@ -885,4 +888,71 @@ fn log_truncation_after_checkpoint() {
         tx.commit().unwrap();
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scratch_reuse_leaves_no_residue_across_transactions() {
+    // All transactions below share one worker, so they recycle the same
+    // scratch sets and key arena. An aborted transaction's writes must
+    // vanish entirely and never bleed into the next transaction.
+    let db = db();
+    let t = db.create_table("t");
+    let idx = db.create_secondary_index(t, "t.sec");
+    let mut w = db.register_worker();
+
+    let mut tx = w.begin(SSN);
+    let oid = tx.insert(t, b"a", b"1").unwrap();
+    tx.insert_secondary(idx, b"sec-a", oid).unwrap();
+    tx.commit().unwrap();
+
+    // Fill every working set, then abort.
+    let mut tx = w.begin(SSN);
+    let oid_b = tx.insert(t, b"b", b"2").unwrap();
+    tx.insert_secondary(idx, b"sec-b", oid_b).unwrap();
+    assert!(tx.update(t, b"a", b"1-dirty").unwrap());
+    tx.abort();
+
+    let mut tx = w.begin(SSN);
+    assert_eq!(get(&mut tx, t, b"a").as_deref(), Some(&b"1"[..]));
+    assert_eq!(get(&mut tx, t, b"b"), None, "aborted insert must not resurface");
+    assert_eq!(tx.read_secondary(idx, b"sec-b", |v| v.to_vec()).unwrap(), None);
+    assert_eq!(
+        tx.read_secondary(idx, b"sec-a", |v| v.to_vec()).unwrap().as_deref(),
+        Some(&b"1"[..])
+    );
+    // A fresh write on the recycled write set commits cleanly.
+    assert!(tx.update(t, b"a", b"1-clean").unwrap());
+    tx.commit().unwrap();
+
+    let mut tx = w.begin(SSN);
+    assert_eq!(get(&mut tx, t, b"a").as_deref(), Some(&b"1-clean"[..]));
+    tx.commit().unwrap();
+}
+
+#[test]
+fn version_nodes_recycle_through_worker_cache() {
+    // Update churn retires old versions through the GC into the shared
+    // pool; the worker's cache must start serving them back instead of
+    // allocating.
+    let db = db();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+    let mut tx = w.begin(SI);
+    tx.insert(t, b"hot", b"0").unwrap();
+    tx.commit().unwrap();
+
+    let mut reused = 0;
+    for _round in 0..100 {
+        for i in 0..20u32 {
+            let mut tx = w.begin(SI);
+            tx.update(t, b"hot", &i.to_le_bytes()).unwrap();
+            tx.commit().unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        reused = w.versions_reused();
+        if reused > 0 {
+            break;
+        }
+    }
+    assert!(reused > 0, "worker cache never served a recycled version");
 }

@@ -1,5 +1,16 @@
 //! Transactions: snapshot isolation, the Serial Safety Net, and the
 //! pre-commit / post-commit pipeline (paper §3.1, §3.6).
+//!
+//! # Allocation-free hot path
+//!
+//! The transaction working sets (read set, write set, secondary set,
+//! node set), the write keys, the private log buffer, and the version
+//! nodes themselves are all recycled through the worker's
+//! [`Scratch`]: the sets are *taken* at begin (a pointer move), cleared
+//! and returned at release, key bytes are bump-copied into a reused
+//! arena, and new versions come from a per-worker cache fed by the GC.
+//! After warmup, begin + execute + commit of a read/write transaction
+//! touches the allocator zero times.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -7,7 +18,7 @@ use std::sync::Arc;
 use ermia_common::{AbortReason, IndexId, Lsn, Oid, OpResult, Stamp, TableId, Tid, TxResult};
 use ermia_epoch::Guard;
 use ermia_index::{BTree, InsertOutcome, LeafSnapshot, ScanControl};
-use ermia_storage::{OidArray, TidStatus, TxContext, Version};
+use ermia_storage::{defer_release, OidArray, TidStatus, TxContext, Version};
 
 use crate::config::IsolationLevel;
 use crate::database::{Database, IndexInfo, Table};
@@ -15,16 +26,36 @@ use crate::profile::Timed;
 use crate::worker::{Scratch, Worker};
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum WriteKind {
+pub(crate) enum WriteKind {
     Insert,
     Update,
     Delete,
 }
 
-struct WriteEntry {
+/// A range in the worker's key arena (`Scratch::keys`). Replaces a
+/// per-write `Box<[u8]>` copy of the key.
+#[derive(Clone, Copy)]
+pub(crate) struct KeyRef {
+    start: u32,
+    len: u32,
+}
+
+impl KeyRef {
+    fn stash(arena: &mut Vec<u8>, key: &[u8]) -> KeyRef {
+        let start = arena.len() as u32;
+        arena.extend_from_slice(key);
+        KeyRef { start, len: key.len() as u32 }
+    }
+
+    fn slice(self, arena: &[u8]) -> &[u8] {
+        &arena[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+pub(crate) struct WriteEntry {
     table: Arc<Table>,
     oid: Oid,
-    key: Box<[u8]>,
+    key: KeyRef,
     /// The version we installed (TID-stamped until post-commit).
     new: *mut Version,
     /// The committed version we overwrote (null for inserts).
@@ -32,9 +63,9 @@ struct WriteEntry {
     kind: WriteKind,
 }
 
-struct SecondaryEntry {
+pub(crate) struct SecondaryEntry {
     index: Arc<IndexInfo>,
-    key: Box<[u8]>,
+    key: KeyRef,
     oid: Oid,
 }
 
@@ -44,12 +75,11 @@ struct SecondaryEntry {
 pub struct Transaction<'w> {
     db: &'w Database,
     scratch: &'w mut Scratch,
-    /// Pin on the GC timescale: versions we can reach stay allocated.
-    guard_gc: Guard<'w>,
-    /// Pin on the RCU timescale: tree nodes / key buffers stay allocated.
-    guard_rcu: Guard<'w>,
-    /// Pin on the TID timescale.
-    _guard_tid: Guard<'w>,
+    /// Single pin on the unified epoch: versions, tree nodes, and TID
+    /// contexts we can reach all stay allocated while it is held (the
+    /// paper's three timescales were pinned in lockstep anyway; one pin
+    /// is equivalent and 3× cheaper per begin).
+    guard: Guard<'w>,
     tid: Tid,
     begin: Lsn,
     isolation: IsolationLevel,
@@ -57,6 +87,9 @@ pub struct Transaction<'w> {
     pstamp: u64,
     /// SSN π(T): earliest successor stamp (∞ = none).
     sstamp: u64,
+    // Working sets, borrowed from the worker's scratch for the duration
+    // of the transaction (returned, cleared but with capacity, at
+    // release).
     reads: Vec<*mut Version>,
     writes: Vec<WriteEntry>,
     secondary: Vec<SecondaryEntry>,
@@ -77,30 +110,27 @@ struct VisibleVersion {
 
 impl<'w> Transaction<'w> {
     pub(crate) fn begin(worker: &'w mut Worker, isolation: IsolationLevel) -> Transaction<'w> {
-        let Worker { db, gc_handle, rcu_handle, tid_handle, scratch } = worker;
-        // Conditional quiescent points: transaction boundaries are where
+        let Worker { db, epoch_handle, scratch } = worker;
+        // Conditional quiescent point: transaction boundaries are where
         // workers hold no epoch-protected references.
-        let guard_gc = gc_handle.pin();
-        let guard_rcu = rcu_handle.pin();
-        let guard_tid = tid_handle.pin();
+        let guard = epoch_handle.pin();
         let begin = db.inner.log.tail_lsn();
         let (tid, _ctx) = db.inner.tid.acquire(begin, &mut scratch.tid_hint);
         scratch.logbuf.clear();
+        scratch.keys.clear();
         Transaction {
             db,
-            scratch,
-            guard_gc,
-            guard_rcu,
-            _guard_tid: guard_tid,
+            guard,
             tid,
             begin,
             isolation,
             pstamp: 0,
             sstamp: Lsn::MAX.raw(),
-            reads: Vec::new(),
-            writes: Vec::new(),
-            secondary: Vec::new(),
-            node_set: Vec::new(),
+            reads: std::mem::take(&mut scratch.reads),
+            writes: std::mem::take(&mut scratch.writes),
+            secondary: std::mem::take(&mut scratch.secondary),
+            node_set: std::mem::take(&mut scratch.node_set),
+            scratch,
             doomed: None,
             finished: false,
         }
@@ -146,25 +176,27 @@ impl<'w> Transaction<'w> {
         self.isolation == IsolationLevel::Serializable
     }
 
-    /// Indices of node-set entries for `tree` that are currently valid.
-    /// Captured immediately before one of our own inserts so that
-    /// [`Transaction::refresh_node_set`] can distinguish self-inflicted
-    /// version bumps from genuine concurrent phantoms.
-    fn valid_node_entries(&self, tree: &Arc<BTree>) -> Vec<usize> {
-        self.node_set
-            .iter()
-            .enumerate()
-            .filter(|(_, (t2, snap))| Arc::ptr_eq(t2, tree) && t2.validate(snap))
-            .map(|(i, _)| i)
-            .collect()
+    /// Record (into `scratch.valid_idx`) the indices of node-set entries
+    /// for `tree` that are currently valid. Captured immediately before
+    /// one of our own inserts so that [`Transaction::refresh_node_set`]
+    /// can distinguish self-inflicted version bumps from genuine
+    /// concurrent phantoms.
+    fn capture_valid_node_entries(&mut self, tree: &Arc<BTree>) {
+        let valid = &mut self.scratch.valid_idx;
+        valid.clear();
+        for (i, (t2, snap)) in self.node_set.iter().enumerate() {
+            if Arc::ptr_eq(t2, tree) && t2.validate(snap) {
+                valid.push(i);
+            }
+        }
     }
 
     /// Re-stamp entries that were valid before our own insert and are
     /// stale now: the change is (with overwhelming probability) ours.
     /// Entries already stale beforehand keep their old stamp and abort
     /// the transaction at pre-commit — a real phantom.
-    fn refresh_node_set(&mut self, valid_before: &[usize]) {
-        for &i in valid_before {
+    fn refresh_node_set(&mut self) {
+        for &i in &self.scratch.valid_idx {
             let (tree, snap) = &mut self.node_set[i];
             if !tree.validate(snap) {
                 tree.refresh_snapshot(snap);
@@ -303,7 +335,7 @@ impl<'w> Transaction<'w> {
         let t = self.db.table(table);
         let profile = self.db.inner.cfg.profile;
         let timer = Timed::start(profile);
-        let (oid, snap) = t.primary.get(&self.guard_rcu, key);
+        let (oid, snap) = t.primary.get(&self.guard, key);
         Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
         let Some(oid) = oid else {
             if self.serializable() {
@@ -334,7 +366,7 @@ impl<'w> Transaction<'w> {
         self.check_doomed()?;
         let idx = self.db.index(index);
         let t = self.db.table(idx.table);
-        let (oid, snap) = idx.tree.get(&self.guard_rcu, key);
+        let (oid, snap) = idx.tree.get(&self.guard, key);
         let Some(oid) = oid else {
             if self.serializable() {
                 self.node_set.push((Arc::clone(&idx.tree), snap));
@@ -359,7 +391,7 @@ impl<'w> Transaction<'w> {
         let t = self.db.table(table);
         let profile = self.db.inner.cfg.profile;
         let timer = Timed::start(profile);
-        let (oid, snap) = t.primary.get(&self.guard_rcu, key);
+        let (oid, snap) = t.primary.get(&self.guard, key);
         Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
         let Some(oid) = oid else {
             if self.serializable() {
@@ -377,7 +409,7 @@ impl<'w> Transaction<'w> {
     pub fn delete(&mut self, table: TableId, key: &[u8]) -> OpResult<bool> {
         self.check_doomed()?;
         let t = self.db.table(table);
-        let (oid, snap) = t.primary.get(&self.guard_rcu, key);
+        let (oid, snap) = t.primary.get(&self.guard, key);
         let Some(oid) = oid else {
             if self.serializable() {
                 self.node_set.push((Arc::clone(&t.primary), snap));
@@ -445,7 +477,7 @@ impl<'w> Transaction<'w> {
                     return Err(self.doom(AbortReason::SsnExclusion));
                 }
             }
-            let new = Version::alloc(
+            let new = self.scratch.versions.acquire(
                 Stamp::from_tid(self.tid),
                 value,
                 kind == WriteKind::Delete,
@@ -455,10 +487,11 @@ impl<'w> Transaction<'w> {
                 Ok(()) => {
                     self.log_op_if_per_op(t.id, oid, key, value, kind);
                     let kind = if kind == WriteKind::Insert { WriteKind::Update } else { kind };
+                    let key = KeyRef::stash(&mut self.scratch.keys, key);
                     self.writes.push(WriteEntry {
                         table: Arc::clone(t),
                         oid,
-                        key: key.to_vec().into_boxed_slice(),
+                        key,
                         new,
                         prev: head,
                         kind,
@@ -466,8 +499,10 @@ impl<'w> Transaction<'w> {
                     return Ok(true);
                 }
                 Err(_) => {
-                    // Another writer won the CAS: first-updater-wins.
-                    unsafe { drop(Box::from_raw(new)) };
+                    // Another writer won the CAS: first-updater-wins. The
+                    // version never became visible, so it goes straight
+                    // back to the cache.
+                    unsafe { self.scratch.versions.release_unpublished(new) };
                     return Err(self.doom(AbortReason::WriteWriteConflict));
                 }
             }
@@ -485,17 +520,22 @@ impl<'w> Transaction<'w> {
         kind: WriteKind,
     ) -> OpResult<bool> {
         let next = unsafe { (*head).next.load(Ordering::Relaxed) };
-        let new = Version::alloc(Stamp::from_tid(self.tid), value, kind == WriteKind::Delete);
+        let new = self.scratch.versions.acquire(
+            Stamp::from_tid(self.tid),
+            value,
+            kind == WriteKind::Delete,
+        );
         unsafe { (*new).next.store(next, Ordering::Relaxed) };
         t.oids
             .cas_head(oid, head, new)
             .expect("own uncommitted head cannot be displaced");
         // The old private version may still be referenced by concurrent
         // readers resolving visibility: mark it dead (+∞ stamp, so they
-        // skip it rather than spin or misread it post-commit) and retire.
+        // skip it rather than spin or misread it post-commit) and retire
+        // it into the reuse pool.
         unsafe {
             (*head).clsn.store(Stamp::from_lsn(Lsn::MAX).raw(), Ordering::Release);
-            self.guard_gc.defer_drop(head);
+            defer_release(&self.guard, &self.db.inner.versions, head);
         }
         let entry = self
             .writes
@@ -526,20 +566,21 @@ impl<'w> Transaction<'w> {
             // Obtain a new OID and publish the version, then index it
             // (§3.2 Insert: contention-free).
             let oid = t.oids.allocate();
-            let new = Version::alloc(Stamp::from_tid(self.tid), value, false);
+            let new = self.scratch.versions.acquire(Stamp::from_tid(self.tid), value, false);
             t.oids.store_head(oid, new);
-            let valid_before = self.valid_node_entries(&t.primary);
+            self.capture_valid_node_entries(&t.primary);
             let timer = Timed::start(profile);
-            let outcome = t.primary.insert(&self.guard_rcu, key, oid.0 as u64);
+            let outcome = t.primary.insert(&self.guard, key, oid.0 as u64);
             Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
             match outcome {
                 InsertOutcome::Inserted => {
-                    self.refresh_node_set(&valid_before);
+                    self.refresh_node_set();
                     self.log_op_if_per_op(t.id, oid, key, value, WriteKind::Insert);
+                    let key = KeyRef::stash(&mut self.scratch.keys, key);
                     self.writes.push(WriteEntry {
                         table: Arc::clone(&t),
                         oid,
-                        key: key.to_vec().into_boxed_slice(),
+                        key,
                         new,
                         prev: std::ptr::null_mut(),
                         kind: WriteKind::Insert,
@@ -547,9 +588,11 @@ impl<'w> Transaction<'w> {
                     return Ok(oid);
                 }
                 InsertOutcome::Duplicate(existing) => {
-                    // Unpublish our speculative record.
+                    // Unpublish our speculative record. It was reachable
+                    // through the array slot, so it must quiesce before
+                    // reuse.
                     t.oids.store_head(oid, std::ptr::null_mut());
-                    unsafe { self.guard_gc.defer_drop(new) };
+                    unsafe { defer_release(&self.guard, &self.db.inner.versions, new) };
                     t.oids.recycle(oid);
                     let existing = Oid(existing as u32);
                     // Revive if the visible version is a tombstone.
@@ -585,15 +628,12 @@ impl<'w> Transaction<'w> {
     pub fn insert_secondary(&mut self, index: IndexId, key: &[u8], oid: Oid) -> OpResult<()> {
         self.check_doomed()?;
         let idx = self.db.index(index);
-        let valid_before = self.valid_node_entries(&idx.tree);
-        match idx.tree.insert(&self.guard_rcu, key, oid.0 as u64) {
+        self.capture_valid_node_entries(&idx.tree);
+        match idx.tree.insert(&self.guard, key, oid.0 as u64) {
             InsertOutcome::Inserted => {
-                self.refresh_node_set(&valid_before);
-                self.secondary.push(SecondaryEntry {
-                    index: idx,
-                    key: key.to_vec().into_boxed_slice(),
-                    oid,
-                });
+                self.refresh_node_set();
+                let key = KeyRef::stash(&mut self.scratch.keys, key);
+                self.secondary.push(SecondaryEntry { index: idx, key, oid });
                 Ok(())
             }
             InsertOutcome::Duplicate(_) => Err(self.doom(AbortReason::DuplicateKey)),
@@ -631,7 +671,7 @@ impl<'w> Transaction<'w> {
                 let serializable = self.isolation == IsolationLevel::Serializable;
                 let tree = &idx.tree;
                 tree.scan(
-                    &self.guard_rcu,
+                    &self.guard,
                     &resume,
                     high,
                     |snap| {
@@ -721,7 +761,8 @@ impl<'w> Transaction<'w> {
         let timer = Timed::start(profile);
         let blob_threshold = db.inner.cfg.large_value_threshold;
         for w in &self.writes {
-            let (key, data, tombstone) = unsafe { (&w.key, &(*w.new).data, (*w.new).tombstone) };
+            let key = w.key.slice(&self.scratch.keys);
+            let (data, tombstone) = unsafe { (&(*w.new).data, (*w.new).tombstone) };
             // The entry coalesces every op this txn applied to the
             // record; what commits is the final version, so its tombstone
             // flag (not the entry kind) decides the record kind. An
@@ -747,7 +788,8 @@ impl<'w> Transaction<'w> {
             }
         }
         for s in &self.secondary {
-            self.scratch.logbuf.add_secondary_insert(s.index.table, s.index.id.0, s.oid, &s.key);
+            let key = s.key.slice(&self.scratch.keys);
+            self.scratch.logbuf.add_secondary_insert(s.index.table, s.index.id.0, s.oid, key);
         }
         let reservation = match db.inner.log.allocate(self.scratch.logbuf.block_len()) {
             Ok(r) => r,
@@ -910,9 +952,9 @@ impl<'w> Transaction<'w> {
             match w.kind {
                 WriteKind::Insert => {
                     // Remove the index entry, unpublish, recycle.
-                    w.table.primary.remove(&self.guard_rcu, &w.key);
+                    w.table.primary.remove(&self.guard, w.key.slice(&self.scratch.keys));
                     w.table.oids.store_head(w.oid, std::ptr::null_mut());
-                    unsafe { self.guard_gc.defer_drop(w.new) };
+                    unsafe { defer_release(&self.guard, &self.db.inner.versions, w.new) };
                     w.table.oids.recycle(w.oid);
                 }
                 WriteKind::Update | WriteKind::Delete => {
@@ -921,16 +963,18 @@ impl<'w> Transaction<'w> {
                         .oids
                         .cas_head(w.oid, w.new, w.prev)
                         .expect("uncommitted head owned by us");
-                    unsafe { self.guard_gc.defer_drop(w.new) };
+                    unsafe { defer_release(&self.guard, &self.db.inner.versions, w.new) };
                 }
             }
         }
         for s in self.secondary.drain(..).rev() {
-            s.index.tree.remove(&self.guard_rcu, &s.key);
+            s.index.tree.remove(&self.guard, s.key.slice(&self.scratch.keys));
         }
     }
 
-    /// Common epilogue: return resources and deregister.
+    /// Common epilogue: return resources, deregister, and hand the
+    /// (cleared, capacity-preserving) working sets back to the worker's
+    /// scratch for the next transaction.
     fn release(&mut self, committed: bool) {
         // The context may be released only after every TID-stamped
         // version has been re-stamped or unlinked (Stale inquiries then
@@ -942,6 +986,15 @@ impl<'w> Transaction<'w> {
             self.db.inner.aborts.fetch_add(1, Ordering::Relaxed);
         }
         self.scratch.breakdown.txns += 1;
+        self.reads.clear();
+        self.writes.clear();
+        self.secondary.clear();
+        self.node_set.clear();
+        self.scratch.reads = std::mem::take(&mut self.reads);
+        self.scratch.writes = std::mem::take(&mut self.writes);
+        self.scratch.secondary = std::mem::take(&mut self.secondary);
+        self.scratch.node_set = std::mem::take(&mut self.node_set);
+        self.scratch.keys.clear();
         self.finished = true;
     }
 }

@@ -1,40 +1,63 @@
 //! Worker threads: per-thread engine state.
 //!
-//! When a transaction enters the system it joins three epoch-based
-//! resource managers — log, TID, and garbage collection (§3.1
-//! *Initialization*). A [`Worker`] holds the thread's registrations with
-//! all three plus reusable scratch buffers, so beginning a transaction is
-//! allocation-free in the steady state.
+//! When a transaction enters the system it joins the epoch-based
+//! resource manager (§3.1 *Initialization*; the paper's three timescales
+//! share one unified timeline here). A [`Worker`] holds the thread's
+//! registration plus reusable scratch buffers — the transaction's read
+//! set, write set, node set, key arena, log buffer, and version cache
+//! all live here and are recycled across transactions, so beginning and
+//! committing a transaction is allocation-free in the steady state.
 
 use ermia_epoch::EpochHandle;
+use ermia_index::{BTree, LeafSnapshot};
 use ermia_log::TxLogBuffer;
+use ermia_storage::{Version, VersionCache};
 
 use crate::config::IsolationLevel;
 use crate::database::Database;
 use crate::profile::Breakdown;
-use crate::transaction::Transaction;
+use crate::transaction::{SecondaryEntry, Transaction, WriteEntry};
 
 /// Per-thread handle for running transactions against a [`Database`].
 pub struct Worker {
     pub(crate) db: Database,
-    pub(crate) gc_handle: EpochHandle,
-    pub(crate) rcu_handle: EpochHandle,
-    pub(crate) tid_handle: EpochHandle,
+    pub(crate) epoch_handle: EpochHandle,
     pub(crate) scratch: Scratch,
 }
 
 /// Mutable per-thread scratch reused across transactions.
+///
+/// The transaction working sets are *taken* out of here at begin
+/// (`std::mem::take` — a pointer move, no allocation), filled during the
+/// transaction, then cleared and returned at release so their capacity
+/// survives. Key bytes for the write set are bump-copied into `keys`,
+/// replacing a per-write boxed copy.
 pub(crate) struct Scratch {
     pub tid_hint: usize,
     pub logbuf: TxLogBuffer,
     pub breakdown: Breakdown,
+    pub reads: Vec<*mut Version>,
+    pub writes: Vec<WriteEntry>,
+    pub secondary: Vec<SecondaryEntry>,
+    pub node_set: Vec<(std::sync::Arc<BTree>, LeafSnapshot)>,
+    /// Reused index scratch for `valid_node_entries`.
+    pub valid_idx: Vec<usize>,
+    /// Bump arena backing the write/secondary sets' key bytes.
+    pub keys: Vec<u8>,
+    /// Per-worker cache over the database's shared version pool.
+    pub versions: VersionCache,
 }
+
+// SAFETY: the raw `Version` pointers held here are only dereferenced by
+// the owning worker thread while its transaction is live (under an epoch
+// pin); between transactions every set is empty and the version cache
+// holds only quiesced nodes it exclusively owns. Moving the Worker to
+// another thread at rest therefore transfers sole ownership.
+unsafe impl Send for Scratch {}
 
 impl Worker {
     pub(crate) fn new(db: Database) -> Worker {
-        let gc_handle = db.inner.gc_epoch.register();
-        let rcu_handle = db.inner.rcu_epoch.register();
-        let tid_handle = db.inner.tid_epoch.register();
+        let epoch_handle = db.inner.epoch.register();
         // Scatter TID probe cursors across the table.
         let tid_hint = {
             use std::hash::{Hash, Hasher};
@@ -42,12 +65,22 @@ impl Worker {
             std::thread::current().id().hash(&mut h);
             (h.finish() as usize) % ermia_common::ids::TID_TABLE_CAPACITY
         };
+        let versions = VersionCache::new(std::sync::Arc::clone(&db.inner.versions));
         Worker {
             db,
-            gc_handle,
-            rcu_handle,
-            tid_handle,
-            scratch: Scratch { tid_hint, logbuf: TxLogBuffer::new(), breakdown: Breakdown::default() },
+            epoch_handle,
+            scratch: Scratch {
+                tid_hint,
+                logbuf: TxLogBuffer::new(),
+                breakdown: Breakdown::default(),
+                reads: Vec::new(),
+                writes: Vec::new(),
+                secondary: Vec::new(),
+                node_set: Vec::new(),
+                valid_idx: Vec::new(),
+                keys: Vec::new(),
+                versions,
+            },
         }
     }
 
@@ -64,6 +97,12 @@ impl Worker {
 
     pub fn reset_breakdown(&mut self) {
         self.scratch.breakdown = Breakdown::default();
+    }
+
+    /// Versions served from the worker's reuse cache instead of the
+    /// allocator (steady-state write paths should climb this).
+    pub fn versions_reused(&self) -> u64 {
+        self.scratch.versions.reused()
     }
 
     /// The owning database.

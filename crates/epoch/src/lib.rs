@@ -1,11 +1,23 @@
 //! Epoch-based resource management (paper §3.4).
 //!
-//! ERMIA instantiates several epoch managers, all running at different time
-//! scales, to simplify all types of resource management in the system: a
-//! multi-transaction-scale manager drives garbage collection of dead
-//! versions, a medium-scale manager implements RCU for physical memory and
-//! data-structure reclamation, and a very short-timescale manager guards
-//! transaction-ID recycling.
+//! The paper instantiates several epoch managers, all running at
+//! different time scales, to simplify all types of resource management in
+//! the system: a multi-transaction-scale manager drives garbage
+//! collection of dead versions, a medium-scale manager implements RCU for
+//! physical memory and data-structure reclamation, and a very
+//! short-timescale manager guards transaction-ID recycling.
+//!
+//! This engine runs all three duties on **one unified manager**. Every
+//! transaction pinned all three timescales in lockstep at the same
+//! boundaries (begin/end), so the per-timescale epochs could never
+//! diverge in a way that mattered for safety — any resource that has
+//! quiesced on one timeline has quiesced on all of them. Collapsing them
+//! turns three pin/unpin pairs per transaction into one, at the cost of
+//! reclaiming short-lived resources (TID contexts) at the cadence of the
+//! fastest old timescale — which is exactly the tick rate the unified
+//! ticker runs at. Multiple managers remain fully supported (and are
+//! exercised by tests): a manager is just a named instance, and guards
+//! from different managers can nest freely.
 //!
 //! The design follows the paper's three especially useful characteristics:
 //!

@@ -228,6 +228,38 @@ fn concurrent_defer_and_collect_stress() {
 }
 
 #[test]
+fn unified_manager_protects_all_timescales_under_one_pin() {
+    // The engine collapses the paper's three per-timescale managers (gc,
+    // rcu, tid) into one. The safety argument: a single pin taken at the
+    // transaction boundary must hold back reclamation of *every* resource
+    // class at once, and releasing it must let all of them retire.
+    let mgr = EpochManager::new("unified");
+    let reader = mgr.register();
+    let retirer = mgr.register();
+
+    let freed = Arc::new(AtomicUsize::new(0));
+    let pin = reader.pin(); // a transaction's single unified pin
+
+    // Three resource classes retired while the pin is held.
+    for _class in ["version", "tree-node", "tid-ctx"] {
+        let freed = Arc::clone(&freed);
+        retirer.pin().defer(move || {
+            freed.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    for _ in 0..5 {
+        mgr.advance_and_collect();
+    }
+    assert_eq!(freed.load(Ordering::SeqCst), 0, "pin must protect every class");
+
+    drop(pin);
+    for _ in 0..3 {
+        mgr.advance_and_collect();
+    }
+    assert_eq!(freed.load(Ordering::SeqCst), 3, "all classes retire after unpin");
+}
+
+#[test]
 fn straggler_blocks_reclamation_but_not_safety() {
     let mgr = EpochManager::new("t");
     let straggler = mgr.register();

@@ -23,6 +23,11 @@ pub struct RingBuffer {
     /// Prefix that the flusher has drained to stable storage (or
     /// discarded, for dead zones / in-memory logs).
     flushed: AtomicU64,
+    /// Lowest logical offset a durability waiter is parked on
+    /// (`u64::MAX` when nobody waits). Maintained by the log manager's
+    /// waiter registry; `mark_filled` wakes the flusher the moment the
+    /// filled watermark covers it, regardless of batch size.
+    demand: AtomicU64,
     /// Set when the flusher dies on an unrecoverable I/O error: space
     /// will never free up again, so waiters must give up.
     poisoned: AtomicBool,
@@ -53,6 +58,7 @@ impl RingBuffer {
             data: vec![0u8; cap as usize].into_boxed_slice(),
             filled: AtomicU64::new(start),
             flushed: AtomicU64::new(start),
+            demand: AtomicU64::new(u64::MAX),
             poisoned: AtomicBool::new(false),
             state: Mutex::new(FillState { pending: BTreeMap::new() }),
             filled_cv: Condvar::new(),
@@ -90,11 +96,34 @@ impl RingBuffer {
         self.poisoned.load(Ordering::Acquire)
     }
 
+    /// Publish the lowest durability target anyone is waiting on
+    /// (`u64::MAX` when the waiter list is empty). Owned by the log
+    /// manager's waiter registry, which updates it under its own lock.
+    #[inline]
+    pub fn set_demand(&self, lowest_target: u64) {
+        self.demand.store(lowest_target, Ordering::Release);
+    }
+
+    /// Wake the flusher if the filled watermark already covers `target`.
+    /// A durability waiter calls this right after registering: the fill
+    /// that should trigger the flush may have happened before the demand
+    /// was visible, in which case `mark_filled` stayed quiet.
+    pub fn kick_if_filled(&self, target: u64) {
+        if self.filled() >= target {
+            let _state = self.state.lock();
+            self.filled_cv.notify_all();
+        }
+    }
+
     /// Block until the ring can hold bytes up to logical offset `end`
     /// (i.e. `end - flushed <= cap`). Called once per reservation; in the
     /// common case (log buffer not full) this is a single atomic load.
     /// Returns `false` if the buffer was poisoned while (or before)
     /// waiting — the space will never become available.
+    ///
+    /// Parks on precise `space_cv` notifications: `mark_flushed` advances
+    /// the watermark under the state lock and notifies, and `poison`
+    /// wakes everyone, so no poll timeout is needed.
     #[must_use]
     pub fn wait_for_space(&self, end: u64) -> bool {
         if end.saturating_sub(self.flushed()) <= self.cap {
@@ -105,7 +134,7 @@ impl RingBuffer {
             if self.is_poisoned() {
                 return false;
             }
-            self.space_cv.wait_for(&mut state, Duration::from_millis(10));
+            self.space_cv.wait(&mut state);
         }
         !self.is_poisoned()
     }
@@ -152,11 +181,16 @@ impl RingBuffer {
             }
             self.filled.store(end, Ordering::Release);
             drop(state);
-            // Wake the flusher only when a meaningful batch accumulated;
-            // its periodic timeout drains the tail (group commit). A wake
-            // per commit would cost a scheduler round trip per
-            // transaction.
-            if end.saturating_sub(self.flushed()) >= self.cap / 4 {
+            // Wake the flusher when a meaningful batch accumulated (its
+            // periodic timeout drains the idle tail — group commit), or
+            // *immediately* when the new watermark covers a registered
+            // durability target: a synchronous committer is parked on
+            // this very range and every microsecond of flusher sleep is
+            // added commit latency. With no demand, a wake per commit
+            // would cost a scheduler round trip per transaction.
+            if end.saturating_sub(self.flushed()) >= self.cap / 4
+                || end >= self.demand.load(Ordering::Acquire)
+            {
                 self.filled_cv.notify_all();
             }
         } else {
@@ -208,8 +242,12 @@ impl RingBuffer {
     }
 
     /// Flusher side: advance the flushed watermark and wake space waiters.
+    /// The store happens under the state lock so a concurrent
+    /// [`RingBuffer::wait_for_space`] cannot check a stale watermark and
+    /// then miss this notification (precise wakeups need the handshake).
     pub fn mark_flushed(&self, to: u64) {
         debug_assert!(to <= self.filled());
+        let _state = self.state.lock();
         self.flushed.store(to, Ordering::Release);
         self.space_cv.notify_all();
     }
@@ -279,6 +317,36 @@ mod tests {
         let rb = RingBuffer::new(64, 0);
         let got = rb.wait_filled(0, Duration::from_millis(5));
         assert_eq!(got, 0);
+    }
+
+    #[test]
+    fn space_waiter_wake_latency_is_precise() {
+        // Regression: space waiters used to poll on a 10ms timeout, so a
+        // blocked writer woke up to 10ms after space freed. With precise
+        // notifications the median wake must sit far below that.
+        const ROUNDS: usize = 15;
+        let mut latencies = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let rb = std::sync::Arc::new(RingBuffer::new(100, 0));
+            rb.write(0, &[1; 100]);
+            let rb2 = std::sync::Arc::clone(&rb);
+            let t = std::thread::spawn(move || {
+                assert!(rb2.wait_for_space(200));
+                std::time::Instant::now()
+            });
+            // Let the waiter park.
+            std::thread::sleep(Duration::from_millis(2));
+            let released = std::time::Instant::now();
+            rb.mark_flushed(100);
+            let woke = t.join().unwrap();
+            latencies.push(woke.duration_since(released));
+        }
+        latencies.sort();
+        let median = latencies[ROUNDS / 2];
+        assert!(
+            median < Duration::from_millis(5),
+            "median wake latency {median:?} suggests polling, not precise wakeups"
+        );
     }
 
     #[test]

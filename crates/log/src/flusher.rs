@@ -5,6 +5,17 @@
 //! watermark and wakes committers waiting in
 //! [`crate::LogManager::wait_durable`].
 //!
+//! # Demand-driven batching
+//!
+//! The flusher is woken two ways: by `mark_filled` once a quarter of the
+//! ring has accumulated (throughput batching when nobody is waiting), or
+//! *immediately* when the filled watermark covers the lowest registered
+//! durability target (latency when someone is). Each batch drains the
+//! whole filled prefix, so one pass always covers every waiter whose
+//! block is in the buffer; after the batch, exactly the waiters whose
+//! targets the new durable watermark covers are woken — each on its own
+//! condvar, no thundering herd.
+//!
 //! # Failure handling
 //!
 //! Segment writes that fail with a *transient* error (`Interrupted`,
@@ -54,9 +65,8 @@ fn run(inner: &LogInner) {
         inner.durable.store(hi, Ordering::Release);
         inner.stats.flush_batches.fetch_add(1, Ordering::Relaxed);
         inner.stats.flushed_bytes.fetch_add(hi - flushed, Ordering::Relaxed);
-        // Wake group-commit waiters.
-        let _g = inner.durable_mx.lock();
-        inner.durable_cv.notify_all();
+        // Wake exactly the group-commit waiters this batch satisfied.
+        inner.notify_durable(hi);
         flushed = hi;
     }
 }
@@ -70,8 +80,7 @@ fn poison(inner: &LogInner, err: &io::Error) {
     inner.poisoned.store(true, Ordering::Release);
     inner.stats.log_poisoned.store(1, Ordering::Release);
     inner.buffer.poison();
-    let _g = inner.durable_mx.lock();
-    inner.durable_cv.notify_all();
+    inner.notify_all_waiters();
 }
 
 fn is_transient(kind: io::ErrorKind) -> bool {

@@ -154,6 +154,28 @@ const FLAG_INDIRECT: u8 = 0b1;
 
 pub const RECORD_HEADER_LEN: usize = 16;
 
+/// Encode one record from its parts — the single definition of the wire
+/// format, shared by [`LogRecord::encode_into`] and the allocation-free
+/// [`crate::TxLogBuffer`] serializer.
+pub fn encode_record_into(
+    out: &mut Vec<u8>,
+    kind: LogRecordKind,
+    table: TableId,
+    oid: Oid,
+    indirect: bool,
+    key: &[u8],
+    value: &[u8],
+) {
+    out.push(kind as u8);
+    out.push(if indirect { FLAG_INDIRECT } else { 0 });
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(&table.0.to_le_bytes());
+    out.extend_from_slice(&oid.0.to_le_bytes());
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+}
+
 impl LogRecord {
     /// Serialized length of this record.
     pub fn encoded_len(&self) -> usize {
@@ -161,14 +183,7 @@ impl LogRecord {
     }
 
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        out.push(self.kind as u8);
-        out.push(if self.indirect { FLAG_INDIRECT } else { 0 });
-        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
-        out.extend_from_slice(&self.table.0.to_le_bytes());
-        out.extend_from_slice(&self.oid.0.to_le_bytes());
-        out.extend_from_slice(&(self.value.len() as u32).to_le_bytes());
-        out.extend_from_slice(&self.key);
-        out.extend_from_slice(&self.value);
+        encode_record_into(out, self.kind, self.table, self.oid, self.indirect, &self.key, &self.value);
     }
 
     /// Decode one record at `buf[pos..]`, returning it and the position of

@@ -4,21 +4,55 @@
 //! and deletes privately to avoid log-buffer contention, then serializes
 //! them as one block into the space reserved by its single commit-time
 //! `fetch_add`.
+//!
+//! The buffer is **allocation-free in the steady state**: record metadata
+//! lives in a reused `Vec<RecordMeta>` and key/value bytes are bump-
+//! copied into a reused flat arena, so a worker that recycles one
+//! `TxLogBuffer` across transactions stops touching the allocator once
+//! the high-water capacity is reached (the previous design allocated two
+//! `Vec<u8>`s per logged record).
 
 use ermia_common::{Lsn, Oid, TableId};
 
 use crate::records::{
-    checksum32, BlockKind, LogBlockHeader, LogRecord, LogRecordKind, BLOCK_HEADER_LEN,
-    MIN_BLOCK_LEN,
+    checksum32, encode_record_into, BlockKind, LogBlockHeader, LogRecordKind, BLOCK_HEADER_LEN,
+    MIN_BLOCK_LEN, RECORD_HEADER_LEN,
 };
+
+/// Metadata for one buffered record; its key/value bytes live in the
+/// shared arena at the recorded ranges.
+#[derive(Clone, Copy)]
+struct RecordMeta {
+    kind: LogRecordKind,
+    table: TableId,
+    oid: Oid,
+    indirect: bool,
+    key_start: u32,
+    key_len: u32,
+    val_len: u32,
+}
+
+/// A borrowed view of one buffered record (tests, post-commit walks).
+#[derive(Clone, Copy, Debug)]
+pub struct TxRecordView<'a> {
+    pub kind: LogRecordKind,
+    pub table: TableId,
+    pub oid: Oid,
+    pub indirect: bool,
+    pub key: &'a [u8],
+    pub value: &'a [u8],
+}
 
 /// A transaction's private log buffer.
 ///
 /// Reused across transactions by the worker thread ([`TxLogBuffer::clear`])
-/// so steady-state operation allocates only for record payload copies.
+/// so steady-state operation performs no heap allocation at all.
 #[derive(Default)]
 pub struct TxLogBuffer {
-    records: Vec<LogRecord>,
+    metas: Vec<RecordMeta>,
+    /// Bump arena: each record's key bytes immediately followed by its
+    /// value bytes.
+    arena: Vec<u8>,
     payload_bytes: usize,
     scratch: Vec<u8>,
 }
@@ -29,20 +63,20 @@ impl TxLogBuffer {
     }
 
     pub fn add_insert(&mut self, table: TableId, oid: Oid, key: &[u8], value: &[u8]) {
-        self.push(LogRecordKind::Insert, table, oid, key, value);
+        self.push(LogRecordKind::Insert, table, oid, key, value, false);
     }
 
     pub fn add_update(&mut self, table: TableId, oid: Oid, key: &[u8], value: &[u8]) {
-        self.push(LogRecordKind::Update, table, oid, key, value);
+        self.push(LogRecordKind::Update, table, oid, key, value, false);
     }
 
     pub fn add_delete(&mut self, table: TableId, oid: Oid, key: &[u8]) {
-        self.push(LogRecordKind::Delete, table, oid, key, &[]);
+        self.push(LogRecordKind::Delete, table, oid, key, &[], false);
     }
 
     /// Record a secondary-index entry so recovery can rebuild the index.
     pub fn add_secondary_insert(&mut self, table: TableId, index_raw: u32, oid: Oid, key: &[u8]) {
-        self.push(LogRecordKind::SecondaryInsert, table, oid, key, &index_raw.to_le_bytes());
+        self.push(LogRecordKind::SecondaryInsert, table, oid, key, &index_raw.to_le_bytes(), false);
     }
 
     /// Log an insert/update whose value was diverted to the blob store;
@@ -55,38 +89,56 @@ impl TxLogBuffer {
         key: &[u8],
         blob_ref: &[u8],
     ) {
-        let rec = LogRecord {
+        self.push(kind, table, oid, key, blob_ref, true);
+    }
+
+    fn push(
+        &mut self,
+        kind: LogRecordKind,
+        table: TableId,
+        oid: Oid,
+        key: &[u8],
+        value: &[u8],
+        indirect: bool,
+    ) {
+        let key_start = self.arena.len() as u32;
+        self.arena.extend_from_slice(key);
+        self.arena.extend_from_slice(value);
+        self.metas.push(RecordMeta {
             kind,
             table,
             oid,
-            key: key.to_vec(),
-            value: blob_ref.to_vec(),
-            indirect: true,
-        };
-        self.payload_bytes += rec.encoded_len();
-        self.records.push(rec);
-    }
-
-    fn push(&mut self, kind: LogRecordKind, table: TableId, oid: Oid, key: &[u8], value: &[u8]) {
-        let rec =
-            LogRecord { kind, table, oid, key: key.to_vec(), value: value.to_vec(), indirect: false };
-        self.payload_bytes += rec.encoded_len();
-        self.records.push(rec);
+            indirect,
+            key_start,
+            key_len: key.len() as u32,
+            val_len: value.len() as u32,
+        });
+        self.payload_bytes += RECORD_HEADER_LEN + key.len() + value.len();
     }
 
     /// Number of buffered records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.metas.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.metas.is_empty()
     }
 
-    /// Iterate the buffered records (post-commit walks them to re-stamp
-    /// versions; tests inspect them).
-    pub fn records(&self) -> &[LogRecord] {
-        &self.records
+    /// Visit the buffered records in order (tests inspect them).
+    pub fn for_each_record(&self, mut f: impl FnMut(TxRecordView<'_>)) {
+        for m in &self.metas {
+            let ks = m.key_start as usize;
+            let vs = ks + m.key_len as usize;
+            f(TxRecordView {
+                kind: m.kind,
+                table: m.table,
+                oid: m.oid,
+                indirect: m.indirect,
+                key: &self.arena[ks..vs],
+                value: &self.arena[vs..vs + m.val_len as usize],
+            });
+        }
     }
 
     /// The block length a commit must reserve: header + records, rounded
@@ -103,14 +155,24 @@ impl TxLogBuffer {
         let total = self.block_len();
         self.scratch.clear();
         self.scratch.resize(BLOCK_HEADER_LEN, 0);
-        for rec in &self.records {
-            rec.encode_into(&mut self.scratch);
+        for m in &self.metas {
+            let ks = m.key_start as usize;
+            let vs = ks + m.key_len as usize;
+            encode_record_into(
+                &mut self.scratch,
+                m.kind,
+                m.table,
+                m.oid,
+                m.indirect,
+                &self.arena[ks..vs],
+                &self.arena[vs..vs + m.val_len as usize],
+            );
         }
         self.scratch.resize(total, 0); // zero pad to block granularity
         let checksum = checksum32(&self.scratch[BLOCK_HEADER_LEN..]);
         let header = LogBlockHeader {
             kind: BlockKind::Txn,
-            nrec: self.records.len() as u16,
+            nrec: self.metas.len() as u16,
             len: total as u32,
             checksum,
             cstamp,
@@ -122,9 +184,10 @@ impl TxLogBuffer {
         &self.scratch
     }
 
-    /// Reset for the next transaction, keeping buffer capacity.
+    /// Reset for the next transaction, keeping all buffer capacity.
     pub fn clear(&mut self) {
-        self.records.clear();
+        self.metas.clear();
+        self.arena.clear();
         self.payload_bytes = 0;
     }
 }
@@ -132,7 +195,7 @@ impl TxLogBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::records::LogBlockHeader;
+    use crate::records::{LogBlockHeader, LogRecord};
 
     #[test]
     fn block_len_is_padded() {
@@ -174,11 +237,49 @@ mod tests {
     }
 
     #[test]
+    fn record_views_expose_buffered_contents() {
+        let mut b = TxLogBuffer::new();
+        b.add_update(TableId(3), Oid(7), b"key7", b"val7");
+        b.add_indirect(LogRecordKind::Update, TableId(3), Oid(8), b"key8", b"blobref");
+        let mut seen = Vec::new();
+        b.for_each_record(|r| seen.push((r.oid, r.key.to_vec(), r.value.to_vec(), r.indirect)));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (Oid(7), b"key7".to_vec(), b"val7".to_vec(), false));
+        assert_eq!(seen[1], (Oid(8), b"key8".to_vec(), b"blobref".to_vec(), true));
+    }
+
+    #[test]
     fn clear_resets_but_keeps_capacity() {
         let mut b = TxLogBuffer::new();
         b.add_insert(TableId(1), Oid(1), b"k", b"v");
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.block_len(), BLOCK_HEADER_LEN);
+    }
+
+    #[test]
+    fn steady_state_reuse_does_not_grow() {
+        let mut b = TxLogBuffer::new();
+        for round in 0..50u32 {
+            b.clear();
+            for i in 0..8u32 {
+                b.add_update(TableId(1), Oid(i), &i.to_le_bytes(), &round.to_le_bytes());
+            }
+            let _ = b.serialize(Lsn::from_parts(round as u64 + 1, 0));
+            if round == 0 {
+                // Capture high-water capacities after the first round.
+                let caps = (b.metas.capacity(), b.arena.capacity(), b.scratch.capacity());
+                b.clear();
+                for i in 0..8u32 {
+                    b.add_update(TableId(1), Oid(i), &i.to_le_bytes(), &round.to_le_bytes());
+                }
+                let _ = b.serialize(Lsn::from_parts(2, 0));
+                assert_eq!(
+                    caps,
+                    (b.metas.capacity(), b.arena.capacity(), b.scratch.capacity()),
+                    "reuse must not grow the buffers"
+                );
+            }
+        }
     }
 }

@@ -10,7 +10,9 @@
 //! Reclamation is two-phase: the collector unlinks the dead suffix of a
 //! chain (making it unreachable to new traversals) and retires each node
 //! through the epoch manager, which frees it only after all possibly-
-//! referencing threads have quiesced.
+//! referencing threads have quiesced. When a [`VersionPool`] is supplied,
+//! quiesced nodes are released into it instead of freed, seeding the
+//! workers' allocation-free version caches.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,7 +22,7 @@ use ermia_common::{Lsn, Stamp};
 use ermia_epoch::EpochManager;
 
 use crate::oid_array::OidArray;
-use crate::version::Version;
+use crate::version::{defer_release, Version, VersionPool};
 
 /// Collector statistics.
 #[derive(Debug, Default)]
@@ -41,12 +43,14 @@ pub struct GarbageCollector {
 impl GarbageCollector {
     /// Start collecting over `arrays`. `horizon` supplies the current
     /// reclamation horizon (min active begin timestamp); `epoch` is the
-    /// GC-timescale epoch manager versions are retired through.
+    /// epoch manager versions are retired through; `pool`, when present,
+    /// receives quiesced nodes for worker reuse instead of freeing them.
     pub fn start(
         arrays: Vec<Arc<OidArray>>,
         epoch: EpochManager,
         horizon: impl Fn() -> Lsn + Send + 'static,
         interval: Duration,
+        pool: Option<Arc<VersionPool>>,
     ) -> GarbageCollector {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(GcStats::default());
@@ -61,7 +65,7 @@ impl GarbageCollector {
                     let mut reclaimed = 0;
                     for arr in &arrays {
                         let guard = handle.pin();
-                        reclaimed += sweep_array(arr, h, &guard);
+                        reclaimed += sweep_array(arr, h, &guard, pool.as_ref());
                         drop(guard);
                         epoch.advance_and_collect();
                     }
@@ -90,10 +94,15 @@ impl Drop for GarbageCollector {
 
 /// One pass over an array: truncate every chain behind its horizon
 /// version. Returns the number of versions retired.
-pub fn sweep_array(arr: &OidArray, horizon: Lsn, guard: &ermia_epoch::Guard<'_>) -> u64 {
+pub fn sweep_array(
+    arr: &OidArray,
+    horizon: Lsn,
+    guard: &ermia_epoch::Guard<'_>,
+    pool: Option<&Arc<VersionPool>>,
+) -> u64 {
     let mut reclaimed = 0;
     arr.for_each(|_oid, head| {
-        reclaimed += sweep_chain(head, horizon, guard);
+        reclaimed += sweep_chain(head, horizon, guard, pool);
     });
     reclaimed
 }
@@ -102,7 +111,12 @@ pub fn sweep_array(arr: &OidArray, horizon: Lsn, guard: &ermia_epoch::Guard<'_>)
 /// strictly below `horizon` — the boundary every active and future
 /// snapshot reads (visibility is `cstamp < begin`, so the comparison
 /// here must be strict too) — and retire everything older than it.
-fn sweep_chain(head: *mut Version, horizon: Lsn, guard: &ermia_epoch::Guard<'_>) -> u64 {
+fn sweep_chain(
+    head: *mut Version,
+    horizon: Lsn,
+    guard: &ermia_epoch::Guard<'_>,
+    pool: Option<&Arc<VersionPool>>,
+) -> u64 {
     let mut boundary: *mut Version = head;
     // Walk to the boundary. TID-stamped (in-flight) and too-new versions
     // must all stay.
@@ -125,7 +139,10 @@ fn sweep_chain(head: *mut Version, horizon: Lsn, guard: &ermia_epoch::Guard<'_>)
         let next = unsafe { (*dead).next.load(Ordering::Acquire) };
         // SAFETY: unlinked above; traversals that already hold the
         // pointer are protected by their epoch pins.
-        unsafe { guard.defer_drop(dead) };
+        match pool {
+            Some(p) => unsafe { defer_release(guard, p, dead) },
+            None => unsafe { guard.defer_drop(dead) },
+        }
         dead = next;
         n += 1;
     }

@@ -29,7 +29,7 @@ pub mod version;
 pub use gc::{GcStats, GarbageCollector};
 pub use oid_array::OidArray;
 pub use tid::{TidManager, TidStatus, TxContext};
-pub use version::Version;
+pub use version::{defer_release, Version, VersionCache, VersionPool};
 
 #[cfg(test)]
 mod tests;

@@ -6,11 +6,16 @@
 //! blocks readers. OID allocation is "completely contention-free: it
 //! simply means writing to an element in an array because no two threads
 //! will be allocated the same new OID".
+//!
+//! Recycled OIDs live on a lock-free intrusive stack: the "next" links
+//! are stored in a parallel paged `AtomicU32` array indexed by OID (a
+//! free OID's slot points at the next free OID), and the stack head packs
+//! a 32-bit ABA tag with the top OID into one `AtomicU64`. Push and pop
+//! are single CAS loops — no mutex on the allocation path.
 
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 use ermia_common::Oid;
-use parking_lot::Mutex;
 
 use crate::version::Version;
 
@@ -19,6 +24,10 @@ const PAGE_SHIFT: u32 = 14;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// Max pages (2^14 pages × 2^14 slots = 256M OIDs per table).
 const PAGE_COUNT: usize = 1 << 14;
+
+/// Free-stack terminator: OID 0 is reserved as "invalid" so it doubles
+/// as the empty-stack sentinel.
+const FREE_NIL: u32 = 0;
 
 struct Page {
     slots: Box<[AtomicU64]>,
@@ -31,12 +40,30 @@ impl Page {
     }
 }
 
+/// A page of free-stack "next" links, materialized the first time an OID
+/// in its range is recycled.
+struct FreePage {
+    next: Box<[AtomicU32]>,
+}
+
+impl FreePage {
+    fn alloc() -> *mut FreePage {
+        let next: Vec<AtomicU32> = (0..PAGE_SIZE).map(|_| AtomicU32::new(FREE_NIL)).collect();
+        Box::into_raw(Box::new(FreePage { next: next.into_boxed_slice() }))
+    }
+}
+
 /// One table's indirection array.
 pub struct OidArray {
     pages: Box<[AtomicPtr<Page>]>,
     next_oid: AtomicU32,
-    /// OIDs recycled by the garbage collector.
-    free: Mutex<Vec<Oid>>,
+    /// Head of the free stack: `(aba_tag << 32) | top_oid`. The tag
+    /// increments on every successful update, so a pop's CAS cannot
+    /// succeed against a head that was popped and re-pushed in between
+    /// (the classic ABA interleaving that corrupts Treiber stacks).
+    free_head: AtomicU64,
+    /// Intrusive next links for the free stack, paged like `pages`.
+    free_pages: Box<[AtomicPtr<FreePage>]>,
 }
 
 impl Default for OidArray {
@@ -45,31 +72,87 @@ impl Default for OidArray {
     }
 }
 
+#[inline]
+fn pack_head(tag: u64, oid: u32) -> u64 {
+    (tag << 32) | oid as u64
+}
+
+#[inline]
+fn unpack_head(head: u64) -> (u64, u32) {
+    (head >> 32, head as u32)
+}
+
 impl OidArray {
     pub fn new() -> OidArray {
         let pages: Vec<AtomicPtr<Page>> =
+            (0..PAGE_COUNT).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        let free_pages: Vec<AtomicPtr<FreePage>> =
             (0..PAGE_COUNT).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
         OidArray {
             pages: pages.into_boxed_slice(),
             // OID 0 is reserved as "invalid".
             next_oid: AtomicU32::new(1),
-            free: Mutex::new(Vec::new()),
+            free_head: AtomicU64::new(pack_head(0, FREE_NIL)),
+            free_pages: free_pages.into_boxed_slice(),
         }
     }
 
-    /// Allocate a fresh OID (recycled if the GC returned any).
+    /// Allocate a fresh OID: pop the lock-free free stack, falling back
+    /// to bumping the high-water mark (both contention-free paths).
     pub fn allocate(&self) -> Oid {
-        if let Some(oid) = self.free.lock().pop() {
-            return oid;
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack_head(head);
+            if top == FREE_NIL {
+                break;
+            }
+            let next = self.free_slot(Oid(top)).load(Ordering::Acquire);
+            match self.free_head.compare_exchange_weak(
+                head,
+                pack_head(tag.wrapping_add(1), next),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Oid(top),
+                Err(observed) => head = observed,
+            }
         }
         let oid = self.next_oid.fetch_add(1, Ordering::Relaxed);
         assert!((oid as usize) < PAGE_COUNT * PAGE_SIZE, "OID space exhausted");
         Oid(oid)
     }
 
-    /// Return an OID to the allocator (GC of deleted records).
+    /// Return an OID to the allocator (GC of deleted records). Lock-free
+    /// push onto the free stack.
     pub fn recycle(&self, oid: Oid) {
-        self.free.lock().push(oid);
+        debug_assert_ne!(oid.0, FREE_NIL, "cannot recycle the invalid OID");
+        let slot = self.free_slot(oid);
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack_head(head);
+            slot.store(top, Ordering::Release);
+            match self.free_head.compare_exchange_weak(
+                head,
+                pack_head(tag.wrapping_add(1), oid.0),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => head = observed,
+            }
+        }
+    }
+
+    /// Number of OIDs currently on the free stack (tests/stats; O(n) walk,
+    /// only meaningful when no concurrent allocate/recycle runs).
+    pub fn free_count(&self) -> usize {
+        let (_, mut top) = unpack_head(self.free_head.load(Ordering::Acquire));
+        let mut n = 0;
+        while top != FREE_NIL {
+            n += 1;
+            top = self.free_slot(Oid(top)).load(Ordering::Acquire);
+        }
+        n
     }
 
     /// Highest OID ever allocated plus one (iteration bound).
@@ -104,6 +187,33 @@ impl OidArray {
                 unsafe { &*existing }
             }
         }
+    }
+
+    /// The free-stack next link for `oid`, materializing its page on
+    /// demand (same CAS protocol as the slot pages).
+    fn free_slot(&self, oid: Oid) -> &AtomicU32 {
+        let pi = oid.index() >> PAGE_SHIFT;
+        let ptr = self.free_pages[pi].load(Ordering::Acquire);
+        let page = if !ptr.is_null() {
+            // SAFETY: free pages are never freed while the array lives.
+            unsafe { &*ptr }
+        } else {
+            let fresh = FreePage::alloc();
+            match self.free_pages[pi].compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe { &*fresh },
+                Err(existing) => {
+                    // SAFETY: `fresh` never escaped.
+                    unsafe { drop(Box::from_raw(fresh)) };
+                    unsafe { &*existing }
+                }
+            }
+        };
+        &page.next[oid.index() & (PAGE_SIZE - 1)]
     }
 
     #[inline]
@@ -180,6 +290,12 @@ impl Drop for OidArray {
                     }
                 }
                 drop(Box::from_raw(page));
+            }
+        }
+        for page_ptr in self.free_pages.iter() {
+            let page = page_ptr.load(Ordering::Relaxed);
+            if !page.is_null() {
+                unsafe { drop(Box::from_raw(page)) };
             }
         }
     }

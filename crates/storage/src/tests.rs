@@ -179,7 +179,7 @@ fn gc_truncates_dead_suffix() {
     // Horizon 35: versions ≤ 35 newest is 30; 20 and 10 are dead.
     let handle = epoch.register();
     let guard = handle.pin();
-    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(35, 0), &guard);
+    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(35, 0), &guard, None);
     drop(guard);
     assert_eq!(reclaimed, 2);
 
@@ -207,7 +207,7 @@ fn gc_keeps_everything_when_horizon_old() {
     let handle = epoch.register();
     let guard = handle.pin();
     // Horizon 5: no committed version ≤ 5 — nothing reclaimable.
-    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(5, 0), &guard);
+    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(5, 0), &guard, None);
     assert_eq!(reclaimed, 0);
 }
 
@@ -225,7 +225,7 @@ fn gc_skips_inflight_heads() {
 
     let handle = epoch.register();
     let guard = handle.pin();
-    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(100, 0), &guard);
+    let reclaimed = crate::gc::sweep_array(&arr, Lsn::from_parts(100, 0), &guard, None);
     // Only version 10 dies (20 is the boundary; the in-flight head stays).
     assert_eq!(reclaimed, 1);
     assert_eq!(arr.head(oid), inflight);
@@ -242,6 +242,7 @@ fn background_collector_runs() {
         epoch.clone(),
         || Lsn::from_parts(1000, 0),
         Duration::from_millis(1),
+        None,
     );
     std::thread::sleep(Duration::from_millis(50));
     assert!(gc.stats().passes.load(Ordering::Relaxed) > 0);
@@ -264,5 +265,144 @@ fn version_stamp_transitions() {
     vref.raise_pstamp(10);
     vref.raise_pstamp(5);
     assert_eq!(vref.pstamp.load(Ordering::Relaxed), 10);
+    unsafe { drop(Box::from_raw(v)) };
+}
+
+#[test]
+fn oid_freelist_concurrent_churn_no_duplicates() {
+    // Hammer the lock-free free stack from several threads: each thread
+    // repeatedly allocates a batch and recycles it. At every instant each
+    // OID is held by at most one thread, so observing a duplicate inside
+    // a batch means the stack double-served an OID (ABA or lost update).
+    let arr = Arc::new(OidArray::new());
+    // Seed the free stack.
+    for _ in 0..64 {
+        let o = arr.allocate();
+        arr.recycle(o);
+    }
+    crossbeam::scope(|s| {
+        for _ in 0..4 {
+            let arr = Arc::clone(&arr);
+            s.spawn(move |_| {
+                let mut batch = Vec::with_capacity(8);
+                for _ in 0..10_000 {
+                    for _ in 0..8 {
+                        batch.push(arr.allocate());
+                    }
+                    let mut sorted = batch.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), batch.len(), "duplicate OID handed out");
+                    for o in batch.drain(..) {
+                        arr.recycle(o);
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn oid_free_count_reflects_recycles() {
+    let arr = OidArray::new();
+    let a = arr.allocate();
+    let b = arr.allocate();
+    assert_eq!(arr.free_count(), 0);
+    arr.recycle(a);
+    arr.recycle(b);
+    assert_eq!(arr.free_count(), 2);
+    // LIFO: last recycled comes back first.
+    assert_eq!(arr.allocate(), b);
+    assert_eq!(arr.free_count(), 1);
+}
+
+#[test]
+fn version_pool_recycles_and_caps() {
+    let pool = Arc::new(crate::VersionPool::new(2));
+    let mut cache = crate::VersionCache::new(Arc::clone(&pool));
+    // Fresh allocation path (pool empty).
+    let v1 = cache.acquire(Stamp::from_lsn(Lsn::from_parts(1, 0)), b"abcdef", false);
+    assert_eq!(cache.reused(), 0);
+    unsafe {
+        pool.release(v1);
+        let extra1 = Version::alloc(Stamp::from_lsn(Lsn::from_parts(2, 0)), b"x", false);
+        let extra2 = Version::alloc(Stamp::from_lsn(Lsn::from_parts(3, 0)), b"y", false);
+        pool.release(extra1);
+        pool.release(extra2); // over cap: freed, not pooled
+    }
+    assert_eq!(pool.pooled(), 2);
+    // Reuse path: the recycled node is reinitialized in place.
+    let v2 = cache.acquire(Stamp::from_lsn(Lsn::from_parts(9, 1)), b"zz", true);
+    assert_eq!(cache.reused(), 1);
+    let vref = unsafe { &*v2 };
+    assert_eq!(vref.stamp().as_lsn(), Lsn::from_parts(9, 1));
+    assert!(vref.tombstone);
+    assert_eq!(&vref.data[..], b"zz");
+    assert!(!vref.is_overwritten());
+    assert!(vref.next.load(Ordering::Acquire).is_null());
+    unsafe { drop(Box::from_raw(v2)) };
+    // Dropping the cache returns its local stash to the pool.
+    drop(cache);
+}
+
+#[test]
+fn gc_seeded_pool_feeds_reuse_under_concurrent_readers() {
+    // Readers traverse a chain while the GC truncates it into a pool;
+    // epoch quiescence must keep every node a reader can still hold
+    // alive, and the pool must end up holding the dead suffix.
+    let arr = Arc::new(OidArray::new());
+    let epoch = EpochManager::new("gc-pool");
+    let pool = Arc::new(crate::VersionPool::new(1024));
+    let oid = arr.allocate();
+    make_chain(&arr, oid, &[10, 20, 30, 50]);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    crossbeam::scope(|s| {
+        for _ in 0..3 {
+            let arr = Arc::clone(&arr);
+            let epoch = epoch.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move |_| {
+                let handle = epoch.register();
+                while !stop.load(Ordering::Acquire) {
+                    let guard = handle.pin();
+                    let mut p = arr.head(oid);
+                    let mut sum = 0u64;
+                    while !p.is_null() {
+                        let v = unsafe { &*p };
+                        sum += v.data.len() as u64; // touch payload
+                        p = v.next.load(Ordering::Acquire);
+                    }
+                    assert!(sum > 0);
+                    drop(guard);
+                }
+            });
+        }
+        // GC thread: sweep with the pool attached, then quiesce.
+        let handle = epoch.register();
+        let guard = handle.pin();
+        let reclaimed =
+            crate::gc::sweep_array(&arr, Lsn::from_parts(35, 0), &guard, Some(&pool));
+        drop(guard);
+        assert_eq!(reclaimed, 2);
+        for _ in 0..64 {
+            epoch.advance_and_collect();
+            if pool.pooled() == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Release);
+    })
+    .unwrap();
+    // Readers are gone; drain whatever quiescence still held back.
+    epoch.drain_all();
+    assert_eq!(pool.pooled(), 2, "dead suffix must land in the pool");
+
+    // And the pooled nodes are servable through a cache.
+    let mut cache = crate::VersionCache::new(Arc::clone(&pool));
+    let v = cache.acquire(Stamp::from_lsn(Lsn::from_parts(99, 0)), b"reborn", false);
+    assert_eq!(cache.reused(), 1);
     unsafe { drop(Box::from_raw(v)) };
 }

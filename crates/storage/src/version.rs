@@ -1,14 +1,20 @@
-//! Version chain nodes.
+//! Version chain nodes and their recycling pool.
+//!
+//! Versions are heap-allocated, linked newest-first from an indirection
+//! array slot, and reclaimed through the epoch manager once invisible to
+//! every active transaction. Instead of returning quiesced nodes to the
+//! global allocator, the GC seeds a [`VersionPool`]; workers draw from it
+//! through a per-worker [`VersionCache`] and reinitialize nodes in place,
+//! so the steady-state write path performs no heap allocation (the
+//! payload `Vec` keeps its capacity across reuses).
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ermia_common::{Lsn, Stamp};
+use parking_lot::Mutex;
 
 /// One version of a database record.
-///
-/// Versions are heap-allocated, linked newest-first from an indirection
-/// array slot, and reclaimed through the epoch manager once invisible to
-/// every active transaction.
 #[repr(C)]
 pub struct Version {
     /// Creation stamp: the creator's TID until post-commit, then the
@@ -25,8 +31,9 @@ pub struct Version {
     /// Tombstone marker — "delete is treated as an update with tombstone
     /// marking" (§3.2).
     pub tombstone: bool,
-    /// The record payload.
-    pub data: Box<[u8]>,
+    /// The record payload. A `Vec` (not `Box<[u8]>`) so a recycled node
+    /// can absorb a new payload without reallocating.
+    pub data: Vec<u8>,
 }
 
 impl Version {
@@ -39,8 +46,27 @@ impl Version {
             pstamp: AtomicU64::new(0),
             sstamp: AtomicU64::new(Lsn::MAX.raw()),
             tombstone,
-            data: data.to_vec().into_boxed_slice(),
+            data: data.to_vec(),
         }))
+    }
+
+    /// Reinitialize a recycled node in place, reusing its payload
+    /// capacity. Plain stores suffice: publication to other threads
+    /// happens later via the indirection-array CAS (Release).
+    ///
+    /// # Safety
+    /// The caller must have exclusive ownership of `ptr` — a node fresh
+    /// from the pool (epoch-quiesced) that is not yet reachable by any
+    /// other thread.
+    pub unsafe fn reinit(ptr: *mut Version, stamp: Stamp, data: &[u8], tombstone: bool) {
+        let v = unsafe { &mut *ptr };
+        v.clsn.store(stamp.raw(), Ordering::Relaxed);
+        v.next.store(std::ptr::null_mut(), Ordering::Relaxed);
+        v.pstamp.store(0, Ordering::Relaxed);
+        v.sstamp.store(Lsn::MAX.raw(), Ordering::Relaxed);
+        v.tombstone = tombstone;
+        v.data.clear();
+        v.data.extend_from_slice(data);
     }
 
     /// The current creation stamp.
@@ -62,4 +88,170 @@ impl Version {
     pub fn is_overwritten(&self) -> bool {
         self.sstamp.load(Ordering::Acquire) != Lsn::MAX.raw()
     }
+}
+
+/// How many nodes a [`VersionCache`] pulls from the shared pool at once.
+const CACHE_REFILL_BATCH: usize = 32;
+
+/// Default bound on pooled nodes; beyond it, released nodes are freed.
+pub const DEFAULT_POOL_CAP: usize = 4096;
+
+/// Shared free list of quiesced version nodes.
+///
+/// Nodes enter via [`VersionPool::release`] — from the GC (after epoch
+/// quiescence, see [`defer_release`]) or from a dropping
+/// [`VersionCache`] — and leave via worker caches. The pool owns the
+/// nodes it holds and frees any overflow, so its capacity bounds memory
+/// retained for reuse.
+pub struct VersionPool {
+    free: Mutex<Vec<*mut Version>>,
+    cap: usize,
+}
+
+// SAFETY: the raw pointers in the free list are exclusively owned by the
+// pool — every node released to it is epoch-quiesced (unreachable from
+// any shared structure), so handing one to another thread transfers sole
+// ownership.
+unsafe impl Send for VersionPool {}
+unsafe impl Sync for VersionPool {}
+
+impl Default for VersionPool {
+    fn default() -> Self {
+        VersionPool::new(DEFAULT_POOL_CAP)
+    }
+}
+
+impl VersionPool {
+    pub fn new(cap: usize) -> VersionPool {
+        VersionPool { free: Mutex::new(Vec::new()), cap }
+    }
+
+    /// Take ownership of a quiesced node for later reuse (or free it if
+    /// the pool is full).
+    ///
+    /// # Safety
+    /// `ptr` must come from `Box::into_raw` (via [`Version::alloc`]), be
+    /// unreachable from every shared structure, and not be freed or
+    /// released by anyone else.
+    pub unsafe fn release(&self, ptr: *mut Version) {
+        debug_assert!(!ptr.is_null());
+        let mut free = self.free.lock();
+        if free.len() < self.cap {
+            free.push(ptr);
+        } else {
+            drop(free);
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+
+    /// Pop up to `n` nodes into `out`. Returns how many were moved.
+    fn fill(&self, out: &mut Vec<*mut Version>, n: usize) -> usize {
+        let mut free = self.free.lock();
+        let take = n.min(free.len());
+        let split = free.len() - take;
+        out.extend(free.drain(split..));
+        take
+    }
+
+    /// Nodes currently pooled (tests/stats).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+impl Drop for VersionPool {
+    fn drop(&mut self) {
+        for ptr in self.free.get_mut().drain(..) {
+            // SAFETY: the pool exclusively owns pooled nodes.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// Per-worker cache over a [`VersionPool`].
+///
+/// Acquisition pops a local node (no synchronization); the local stash
+/// refills from the shared pool in batches. Only when both are empty
+/// does the worker touch the allocator.
+pub struct VersionCache {
+    pool: Arc<VersionPool>,
+    local: Vec<*mut Version>,
+    /// Nodes served from the cache instead of the allocator (stats).
+    reused: u64,
+}
+
+// SAFETY: same ownership argument as the pool — locally cached nodes are
+// exclusively owned; moving the cache to another thread moves ownership.
+unsafe impl Send for VersionCache {}
+
+impl VersionCache {
+    pub fn new(pool: Arc<VersionPool>) -> VersionCache {
+        VersionCache { pool, local: Vec::new(), reused: 0 }
+    }
+
+    /// Produce a version stamped with `stamp`: a recycled node
+    /// reinitialized in place when available, a fresh allocation
+    /// otherwise.
+    pub fn acquire(&mut self, stamp: Stamp, data: &[u8], tombstone: bool) -> *mut Version {
+        if self.local.is_empty() && self.pool.fill(&mut self.local, CACHE_REFILL_BATCH) == 0 {
+            return Version::alloc(stamp, data, tombstone);
+        }
+        let ptr = self.local.pop().expect("non-empty after refill");
+        // SAFETY: the node came from the pool (quiesced, exclusively
+        // ours) and is not yet published anywhere.
+        unsafe { Version::reinit(ptr, stamp, data, tombstone) };
+        self.reused += 1;
+        ptr
+    }
+
+    /// Return a node this worker still exclusively owns — one that was
+    /// never published, or was acquired and immediately retracted before
+    /// any other thread could observe it.
+    ///
+    /// # Safety
+    /// `ptr` must be exclusively owned by the caller and unreachable from
+    /// every shared structure (no epoch wait needed, unlike
+    /// [`defer_release`]).
+    pub unsafe fn release_unpublished(&mut self, ptr: *mut Version) {
+        debug_assert!(!ptr.is_null());
+        self.local.push(ptr);
+    }
+
+    /// Nodes served by reuse rather than allocation.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+}
+
+impl Drop for VersionCache {
+    fn drop(&mut self) {
+        for ptr in self.local.drain(..) {
+            // SAFETY: locally cached nodes are exclusively owned.
+            unsafe { self.pool.release(ptr) };
+        }
+    }
+}
+
+struct SendVersionPtr(*mut Version);
+// SAFETY: the deferred closure is the sole owner by the defer contract.
+unsafe impl Send for SendVersionPtr {}
+
+/// Retire `ptr` through the epoch `guard`, releasing it into `pool`
+/// (instead of freeing) once every thread active now has quiesced.
+///
+/// # Safety
+/// Same contract as [`ermia_epoch::Guard::defer_drop`]: `ptr` must be
+/// unlinked from all shared structures and owned by no one else.
+pub unsafe fn defer_release(
+    guard: &ermia_epoch::Guard<'_>,
+    pool: &Arc<VersionPool>,
+    ptr: *mut Version,
+) {
+    let wrapped = SendVersionPtr(ptr);
+    let pool = Arc::clone(pool);
+    guard.defer(move || {
+        let wrapper = wrapped;
+        // SAFETY: quiescence has passed and we are the sole owner.
+        unsafe { pool.release(wrapper.0) };
+    });
 }
