@@ -1,0 +1,279 @@
+//! Multi-core scaling benchmark: committed throughput, abort rate, and
+//! latency percentiles vs thread count, for ERMIA-SI, ERMIA-SSN, and
+//! the Silo-OCC baseline — the paper's Fig. 5–7 methodology, emitted as
+//! a machine-readable trajectory in `BENCH_scaling.json` (set
+//! `BENCH_OUT` to choose the path).
+//!
+//! Three workload configurations:
+//!
+//! * **micro** — the §4.2 read/update microbenchmark under *synchronous*
+//!   commit against a durable fsynced log. Commit throughput here
+//!   scales with threads even on few-core machines: committers overlap
+//!   inside group-commit waits, so N waiting threads amortize one flush
+//!   (the log's scalability claim this PR's lock-free completion
+//!   tracking is about). Silo has no durable-log mode, so this series
+//!   covers the two ERMIA variants.
+//! * **micro-mem** — the same microbenchmark, asynchronous commit,
+//!   in-memory log: the CPU-bound variant. Scales with *physical*
+//!   cores only; on a single-core host the curve is flat by
+//!   construction.
+//! * **tpcc** — TPC-C at warehouses = threads, all three engines.
+//!
+//! Thread sweep: powers of two up to the core count (always including
+//! 1, 2, and 4 so the group-commit amortization point exists on small
+//! hosts); `--quick` runs two points (1 and max) at short duration for
+//! CI. `--threads a,b,c` and `--secs` override.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use ermia::{Database, DbConfig};
+use ermia_bench::{fresh_si, fresh_silo, fresh_ssn};
+use ermia_log::LogConfig;
+use ermia_workloads::driver::{run, BenchResult, LatencyHistogram, RunConfig, Workload};
+use ermia_workloads::engine::Engine;
+use ermia_workloads::micro::{MicroConfig, MicroWorkload};
+use ermia_workloads::tpcc::TpccWorkload;
+use ermia_workloads::ErmiaEngine;
+
+/// One measured point of a (workload, engine) series.
+struct Point {
+    threads: usize,
+    tps: f64,
+    abort_pct: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn overall(r: &BenchResult) -> Point {
+    let mut h = LatencyHistogram::default();
+    for t in &r.per_type {
+        h.merge(&t.latency);
+    }
+    let execs = r.total_commits() + r.total_aborts();
+    Point {
+        threads: r.threads,
+        tps: r.tps(),
+        abort_pct: if execs == 0 { 0.0 } else { 100.0 * r.total_aborts() as f64 / execs as f64 },
+        p50_ms: h.percentile_ns(50.0) / 1e6,
+        p99_ms: h.percentile_ns(99.0) / 1e6,
+    }
+}
+
+/// Shared sweep parameters for every [`series`] call.
+struct Sweep<'a> {
+    threads: &'a [usize],
+    secs: f64,
+}
+
+/// Run one engine across the thread sweep (fresh engine + load per
+/// point) and append its JSON series.
+fn series<E, W>(
+    engine_label: &str,
+    workload_label: &str,
+    sweep: &Sweep,
+    make_engine: impl Fn() -> E,
+    make_workload: impl Fn(usize) -> W,
+    json: &mut String,
+    last: bool,
+) where
+    E: Engine,
+    W: Workload<E>,
+{
+    let _ = writeln!(json, "        {{\"engine\": \"{engine_label}\", \"points\": [");
+    for (i, &n) in sweep.threads.iter().enumerate() {
+        let engine = make_engine();
+        let workload = make_workload(n);
+        let cfg = RunConfig::new(n, Duration::from_secs_f64(sweep.secs));
+        let r = run(&engine, &workload, &cfg);
+        let p = overall(&r);
+        eprintln!(
+            "{workload_label:>10} | {engine_label:<10} | {n:>2} threads | {:>10.0} tps | \
+             {:>5.1}% aborts | p50 {:>8.3} ms | p99 {:>8.3} ms",
+            p.tps, p.abort_pct, p.p50_ms, p.p99_ms
+        );
+        let _ = write!(
+            json,
+            "          {{\"threads\": {}, \"tps\": {:.1}, \"abort_pct\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            p.threads, p.tps, p.abort_pct, p.p50_ms, p.p99_ms
+        );
+        json.push_str(if i + 1 < sweep.threads.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("        ]}");
+    json.push_str(if last { "\n" } else { ",\n" });
+}
+
+/// A fresh ERMIA engine with synchronous commit against a durable,
+/// fsynced log in a unique temp directory (removed by
+/// [`cleanup_scaling_dirs`] at exit).
+fn fresh_durable(serializable: bool) -> ErmiaEngine {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ermia-scaling-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = DbConfig {
+        log: LogConfig {
+            dir: Some(dir),
+            segment_size: 64 << 20,
+            fsync: true,
+            ..LogConfig::default()
+        },
+        synchronous_commit: true,
+        ..DbConfig::default()
+    };
+    let db = Database::open(cfg).expect("open durable ermia");
+    if serializable {
+        ErmiaEngine::ssn(db)
+    } else {
+        ErmiaEngine::si(db)
+    }
+}
+
+fn cleanup_scaling_dirs() {
+    let prefix = format!("ermia-scaling-{}-", std::process::id());
+    if let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) {
+        for e in entries.flatten() {
+            if e.file_name().to_string_lossy().starts_with(&prefix) {
+                let _ = std::fs::remove_dir_all(e.path());
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("ERMIA_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let ncores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Powers of two through the core count, with 1..8 always present:
+    // synchronous committers spend most of a commit waiting on the
+    // group-commit flush, so the amortization curve keeps climbing past
+    // the physical core count and is visible even on single-core hosts.
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut p = 16;
+    while p <= ncores {
+        threads.push(p);
+        p *= 2;
+    }
+    if ncores > 8 && !threads.contains(&ncores) {
+        threads.push(ncores);
+    }
+    if quick {
+        threads = vec![1, 8];
+    }
+    let mut secs = if quick { 0.5 } else { 2.0 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--secs" => {
+                if let Some(v) = it.next() {
+                    secs = v.parse().expect("--secs takes a float");
+                }
+            }
+            "--threads" => {
+                if let Some(v) = it.next() {
+                    threads = v.split(',').map(|s| s.parse().expect("thread count")).collect();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let micro_rows: u64 = if quick { 10_000 } else { 50_000 };
+    let sync_micro = MicroConfig { rows: 10_000, reads: 10, write_ratio: 0.5 };
+    let mem_micro = MicroConfig { rows: micro_rows, reads: 100, write_ratio: 0.01 };
+    let tpcc_cfg = |n: usize| {
+        let w = (n as u32).max(1);
+        if quick {
+            ermia_workloads::tpcc::TpccConfig::small(w)
+        } else {
+            let mut cfg = ermia_workloads::tpcc::TpccConfig::paper(w);
+            cfg.items = 10_000;
+            cfg.customers_per_district = 600;
+            cfg.initial_orders = 600;
+            cfg.suppliers = 1_000;
+            cfg
+        }
+    };
+
+    eprintln!(
+        "scaling bench: {ncores} cores, thread sweep {threads:?}, {secs}s per point{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let sweep = Sweep { threads: &threads, secs };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"scaling\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"ncores\": {ncores},");
+    let _ = writeln!(json, "  \"threads\": {threads:?},");
+    json.push_str("  \"workloads\": [\n");
+
+    // -- micro: synchronous commit, durable fsynced log ------------------
+    json.push_str(
+        "    {\"name\": \"micro\", \"note\": \"sec. 4.2 microbenchmark, synchronous commit, \
+         fsync on; committed tps scales via group-commit amortization (Silo baseline has no \
+         durable-log mode)\",\n      \"series\": [\n",
+    );
+    {
+        let mk = |cfg: MicroConfig| move |_n: usize| MicroWorkload::new(cfg.clone());
+        series(
+            "ERMIA-SI",
+            "micro",
+            &sweep,
+            || fresh_durable(false),
+            mk(sync_micro.clone()),
+            &mut json,
+            false,
+        );
+        series(
+            "ERMIA-SSN",
+            "micro",
+            &sweep,
+            || fresh_durable(true),
+            mk(sync_micro.clone()),
+            &mut json,
+            true,
+        );
+    }
+    json.push_str("    ]},\n");
+
+    // -- micro-mem: asynchronous commit, in-memory log (CPU-bound) -------
+    json.push_str(
+        "    {\"name\": \"micro-mem\", \"note\": \"same microbenchmark, asynchronous commit, \
+         in-memory log; CPU-bound, scales with physical cores only\",\n      \"series\": [\n",
+    );
+    {
+        let mk = |cfg: MicroConfig| move |_n: usize| MicroWorkload::new(cfg.clone());
+        series("ERMIA-SI", "micro-mem", &sweep, fresh_si, mk(mem_micro.clone()), &mut json, false);
+        series("ERMIA-SSN", "micro-mem", &sweep, fresh_ssn, mk(mem_micro.clone()), &mut json, false);
+        series("Silo-OCC", "micro-mem", &sweep, fresh_silo, mk(mem_micro.clone()), &mut json, true);
+    }
+    json.push_str("    ]},\n");
+
+    // -- tpcc: warehouses = threads, all three engines --------------------
+    json.push_str(
+        "    {\"name\": \"tpcc\", \"note\": \"TPC-C, warehouses = threads, asynchronous \
+         commit\",\n      \"series\": [\n",
+    );
+    {
+        let mk = |_: ()| move |n: usize| TpccWorkload::new(tpcc_cfg(n));
+        series("ERMIA-SI", "tpcc", &sweep, fresh_si, mk(()), &mut json, false);
+        series("ERMIA-SSN", "tpcc", &sweep, fresh_ssn, mk(()), &mut json, false);
+        series("Silo-OCC", "tpcc", &sweep, fresh_silo, mk(()), &mut json, true);
+    }
+    json.push_str("    ]}\n  ]\n}\n");
+
+    cleanup_scaling_dirs();
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_scaling.json".into());
+    std::fs::write(&out, &json).unwrap();
+    eprintln!("wrote {out}");
+}

@@ -63,9 +63,12 @@ pub(crate) struct DbInner {
     /// Commits since the last checkpoint (stats).
     pub commits: AtomicU64,
     pub aborts: AtomicU64,
-    /// Per-component time breakdown folded in from retired workers
-    /// (Fig. 11 instrumentation; populated when `cfg.profile` is set).
-    pub breakdown: parking_lot::Mutex<crate::profile::Breakdown>,
+    /// Registry of per-worker breakdown slabs (Fig. 11 instrumentation;
+    /// populated when `cfg.profile` is set). Workers write their own
+    /// slab with relaxed adds; the mutex guards only registration and
+    /// aggregate reads, never the transaction path. Slab `Arc`s are
+    /// retained after a worker retires so its counts survive.
+    pub breakdown: parking_lot::Mutex<Vec<Arc<crate::profile::BreakdownSlab>>>,
 }
 
 /// A memory-optimized multi-version database (the paper's ERMIA engine).
@@ -113,7 +116,7 @@ impl Database {
             blobs,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
-            breakdown: parking_lot::Mutex::new(crate::profile::Breakdown::default()),
+            breakdown: parking_lot::Mutex::new(Vec::new()),
             cfg,
         });
         let cfg = &inner.cfg;
@@ -281,9 +284,13 @@ impl Database {
         self.inner.log.truncate_before(meta.begin.offset())
     }
 
-    /// Aggregate per-component time breakdown across retired workers
-    /// (requires `cfg.profile`; live workers fold in on drop).
+    /// Aggregate per-component time breakdown, merged on read across
+    /// every worker's slab — live and retired (requires `cfg.profile`).
     pub fn breakdown(&self) -> crate::profile::Breakdown {
-        *self.inner.breakdown.lock()
+        let mut sum = crate::profile::Breakdown::default();
+        for slab in self.inner.breakdown.lock().iter() {
+            sum.add(&slab.snapshot());
+        }
+        sum
     }
 }

@@ -2,9 +2,16 @@
 //!
 //! The paper reports CPU cycles per transaction spent in Masstree, the
 //! indirection arrays, the log manager, and everything else. We measure
-//! the same boundaries with monotonic-clock nanoseconds, accumulated per
-//! worker with zero synchronization; the harness sums across workers.
+//! the same boundaries with monotonic-clock nanoseconds, accumulated in
+//! a per-worker [`BreakdownSlab`] — plain relaxed adds to cache lines no
+//! other worker writes — and merged across slabs only when somebody asks
+//! for the aggregate ([`crate::Database::breakdown`]). The previous
+//! design folded workers into a global mutex-guarded aggregate on drop;
+//! a shared lock has no business next to a hot path this PR just made
+//! lock-free, so the mutex now guards only the slab *registry* (touched
+//! at worker registration and on read, never per transaction).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Accumulated nanoseconds per engine component.
@@ -38,8 +45,43 @@ impl Breakdown {
     }
 }
 
-/// Scoped timer: adds elapsed time to a counter on drop. Constructed
-/// only when profiling is enabled, so the hot path pays one branch.
+/// One worker's breakdown counters. Written by exactly one thread with
+/// relaxed adds; read (racily, which is fine for statistics) by whoever
+/// aggregates. Aligned out to its own cache-line pair so two workers'
+/// slabs never false-share.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub(crate) struct BreakdownSlab {
+    pub index_ns: AtomicU64,
+    pub indirection_ns: AtomicU64,
+    pub log_ns: AtomicU64,
+    pub other_ns: AtomicU64,
+    pub txns: AtomicU64,
+}
+
+impl BreakdownSlab {
+    pub fn snapshot(&self) -> Breakdown {
+        Breakdown {
+            index_ns: self.index_ns.load(Ordering::Relaxed),
+            indirection_ns: self.indirection_ns.load(Ordering::Relaxed),
+            log_ns: self.log_ns.load(Ordering::Relaxed),
+            other_ns: self.other_ns.load(Ordering::Relaxed),
+            txns: self.txns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.index_ns.store(0, Ordering::Relaxed);
+        self.indirection_ns.store(0, Ordering::Relaxed);
+        self.log_ns.store(0, Ordering::Relaxed);
+        self.other_ns.store(0, Ordering::Relaxed);
+        self.txns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Scoped timer: adds elapsed time to a slab counter on drop.
+/// Constructed only when profiling is enabled, so the hot path pays one
+/// branch.
 pub(crate) struct Timed {
     start: Instant,
 }
@@ -51,9 +93,9 @@ impl Timed {
     }
 
     #[inline]
-    pub fn stop(this: Option<Timed>, counter: &mut u64) {
+    pub fn stop(this: Option<Timed>, counter: &AtomicU64) {
         if let Some(t) = this {
-            *counter += t.start.elapsed().as_nanos() as u64;
+            counter.fetch_add(t.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 }

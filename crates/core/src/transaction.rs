@@ -336,7 +336,7 @@ impl<'w> Transaction<'w> {
         let profile = self.db.inner.cfg.profile;
         let timer = Timed::start(profile);
         let (oid, snap) = t.primary.get(&self.guard, key);
-        Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+        Timed::stop(timer, &self.scratch.breakdown.index_ns);
         let Some(oid) = oid else {
             if self.serializable() {
                 self.node_set.push((Arc::clone(&t.primary), snap));
@@ -345,7 +345,7 @@ impl<'w> Transaction<'w> {
         };
         let timer = Timed::start(profile);
         let vis = self.fetch_visible(&t.oids, Oid(oid as u32))?;
-        Timed::stop(timer, &mut self.scratch.breakdown.indirection_ns);
+        Timed::stop(timer, &self.scratch.breakdown.indirection_ns);
         match vis {
             Some(vis) => {
                 self.register_read(&vis)?;
@@ -392,7 +392,7 @@ impl<'w> Transaction<'w> {
         let profile = self.db.inner.cfg.profile;
         let timer = Timed::start(profile);
         let (oid, snap) = t.primary.get(&self.guard, key);
-        Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+        Timed::stop(timer, &self.scratch.breakdown.index_ns);
         let Some(oid) = oid else {
             if self.serializable() {
                 self.node_set.push((Arc::clone(&t.primary), snap));
@@ -401,7 +401,7 @@ impl<'w> Transaction<'w> {
         };
         let timer = Timed::start(profile);
         let r = self.install_version(&t, Oid(oid as u32), key, value, WriteKind::Update);
-        Timed::stop(timer, &mut self.scratch.breakdown.indirection_ns);
+        Timed::stop(timer, &self.scratch.breakdown.indirection_ns);
         r
     }
 
@@ -571,7 +571,7 @@ impl<'w> Transaction<'w> {
             self.capture_valid_node_entries(&t.primary);
             let timer = Timed::start(profile);
             let outcome = t.primary.insert(&self.guard, key, oid.0 as u64);
-            Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+            Timed::stop(timer, &self.scratch.breakdown.index_ns);
             match outcome {
                 InsertOutcome::Inserted => {
                     self.refresh_node_set();
@@ -690,7 +690,7 @@ impl<'w> Transaction<'w> {
                     },
                 );
             }
-            Timed::stop(timer, &mut self.scratch.breakdown.index_ns);
+            Timed::stop(timer, &self.scratch.breakdown.index_ns);
 
             // Phase 2: visibility + delivery.
             let timer = Timed::start(profile);
@@ -707,7 +707,7 @@ impl<'w> Transaction<'w> {
                     }
                 }
             }
-            Timed::stop(timer, &mut self.scratch.breakdown.indirection_ns);
+            Timed::stop(timer, &self.scratch.breakdown.indirection_ns);
             if stopped || !truncated {
                 return Ok(delivered);
             }
@@ -809,7 +809,7 @@ impl<'w> Transaction<'w> {
         };
         let cstamp = reservation.lsn();
         ctx.enter_precommit(cstamp);
-        Timed::stop(timer, &mut self.scratch.breakdown.log_ns);
+        Timed::stop(timer, &self.scratch.breakdown.log_ns);
 
         // --- CC commit protocol (SSN exclusion-window test) -------------
         if self.serializable() {
@@ -858,7 +858,7 @@ impl<'w> Transaction<'w> {
             self.release(false);
             return Err(AbortReason::LogFailure);
         }
-        Timed::stop(timer, &mut self.scratch.breakdown.log_ns);
+        Timed::stop(timer, &self.scratch.breakdown.log_ns);
 
         // All updates become visible atomically at this store.
         ctx.commit(cstamp);
@@ -985,7 +985,7 @@ impl<'w> Transaction<'w> {
         } else {
             self.db.inner.aborts.fetch_add(1, Ordering::Relaxed);
         }
-        self.scratch.breakdown.txns += 1;
+        self.scratch.breakdown.txns.fetch_add(1, Ordering::Relaxed);
         self.reads.clear();
         self.writes.clear();
         self.secondary.clear();

@@ -15,7 +15,7 @@ use ermia_storage::{Version, VersionCache};
 
 use crate::config::IsolationLevel;
 use crate::database::Database;
-use crate::profile::Breakdown;
+use crate::profile::{Breakdown, BreakdownSlab};
 use crate::transaction::{SecondaryEntry, Transaction, WriteEntry};
 
 /// Per-thread handle for running transactions against a [`Database`].
@@ -35,7 +35,10 @@ pub struct Worker {
 pub(crate) struct Scratch {
     pub tid_hint: usize,
     pub logbuf: TxLogBuffer,
-    pub breakdown: Breakdown,
+    /// This worker's breakdown counters. The slab is shared with the
+    /// database's registry (merged on read) but written only here, so
+    /// profiling never takes a lock on the transaction path.
+    pub breakdown: std::sync::Arc<BreakdownSlab>,
     pub reads: Vec<*mut Version>,
     pub writes: Vec<WriteEntry>,
     pub secondary: Vec<SecondaryEntry>,
@@ -66,13 +69,15 @@ impl Worker {
             (h.finish() as usize) % ermia_common::ids::TID_TABLE_CAPACITY
         };
         let versions = VersionCache::new(std::sync::Arc::clone(&db.inner.versions));
+        let breakdown = std::sync::Arc::new(BreakdownSlab::default());
+        db.inner.breakdown.lock().push(std::sync::Arc::clone(&breakdown));
         Worker {
             db,
             epoch_handle,
             scratch: Scratch {
                 tid_hint,
                 logbuf: TxLogBuffer::new(),
-                breakdown: Breakdown::default(),
+                breakdown,
                 reads: Vec::new(),
                 writes: Vec::new(),
                 secondary: Vec::new(),
@@ -92,11 +97,11 @@ impl Worker {
     /// The accumulated per-component time breakdown (when
     /// [`DbConfig::profile`](crate::DbConfig) is on).
     pub fn breakdown(&self) -> Breakdown {
-        self.scratch.breakdown
+        self.scratch.breakdown.snapshot()
     }
 
     pub fn reset_breakdown(&mut self) {
-        self.scratch.breakdown = Breakdown::default();
+        self.scratch.breakdown.reset();
     }
 
     /// Versions served from the worker's reuse cache instead of the
@@ -111,12 +116,3 @@ impl Worker {
     }
 }
 
-impl Drop for Worker {
-    fn drop(&mut self) {
-        // Fold this worker's breakdown into the database aggregate so
-        // the Fig. 11 harness can read it after the run.
-        if self.db.inner.cfg.profile {
-            self.db.inner.breakdown.lock().add(&self.scratch.breakdown);
-        }
-    }
-}

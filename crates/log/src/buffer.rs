@@ -4,43 +4,107 @@
 //! so a reservation made with the global `fetch_add` already names its
 //! buffer space — no further coordination is needed to find where to
 //! copy. Writers copy their pre-serialized block and mark the range
-//! *filled*; a completion tracker merges out-of-order fills into a
-//! contiguous watermark the flusher can drain. Dead-zone ranges (which
-//! map to no disk location) are marked filled without a copy so they
-//! never stall the watermark.
+//! *filled*; the flusher merges out-of-order fills into a contiguous
+//! watermark it can drain. Dead-zone ranges (which map to no disk
+//! location) are marked filled without a copy so they never stall the
+//! watermark.
+//!
+//! # Lock-free completion tracking (the availability ring)
+//!
+//! `mark_filled` is on the commit hot path — once per transaction, plus
+//! one per skip record and dead zone — and must not serialize committing
+//! threads (§3.3: after the single `fetch_add`, a committer touches no
+//! shared latches). Completion is therefore tracked by a fixed array of
+//! per-slot atomic *generation stamps*, one [`u32`] per
+//! [`MIN_BLOCK_LEN`] bytes of capacity:
+//!
+//! * Every reservation is a `MIN_BLOCK_LEN`-aligned range of the
+//!   monotonic logical offset space, so a fill covers an exact run of
+//!   slots. Logical slot number `s = offset / MIN_BLOCK_LEN` maps to
+//!   array index `s % nslots` and wrap generation `s / nslots`.
+//! * A writer marks its range filled by storing `generation + 1` into
+//!   each covered slot with `Release` ordering (`+ 1` so the initial
+//!   zero never matches). A handful of release stores — no lock, no
+//!   allocation, no shared cache-line writes beyond slots adjacent to
+//!   its own range.
+//! * The flusher (the only consumer) advances the contiguous `filled`
+//!   watermark by scanning forward from its last position while slot
+//!   stamps equal the expected generation ([`RingBuffer::advance_filled`]).
+//!   The `Acquire` load of a matching stamp synchronizes with the
+//!   writer's `Release` store, which in turn was program-ordered after
+//!   the byte copy — so everything below the watermark is safely
+//!   readable by [`RingBuffer::read_range`].
+//!
+//! Soundness of the single stamp word per slot rests on two invariants:
+//! reservations are disjoint (the `fetch_add` hands each offset out
+//! once), and a slot's previous generation is already *flushed* before a
+//! writer can stamp the next one (writers call
+//! [`RingBuffer::wait_for_space`] first, and `flushed ≥` the slot's old
+//! range implies the scan consumed the old stamp). A stamp is therefore
+//! written exactly once per generation — enforced by a debug assertion —
+//! and the scanner can never confuse generations: a stale stamp simply
+//! stops the scan.
+//!
+//! # Parked-waiter condvar protocol
+//!
+//! The remaining mutex guards only the two condvars and is touched
+//! *only when someone is actually parked*. Wakers run a Dekker-style
+//! handshake: publish state (slot stamps / `flushed`) with a `SeqCst`
+//! fence, then check an atomic waiter count and lock + notify only if it
+//! is non-zero. Sleepers register their count (and re-check the
+//! condition) while holding the mutex, separated from the re-check by a
+//! `SeqCst` fence. Either the waker observes the registered sleeper and
+//! notifies under the mutex (no lost wakeup: notification happens while
+//! the sleeper holds the mutex), or the sleeper's re-check observes the
+//! waker's published state and never sleeps. On the uncontended path,
+//! `mark_filled` and `mark_flushed` never touch the mutex at all.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::records::MIN_BLOCK_LEN;
+
+/// Bytes tracked per availability-ring slot.
+const SLOT: u64 = MIN_BLOCK_LEN as u64;
+
 pub struct RingBuffer {
     cap: u64,
     data: Box<[u8]>,
+    /// Per-slot fill stamps: slot `s % nslots` holds `s / nslots + 1`
+    /// once logical bytes `[s*SLOT, (s+1)*SLOT)` are filled.
+    slots: Box<[AtomicU32]>,
+    nslots: u64,
     /// Contiguous prefix of the LSN space that has been filled.
+    /// Advanced only by the consumer (the flusher) via the slot scan.
     filled: AtomicU64,
     /// Prefix that the flusher has drained to stable storage (or
     /// discarded, for dead zones / in-memory logs).
     flushed: AtomicU64,
     /// Lowest logical offset a durability waiter is parked on
     /// (`u64::MAX` when nobody waits). Maintained by the log manager's
-    /// waiter registry; `mark_filled` wakes the flusher the moment the
-    /// filled watermark covers it, regardless of batch size.
+    /// waiter registry; `mark_filled` wakes the flusher the moment a
+    /// fill lands below it, regardless of batch size.
     demand: AtomicU64,
     /// Set when the flusher dies on an unrecoverable I/O error: space
     /// will never free up again, so waiters must give up.
     poisoned: AtomicBool,
-    state: Mutex<FillState>,
-    /// Signaled when `filled` advances (flusher waits here).
+    /// 1 while the consumer is parked on `filled_cv`. Writers check it
+    /// (after a `SeqCst` fence) before touching the mutex.
+    consumer_parked: AtomicU32,
+    /// Number of writers parked on `space_cv`.
+    space_waiters: AtomicU32,
+    /// Guards only the condvars below; never held while filling,
+    /// flushing, or scanning outside the park paths.
+    wake_mx: Mutex<()>,
+    /// Signaled when new fills may let the consumer make progress.
     filled_cv: Condvar,
     /// Signaled when `flushed` advances (writers waiting for space).
     space_cv: Condvar,
-}
-
-struct FillState {
-    /// Out-of-order filled ranges: start → end, disjoint, all > filled.
-    pending: BTreeMap<u64, u64>,
+    /// Single-consumer discipline check (debug builds only).
+    #[cfg(debug_assertions)]
+    consumer: Mutex<Option<std::thread::ThreadId>>,
 }
 
 // The data array is written through a raw pointer by concurrent writers
@@ -50,19 +114,29 @@ unsafe impl Sync for RingBuffer {}
 
 impl RingBuffer {
     /// `cap` bytes of buffer, beginning life with watermarks at `start`
-    /// (the initial LSN offset).
+    /// (the initial LSN offset). Both must be multiples of
+    /// [`MIN_BLOCK_LEN`], matching the alignment of every reservation.
     pub fn new(cap: u64, start: u64) -> RingBuffer {
-        assert!(cap > 0);
+        assert!(cap > 0 && cap.is_multiple_of(SLOT), "capacity must be a multiple of MIN_BLOCK_LEN");
+        assert!(start.is_multiple_of(SLOT), "start offset must be block-aligned");
+        let nslots = cap / SLOT;
+        let slots: Vec<AtomicU32> = (0..nslots).map(|_| AtomicU32::new(0)).collect();
         RingBuffer {
             cap,
             data: vec![0u8; cap as usize].into_boxed_slice(),
+            slots: slots.into_boxed_slice(),
+            nslots,
             filled: AtomicU64::new(start),
             flushed: AtomicU64::new(start),
             demand: AtomicU64::new(u64::MAX),
             poisoned: AtomicBool::new(false),
-            state: Mutex::new(FillState { pending: BTreeMap::new() }),
+            consumer_parked: AtomicU32::new(0),
+            space_waiters: AtomicU32::new(0),
+            wake_mx: Mutex::new(()),
             filled_cv: Condvar::new(),
             space_cv: Condvar::new(),
+            #[cfg(debug_assertions)]
+            consumer: Mutex::new(None),
         }
     }
 
@@ -71,6 +145,9 @@ impl RingBuffer {
         self.cap
     }
 
+    /// The contiguous filled watermark as last advanced by the consumer.
+    /// May lag freshly stamped fills until the consumer's next scan; see
+    /// [`RingBuffer::scan_tip`] for the stamp-inclusive view.
     #[inline]
     pub fn filled(&self) -> u64 {
         self.filled.load(Ordering::Acquire)
@@ -86,9 +163,9 @@ impl RingBuffer {
     /// forever.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
-        let _state = self.state.lock();
+        let _guard = self.wake_mx.lock();
         self.space_cv.notify_all();
-        self.filled_cv.notify_all();
+        self.filled_cv.notify_one();
     }
 
     #[inline]
@@ -104,14 +181,28 @@ impl RingBuffer {
         self.demand.store(lowest_target, Ordering::Release);
     }
 
-    /// Wake the flusher if the filled watermark already covers `target`.
-    /// A durability waiter calls this right after registering: the fill
-    /// that should trigger the flush may have happened before the demand
-    /// was visible, in which case `mark_filled` stayed quiet.
+    /// Wake the consumer on behalf of a durability waiter whose target
+    /// the watermark has not yet covered. A waiter calls this right
+    /// after registering its demand: the fills that should satisfy it
+    /// (typically the waiter's own, completed just before) may have
+    /// happened before the demand was visible, in which case
+    /// `mark_filled` stayed quiet. If `filled` already covers the
+    /// target, the consumer has scanned past it and the flush covering
+    /// it is already underway — no wake needed.
     pub fn kick_if_filled(&self, target: u64) {
-        if self.filled() >= target {
-            let _state = self.state.lock();
-            self.filled_cv.notify_all();
+        fence(Ordering::SeqCst);
+        if self.filled.load(Ordering::Acquire) < target {
+            self.wake_consumer();
+        }
+    }
+
+    /// Notify the consumer if (and only if) it is parked. Callers must
+    /// have published the state the consumer will re-check *before* a
+    /// `SeqCst` fence that precedes this call.
+    fn wake_consumer(&self) {
+        if self.consumer_parked.load(Ordering::Relaxed) != 0 {
+            let _guard = self.wake_mx.lock();
+            self.filled_cv.notify_one();
         }
     }
 
@@ -121,22 +212,28 @@ impl RingBuffer {
     /// Returns `false` if the buffer was poisoned while (or before)
     /// waiting — the space will never become available.
     ///
-    /// Parks on precise `space_cv` notifications: `mark_flushed` advances
-    /// the watermark under the state lock and notifies, and `poison`
-    /// wakes everyone, so no poll timeout is needed.
+    /// Parks on precise `space_cv` notifications: `mark_flushed`
+    /// publishes the watermark, fences, and notifies when the waiter
+    /// count is non-zero; `poison` wakes everyone. No poll timeout.
     #[must_use]
     pub fn wait_for_space(&self, end: u64) -> bool {
         if end.saturating_sub(self.flushed()) <= self.cap {
             return !self.is_poisoned();
         }
-        let mut state = self.state.lock();
-        while end - self.flushed() > self.cap {
+        let mut guard = self.wake_mx.lock();
+        self.space_waiters.fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let ok = loop {
             if self.is_poisoned() {
-                return false;
+                break false;
             }
-            self.space_cv.wait(&mut state);
-        }
-        !self.is_poisoned()
+            if end.saturating_sub(self.flushed()) <= self.cap {
+                break true;
+            }
+            self.space_cv.wait(&mut guard);
+        };
+        self.space_waiters.fetch_sub(1, Ordering::Relaxed);
+        ok
     }
 
     /// Copy `bytes` into the ring at logical offset `offset` and mark the
@@ -145,7 +242,10 @@ impl RingBuffer {
     pub fn write(&self, offset: u64, bytes: &[u8]) {
         let len = bytes.len() as u64;
         debug_assert!(len <= self.cap);
-        debug_assert!(offset + len - self.flushed() <= self.cap + self.cap, "writer skipped wait_for_space");
+        debug_assert!(
+            offset + len - self.flushed() <= self.cap + self.cap,
+            "writer skipped wait_for_space"
+        );
         let pos = (offset % self.cap) as usize;
         let first = std::cmp::min(bytes.len(), self.cap as usize - pos);
         // SAFETY: reservations hand out disjoint logical ranges, and a
@@ -162,56 +262,119 @@ impl RingBuffer {
         self.mark_filled(offset, len);
     }
 
-    /// Mark `offset..offset+len` filled without copying (dead zones).
+    /// Mark `offset..offset+len` filled (without copying, for dead
+    /// zones). Lock-free: a release store per covered slot, one `SeqCst`
+    /// fence, and a mutex touch only when the consumer is parked *and*
+    /// this fill matters to it (a durability target lies at or above
+    /// `offset`, or a drain-worthy batch has accumulated).
     pub fn mark_filled(&self, offset: u64, len: u64) {
-        let mut state = self.state.lock();
-        let mut end = offset + len;
-        let cur = self.filled.load(Ordering::Relaxed);
-        debug_assert!(offset >= cur, "double fill at {offset:#x} (filled {cur:#x})");
-        if offset == cur {
-            // Extends the contiguous prefix; absorb any adjacent pending
-            // ranges that now connect.
-            while let Some((&s, &e)) = state.pending.first_key_value() {
-                if s <= end {
-                    state.pending.pop_first();
-                    end = end.max(e);
-                } else {
-                    break;
-                }
+        debug_assert!(offset.is_multiple_of(SLOT) && len.is_multiple_of(SLOT), "fills are block-aligned");
+        debug_assert!(len > 0 && len <= self.cap);
+        let first = offset / SLOT;
+        let last = (offset + len) / SLOT;
+        for s in first..last {
+            let idx = (s % self.nslots) as usize;
+            let generation = s / self.nslots + 1;
+            debug_assert!(generation <= u64::from(u32::MAX), "slot generation overflow");
+            let stamp = generation as u32;
+            if cfg!(debug_assertions) {
+                // Double-fill detector: a slot is stamped exactly once
+                // per wrap generation (reservations are disjoint and the
+                // previous generation was flushed before ours started).
+                let prev = self.slots[idx].swap(stamp, Ordering::Release);
+                debug_assert!(
+                    prev < stamp,
+                    "double fill at offset {:#x} (generation {stamp}, slot already {prev})",
+                    s * SLOT
+                );
+            } else {
+                self.slots[idx].store(stamp, Ordering::Release);
             }
-            self.filled.store(end, Ordering::Release);
-            drop(state);
-            // Wake the flusher when a meaningful batch accumulated (its
-            // periodic timeout drains the idle tail — group commit), or
-            // *immediately* when the new watermark covers a registered
-            // durability target: a synchronous committer is parked on
-            // this very range and every microsecond of flusher sleep is
-            // added commit latency. With no demand, a wake per commit
-            // would cost a scheduler round trip per transaction.
-            if end.saturating_sub(self.flushed()) >= self.cap / 4
-                || end >= self.demand.load(Ordering::Acquire)
-            {
-                self.filled_cv.notify_all();
-            }
-        } else {
-            state.pending.insert(offset, end);
+        }
+        // Wake the consumer *immediately* when this fill lands below a
+        // registered durability target: a synchronous committer is
+        // parked on a range this fill may complete, and every
+        // microsecond of flusher sleep is added commit latency. (Any
+        // fill at or above the target cannot be the one that completes
+        // the contiguous prefix up to it.) Without demand, wake only
+        // when a meaningful batch accumulated — the periodic timeout
+        // drains the idle tail (group commit); a wake per commit would
+        // cost a scheduler round trip per transaction.
+        fence(Ordering::SeqCst);
+        let end = offset + len;
+        let demand = self.demand.load(Ordering::Relaxed);
+        if (demand != u64::MAX && offset < demand)
+            || end.saturating_sub(self.flushed.load(Ordering::Relaxed)) >= self.cap / 4
+        {
+            self.wake_consumer();
         }
     }
 
-    /// Flusher side: wait until `filled > from` or the timeout elapses;
-    /// returns the current filled watermark.
+    /// Consumer side: advance the contiguous `filled` watermark over
+    /// every slot stamped with its expected generation, starting from
+    /// the last position. Returns the (possibly unchanged) watermark.
+    pub fn advance_filled(&self) -> u64 {
+        self.assert_single_consumer();
+        // Relaxed: only the consumer stores `filled`.
+        let start = self.filled.load(Ordering::Relaxed);
+        let mut cur = start;
+        loop {
+            let s = cur / SLOT;
+            let idx = (s % self.nslots) as usize;
+            let stamp = (s / self.nslots + 1) as u32;
+            if self.slots[idx].load(Ordering::Acquire) != stamp {
+                break;
+            }
+            cur += SLOT;
+        }
+        if cur != start {
+            self.filled.store(cur, Ordering::Release);
+        }
+        cur
+    }
+
+    /// Stamp-inclusive watermark estimate for *non-consumer* threads: a
+    /// read-only scan from `filled` that does not publish its result
+    /// (the consumer owns `filled`). Used by `LogManager::sync` to name
+    /// "everything filled so far" without racing the flusher.
+    pub fn scan_tip(&self) -> u64 {
+        let mut cur = self.filled.load(Ordering::Acquire);
+        loop {
+            let s = cur / SLOT;
+            let idx = (s % self.nslots) as usize;
+            let stamp = (s / self.nslots + 1) as u32;
+            if self.slots[idx].load(Ordering::Acquire) != stamp {
+                break;
+            }
+            cur += SLOT;
+        }
+        cur
+    }
+
+    /// Consumer side: wait until the watermark scan passes `from` or the
+    /// timeout elapses; returns the current filled watermark.
     pub fn wait_filled(&self, from: u64, timeout: Duration) -> u64 {
-        let cur = self.filled();
+        let cur = self.advance_filled();
         if cur > from {
             return cur;
         }
-        let mut state = self.state.lock();
-        let cur = self.filled();
+        let mut guard = self.wake_mx.lock();
+        self.consumer_parked.store(1, Ordering::Relaxed);
+        // Dekker handshake with `mark_filled`: publish that we are
+        // parked, then re-scan. Either the re-scan sees the stamps of
+        // any fill whose wake-check preceded our registration, or the
+        // filler sees `consumer_parked == 1` and notifies under the
+        // mutex we hold.
+        fence(Ordering::SeqCst);
+        let cur = self.advance_filled();
         if cur > from {
+            self.consumer_parked.store(0, Ordering::Relaxed);
             return cur;
         }
-        self.filled_cv.wait_for(&mut state, timeout);
-        self.filled()
+        self.filled_cv.wait_for(&mut guard, timeout);
+        self.consumer_parked.store(0, Ordering::Relaxed);
+        drop(guard);
+        self.advance_filled()
     }
 
     /// Flusher side: hand the bytes of `range` (all below the filled
@@ -229,9 +392,10 @@ impl RingBuffer {
         let len = (end - start) as usize;
         let first = std::cmp::min(len, self.cap as usize - pos);
         // SAFETY: below the filled watermark no writer touches these
-        // bytes (reservations are monotonic and disjoint), and the
-        // Acquire load of `filled` synchronizes with the writers'
-        // Release publication.
+        // bytes (reservations are monotonic and disjoint, and their next
+        // wrap generation waits for `flushed` to pass this one), and the
+        // watermark scan's Acquire loads of the slot stamps synchronized
+        // with the writers' Release publication of the copied bytes.
         unsafe {
             let base = self.data.as_ptr();
             sink(std::slice::from_raw_parts(base.add(pos), first));
@@ -241,15 +405,38 @@ impl RingBuffer {
         }
     }
 
-    /// Flusher side: advance the flushed watermark and wake space waiters.
-    /// The store happens under the state lock so a concurrent
-    /// [`RingBuffer::wait_for_space`] cannot check a stale watermark and
-    /// then miss this notification (precise wakeups need the handshake).
+    /// Flusher side: advance the flushed watermark and wake space
+    /// waiters. Publishes the watermark, fences, then notifies only if a
+    /// waiter registered itself — the Dekker handshake mirrored in
+    /// [`RingBuffer::wait_for_space`] makes the wakeup precise without
+    /// an unconditional mutex acquisition per flush batch.
     pub fn mark_flushed(&self, to: u64) {
         debug_assert!(to <= self.filled());
-        let _state = self.state.lock();
         self.flushed.store(to, Ordering::Release);
-        self.space_cv.notify_all();
+        fence(Ordering::SeqCst);
+        if self.space_waiters.load(Ordering::Relaxed) != 0 {
+            let _guard = self.wake_mx.lock();
+            self.space_cv.notify_all();
+        }
+    }
+
+    /// Debug check that exactly one thread ever consumes (advances the
+    /// watermark / parks on `filled_cv`): the availability ring's plain
+    /// `filled` store and the `notify_one` wake both assume it.
+    #[inline]
+    fn assert_single_consumer(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let me = std::thread::current().id();
+            let mut owner = self.consumer.lock();
+            match *owner {
+                None => *owner = Some(me),
+                Some(t) => debug_assert_eq!(
+                    t, me,
+                    "RingBuffer has a single consumer; a second thread ran the watermark scan"
+                ),
+            }
+        }
     }
 }
 
@@ -257,59 +444,77 @@ impl RingBuffer {
 mod tests {
     use super::*;
 
+    /// Test helper: scan, then report the watermark (the consumer role).
+    fn filled_now(rb: &RingBuffer) -> u64 {
+        rb.advance_filled()
+    }
+
     #[test]
     fn in_order_fills_advance_watermark() {
         let rb = RingBuffer::new(1024, 0);
         assert_eq!(rb.capacity(), 1024);
-        rb.write(0, &[1; 100]);
-        assert_eq!(rb.filled(), 100);
-        rb.write(100, &[2; 50]);
-        assert_eq!(rb.filled(), 150);
+        rb.write(0, &[1; 96]);
+        assert_eq!(filled_now(&rb), 96);
+        rb.write(96, &[2; 64]);
+        assert_eq!(filled_now(&rb), 160);
     }
 
     #[test]
     fn out_of_order_fills_merge() {
         let rb = RingBuffer::new(1024, 0);
-        rb.write(100, &[2; 50]);
+        rb.write(96, &[2; 64]);
+        assert_eq!(filled_now(&rb), 0);
+        rb.mark_filled(160, 32); // dead zone, also pending
+        rb.write(0, &[1; 96]);
+        assert_eq!(filled_now(&rb), 192);
+    }
+
+    #[test]
+    fn scan_tip_sees_stamps_without_publishing() {
+        let rb = RingBuffer::new(1024, 0);
+        rb.write(0, &[3; 64]);
+        assert_eq!(rb.scan_tip(), 64);
+        // The consumer-owned watermark is untouched by the read-only scan.
         assert_eq!(rb.filled(), 0);
-        rb.mark_filled(150, 10); // dead zone, also pending
-        rb.write(0, &[1; 100]);
-        assert_eq!(rb.filled(), 160);
+        assert_eq!(filled_now(&rb), 64);
     }
 
     #[test]
     fn read_range_sees_written_bytes_across_wrap() {
         let rb = RingBuffer::new(128, 0);
-        rb.write(0, &[7; 100]);
-        rb.read_range(0, 100, |s| assert!(s.iter().all(|&b| b == 7)));
-        rb.mark_flushed(100);
-        // This write wraps: positions 100..128 then 0..72.
-        rb.write(100, &[9; 100]);
+        rb.write(0, &[7; 96]);
+        assert_eq!(filled_now(&rb), 96);
+        rb.read_range(0, 96, |s| assert!(s.iter().all(|&b| b == 7)));
+        rb.mark_flushed(96);
+        // This write wraps: positions 96..128 then 0..64.
+        rb.write(96, &[9; 96]);
+        assert_eq!(filled_now(&rb), 192);
         let mut total = 0;
         let mut chunks = 0;
-        rb.read_range(100, 200, |s| {
+        rb.read_range(96, 192, |s| {
             assert!(s.iter().all(|&b| b == 9));
             total += s.len();
             chunks += 1;
         });
-        assert_eq!(total, 100);
+        assert_eq!(total, 96);
         assert_eq!(chunks, 2);
     }
 
     #[test]
     fn wait_for_space_blocks_until_flush() {
-        let rb = std::sync::Arc::new(RingBuffer::new(100, 0));
-        rb.write(0, &[1; 100]);
+        let rb = std::sync::Arc::new(RingBuffer::new(96, 0));
+        rb.write(0, &[1; 96]);
+        assert_eq!(filled_now(&rb), 96);
         let rb2 = std::sync::Arc::clone(&rb);
         let t = std::thread::spawn(move || {
-            assert!(rb2.wait_for_space(200)); // needs flushed >= 100
-            rb2.write(100, &[2; 100]);
+            assert!(rb2.wait_for_space(192)); // needs flushed >= 96
+            rb2.write(96, &[2; 96]);
         });
         std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(rb.filled(), 100, "writer must not proceed before flush");
-        rb.mark_flushed(100);
+        assert_eq!(rb.scan_tip(), 96, "writer must not proceed before flush");
+        rb.mark_flushed(96);
         t.join().unwrap();
-        assert_eq!(rb.filled(), 200);
+        assert_eq!(filled_now(&rb), 192);
     }
 
     #[test]
@@ -323,21 +528,24 @@ mod tests {
     fn space_waiter_wake_latency_is_precise() {
         // Regression: space waiters used to poll on a 10ms timeout, so a
         // blocked writer woke up to 10ms after space freed. With precise
-        // notifications the median wake must sit far below that.
+        // notifications the median wake must sit far below that — and
+        // the waiter-count-gated protocol must not have reintroduced a
+        // lost-wakeup window.
         const ROUNDS: usize = 15;
         let mut latencies = Vec::with_capacity(ROUNDS);
         for _ in 0..ROUNDS {
-            let rb = std::sync::Arc::new(RingBuffer::new(100, 0));
-            rb.write(0, &[1; 100]);
+            let rb = std::sync::Arc::new(RingBuffer::new(96, 0));
+            rb.write(0, &[1; 96]);
+            rb.advance_filled();
             let rb2 = std::sync::Arc::clone(&rb);
             let t = std::thread::spawn(move || {
-                assert!(rb2.wait_for_space(200));
+                assert!(rb2.wait_for_space(192));
                 std::time::Instant::now()
             });
             // Let the waiter park.
             std::thread::sleep(Duration::from_millis(2));
             let released = std::time::Instant::now();
-            rb.mark_flushed(100);
+            rb.mark_flushed(96);
             let woke = t.join().unwrap();
             latencies.push(woke.duration_since(released));
         }
@@ -350,15 +558,100 @@ mod tests {
     }
 
     #[test]
-    fn poison_unblocks_space_waiters() {
-        let rb = std::sync::Arc::new(RingBuffer::new(100, 0));
-        rb.write(0, &[1; 100]);
+    fn parked_consumer_woken_by_demand_covering_fill() {
+        // The filled-side analogue of the space-waiter latency test: a
+        // consumer parked with a long timeout must be woken promptly by
+        // a fill below the registered demand — the precise-wakeup
+        // guarantee that survived the lock removal.
+        const ROUNDS: usize = 10;
+        let mut latencies = Vec::with_capacity(ROUNDS);
+        for round in 0..ROUNDS {
+            let rb = std::sync::Arc::new(RingBuffer::new(1024, 0));
+            rb.set_demand(32);
+            let rb2 = std::sync::Arc::clone(&rb);
+            let t = std::thread::spawn(move || {
+                let got = rb2.wait_filled(0, Duration::from_secs(5));
+                (got, std::time::Instant::now())
+            });
+            // Let the consumer park.
+            std::thread::sleep(Duration::from_millis(2));
+            let released = std::time::Instant::now();
+            rb.mark_filled(0, 32);
+            let (got, woke) = t.join().unwrap();
+            assert_eq!(got, 32, "round {round}: consumer must observe the fill");
+            latencies.push(woke.duration_since(released));
+        }
+        latencies.sort();
+        let median = latencies[ROUNDS / 2];
+        assert!(
+            median < Duration::from_millis(50),
+            "median consumer wake latency {median:?}: demand-covering fill failed to wake"
+        );
+    }
+
+    #[test]
+    fn idle_fill_does_not_wake_parked_consumer() {
+        // Without demand and below the batch threshold, a fill leaves
+        // the consumer parked until its timeout — group-commit batching.
+        let rb = std::sync::Arc::new(RingBuffer::new(1024, 0));
         let rb2 = std::sync::Arc::clone(&rb);
-        let t = std::thread::spawn(move || rb2.wait_for_space(200));
+        let t = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let got = rb2.wait_filled(0, Duration::from_millis(80));
+            (got, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        rb.mark_filled(0, 32); // 32 < cap/4, demand = MAX
+        let (got, waited) = t.join().unwrap();
+        assert_eq!(got, 32, "the timeout scan still observes the fill");
+        assert!(
+            waited >= Duration::from_millis(60),
+            "consumer woke after {waited:?}: an idle fill should not have notified"
+        );
+    }
+
+    #[test]
+    fn poison_unblocks_space_waiters() {
+        let rb = std::sync::Arc::new(RingBuffer::new(96, 0));
+        rb.write(0, &[1; 96]);
+        rb.advance_filled();
+        let rb2 = std::sync::Arc::clone(&rb);
+        let t = std::thread::spawn(move || rb2.wait_for_space(192));
         std::thread::sleep(Duration::from_millis(20));
         rb.poison();
         assert!(!t.join().unwrap(), "poisoned wait must report failure");
-        assert!(!rb.wait_for_space(120), "fast path also observes poison");
+        assert!(!rb.wait_for_space(128), "fast path also observes poison");
         assert!(rb.is_poisoned());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double fill")]
+    fn double_fill_is_detected() {
+        let rb = RingBuffer::new(1024, 0);
+        rb.mark_filled(64, 32);
+        rb.mark_filled(64, 32); // second stamp of the same generation
+    }
+
+    #[test]
+    fn generation_stamps_survive_many_wraps() {
+        // Fill → drain the ring several times over; the watermark must
+        // keep advancing (wrap generations never collide) and bytes must
+        // read back correctly on the last lap.
+        let rb = RingBuffer::new(128, 0);
+        let mut off = 0u64;
+        for lap in 0..9u8 {
+            for _ in 0..4 {
+                assert!(rb.wait_for_space(off + 32));
+                rb.write(off, &[lap; 32]);
+                off += 32;
+            }
+            assert_eq!(rb.advance_filled(), off);
+            if lap == 8 {
+                rb.read_range(off - 128, off, |s| assert!(s.iter().all(|&b| b == 8)));
+            }
+            rb.mark_flushed(off);
+        }
+        assert_eq!(off, 9 * 128);
     }
 }

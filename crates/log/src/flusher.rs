@@ -52,7 +52,9 @@ fn run(inner: &LogInner) {
     loop {
         let hi = inner.buffer.wait_filled(flushed, inner.cfg.flush_interval);
         if hi == flushed {
-            if inner.stop.load(Ordering::Acquire) && inner.buffer.filled() == flushed {
+            // Re-scan on the way out: fills stamped after the wait's last
+            // scan must still be drained before shutdown.
+            if inner.stop.load(Ordering::Acquire) && inner.buffer.advance_filled() == flushed {
                 return;
             }
             continue;

@@ -70,4 +70,6 @@ pub use segment::{Segment, SegmentTable};
 pub use txlog::TxLogBuffer;
 
 #[cfg(test)]
+mod ring_stress;
+#[cfg(test)]
 mod tests;

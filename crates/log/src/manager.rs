@@ -208,6 +208,7 @@ impl LogManager {
     /// and allocation resumes after the existing tail.
     pub fn open(cfg: LogConfig) -> io::Result<LogManager> {
         assert_eq!(cfg.segment_size % MIN_BLOCK_LEN as u64, 0, "segment size must be 32-aligned");
+        assert_eq!(cfg.buffer_size % MIN_BLOCK_LEN as u64, 0, "buffer size must be 32-aligned");
         assert!(cfg.buffer_size >= 4096, "log buffer too small");
         if let Some(dir) = &cfg.dir {
             std::fs::create_dir_all(dir)?;
@@ -494,7 +495,9 @@ impl LogManager {
 
     /// Flush everything currently filled and wait until durable.
     pub fn sync(&self) -> Result<(), LogError> {
-        let target = self.inner.buffer.filled();
+        // `scan_tip` includes fills that are stamped in the availability
+        // ring but not yet folded into the flusher-owned watermark.
+        let target = self.inner.buffer.scan_tip();
         self.wait_durable(target)
     }
 

@@ -54,6 +54,65 @@ impl RunConfig {
     }
 }
 
+/// Fixed-footprint log2 latency histogram: bucket `i` counts samples
+/// with `floor(log2(ns)) == i`. 64 buckets cover every representable
+/// nanosecond value, recording is a branch-free shift-and-increment on a
+/// worker-private struct, and percentiles come from a cumulative walk
+/// with linear interpolation inside the landing bucket (resolution: one
+/// power of two, plenty for p50/p99 curves across thread counts).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram { buckets: [0; 64], count: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[63 - ns.max(1).leading_zeros() as usize] += 1;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The `p`-th percentile (0..=100) in nanoseconds, interpolated
+    /// within the landing bucket; 0.0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                let lo = (1u64 << i) as f64;
+                let frac = (rank - seen as f64) / n as f64;
+                return lo + frac * lo; // bucket spans [2^i, 2^(i+1))
+            }
+            seen += n;
+        }
+        (1u64 << 63) as f64
+    }
+}
+
 /// Per-transaction-type statistics.
 #[derive(Clone, Debug, Default)]
 pub struct TypeStats {
@@ -63,6 +122,9 @@ pub struct TypeStats {
     pub abort_reasons: HashMap<&'static str, u64>,
     pub latency_sum_ns: u64,
     pub latency_max_ns: u64,
+    /// Committed-execution latency distribution (p50/p99 for the
+    /// scaling curves; avg/max above stay for the older figures).
+    pub latency: LatencyHistogram,
 }
 
 impl TypeStats {
@@ -89,11 +151,17 @@ impl TypeStats {
         }
     }
 
+    /// `p`-th percentile committed latency in milliseconds.
+    pub fn latency_pct_ms(&self, p: f64) -> f64 {
+        self.latency.percentile_ns(p) / 1e6
+    }
+
     fn merge(&mut self, other: &TypeStats) {
         self.commits += other.commits;
         self.aborts += other.aborts;
         self.latency_sum_ns += other.latency_sum_ns;
         self.latency_max_ns = self.latency_max_ns.max(other.latency_max_ns);
+        self.latency.merge(&other.latency);
         for (k, v) in &other.abort_reasons {
             *self.abort_reasons.entry(k).or_insert(0) += v;
         }
@@ -183,6 +251,7 @@ pub fn run_loaded<E: Engine, W: Workload<E>>(
                             st.commits += 1;
                             st.latency_sum_ns += elapsed;
                             st.latency_max_ns = st.latency_max_ns.max(elapsed);
+                            st.latency.record(elapsed);
                         }
                         Err(reason) => {
                             st.aborts += 1;
@@ -228,18 +297,20 @@ pub fn format_result(r: &BenchResult) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:<14} {:>10} {:>10} {:>9} {:>12} {:>12}",
-        "type", "commits", "aborts", "abort%", "avg-lat(ms)", "max-lat(ms)"
+        "  {:<14} {:>10} {:>10} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "type", "commits", "aborts", "abort%", "avg-lat(ms)", "p50-lat(ms)", "p99-lat(ms)", "max-lat(ms)"
     );
     for t in &r.per_type {
         let _ = writeln!(
             out,
-            "  {:<14} {:>10} {:>10} {:>8.1}% {:>12.3} {:>12.3}",
+            "  {:<14} {:>10} {:>10} {:>8.1}% {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
             t.name,
             t.commits,
             t.aborts,
             t.abort_ratio(),
             t.latency_avg_ms(),
+            t.latency_pct_ms(50.0),
+            t.latency_pct_ms(99.0),
             t.latency_max_ns as f64 / 1e6
         );
     }
@@ -281,5 +352,56 @@ mod tests {
         let s = TypeStats::default();
         assert_eq!(s.abort_ratio(), 0.0);
         assert_eq!(s.latency_avg_ms(), 0.0);
+        assert_eq!(s.latency_pct_ms(50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_land_in_the_right_bucket() {
+        let mut h = LatencyHistogram::default();
+        // 90 samples around 1µs, 10 around 1ms: p50 must sit in the
+        // microsecond bucket, p99 in the millisecond bucket.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile_ns(50.0);
+        assert!((512.0..2048.0).contains(&p50), "p50 {p50} outside the ~1µs bucket");
+        let p99 = h.percentile_ns(99.0);
+        assert!((524_288.0..2_097_152.0).contains(&p99), "p99 {p99} outside the ~1ms bucket");
+        // Percentiles are monotone and bounded by the top bucket edge.
+        assert!(h.percentile_ns(10.0) <= p50 && p50 <= p99);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut both = LatencyHistogram::default();
+        for ns in [100u64, 5_000, 70_000, 1_000_000] {
+            a.record(ns);
+            both.record(ns);
+        }
+        for ns in [300u64, 9_000, 2_000_000] {
+            b.record(ns);
+            both.record(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0] {
+            assert_eq!(a.percentile_ns(p), both.percentile_ns(p));
+        }
+    }
+
+    #[test]
+    fn histogram_zero_latency_is_clamped_not_panicking() {
+        let mut h = LatencyHistogram::default();
+        h.record(0); // leading_zeros(0) would index out of range unclamped
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert!(h.percentile_ns(100.0) >= (1u64 << 63) as f64);
     }
 }
