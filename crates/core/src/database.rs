@@ -64,11 +64,13 @@ pub(crate) struct DbInner {
     pub commits: AtomicU64,
     pub aborts: AtomicU64,
     /// Registry of per-worker breakdown slabs (Fig. 11 instrumentation;
-    /// populated when `cfg.profile` is set). Workers write their own
-    /// slab with relaxed adds; the mutex guards only registration and
-    /// aggregate reads, never the transaction path. Slab `Arc`s are
-    /// retained after a worker retires so its counts survive.
-    pub breakdown: parking_lot::Mutex<Vec<Arc<crate::profile::BreakdownSlab>>>,
+    /// populated only when `cfg.profile` is set). Workers write their
+    /// own slab with relaxed adds; the mutex guards only registration,
+    /// retirement, and aggregate reads, never the transaction path. A
+    /// retiring worker folds its counts into the registry's retained
+    /// aggregate, so the live set stays bounded by the current worker
+    /// count while retired counts still survive.
+    pub breakdown: parking_lot::Mutex<crate::profile::BreakdownRegistry>,
 }
 
 /// A memory-optimized multi-version database (the paper's ERMIA engine).
@@ -116,7 +118,7 @@ impl Database {
             blobs,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
-            breakdown: parking_lot::Mutex::new(Vec::new()),
+            breakdown: parking_lot::Mutex::new(crate::profile::BreakdownRegistry::default()),
             cfg,
         });
         let cfg = &inner.cfg;
@@ -287,10 +289,6 @@ impl Database {
     /// Aggregate per-component time breakdown, merged on read across
     /// every worker's slab — live and retired (requires `cfg.profile`).
     pub fn breakdown(&self) -> crate::profile::Breakdown {
-        let mut sum = crate::profile::Breakdown::default();
-        for slab in self.inner.breakdown.lock().iter() {
-            sum.add(&slab.snapshot());
-        }
-        sum
+        self.inner.breakdown.lock().aggregate()
     }
 }

@@ -8,10 +8,13 @@
 //! for the aggregate ([`crate::Database::breakdown`]). The previous
 //! design folded workers into a global mutex-guarded aggregate on drop;
 //! a shared lock has no business next to a hot path this PR just made
-//! lock-free, so the mutex now guards only the slab *registry* (touched
-//! at worker registration and on read, never per transaction).
+//! lock-free, so the mutex now guards only the slab *registry*
+//! ([`BreakdownRegistry`]: live slabs plus the folded counts of retired
+//! workers), touched at worker registration/retirement and on aggregate
+//! reads, never per transaction.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Accumulated nanoseconds per engine component.
@@ -76,6 +79,78 @@ impl BreakdownSlab {
         self.log_ns.store(0, Ordering::Relaxed);
         self.other_ns.store(0, Ordering::Relaxed);
         self.txns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The database-wide registry: slabs of live workers plus the folded
+/// counts of retired ones. Registration and retirement keep the live set
+/// bounded by the number of *current* workers — a workload churning
+/// short-lived workers must not grow the registry (or the cost of
+/// [`crate::Database::breakdown`]) without bound.
+#[derive(Default)]
+pub(crate) struct BreakdownRegistry {
+    live: Vec<Arc<BreakdownSlab>>,
+    retired: Breakdown,
+}
+
+impl BreakdownRegistry {
+    pub fn register(&mut self, slab: &Arc<BreakdownSlab>) {
+        self.live.push(Arc::clone(slab));
+    }
+
+    /// Fold a retiring worker's counts into the retained aggregate and
+    /// drop its slab from the live set. A no-op for slabs that were
+    /// never registered (profiling disabled).
+    pub fn retire(&mut self, slab: &Arc<BreakdownSlab>) {
+        if let Some(i) = self.live.iter().position(|s| Arc::ptr_eq(s, slab)) {
+            self.live.swap_remove(i);
+            self.retired.add(&slab.snapshot());
+        }
+    }
+
+    /// Retired counts plus a racy (fine for statistics) snapshot of
+    /// every live slab.
+    pub fn aggregate(&self) -> Breakdown {
+        let mut sum = self.retired;
+        for slab in &self.live {
+            sum.add(&slab.snapshot());
+        }
+        sum
+    }
+
+    /// Number of currently registered live slabs (boundedness checks in
+    /// tests).
+    #[cfg(test)]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_retains_retired_counts_and_stays_bounded() {
+        let mut reg = BreakdownRegistry::default();
+        let a = Arc::new(BreakdownSlab::default());
+        a.txns.store(3, Ordering::Relaxed);
+        reg.register(&a);
+        let b = Arc::new(BreakdownSlab::default());
+        b.txns.store(4, Ordering::Relaxed);
+        reg.register(&b);
+        assert_eq!(reg.aggregate().txns, 7);
+
+        reg.retire(&a);
+        assert_eq!(reg.live_count(), 1, "retired slab leaves the live set");
+        assert_eq!(reg.aggregate().txns, 7, "retired counts are retained");
+
+        // Retiring a slab that never registered (profiling off) is a no-op.
+        let c = Arc::new(BreakdownSlab::default());
+        c.txns.store(100, Ordering::Relaxed);
+        reg.retire(&c);
+        assert_eq!(reg.live_count(), 1);
+        assert_eq!(reg.aggregate().txns, 7);
     }
 }
 

@@ -956,3 +956,33 @@ fn version_nodes_recycle_through_worker_cache() {
     }
     assert!(reused > 0, "worker cache never served a recycled version");
 }
+
+#[test]
+fn breakdown_survives_worker_churn_without_growing_registry() {
+    // Short-lived workers must not grow the slab registry (or leak their
+    // slabs): a retiring worker folds its counts into the retained
+    // aggregate and leaves the live set, so `Database::breakdown` stays
+    // complete *and* O(current workers).
+    let cfg = DbConfig { profile: true, ..DbConfig::in_memory() };
+    let db = Database::open(cfg).unwrap();
+    let t = db.create_table("t");
+    for i in 0..8u32 {
+        let mut w = db.register_worker();
+        let mut tx = w.begin(SI);
+        tx.insert(t, &i.to_be_bytes(), b"v").unwrap();
+        tx.commit().unwrap();
+    }
+    assert_eq!(db.breakdown().txns, 8, "retired workers' counts are retained");
+    assert_eq!(db.inner.breakdown.lock().live_count(), 0, "no live slabs after churn");
+
+    // With profiling off, worker churn must not register anything at all.
+    let db = Database::open(DbConfig::in_memory()).unwrap();
+    let t = db.create_table("t");
+    for i in 0..8u32 {
+        let mut w = db.register_worker();
+        let mut tx = w.begin(SI);
+        tx.insert(t, &i.to_be_bytes(), b"v").unwrap();
+        tx.commit().unwrap();
+    }
+    assert_eq!(db.inner.breakdown.lock().live_count(), 0, "profiling off: never registered");
+}

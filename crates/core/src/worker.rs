@@ -69,8 +69,15 @@ impl Worker {
             (h.finish() as usize) % ermia_common::ids::TID_TABLE_CAPACITY
         };
         let versions = VersionCache::new(std::sync::Arc::clone(&db.inner.versions));
+        // The slab always exists (the transaction path bumps it
+        // unconditionally — cheaper than a branch), but it only joins the
+        // database registry when profiling is on: otherwise a workload
+        // churning short-lived workers would grow the registry without
+        // bound for counters nobody reads.
         let breakdown = std::sync::Arc::new(BreakdownSlab::default());
-        db.inner.breakdown.lock().push(std::sync::Arc::clone(&breakdown));
+        if db.inner.cfg.profile {
+            db.inner.breakdown.lock().register(&breakdown);
+        }
         Worker {
             db,
             epoch_handle,
@@ -100,6 +107,12 @@ impl Worker {
         self.scratch.breakdown.snapshot()
     }
 
+    /// Zero this worker's breakdown counters. The slab is the same one
+    /// [`Database::breakdown`] aggregates while the worker is live, so a
+    /// worker-level reset also removes this worker's not-yet-retired
+    /// share from the database-wide breakdown (counts already folded in
+    /// by retired workers are unaffected). Benchmarks rely on this to
+    /// discard warm-up measurements from both views at once.
     pub fn reset_breakdown(&mut self) {
         self.scratch.breakdown.reset();
     }
@@ -113,6 +126,18 @@ impl Worker {
     /// The owning database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Retire the slab: its counts fold into the registry's retained
+        // aggregate, so `Database::breakdown` stays complete while the
+        // live set stops growing with every worker ever created.
+        // `retire` is a no-op when profiling is off (never registered).
+        if self.db.inner.cfg.profile {
+            self.db.inner.breakdown.lock().retire(&self.scratch.breakdown);
+        }
     }
 }
 

@@ -243,8 +243,9 @@ impl RingBuffer {
         let len = bytes.len() as u64;
         debug_assert!(len <= self.cap);
         debug_assert!(
-            offset + len - self.flushed() <= self.cap + self.cap,
-            "writer skipped wait_for_space"
+            offset + len <= self.flushed() + self.cap,
+            "writer skipped wait_for_space: copying outside the space window \
+             overwrites unflushed bytes"
         );
         let pos = (offset % self.cap) as usize;
         let first = std::cmp::min(bytes.len(), self.cap as usize - pos);
@@ -267,9 +268,26 @@ impl RingBuffer {
     /// fence, and a mutex touch only when the consumer is parked *and*
     /// this fill matters to it (a durability target lies at or above
     /// `offset`, or a drain-worthy batch has accumulated).
+    ///
+    /// The caller must have won [`RingBuffer::wait_for_space`] for the
+    /// *entire* range: a slot may carry generation `g+1` only after its
+    /// generation-`g` occupant was flushed, so stamping outside the
+    /// space window overwrites an unconsumed stamp and stalls the
+    /// watermark permanently.
     pub fn mark_filled(&self, offset: u64, len: u64) {
         debug_assert!(offset.is_multiple_of(SLOT) && len.is_multiple_of(SLOT), "fills are block-aligned");
         debug_assert!(len > 0 && len <= self.cap);
+        // `flushed` only advances, so a writer that legitimately waited
+        // can never trip this; a writer that skipped the wait almost
+        // always will.
+        debug_assert!(
+            offset + len <= self.flushed.load(Ordering::Relaxed) + self.cap,
+            "mark_filled outside the space window: [{:#x}, {:#x}) with flushed {:#x}, cap {:#x}",
+            offset,
+            offset + len,
+            self.flushed.load(Ordering::Relaxed),
+            self.cap
+        );
         let first = offset / SLOT;
         let last = (offset + len) / SLOT;
         for s in first..last {

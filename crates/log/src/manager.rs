@@ -318,8 +318,19 @@ impl LogManager {
     /// Write a skip block at `off` covering `pad` bytes of `seg`.
     fn write_skip(&self, seg: &Segment, off: u64, pad: u64) {
         debug_assert!(pad >= BLOCK_HEADER_LEN as u64 && pad.is_multiple_of(MIN_BLOCK_LEN as u64));
+        debug_assert!(pad <= self.inner.cfg.buffer_size, "skip pad exceeds the ring");
         let inner = &*self.inner;
-        if !inner.buffer.wait_for_space(off + BLOCK_HEADER_LEN as u64) {
+        // The *whole* pad gets stamped in the availability ring, so the
+        // whole pad must lie inside the space window first: stamping a
+        // slot whose previous-generation fill is still unflushed would
+        // overwrite the unconsumed stamp and stall the watermark forever
+        // (see the ring invariant in `buffer.rs`). Reservation skips have
+        // already waited in `allocate`, making this a single atomic load;
+        // rotation losers genuinely block here until the flusher catches
+        // up. No deadlock: a blocked range needs `flushed` to reach only
+        // offsets below its own start, which are owned by earlier,
+        // independently completable claims.
+        if !inner.buffer.wait_for_space(off + pad) {
             // Poisoned: the skip record can never reach disk, and recovery
             // treats the unfilled range as the first hole. Nothing to do.
             return;
@@ -349,6 +360,11 @@ impl LogManager {
     /// content — they map to no location on disk and are never referenced.
     fn retire_range(&self, mut off: u64, len: u64) {
         let inner = &*self.inner;
+        // Every retired range derives from a single claim, so it (and
+        // every chunk below) fits the ring — `allocate` rejects larger
+        // blocks up front. The per-chunk space waits therefore always
+        // name a reachable window.
+        debug_assert!(len <= inner.cfg.buffer_size, "retired range exceeds the ring");
         let end = off + len;
         while off < end {
             match inner.segments.lookup(off) {
@@ -367,6 +383,18 @@ impl LogManager {
                         .min()
                         .unwrap_or(end)
                         .min(end);
+                    // Dead zones are stamped like any other fill, so the
+                    // ring's generation invariant applies: the space
+                    // window must cover the range before its slots are
+                    // touched. A rotation loser can hold a claim well
+                    // beyond `flushed + cap` while the buffer is full —
+                    // stamping it early would clobber the previous
+                    // generation's unconsumed stamps (watermark stall).
+                    if !inner.buffer.wait_for_space(next_start) {
+                        // Poisoned: nothing drains past the poison point,
+                        // so publishing the dead zone is moot.
+                        return;
+                    }
                     inner.stats.dead_zone_bytes.fetch_add(next_start - off, Ordering::Relaxed);
                     inner.buffer.mark_filled(off, next_start - off);
                     off = next_start;

@@ -231,6 +231,54 @@ fn concurrent_commits_all_recovered_in_order() {
 }
 
 #[test]
+fn rotation_with_full_ring_converges() {
+    // Regression for an availability-ring invariant violation: the skip
+    // and dead-zone publication paths used to stamp slots without first
+    // waiting for the space window to cover them. With a minimum-size
+    // ring and segment-sized churn the buffer is full nearly all the
+    // time, so rotation losers routinely hold claims beyond
+    // `flushed + cap`; stamping those early clobbered the previous
+    // generation's unconsumed stamps and stalled the watermark forever
+    // (flusher deadlock, wait_durable timeouts). The fixed paths block
+    // for space first — this hammer must converge, and in debug builds
+    // the window assert in `mark_filled` polices every stamp.
+    const THREADS: u32 = 4;
+    const PER_THREAD: u32 = 400;
+    let log = LogManager::open(LogConfig {
+        dir: None,
+        segment_size: 4096, // a rotation roughly every ring's worth
+        buffer_size: 4096,  // the minimum: writers outrun the flusher
+        flush_interval: std::time::Duration::from_micros(50),
+        ..LogConfig::default()
+    })
+    .unwrap();
+    crossbeam::scope(|s| {
+        for t in 0..THREADS {
+            let log = &log;
+            s.spawn(move |_| {
+                for i in 0..PER_THREAD {
+                    let mut tx = TxLogBuffer::new();
+                    tx.add_update(TableId(t), Oid(i), b"key", b"rotation-payload");
+                    let res = log.allocate(tx.block_len()).unwrap();
+                    let end = res.end_offset();
+                    let block = tx.serialize(res.lsn());
+                    res.fill(block);
+                    // Park on durability now and then so demand-driven
+                    // wakes interleave with the full-ring churn.
+                    if i % 32 == 0 {
+                        log.wait_durable(end).unwrap();
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    log.sync().unwrap();
+    let rotations = log.stats().rotations.load(Ordering::Relaxed);
+    assert!(rotations >= 8, "only {rotations} rotations: the hammer missed its target");
+}
+
+#[test]
 fn per_operation_allocation_is_slower_shape() {
     // Sanity for the Fig. 10 experiment plumbing: allocating per record
     // costs more fetch_adds than one block per transaction.
