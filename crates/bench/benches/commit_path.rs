@@ -178,15 +178,17 @@ fn main() {
         let p50 = percentile_us(&samples, 50.0);
         let p95 = percentile_us(&samples, 95.0);
         let p99 = percentile_us(&samples, 99.0);
+        let p999 = percentile_us(&samples, 99.9);
         let max = samples.last().unwrap().as_secs_f64() * 1e6;
         eprintln!(
             "sync commit @ flush_interval={interval:?}: p50={p50:.1}us p95={p95:.1}us \
-             p99={p99:.1}us max={max:.1}us ({lat_txns} txns)"
+             p99={p99:.1}us p99.9={p999:.1}us max={max:.1}us ({lat_txns} txns)"
         );
         let _ = write!(
             json,
             "    {{\"flush_interval_us\": {}, \"txns\": {lat_txns}, \"p50_us\": {p50:.1}, \
-             \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1}, \"max_us\": {max:.1}}}",
+             \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1}, \"p999_us\": {p999:.1}, \
+             \"max_us\": {max:.1}}}",
             interval.as_micros()
         );
         json.push_str(if i + 1 < intervals.len() { ",\n" } else { "\n" });

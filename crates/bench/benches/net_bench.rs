@@ -1,0 +1,281 @@
+//! Loopback load harness for the network service layer.
+//!
+//! Drives `ermia-server` over real TCP sockets on 127.0.0.1 and reports,
+//! per scenario, throughput plus p50/p99/p99.9 latency:
+//!
+//! * **pipelined batches, sync commit** — each connection keeps a window
+//!   of one-shot batch transactions in flight; the server overlaps their
+//!   group-commit durability waits on its writer thread, so throughput
+//!   rides the log's group-commit batching rather than one flush per
+//!   round trip. This is the headline number: the service layer must
+//!   sustain ≥ 20k ops/s with synchronous commit.
+//! * **pipelined batches, async commit** — the same stream without the
+//!   durability wait; the gap is the price of the sync guarantee.
+//! * **interactive ops** — one request per round trip (autocommitted
+//!   gets/puts and a begin/put/commit-sync transaction), the latency
+//!   floor a non-pipelining client sees.
+//!
+//! Emits `BENCH_net.json` (path override: `BENCH_OUT`). `-- --quick`
+//! runs a CI-sized load.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use ermia::{Database, DbConfig};
+use ermia_server::{BatchOp, Client, Request, Response, Server, ServerConfig, WireIsolation};
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+struct Scenario {
+    name: &'static str,
+    ops: u64,
+    elapsed: Duration,
+    /// Per-request latencies (a batch is one request), sorted.
+    lat: Vec<Duration>,
+}
+
+impl Scenario {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn req_per_sec(&self) -> f64 {
+        self.lat.len() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// One connection's share of a pipelined batch run. Keeps `window`
+/// batches in flight; returns per-batch latency.
+fn pipelined_conn(
+    addr: std::net::SocketAddr,
+    table: u32,
+    sync: bool,
+    batches: usize,
+    window: usize,
+    ops_per_batch: usize,
+    conn_id: usize,
+) -> Vec<Duration> {
+    let mut c = Client::connect(addr).expect("connect");
+    let mut sent_at = std::collections::VecDeque::with_capacity(window);
+    let mut lat = Vec::with_capacity(batches);
+    let recv_one = |c: &mut Client, sent_at: &mut std::collections::VecDeque<Instant>| {
+        let resp = c.recv().expect("recv");
+        let t0 = sent_at.pop_front().expect("reply matches a request");
+        match resp {
+            Response::BatchDone { outcome, .. } => {
+                assert!(
+                    matches!(*outcome, Response::Committed { .. }),
+                    "batch must commit, got {outcome:?}"
+                );
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        t0.elapsed()
+    };
+    for b in 0..batches {
+        let ops: Vec<BatchOp> = (0..ops_per_batch)
+            .map(|o| {
+                let key = format!("c{conn_id}-{:06}", (b * ops_per_batch + o) % 4096).into_bytes();
+                if o % 4 == 3 {
+                    BatchOp::Get { table, key }
+                } else {
+                    BatchOp::Put { table, key, value: vec![b'v'; 64] }
+                }
+            })
+            .collect();
+        if sent_at.len() == window {
+            lat.push(recv_one(&mut c, &mut sent_at));
+        }
+        sent_at.push_back(Instant::now());
+        c.send(&Request::Batch { isolation: WireIsolation::Snapshot, sync, ops })
+            .expect("send");
+        c.flush().expect("flush");
+    }
+    while !sent_at.is_empty() {
+        lat.push(recv_one(&mut c, &mut sent_at));
+    }
+    lat
+}
+
+#[derive(Clone, Copy)]
+struct PipeLoad {
+    conns: usize,
+    batches_per_conn: usize,
+    window: usize,
+    ops_per_batch: usize,
+}
+
+fn pipelined_scenario(
+    name: &'static str,
+    addr: std::net::SocketAddr,
+    table: u32,
+    sync: bool,
+    load: PipeLoad,
+) -> Scenario {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..load.conns)
+        .map(|id| {
+            std::thread::spawn(move || {
+                pipelined_conn(
+                    addr,
+                    table,
+                    sync,
+                    load.batches_per_conn,
+                    load.window,
+                    load.ops_per_batch,
+                    id,
+                )
+            })
+        })
+        .collect();
+    let mut lat: Vec<Duration> = Vec::new();
+    for h in handles {
+        lat.extend(h.join().expect("conn thread"));
+    }
+    let elapsed = start.elapsed();
+    lat.sort();
+    Scenario {
+        name,
+        ops: (load.conns * load.batches_per_conn * load.ops_per_batch) as u64,
+        elapsed,
+        lat,
+    }
+}
+
+/// Strict request/response (no pipelining): the latency floor.
+fn interactive_scenario(
+    name: &'static str,
+    addr: std::net::SocketAddr,
+    rounds: usize,
+    mut op: impl FnMut(&mut Client, usize),
+) -> Scenario {
+    let mut c = Client::connect(addr).expect("connect");
+    let mut lat = Vec::with_capacity(rounds);
+    let start = Instant::now();
+    for i in 0..rounds {
+        let t0 = Instant::now();
+        op(&mut c, i);
+        lat.push(t0.elapsed());
+    }
+    let elapsed = start.elapsed();
+    lat.sort();
+    Scenario { name, ops: rounds as u64, elapsed, lat }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let conns = if quick { 2 } else { 4 };
+    let batches_per_conn = if quick { 250 } else { 2500 };
+    let window = 32;
+    let ops_per_batch = 8;
+    let interactive_rounds = if quick { 300 } else { 2000 };
+
+    let db = Database::open(DbConfig::in_memory()).unwrap();
+    let srv = Server::start(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    let table = setup.open_table("net_bench").unwrap();
+    // Preload the keyspace so gets hit.
+    for i in 0..4096 {
+        for conn in 0..conns {
+            setup.put(table, format!("c{conn}-{i:06}").as_bytes(), &[b'v'; 64]).unwrap();
+        }
+    }
+    drop(setup);
+
+    let load = PipeLoad { conns, batches_per_conn, window, ops_per_batch };
+
+    // Warmup: let the server create its pooled workers and the log settle.
+    pipelined_scenario("warmup", addr, table, true, PipeLoad { batches_per_conn: 50, ..load });
+
+    let mut scenarios = vec![
+        pipelined_scenario("pipelined_batch_sync", addr, table, true, load),
+        pipelined_scenario("pipelined_batch_async", addr, table, false, load),
+    ];
+    scenarios.push(interactive_scenario("interactive_get", addr, interactive_rounds, {
+        let mut k = 0usize;
+        move |c, _| {
+            let key = format!("c0-{:06}", k % 4096);
+            k += 1;
+            assert!(c.get(table, key.as_bytes()).expect("get").is_some());
+        }
+    }));
+    scenarios.push(interactive_scenario("interactive_put", addr, interactive_rounds, {
+        move |c, i| {
+            c.put(table, format!("c0-{:06}", i % 4096).as_bytes(), &[b'w'; 64]).expect("put");
+        }
+    }));
+    scenarios.push(interactive_scenario(
+        "interactive_txn_sync",
+        addr,
+        interactive_rounds.min(500),
+        move |c, i| {
+            c.begin(WireIsolation::Snapshot).expect("begin");
+            c.put(table, format!("c1-{:06}", i % 4096).as_bytes(), &[b'w'; 64]).expect("put");
+            c.commit(true).expect("sync commit");
+        },
+    ));
+
+    // ---- report ------------------------------------------------------
+    eprintln!(
+        "\n{:<24} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "scenario", "ops/s", "req/s", "p50(ms)", "p99(ms)", "p99.9(ms)"
+    );
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"net\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"conns\": {conns},");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"ops_per_batch\": {ops_per_batch},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let (p50, p99, p999) = (
+            percentile_ms(&s.lat, 50.0),
+            percentile_ms(&s.lat, 99.0),
+            percentile_ms(&s.lat, 99.9),
+        );
+        eprintln!(
+            "{:<24} {:>12.0} {:>12.0} {:>12.3} {:>12.3} {:>14.3}",
+            s.name,
+            s.ops_per_sec(),
+            s.req_per_sec(),
+            p50,
+            p99,
+            p999
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.0}, \"req_per_sec\": {:.0}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}}}{}",
+            s.name,
+            s.ops,
+            s.ops_per_sec(),
+            s.req_per_sec(),
+            p50,
+            p99,
+            p999,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let sync_ops_s = scenarios[0].ops_per_sec();
+    let _ = writeln!(json, "  \"sync_pipelined_ops_per_sec\": {sync_ops_s:.0},");
+    let _ = writeln!(json, "  \"sync_target_ops_per_sec\": 20000");
+    json.push_str("}\n");
+
+    srv.shutdown();
+    assert_eq!(srv.stats().active_sessions, 0, "bench must not leak sessions");
+    assert_eq!(srv.worker_pool().outstanding(), 0, "bench must not leak workers");
+
+    if sync_ops_s < 20_000.0 {
+        eprintln!("WARNING: sync pipelined throughput {sync_ops_s:.0} ops/s below the 20k target");
+    }
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
+    std::fs::write(&out, json).expect("write bench json");
+    eprintln!("wrote {out}");
+}

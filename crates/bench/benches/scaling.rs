@@ -43,6 +43,7 @@ struct Point {
     abort_pct: f64,
     p50_ms: f64,
     p99_ms: f64,
+    p999_ms: f64,
 }
 
 fn overall(r: &BenchResult) -> Point {
@@ -57,6 +58,7 @@ fn overall(r: &BenchResult) -> Point {
         abort_pct: if execs == 0 { 0.0 } else { 100.0 * r.total_aborts() as f64 / execs as f64 },
         p50_ms: h.percentile_ns(50.0) / 1e6,
         p99_ms: h.percentile_ns(99.0) / 1e6,
+        p999_ms: h.p999_ns() / 1e6,
     }
 }
 
@@ -89,14 +91,14 @@ fn series<E, W>(
         let p = overall(&r);
         eprintln!(
             "{workload_label:>10} | {engine_label:<10} | {n:>2} threads | {:>10.0} tps | \
-             {:>5.1}% aborts | p50 {:>8.3} ms | p99 {:>8.3} ms",
-            p.tps, p.abort_pct, p.p50_ms, p.p99_ms
+             {:>5.1}% aborts | p50 {:>8.3} ms | p99 {:>8.3} ms | p99.9 {:>8.3} ms",
+            p.tps, p.abort_pct, p.p50_ms, p.p99_ms, p.p999_ms
         );
         let _ = write!(
             json,
             "          {{\"threads\": {}, \"tps\": {:.1}, \"abort_pct\": {:.2}, \
-             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
-            p.threads, p.tps, p.abort_pct, p.p50_ms, p.p99_ms
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}}}",
+            p.threads, p.tps, p.abort_pct, p.p50_ms, p.p99_ms, p.p999_ms
         );
         json.push_str(if i + 1 < sweep.threads.len() { ",\n" } else { "\n" });
     }

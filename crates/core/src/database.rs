@@ -221,6 +221,14 @@ impl Database {
         id
     }
 
+    /// Number of tables in the catalog. Table ids are dense, so an id is
+    /// valid iff it is below this count — front-ends use this to validate
+    /// untrusted ids before calling [`Transaction`] operations, which
+    /// index the catalog directly.
+    pub fn table_count(&self) -> usize {
+        self.inner.catalog.read().tables.len()
+    }
+
     /// Look up a table id by name.
     pub fn table_id(&self, name: &str) -> Option<TableId> {
         self.inner.catalog.read().table_names.get(name).copied()
@@ -268,6 +276,13 @@ impl Database {
     /// Version nodes currently parked in the reuse pool.
     pub fn version_pool_size(&self) -> usize {
         self.inner.versions.pooled()
+    }
+
+    /// Transaction-context (TID) slots currently in use. Zero whenever no
+    /// transaction is in flight — the service layer's session-teardown
+    /// tests assert this to prove disconnects leak nothing.
+    pub fn tid_slots_in_use(&self) -> usize {
+        self.inner.tid.in_use()
     }
 
     /// Current log tail — the begin timestamp a transaction starting now

@@ -52,6 +52,7 @@
 
 mod config;
 mod database;
+mod pool;
 mod profile;
 mod recovery;
 mod transaction;
@@ -59,9 +60,10 @@ mod worker;
 
 pub use config::{DbConfig, IsolationLevel};
 pub use database::{Database, IndexInfo, Table};
+pub use pool::{PooledWorker, WorkerPool};
 pub use profile::Breakdown;
 pub use recovery::RecoveryStats;
-pub use transaction::Transaction;
+pub use transaction::{CommitToken, Transaction};
 pub use worker::Worker;
 
 pub use ermia_common::{AbortReason, IndexId, KeyWriter, Lsn, OpResult, TableId, TxResult};

@@ -1,0 +1,219 @@
+//! Bounded worker checkout pool.
+//!
+//! A network front-end has many more connections than it wants engine
+//! workers: each [`Worker`] owns an epoch registration, scratch arenas,
+//! and a version cache, so the right shape is a small pool sized near the
+//! core count that sessions *check out* for the duration of one
+//! transaction and return at commit/abort. The pool is strictly bounded —
+//! when every worker is out, checkout fails (or times out) and the caller
+//! sheds load instead of queueing unboundedly.
+//!
+//! Workers are created lazily up to capacity and live for the pool's
+//! lifetime; [`EpochHandle`](ermia_epoch::EpochHandle) is `Send`, so a
+//! worker parked at a transaction boundary can resume on any thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::database::Database;
+use crate::worker::Worker;
+
+struct PoolInner {
+    db: Database,
+    capacity: usize,
+    idle: Mutex<Vec<Worker>>,
+    /// Workers created so far (monotonic, ≤ capacity).
+    created: AtomicUsize,
+    /// Workers currently checked out.
+    outstanding: AtomicUsize,
+    returned: Condvar,
+}
+
+/// A bounded pool of engine [`Worker`]s shared by many sessions.
+///
+/// Cloning shares the pool.
+#[derive(Clone)]
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl WorkerPool {
+    /// Create a pool of at most `capacity` workers on `db`. Workers are
+    /// created on first use, not up front.
+    pub fn new(db: &Database, capacity: usize) -> WorkerPool {
+        assert!(capacity > 0, "worker pool needs capacity >= 1");
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                db: db.clone(),
+                capacity,
+                idle: Mutex::new(Vec::with_capacity(capacity)),
+                created: AtomicUsize::new(0),
+                outstanding: AtomicUsize::new(0),
+                returned: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Check out a worker if one is idle or capacity remains; `None` when
+    /// the pool is exhausted. Never blocks.
+    pub fn try_checkout(&self) -> Option<PooledWorker> {
+        let inner = &self.inner;
+        let mut idle = inner.idle.lock();
+        if let Some(w) = idle.pop() {
+            drop(idle);
+            inner.outstanding.fetch_add(1, Ordering::Relaxed);
+            return Some(PooledWorker { worker: Some(w), pool: Arc::clone(inner) });
+        }
+        // No idle worker: create one if we still may. `created` is only
+        // bumped under the idle lock, so the capacity check cannot race.
+        if inner.created.load(Ordering::Relaxed) < inner.capacity {
+            inner.created.fetch_add(1, Ordering::Relaxed);
+            drop(idle);
+            let w = inner.db.register_worker();
+            inner.outstanding.fetch_add(1, Ordering::Relaxed);
+            return Some(PooledWorker { worker: Some(w), pool: Arc::clone(inner) });
+        }
+        None
+    }
+
+    /// Check out a worker, waiting up to `timeout` for one to come back.
+    pub fn checkout_timeout(&self, timeout: Duration) -> Option<PooledWorker> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(w) = self.try_checkout() {
+                return Some(w);
+            }
+            let mut idle = self.inner.idle.lock();
+            if !idle.is_empty() {
+                continue; // a return won the race; retry the fast path
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            if self.inner.returned.wait_for(&mut idle, left).timed_out() {
+                drop(idle);
+                // One last try: a worker may have come back exactly at
+                // the deadline.
+                return self.try_checkout();
+            }
+        }
+    }
+
+    /// Pool capacity (the bound).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Workers currently checked out.
+    pub fn outstanding(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Workers parked in the pool right now.
+    pub fn idle(&self) -> usize {
+        self.inner.idle.lock().len()
+    }
+
+    /// Workers created so far (≤ capacity).
+    pub fn created(&self) -> usize {
+        self.inner.created.load(Ordering::Relaxed)
+    }
+}
+
+/// A checked-out [`Worker`]; derefs to it and returns it to the pool on
+/// drop (including on unwind, so a panicking session cannot leak one).
+pub struct PooledWorker {
+    worker: Option<Worker>,
+    pool: Arc<PoolInner>,
+}
+
+impl std::ops::Deref for PooledWorker {
+    type Target = Worker;
+
+    fn deref(&self) -> &Worker {
+        self.worker.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledWorker {
+    fn deref_mut(&mut self) -> &mut Worker {
+        self.worker.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledWorker {
+    fn drop(&mut self) {
+        let w = self.worker.take().expect("returned exactly once");
+        self.pool.idle.lock().push(w);
+        self.pool.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.pool.returned.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DbConfig, IsolationLevel};
+
+    #[test]
+    fn checkout_is_bounded_and_returns_on_drop() {
+        let db = Database::open(DbConfig::in_memory()).unwrap();
+        let pool = WorkerPool::new(&db, 2);
+        let a = pool.try_checkout().expect("first");
+        let b = pool.try_checkout().expect("second");
+        assert!(pool.try_checkout().is_none(), "capacity 2 must bound checkouts");
+        assert_eq!(pool.outstanding(), 2);
+        drop(a);
+        assert_eq!(pool.outstanding(), 1);
+        assert_eq!(pool.idle(), 1);
+        let c = pool.try_checkout().expect("recycled");
+        drop(b);
+        drop(c);
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.created(), 2);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn pooled_worker_runs_transactions() {
+        let db = Database::open(DbConfig::in_memory()).unwrap();
+        let t = db.create_table("kv");
+        let pool = WorkerPool::new(&db, 1);
+        let mut w = pool.try_checkout().unwrap();
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        tx.insert(t, b"k", b"v").unwrap();
+        tx.commit().unwrap();
+        drop(w);
+        // The same worker serves the next checkout, possibly from another
+        // thread.
+        let pool2 = pool.clone();
+        std::thread::spawn(move || {
+            let mut w = pool2.try_checkout().unwrap();
+            let mut tx = w.begin(IsolationLevel::Snapshot);
+            let v = tx.read(t, b"k", |v| v.to_vec()).unwrap();
+            assert_eq!(v.as_deref(), Some(&b"v"[..]));
+            tx.commit().unwrap();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(pool.created(), 1);
+    }
+
+    #[test]
+    fn checkout_timeout_waits_for_a_return() {
+        let db = Database::open(DbConfig::in_memory()).unwrap();
+        let pool = WorkerPool::new(&db, 1);
+        let held = pool.try_checkout().unwrap();
+        assert!(pool.checkout_timeout(Duration::from_millis(20)).is_none());
+        let pool2 = pool.clone();
+        let h = std::thread::spawn(move || {
+            pool2.checkout_timeout(Duration::from_secs(5)).expect("worker returned in time")
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held);
+        let w = h.join().unwrap();
+        drop(w);
+        assert_eq!(pool.outstanding(), 0);
+    }
+}

@@ -126,6 +126,27 @@ impl BreakdownRegistry {
     }
 }
 
+/// Scoped timer: adds elapsed time to a slab counter on drop.
+/// Constructed only when profiling is enabled, so the hot path pays one
+/// branch.
+pub(crate) struct Timed {
+    start: Instant,
+}
+
+impl Timed {
+    #[inline]
+    pub fn start(enabled: bool) -> Option<Timed> {
+        enabled.then(|| Timed { start: Instant::now() })
+    }
+
+    #[inline]
+    pub fn stop(this: Option<Timed>, counter: &AtomicU64) {
+        if let Some(t) = this {
+            counter.fetch_add(t.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,26 +172,5 @@ mod tests {
         reg.retire(&c);
         assert_eq!(reg.live_count(), 1);
         assert_eq!(reg.aggregate().txns, 7);
-    }
-}
-
-/// Scoped timer: adds elapsed time to a slab counter on drop.
-/// Constructed only when profiling is enabled, so the hot path pays one
-/// branch.
-pub(crate) struct Timed {
-    start: Instant,
-}
-
-impl Timed {
-    #[inline]
-    pub fn start(enabled: bool) -> Option<Timed> {
-        enabled.then(|| Timed { start: Instant::now() })
-    }
-
-    #[inline]
-    pub fn stop(this: Option<Timed>, counter: &AtomicU64) {
-        if let Some(t) = this {
-            counter.fetch_add(t.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
     }
 }

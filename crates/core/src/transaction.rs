@@ -742,7 +742,33 @@ impl<'w> Transaction<'w> {
     // ------------------------------------------------------------------
 
     /// Commit. On success returns the commit LSN.
-    pub fn commit(mut self) -> TxResult<Lsn> {
+    ///
+    /// Honors [`DbConfig::synchronous_commit`](crate::DbConfig): when set,
+    /// the call blocks until the commit block is durable and rolls back on
+    /// durability failure.
+    pub fn commit(self) -> TxResult<Lsn> {
+        let sync = self.db.inner.cfg.synchronous_commit;
+        self.commit_impl(sync).map(|t| t.lsn)
+    }
+
+    /// Commit without waiting for durability, regardless of the
+    /// database-wide `synchronous_commit` setting.
+    ///
+    /// The transaction becomes visible to other transactions immediately;
+    /// the returned [`CommitToken`] identifies the point in the log the
+    /// caller must wait on (`db.log().wait_durable_for(token.end_offset(),
+    /// …)`) before acknowledging the commit as durable. This is the
+    /// server's reply-path integration: the session thread can move on to
+    /// the next pipelined request while a writer thread awaits group
+    /// commit. If the durability wait later fails, the transaction is
+    /// *not* rolled back — its in-memory effects stand and its on-disk
+    /// fate is indeterminate until restart recovery (see
+    /// [`ermia_common::LogError`]).
+    pub fn commit_deferred(self) -> TxResult<CommitToken> {
+        self.commit_impl(false)
+    }
+
+    fn commit_impl(mut self, wait_durable: bool) -> TxResult<CommitToken> {
         if let Some(r) = self.doomed {
             self.do_abort();
             return Err(r);
@@ -848,7 +874,7 @@ impl<'w> Transaction<'w> {
         let end_offset = reservation.end_offset();
         let block = self.scratch.logbuf.serialize(cstamp);
         reservation.fill(block);
-        if db.inner.cfg.synchronous_commit && db.inner.log.wait_durable(end_offset).is_err() {
+        if wait_durable && db.inner.log.wait_durable(end_offset).is_err() {
             // The commit block never became durable (poisoned log) or its
             // fate is unknown (timeout). Roll back in memory and surface
             // the failure; restart recovery truncates at the first hole,
@@ -884,7 +910,7 @@ impl<'w> Transaction<'w> {
             }
         }
         self.release(true);
-        Ok(cstamp)
+        Ok(CommitToken { lsn: cstamp, end_offset: Some(end_offset) })
     }
 
     /// Read-only commit: no log space needed. Under SSN the transaction
@@ -892,7 +918,7 @@ impl<'w> Transaction<'w> {
     /// registering itself on read versions; we use the current log tail
     /// (monotonic, possibly shared — a documented approximation that can
     /// only add false positives, never lost dependencies).
-    fn commit_readonly(mut self) -> TxResult<Lsn> {
+    fn commit_readonly(mut self) -> TxResult<CommitToken> {
         let db = self.db;
         let ctx = db.inner.tid.ctx(self.tid);
         let cstamp = db.inner.log.tail_lsn();
@@ -922,7 +948,7 @@ impl<'w> Transaction<'w> {
         ctx.enter_precommit(cstamp);
         ctx.commit(cstamp);
         self.release(true);
-        Ok(cstamp)
+        Ok(CommitToken { lsn: cstamp, end_offset: None })
     }
 
     /// Abort explicitly.
@@ -1013,4 +1039,43 @@ enum Visibility {
     SkipCommitted { cstamp: u64 },
     /// In flight or aborted.
     SkipUncommitted,
+}
+
+/// Receipt of a [`Transaction::commit_deferred`]: the commit LSN plus the
+/// log offset whose durability implies the commit block is on disk.
+///
+/// Tokens are plain data — they do not borrow the worker, so the worker
+/// can serve the next transaction while somebody else awaits durability.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitToken {
+    lsn: Lsn,
+    /// `None` for read-only commits, which occupy no log space and are
+    /// trivially durable.
+    end_offset: Option<u64>,
+}
+
+impl CommitToken {
+    /// The commit timestamp.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// The exclusive end offset of the commit block in the log's logical
+    /// offset space, or `None` for read-only commits.
+    pub fn end_offset(&self) -> Option<u64> {
+        self.end_offset
+    }
+
+    /// Block until this commit is durable (or `timeout` expires). A
+    /// read-only commit returns immediately.
+    pub fn wait_durable(
+        &self,
+        db: &Database,
+        timeout: std::time::Duration,
+    ) -> Result<(), ermia_common::LogError> {
+        match self.end_offset {
+            Some(end) => db.inner.log.wait_durable_for(end, timeout),
+            None => Ok(()),
+        }
+    }
 }

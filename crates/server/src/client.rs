@@ -1,0 +1,249 @@
+//! A small, pipelined client for the ERMIA wire protocol.
+//!
+//! [`Client`] offers two styles:
+//!
+//! * **Call**: [`Client::call`] and the typed helpers (`get`, `put`,
+//!   `commit`, …) send one request and block for its reply.
+//! * **Pipelined**: [`Client::send`] queues requests without waiting;
+//!   [`Client::recv`] takes replies in request order. The server
+//!   processes a pipelined stream without stalling on durability — a
+//!   sync commit's reply is written by the server's writer thread while
+//!   the next request is already executing — so a single connection can
+//!   keep a full group-commit window in flight.
+//!
+//! The client is deliberately dumb: no retries, no reconnects, no
+//! background threads. Errors surface as [`ClientError`] and leave the
+//! connection in an unusable state; callers build policy on top.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation,
+    MAX_FRAME_LEN,
+};
+
+/// What can go wrong talking to the server.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The byte stream itself was malformed (bad frame, bad checksum).
+    Frame(FrameError),
+    /// The server replied with an [`Response::Error`] frame.
+    Server { code: ErrorCode, detail: String },
+    /// The server shed this request ([`Response::Busy`]).
+    Busy,
+    /// A structurally valid reply of the wrong kind for this request.
+    Unexpected(Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Server { code, detail } => write!(f, "server error {code:?}: {detail}"),
+            ClientError::Busy => f.write_str("server busy"),
+            ClientError::Unexpected(r) => write!(f, "unexpected reply: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Rows returned by [`Client::scan`]: `(key, value)` pairs.
+pub type ScanRows = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// One connection to an ERMIA server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Requests sent but not yet answered (pipelining depth).
+    in_flight: usize,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: BufWriter::new(stream), in_flight: 0 })
+    }
+
+    /// Set a ceiling on how long [`recv`](Client::recv) blocks.
+    pub fn set_reply_timeout(&mut self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Replies owed by the server (requests sent minus replies received).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    // -- pipelined interface -------------------------------------------
+
+    /// Queue a request without waiting for its reply. Data is buffered;
+    /// call [`flush`](Client::flush) (or [`recv`](Client::recv), which
+    /// flushes first) to put it on the wire.
+    pub fn send(&mut self, req: &Request) -> ClientResult<()> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> ClientResult<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receive the next reply, in request order.
+    pub fn recv(&mut self) -> ClientResult<Response> {
+        self.flush()?;
+        let payload = read_frame(&mut self.reader, MAX_FRAME_LEN)?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Send one request and wait for its reply (no pipelining).
+    pub fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    // -- typed helpers --------------------------------------------------
+
+    /// Turn common terminal replies into errors, pass the rest through.
+    fn expect_ok(resp: Response) -> ClientResult<Response> {
+        match resp {
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            Response::Busy => Err(ClientError::Busy),
+            other => Ok(other),
+        }
+    }
+
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match Self::expect_ok(self.call(&Request::Ping)?)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Create (or look up) a table, returning its id.
+    pub fn open_table(&mut self, name: &str) -> ClientResult<u32> {
+        let req = Request::OpenTable { name: name.as_bytes().to_vec() };
+        match Self::expect_ok(self.call(&req)?)? {
+            Response::TableId { id } => Ok(id),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Begin an interactive transaction on this connection.
+    pub fn begin(&mut self, isolation: WireIsolation) -> ClientResult<()> {
+        match Self::expect_ok(self.call(&Request::Begin { isolation })?)? {
+            Response::Begun => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    pub fn get(&mut self, table: u32, key: &[u8]) -> ClientResult<Option<Vec<u8>>> {
+        let req = Request::Get { table, key: key.to_vec() };
+        match Self::expect_ok(self.call(&req)?)? {
+            Response::Value { value } => Ok(value),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Upsert; returns whether the key already existed.
+    pub fn put(&mut self, table: u32, key: &[u8], value: &[u8]) -> ClientResult<bool> {
+        let req = Request::Put { table, key: key.to_vec(), value: value.to_vec() };
+        match Self::expect_ok(self.call(&req)?)? {
+            Response::Done { existed } => Ok(existed),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Insert; fails if the key exists. Returns the record's OID.
+    pub fn insert(&mut self, table: u32, key: &[u8], value: &[u8]) -> ClientResult<u64> {
+        let req = Request::Insert { table, key: key.to_vec(), value: value.to_vec() };
+        match Self::expect_ok(self.call(&req)?)? {
+            Response::Inserted { oid } => Ok(oid),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Delete; returns whether the key existed.
+    pub fn delete(&mut self, table: u32, key: &[u8]) -> ClientResult<bool> {
+        let req = Request::Delete { table, key: key.to_vec() };
+        match Self::expect_ok(self.call(&req)?)? {
+            Response::Done { existed } => Ok(existed),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Inclusive range scan; `limit` 0 means unlimited. Returns the rows
+    /// plus whether the server truncated the result to fit a frame.
+    pub fn scan(
+        &mut self,
+        table: u32,
+        low: &[u8],
+        high: &[u8],
+        limit: u32,
+    ) -> ClientResult<(ScanRows, bool)> {
+        let req = Request::Scan { table, low: low.to_vec(), high: high.to_vec(), limit };
+        match Self::expect_ok(self.call(&req)?)? {
+            Response::Rows { truncated, rows } => Ok((rows, truncated)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Commit the open transaction; `sync` waits for durability. Returns
+    /// the commit LSN.
+    pub fn commit(&mut self, sync: bool) -> ClientResult<u64> {
+        match Self::expect_ok(self.call(&Request::Commit { sync })?)? {
+            Response::Committed { lsn } => Ok(lsn),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    pub fn abort(&mut self) -> ClientResult<()> {
+        match Self::expect_ok(self.call(&Request::Abort)?)? {
+            Response::Aborted => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Run `ops` as one transaction in a single round trip. Returns the
+    /// per-op results and the commit outcome.
+    pub fn batch(
+        &mut self,
+        isolation: WireIsolation,
+        sync: bool,
+        ops: Vec<BatchOp>,
+    ) -> ClientResult<(Vec<Response>, Response)> {
+        let req = Request::Batch { isolation, sync, ops };
+        match Self::expect_ok(self.call(&req)?)? {
+            Response::BatchDone { results, outcome } => Ok((results, *outcome)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+}

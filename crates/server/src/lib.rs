@@ -1,0 +1,28 @@
+//! # ermia-server — network service layer for the ERMIA engine
+//!
+//! Everything the embedded engine exposes in-process, over a socket:
+//!
+//! * [`protocol`] — the framed, checksummed wire format (length-prefixed
+//!   payload + CRC-32), request/response codecs, and hardening against
+//!   malformed input.
+//! * [`Server`] — a TCP acceptor with one thread per session, a bounded
+//!   [`WorkerPool`](ermia::WorkerPool) mapping sessions to engine
+//!   workers per transaction, explicit `Busy` load shedding, pipelined
+//!   replies through a per-connection writer thread, and graceful
+//!   shutdown that drains in-flight commits.
+//! * [`Client`] — a pipelined client library used by the loopback bench
+//!   harness and the examples.
+//!
+//! The layer is std-only (plus the workspace's vendored `parking_lot`):
+//! no async runtime, no serialization framework. Threads and blocking
+//! sockets keep the latency path legible — the interesting concurrency
+//! lives in the engine, not the front-end.
+
+pub mod client;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use protocol::{BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation};
+pub use server::{Server, ServerConfig, StatsSnapshot};

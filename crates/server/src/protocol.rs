@@ -1,0 +1,865 @@
+//! The wire protocol: length-prefixed, checksummed binary frames.
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame    := len:u32le payload:len*u8 crc:u32le
+//! payload  := opcode:u8 body
+//! bytes    := len:u32le raw:len*u8          (length-prefixed byte string)
+//! ```
+//!
+//! `len` counts the payload only (1 ..= `max_frame_len`); `crc` is CRC-32
+//! (IEEE, reflected) over the payload. A frame that fails the length
+//! bound, the checksum, or opcode/body decoding is a *protocol error*:
+//! the server replies [`Response::Error`] with [`ErrorCode::Protocol`]
+//! and closes the connection — it never panics and never desynchronizes
+//! silently.
+//!
+//! # Requests
+//!
+//! ```text
+//! Ping                                        0x01
+//! OpenTable  name:bytes                       0x02   create-or-lookup
+//! Begin      iso:u8                           0x03   0 = SI, 1 = SSN
+//! Get        table:u32 key:bytes              0x04
+//! Put        table:u32 key:bytes val:bytes    0x05   upsert
+//! Delete     table:u32 key:bytes              0x06
+//! Scan       table:u32 lo:bytes hi:bytes      0x07   inclusive bounds,
+//!            limit:u32                               limit 0 = unlimited
+//! Commit     sync:u8                          0x08
+//! Abort                                       0x09
+//! Batch      iso:u8 sync:u8 n:u32 op*n        0x0A   one-shot transaction
+//! Insert     table:u32 key:bytes val:bytes    0x0B   duplicate key aborts
+//! ```
+//!
+//! A batch `op` is `kind:u8` (the request opcode of Get/Put/Delete/
+//! Scan/Insert) followed by that request's body; the whole transaction —
+//! begin, every op, commit — rides one frame and one reply frame.
+//!
+//! # Responses
+//!
+//! ```text
+//! Pong                                        0x81
+//! TableId    id:u32                           0x82
+//! Begun                                       0x83
+//! Value      present:u8 [val:bytes]           0x84
+//! Done       existed:u8                       0x85
+//! Rows       truncated:u8 n:u32 (k:bytes      0x86
+//!            v:bytes)*n
+//! Committed  lsn:u64                          0x87
+//! Aborted                                     0x88
+//! Error      code:u8 detail:bytes             0x89
+//! Busy                                        0x8A   load shed, try later
+//! Inserted   oid:u64                          0x8B
+//! BatchDone  n:u32 (len:u32 resp)*n           0x8C   per-op replies, then
+//!            outcome:(len:u32 resp)                  Committed/Error
+//! ```
+
+use std::io::{self, Read, Write};
+
+use ermia_common::AbortReason;
+
+/// Default cap on payload length; anything larger is rejected before any
+/// allocation happens.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Frame overhead besides the payload (length prefix + checksum).
+pub const FRAME_OVERHEAD: usize = 8;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected). Table-driven, std-only.
+// ---------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, e) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 over `data` (IEEE polynomial, reflected, init/final xor −1).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = !0u32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport error (includes clean EOF between frames).
+    Io(io::Error),
+    /// Length prefix of 0 or above the cap.
+    BadLength(u32),
+    /// Checksum mismatch: the payload was corrupted in flight.
+    BadChecksum { expect: u32, got: u32 },
+    /// Payload did not decode as a known message.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::BadLength(n) => write!(f, "frame length {n} out of bounds"),
+            FrameError::BadChecksum { expect, got } => {
+                write!(f, "frame checksum mismatch (expect {expect:#x}, got {got:#x})")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame (length prefix, payload, checksum).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(!payload.is_empty());
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Read one frame's payload, enforcing `max_len` *before* allocating and
+/// verifying the checksum after.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Vec<u8>, FrameError> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4);
+    if len == 0 || len > max_len {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc4 = [0u8; 4];
+    r.read_exact(&mut crc4)?;
+    let got = u32::from_le_bytes(crc4);
+    let expect = crc32(&payload);
+    if got != expect {
+        return Err(FrameError::BadChecksum { expect, got });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// Primitive (de)serialization
+// ---------------------------------------------------------------------
+
+pub(crate) struct Enc {
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new(opcode: u8) -> Enc {
+        Enc { buf: vec![opcode] }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(FrameError::Malformed("truncated body"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], FrameError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Requested isolation level on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireIsolation {
+    Snapshot,
+    Serializable,
+}
+
+impl WireIsolation {
+    fn encode(self) -> u8 {
+        match self {
+            WireIsolation::Snapshot => 0,
+            WireIsolation::Serializable => 1,
+        }
+    }
+
+    fn decode(v: u8) -> Result<WireIsolation, FrameError> {
+        match v {
+            0 => Ok(WireIsolation::Snapshot),
+            1 => Ok(WireIsolation::Serializable),
+            _ => Err(FrameError::Malformed("isolation level")),
+        }
+    }
+}
+
+/// One operation inside a [`Request::Batch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    Get { table: u32, key: Vec<u8> },
+    Put { table: u32, key: Vec<u8>, value: Vec<u8> },
+    Delete { table: u32, key: Vec<u8> },
+    Scan { table: u32, low: Vec<u8>, high: Vec<u8>, limit: u32 },
+    Insert { table: u32, key: Vec<u8>, value: Vec<u8> },
+}
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    Ping,
+    OpenTable { name: Vec<u8> },
+    Begin { isolation: WireIsolation },
+    Get { table: u32, key: Vec<u8> },
+    Put { table: u32, key: Vec<u8>, value: Vec<u8> },
+    Delete { table: u32, key: Vec<u8> },
+    Scan { table: u32, low: Vec<u8>, high: Vec<u8>, limit: u32 },
+    Commit { sync: bool },
+    Abort,
+    Batch { isolation: WireIsolation, sync: bool, ops: Vec<BatchOp> },
+    Insert { table: u32, key: Vec<u8>, value: Vec<u8> },
+}
+
+const OP_PING: u8 = 0x01;
+const OP_OPEN_TABLE: u8 = 0x02;
+const OP_BEGIN: u8 = 0x03;
+const OP_GET: u8 = 0x04;
+const OP_PUT: u8 = 0x05;
+const OP_DELETE: u8 = 0x06;
+const OP_SCAN: u8 = 0x07;
+const OP_COMMIT: u8 = 0x08;
+const OP_ABORT: u8 = 0x09;
+const OP_BATCH: u8 = 0x0A;
+const OP_INSERT: u8 = 0x0B;
+
+///// Cap on ops per batch frame: a bound the session enforces before doing
+/// any work, so a hostile frame cannot make one transaction arbitrarily
+/// large.
+pub const MAX_BATCH_OPS: u32 = 10_000;
+
+impl BatchOp {
+    fn encode_into(&self, e: &mut Enc) {
+        match self {
+            BatchOp::Get { table, key } => {
+                e.u8(OP_GET);
+                e.u32(*table);
+                e.bytes(key);
+            }
+            BatchOp::Put { table, key, value } => {
+                e.u8(OP_PUT);
+                e.u32(*table);
+                e.bytes(key);
+                e.bytes(value);
+            }
+            BatchOp::Delete { table, key } => {
+                e.u8(OP_DELETE);
+                e.u32(*table);
+                e.bytes(key);
+            }
+            BatchOp::Scan { table, low, high, limit } => {
+                e.u8(OP_SCAN);
+                e.u32(*table);
+                e.bytes(low);
+                e.bytes(high);
+                e.u32(*limit);
+            }
+            BatchOp::Insert { table, key, value } => {
+                e.u8(OP_INSERT);
+                e.u32(*table);
+                e.bytes(key);
+                e.bytes(value);
+            }
+        }
+    }
+
+    fn decode_from(d: &mut Dec<'_>) -> Result<BatchOp, FrameError> {
+        match d.u8()? {
+            OP_GET => Ok(BatchOp::Get { table: d.u32()?, key: d.bytes()?.to_vec() }),
+            OP_PUT => Ok(BatchOp::Put {
+                table: d.u32()?,
+                key: d.bytes()?.to_vec(),
+                value: d.bytes()?.to_vec(),
+            }),
+            OP_DELETE => Ok(BatchOp::Delete { table: d.u32()?, key: d.bytes()?.to_vec() }),
+            OP_SCAN => Ok(BatchOp::Scan {
+                table: d.u32()?,
+                low: d.bytes()?.to_vec(),
+                high: d.bytes()?.to_vec(),
+                limit: d.u32()?,
+            }),
+            OP_INSERT => Ok(BatchOp::Insert {
+                table: d.u32()?,
+                key: d.bytes()?.to_vec(),
+                value: d.bytes()?.to_vec(),
+            }),
+            _ => Err(FrameError::Malformed("batch op kind")),
+        }
+    }
+}
+
+impl Request {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => Enc::new(OP_PING).buf,
+            Request::OpenTable { name } => {
+                let mut e = Enc::new(OP_OPEN_TABLE);
+                e.bytes(name);
+                e.buf
+            }
+            Request::Begin { isolation } => {
+                let mut e = Enc::new(OP_BEGIN);
+                e.u8(isolation.encode());
+                e.buf
+            }
+            Request::Get { table, key } => {
+                let mut e = Enc::new(OP_GET);
+                e.u32(*table);
+                e.bytes(key);
+                e.buf
+            }
+            Request::Put { table, key, value } => {
+                let mut e = Enc::new(OP_PUT);
+                e.u32(*table);
+                e.bytes(key);
+                e.bytes(value);
+                e.buf
+            }
+            Request::Delete { table, key } => {
+                let mut e = Enc::new(OP_DELETE);
+                e.u32(*table);
+                e.bytes(key);
+                e.buf
+            }
+            Request::Scan { table, low, high, limit } => {
+                let mut e = Enc::new(OP_SCAN);
+                e.u32(*table);
+                e.bytes(low);
+                e.bytes(high);
+                e.u32(*limit);
+                e.buf
+            }
+            Request::Commit { sync } => {
+                let mut e = Enc::new(OP_COMMIT);
+                e.u8(*sync as u8);
+                e.buf
+            }
+            Request::Abort => Enc::new(OP_ABORT).buf,
+            Request::Batch { isolation, sync, ops } => {
+                let mut e = Enc::new(OP_BATCH);
+                e.u8(isolation.encode());
+                e.u8(*sync as u8);
+                e.u32(ops.len() as u32);
+                for op in ops {
+                    op.encode_into(&mut e);
+                }
+                e.buf
+            }
+            Request::Insert { table, key, value } => {
+                let mut e = Enc::new(OP_INSERT);
+                e.u32(*table);
+                e.bytes(key);
+                e.bytes(value);
+                e.buf
+            }
+        }
+    }
+
+    /// Decode a frame payload. Rejects unknown opcodes, truncated bodies,
+    /// oversized batches, and trailing garbage.
+    pub fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+        let mut d = Dec::new(payload);
+        let req = match d.u8()? {
+            OP_PING => Request::Ping,
+            OP_OPEN_TABLE => Request::OpenTable { name: d.bytes()?.to_vec() },
+            OP_BEGIN => Request::Begin { isolation: WireIsolation::decode(d.u8()?)? },
+            OP_GET => Request::Get { table: d.u32()?, key: d.bytes()?.to_vec() },
+            OP_PUT => Request::Put {
+                table: d.u32()?,
+                key: d.bytes()?.to_vec(),
+                value: d.bytes()?.to_vec(),
+            },
+            OP_DELETE => Request::Delete { table: d.u32()?, key: d.bytes()?.to_vec() },
+            OP_SCAN => Request::Scan {
+                table: d.u32()?,
+                low: d.bytes()?.to_vec(),
+                high: d.bytes()?.to_vec(),
+                limit: d.u32()?,
+            },
+            OP_COMMIT => Request::Commit { sync: d.u8()? != 0 },
+            OP_ABORT => Request::Abort,
+            OP_BATCH => {
+                let isolation = WireIsolation::decode(d.u8()?)?;
+                let sync = d.u8()? != 0;
+                let n = d.u32()?;
+                if n > MAX_BATCH_OPS {
+                    return Err(FrameError::Malformed("batch too large"));
+                }
+                let mut ops = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    ops.push(BatchOp::decode_from(&mut d)?);
+                }
+                Request::Batch { isolation, sync, ops }
+            }
+            OP_INSERT => Request::Insert {
+                table: d.u32()?,
+                key: d.bytes()?.to_vec(),
+                value: d.bytes()?.to_vec(),
+            },
+            _ => return Err(FrameError::Malformed("unknown request opcode")),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+/// Typed error codes on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// Malformed/corrupt frame or unknown opcode; the server closes the
+    /// connection after sending this.
+    Protocol,
+    /// Request illegal in the current session state (e.g. `Commit`
+    /// without `Begin`).
+    BadState,
+    /// Table id not in the catalog.
+    UnknownTable,
+    /// The server is shutting down; in-flight durable commits still
+    /// drain, everything else is refused.
+    ShuttingDown,
+    /// A sync commit's durability wait timed out. The transaction *is*
+    /// applied in memory and its block may be on disk; its durable fate
+    /// is indeterminate until restart recovery.
+    LogStalled,
+    /// The log is poisoned by an unrecoverable I/O error; the commit will
+    /// never become durable without a restart.
+    LogFailed,
+    /// The transaction aborted; the payload carries the engine reason.
+    TxnAborted(AbortReason),
+}
+
+impl ErrorCode {
+    fn encode(self) -> u8 {
+        match self {
+            ErrorCode::Protocol => 1,
+            ErrorCode::BadState => 2,
+            ErrorCode::UnknownTable => 3,
+            ErrorCode::ShuttingDown => 4,
+            ErrorCode::LogStalled => 5,
+            ErrorCode::LogFailed => 6,
+            ErrorCode::TxnAborted(r) => {
+                16 + match r {
+                    AbortReason::WriteWriteConflict => 0,
+                    AbortReason::SsnExclusion => 1,
+                    AbortReason::ReadValidation => 2,
+                    AbortReason::Phantom => 3,
+                    AbortReason::DuplicateKey => 4,
+                    AbortReason::UserRequested => 5,
+                    AbortReason::ResourceExhausted => 6,
+                    AbortReason::LogFailure => 7,
+                }
+            }
+        }
+    }
+
+    fn decode(v: u8) -> Result<ErrorCode, FrameError> {
+        Ok(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::BadState,
+            3 => ErrorCode::UnknownTable,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::LogStalled,
+            6 => ErrorCode::LogFailed,
+            16 => ErrorCode::TxnAborted(AbortReason::WriteWriteConflict),
+            17 => ErrorCode::TxnAborted(AbortReason::SsnExclusion),
+            18 => ErrorCode::TxnAborted(AbortReason::ReadValidation),
+            19 => ErrorCode::TxnAborted(AbortReason::Phantom),
+            20 => ErrorCode::TxnAborted(AbortReason::DuplicateKey),
+            21 => ErrorCode::TxnAborted(AbortReason::UserRequested),
+            22 => ErrorCode::TxnAborted(AbortReason::ResourceExhausted),
+            23 => ErrorCode::TxnAborted(AbortReason::LogFailure),
+            _ => return Err(FrameError::Malformed("error code")),
+        })
+    }
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    Pong,
+    TableId { id: u32 },
+    Begun,
+    Value { value: Option<Vec<u8>> },
+    Done { existed: bool },
+    Rows { truncated: bool, rows: Vec<(Vec<u8>, Vec<u8>)> },
+    Committed { lsn: u64 },
+    Aborted,
+    Error { code: ErrorCode, detail: String },
+    Busy,
+    Inserted { oid: u64 },
+    BatchDone { results: Vec<Response>, outcome: Box<Response> },
+}
+
+const RE_PONG: u8 = 0x81;
+const RE_TABLE_ID: u8 = 0x82;
+const RE_BEGUN: u8 = 0x83;
+const RE_VALUE: u8 = 0x84;
+const RE_DONE: u8 = 0x85;
+const RE_ROWS: u8 = 0x86;
+const RE_COMMITTED: u8 = 0x87;
+const RE_ABORTED: u8 = 0x88;
+const RE_ERROR: u8 = 0x89;
+const RE_BUSY: u8 = 0x8A;
+const RE_INSERTED: u8 = 0x8B;
+const RE_BATCH_DONE: u8 = 0x8C;
+
+impl Response {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => Enc::new(RE_PONG).buf,
+            Response::TableId { id } => {
+                let mut e = Enc::new(RE_TABLE_ID);
+                e.u32(*id);
+                e.buf
+            }
+            Response::Begun => Enc::new(RE_BEGUN).buf,
+            Response::Value { value } => {
+                let mut e = Enc::new(RE_VALUE);
+                match value {
+                    Some(v) => {
+                        e.u8(1);
+                        e.bytes(v);
+                    }
+                    None => e.u8(0),
+                }
+                e.buf
+            }
+            Response::Done { existed } => {
+                let mut e = Enc::new(RE_DONE);
+                e.u8(*existed as u8);
+                e.buf
+            }
+            Response::Rows { truncated, rows } => {
+                let mut e = Enc::new(RE_ROWS);
+                e.u8(*truncated as u8);
+                e.u32(rows.len() as u32);
+                for (k, v) in rows {
+                    e.bytes(k);
+                    e.bytes(v);
+                }
+                e.buf
+            }
+            Response::Committed { lsn } => {
+                let mut e = Enc::new(RE_COMMITTED);
+                e.u64(*lsn);
+                e.buf
+            }
+            Response::Aborted => Enc::new(RE_ABORTED).buf,
+            Response::Error { code, detail } => {
+                let mut e = Enc::new(RE_ERROR);
+                e.u8(code.encode());
+                e.bytes(detail.as_bytes());
+                e.buf
+            }
+            Response::Busy => Enc::new(RE_BUSY).buf,
+            Response::Inserted { oid } => {
+                let mut e = Enc::new(RE_INSERTED);
+                e.u64(*oid);
+                e.buf
+            }
+            Response::BatchDone { results, outcome } => {
+                let mut e = Enc::new(RE_BATCH_DONE);
+                e.u32(results.len() as u32);
+                for r in results {
+                    e.bytes(&r.encode());
+                }
+                e.bytes(&outcome.encode());
+                e.buf
+            }
+        }
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, FrameError> {
+        let mut d = Dec::new(payload);
+        let resp = Response::decode_from(&mut d)?;
+        d.finish()?;
+        Ok(resp)
+    }
+
+    fn decode_from(d: &mut Dec<'_>) -> Result<Response, FrameError> {
+        Ok(match d.u8()? {
+            RE_PONG => Response::Pong,
+            RE_TABLE_ID => Response::TableId { id: d.u32()? },
+            RE_BEGUN => Response::Begun,
+            RE_VALUE => {
+                let present = d.u8()? != 0;
+                Response::Value { value: if present { Some(d.bytes()?.to_vec()) } else { None } }
+            }
+            RE_DONE => Response::Done { existed: d.u8()? != 0 },
+            RE_ROWS => {
+                let truncated = d.u8()? != 0;
+                let n = d.u32()?;
+                if n > MAX_FRAME_LEN / 8 {
+                    return Err(FrameError::Malformed("row count"));
+                }
+                let mut rows = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    rows.push((d.bytes()?.to_vec(), d.bytes()?.to_vec()));
+                }
+                Response::Rows { truncated, rows }
+            }
+            RE_COMMITTED => Response::Committed { lsn: d.u64()? },
+            RE_ABORTED => Response::Aborted,
+            RE_ERROR => Response::Error {
+                code: ErrorCode::decode(d.u8()?)?,
+                detail: String::from_utf8_lossy(d.bytes()?).into_owned(),
+            },
+            RE_BUSY => Response::Busy,
+            RE_INSERTED => Response::Inserted { oid: d.u64()? },
+            RE_BATCH_DONE => {
+                let n = d.u32()?;
+                if n > MAX_BATCH_OPS {
+                    return Err(FrameError::Malformed("batch result count"));
+                }
+                let mut results = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    results.push(Response::decode(d.bytes()?)?);
+                }
+                let outcome = Box::new(Response::decode(d.bytes()?)?);
+                Response::BatchDone { results, outcome }
+            }
+            _ => return Err(FrameError::Malformed("unknown response opcode")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn roundtrip_req(req: Request) {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let enc = resp.encode();
+        assert_eq!(Response::decode(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::OpenTable { name: b"accounts".to_vec() });
+        roundtrip_req(Request::Begin { isolation: WireIsolation::Serializable });
+        roundtrip_req(Request::Get { table: 3, key: b"k1".to_vec() });
+        roundtrip_req(Request::Put { table: 0, key: vec![], value: vec![0xFF; 100] });
+        roundtrip_req(Request::Delete { table: 9, key: b"x".to_vec() });
+        roundtrip_req(Request::Scan {
+            table: 1,
+            low: b"a".to_vec(),
+            high: b"z".to_vec(),
+            limit: 10,
+        });
+        roundtrip_req(Request::Commit { sync: true });
+        roundtrip_req(Request::Commit { sync: false });
+        roundtrip_req(Request::Abort);
+        roundtrip_req(Request::Insert { table: 2, key: b"k".to_vec(), value: b"v".to_vec() });
+        roundtrip_req(Request::Batch {
+            isolation: WireIsolation::Snapshot,
+            sync: true,
+            ops: vec![
+                BatchOp::Get { table: 1, key: b"a".to_vec() },
+                BatchOp::Put { table: 1, key: b"b".to_vec(), value: b"1".to_vec() },
+                BatchOp::Delete { table: 2, key: b"c".to_vec() },
+                BatchOp::Scan { table: 1, low: vec![], high: vec![0xFF], limit: 0 },
+                BatchOp::Insert { table: 3, key: b"d".to_vec(), value: b"2".to_vec() },
+            ],
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::TableId { id: 7 });
+        roundtrip_resp(Response::Begun);
+        roundtrip_resp(Response::Value { value: None });
+        roundtrip_resp(Response::Value { value: Some(b"payload".to_vec()) });
+        roundtrip_resp(Response::Done { existed: true });
+        roundtrip_resp(Response::Rows {
+            truncated: false,
+            rows: vec![(b"k1".to_vec(), b"v1".to_vec()), (b"k2".to_vec(), vec![])],
+        });
+        roundtrip_resp(Response::Committed { lsn: u64::MAX >> 1 });
+        roundtrip_resp(Response::Aborted);
+        roundtrip_resp(Response::Busy);
+        roundtrip_resp(Response::Inserted { oid: 42 });
+        for code in [
+            ErrorCode::Protocol,
+            ErrorCode::BadState,
+            ErrorCode::UnknownTable,
+            ErrorCode::ShuttingDown,
+            ErrorCode::LogStalled,
+            ErrorCode::LogFailed,
+            ErrorCode::TxnAborted(AbortReason::WriteWriteConflict),
+            ErrorCode::TxnAborted(AbortReason::SsnExclusion),
+            ErrorCode::TxnAborted(AbortReason::DuplicateKey),
+            ErrorCode::TxnAborted(AbortReason::LogFailure),
+        ] {
+            roundtrip_resp(Response::Error { code, detail: "why".into() });
+        }
+        roundtrip_resp(Response::BatchDone {
+            results: vec![
+                Response::Value { value: Some(b"x".to_vec()) },
+                Response::Done { existed: false },
+            ],
+            outcome: Box::new(Response::Committed { lsn: 99 }),
+        });
+    }
+
+    #[test]
+    fn frame_roundtrip_and_checksum() {
+        let payload = Request::Get { table: 1, key: b"key".to_vec() }.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(wire.len(), payload.len() + FRAME_OVERHEAD);
+        let got = read_frame(&mut &wire[..], MAX_FRAME_LEN).unwrap();
+        assert_eq!(got, payload);
+
+        // Flip one payload bit: the checksum must catch it.
+        let mut corrupt = wire.clone();
+        corrupt[5] ^= 0x40;
+        match read_frame(&mut &corrupt[..], MAX_FRAME_LEN) {
+            Err(FrameError::BadChecksum { .. }) => {}
+            other => panic!("corruption not caught: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_rejected_before_allocation() {
+        let mut giant = Vec::new();
+        giant.extend_from_slice(&u32::MAX.to_le_bytes());
+        giant.extend_from_slice(&[0u8; 16]);
+        match read_frame(&mut &giant[..], MAX_FRAME_LEN) {
+            Err(FrameError::BadLength(n)) => assert_eq!(n, u32::MAX),
+            other => panic!("oversize not caught: {other:?}"),
+        }
+        let zero = 0u32.to_le_bytes();
+        match read_frame(&mut &zero[..], MAX_FRAME_LEN) {
+            Err(FrameError::BadLength(0)) => {}
+            other => panic!("zero length not caught: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let payload = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in 1..wire.len() {
+            match read_frame(&mut &wire[..cut], MAX_FRAME_LEN) {
+                Err(FrameError::Io(_)) | Err(FrameError::BadLength(_)) => {}
+                other => panic!("truncation at {cut} not caught: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_and_bad_opcodes() {
+        let mut enc = Request::Ping.encode();
+        enc.push(0);
+        assert!(matches!(Request::decode(&enc), Err(FrameError::Malformed(_))));
+        assert!(matches!(Request::decode(&[0xF0]), Err(FrameError::Malformed(_))));
+        assert!(matches!(Request::decode(&[]), Err(FrameError::Malformed(_))));
+        // A batch claiming 4 billion ops must not allocate for them.
+        let mut e = Enc::new(OP_BATCH);
+        e.u8(0);
+        e.u8(0);
+        e.u32(u32::MAX);
+        assert!(matches!(Request::decode(&e.buf), Err(FrameError::Malformed(_))));
+    }
+}

@@ -1,0 +1,216 @@
+//! The TCP server: acceptor, admission control, graceful shutdown.
+//!
+//! One acceptor thread owns the listening socket. Each accepted
+//! connection gets a session thread (see [`crate::session`]); engine
+//! workers are a separate, much smaller resource managed by the shared
+//! [`WorkerPool`]. Admission control happens at two levels:
+//!
+//! 1. **Connection count** — beyond [`ServerConfig::max_sessions`] the
+//!    acceptor writes a single [`Response::Busy`] frame and closes; no
+//!    session thread is spawned.
+//! 2. **Worker checkout** — a session that cannot get a worker within
+//!    [`ServerConfig::checkout_wait`] replies `Busy` for that request
+//!    and keeps the connection.
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] raises a flag, nudges
+//! the acceptor awake with a loopback connect, and joins every session.
+//! Sessions notice the flag at their next read-poll boundary, abort any
+//! open transaction, and let their writer thread drain queued replies —
+//! so a sync commit whose group-commit flush is in flight still gets its
+//! `Committed` frame before the socket closes.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ermia::{Database, WorkerPool};
+use parking_lot::Mutex;
+
+use crate::protocol::{write_frame, Response, MAX_FRAME_LEN};
+use crate::session::run_session;
+
+/// Tunables for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent connections admitted before the acceptor sheds load.
+    pub max_sessions: usize,
+    /// Engine workers shared by all sessions (the real concurrency bound).
+    pub worker_capacity: usize,
+    /// Replies buffered per connection before the session thread blocks
+    /// (backpressure toward the client that stops reading).
+    pub reply_queue_depth: usize,
+    /// How long a request waits for a pooled worker before `Busy`.
+    pub checkout_wait: Duration,
+    /// Ceiling on one durability wait; past it the client gets the typed
+    /// `LogStalled` error instead of blocking forever on a wedged log.
+    pub sync_wait: Duration,
+    /// Largest accepted frame (guards allocation on untrusted input).
+    pub max_frame_len: u32,
+    /// Granularity at which blocked reads re-check the shutdown flag.
+    pub shutdown_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 1024,
+            worker_capacity: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            reply_queue_depth: 128,
+            checkout_wait: Duration::from_millis(100),
+            sync_wait: Duration::from_secs(5),
+            max_frame_len: MAX_FRAME_LEN,
+            shutdown_poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Monotonic per-server counters; read via [`Server::stats`].
+#[derive(Default)]
+pub(crate) struct Stats {
+    pub sessions_opened: AtomicU64,
+    pub sessions_closed: AtomicU64,
+    pub active_sessions: AtomicUsize,
+    pub busy_rejects: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub frames_processed: AtomicU64,
+    pub commits: AtomicU64,
+    pub disconnect_aborts: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsSnapshot {
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub active_sessions: usize,
+    pub busy_rejects: u64,
+    pub protocol_errors: u64,
+    pub frames_processed: u64,
+    pub commits: u64,
+    pub disconnect_aborts: u64,
+}
+
+/// Shared between the acceptor, sessions, and the handle.
+pub(crate) struct ServerState {
+    pub db: Database,
+    pub cfg: ServerConfig,
+    pub pool: WorkerPool,
+    pub shutdown: AtomicBool,
+    pub stats: Stats,
+}
+
+/// A running server; dropping it shuts it down.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections against `db`.
+    pub fn start(db: &Database, addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            db: db.clone(),
+            pool: WorkerPool::new(db, cfg.worker_capacity),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+        let accept_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("ermia-acceptor".into())
+            .spawn(move || accept_loop(accept_state, listener))?;
+        Ok(Server { state, addr: local, acceptor: Mutex::new(Some(acceptor)) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared worker pool (leak checks, sizing introspection).
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.state.pool
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.state.stats;
+        StatsSnapshot {
+            sessions_opened: s.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: s.sessions_closed.load(Ordering::Relaxed),
+            active_sessions: s.active_sessions.load(Ordering::Relaxed),
+            busy_rejects: s.busy_rejects.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            frames_processed: s.frames_processed.load(Ordering::Relaxed),
+            commits: s.commits.load(Ordering::Relaxed),
+            disconnect_aborts: s.disconnect_aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, wake every session, and wait for them to finish —
+    /// including draining queued sync-commit replies. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // The acceptor blocks in `accept`; a throwaway connect unblocks it
+        // so it can observe the flag. Best effort: if the listener is
+        // already gone, so is the acceptor.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::Acquire) {
+            break; // the wake-up connect (or a late client) during shutdown
+        }
+        // Reap finished sessions so the handle list doesn't grow without
+        // bound on long-running servers.
+        sessions.retain(|h| !h.is_finished());
+        if state.stats.active_sessions.load(Ordering::Relaxed) >= state.cfg.max_sessions {
+            state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+            let mut w = BufWriter::new(stream);
+            let _ = write_frame(&mut w, &Response::Busy.encode());
+            continue; // drop closes the connection after the Busy frame
+        }
+        let session_state = Arc::clone(&state);
+        match std::thread::Builder::new()
+            .name("ermia-session".into())
+            .spawn(move || run_session(session_state, stream))
+        {
+            Ok(h) => sessions.push(h),
+            Err(_) => {
+                // Thread exhaustion: shed this connection.
+                state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Graceful drain: every session notices the flag within one poll
+    // interval, finishes its in-flight reply traffic, and exits.
+    for h in sessions {
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,544 @@
+//! Sessions: one connection, one state machine, zero leaks.
+//!
+//! # Lifecycle
+//!
+//! A session binds a TCP connection to the engine through the server's
+//! bounded [`WorkerPool`](ermia::WorkerPool). Workers are checked out
+//! per *transaction* (`Begin`…`Commit`/`Abort`, a one-shot `Batch`, or a
+//! single autocommitted operation), not per connection, so thousands of
+//! mostly-idle connections share a pool sized near the core count. When
+//! no worker frees up within the admission window the session replies
+//! [`Response::Busy`] — explicit load shedding, never an unbounded queue.
+//!
+//! # Teardown invariant
+//!
+//! The transaction object borrows the checked-out worker and lives on
+//! the session thread's stack, scoped to the transaction loop. *Any*
+//! exit from that scope — clean commit, explicit abort, client
+//! disconnect mid-transaction, a malformed frame, server shutdown —
+//! drops the `Transaction` (which aborts it, releasing its TID context
+//! slot and epoch pin) and then the `PooledWorker` guard (which returns
+//! the worker). Nothing is leaked because nothing *can* leak: cleanup is
+//! Rust drop order, not bookkeeping.
+//!
+//! # Pipelining
+//!
+//! Replies travel through a bounded queue to a per-connection writer
+//! thread. A synchronous commit enqueues a [`Reply::Durable`] carrying
+//! its [`CommitToken`]; the writer awaits group commit while the session
+//! thread is already reading the next frame. Replies stay in order
+//! because there is exactly one queue. If the durability wait times out
+//! the writer sends the typed [`ErrorCode::LogStalled`] — the commit is
+//! applied in memory, its on-disk fate indeterminate until restart
+//! recovery.
+
+use std::io::{BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
+
+use ermia::{IsolationLevel, PooledWorker, Transaction};
+use ermia_common::{AbortReason, LogError, TableId};
+
+use crate::protocol::{
+    write_frame, BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation,
+};
+use crate::server::ServerState;
+
+/// One queued reply.
+pub(crate) enum Reply {
+    /// Pre-encoded response payload, ready to write.
+    Now(Vec<u8>),
+    /// A sync commit: await durability, then reply `Committed` or a typed
+    /// log error. For a batch, the per-op results ride along and the
+    /// outcome lands in the `BatchDone` frame.
+    Durable { token: ermia::CommitToken, batch: Option<Vec<Response>> },
+}
+
+/// Why the session ended (all paths release everything on the way out).
+enum End {
+    Disconnected,
+    Shutdown,
+    /// Protocol violation: error sent (best effort), connection closed.
+    Protocol,
+}
+
+type SessionResult = Result<(), End>;
+
+/// Entry point: serve one connection until it ends, then account for it.
+pub(crate) fn run_session(state: Arc<ServerState>, stream: TcpStream) {
+    state.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    state.stats.active_sessions.fetch_add(1, Ordering::Relaxed);
+    // Accounting on every exit path, including panics in the handler.
+    struct Account<'a>(&'a ServerState);
+    impl Drop for Account<'_> {
+        fn drop(&mut self) {
+            self.0.stats.active_sessions.fetch_sub(1, Ordering::Relaxed);
+            self.0.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let _account = Account(&state);
+
+    let _ = stream.set_nodelay(true);
+    // The read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(state.cfg.shutdown_poll));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Reply>(state.cfg.reply_queue_depth);
+    let writer_state = Arc::clone(&state);
+    let writer = std::thread::Builder::new()
+        .name("ermia-conn-writer".into())
+        .spawn(move || writer_loop(writer_state, write_half, rx))
+        .expect("spawn writer");
+
+    let mut session = Session { state: &state, stream: &stream, tx };
+    let _ = session.serve();
+    drop(session); // closes the reply queue; the writer drains and exits
+    let _ = writer.join();
+}
+
+/// The writer half: drains the reply queue in order, resolving durable
+/// waits as it goes, flushing when the queue runs momentarily dry.
+fn writer_loop(state: Arc<ServerState>, stream: TcpStream, rx: Receiver<Reply>) {
+    let mut w = BufWriter::new(stream);
+    'outer: while let Ok(mut reply) = rx.recv() {
+        loop {
+            let payload = match reply {
+                Reply::Now(p) => p,
+                Reply::Durable { token, batch } => {
+                    let outcome = match token.wait_durable(&state.db, state.cfg.sync_wait) {
+                        Ok(()) => Response::Committed { lsn: token.lsn().raw() },
+                        Err(LogError::Timeout) => Response::Error {
+                            code: ErrorCode::LogStalled,
+                            detail: "durability wait timed out; commit fate indeterminate".into(),
+                        },
+                        Err(e @ LogError::Poisoned { .. }) => Response::Error {
+                            code: ErrorCode::LogFailed,
+                            detail: e.to_string(),
+                        },
+                    };
+                    match batch {
+                        Some(results) => {
+                            Response::BatchDone { results, outcome: Box::new(outcome) }.encode()
+                        }
+                        None => outcome.encode(),
+                    }
+                }
+            };
+            if write_frame(&mut w, &payload).is_err() {
+                break 'outer; // client gone; the reader will notice EOF
+            }
+            // Keep writing while more replies are ready; flush on a lull.
+            match rx.try_recv() {
+                Ok(next) => reply = next,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        if w.flush().is_err() {
+            break;
+        }
+    }
+    let _ = w.flush();
+}
+
+struct Session<'a> {
+    state: &'a Arc<ServerState>,
+    stream: &'a TcpStream,
+    tx: SyncSender<Reply>,
+}
+
+impl Session<'_> {
+    // -- plumbing ------------------------------------------------------
+
+    /// Enqueue an already-built response.
+    fn send(&self, resp: Response) -> SessionResult {
+        self.tx.send(Reply::Now(resp.encode())).map_err(|_| End::Disconnected)
+    }
+
+    fn send_err(&self, code: ErrorCode, detail: &str) -> SessionResult {
+        self.send(Response::Error { code, detail: detail.into() })
+    }
+
+    /// Read the next frame, polling the shutdown flag between reads.
+    ///
+    /// Uses a raw `read` loop rather than `read_exact` so a poll timeout
+    /// mid-frame never loses already-consumed bytes (a slow client's
+    /// frame spanning several poll windows must not desynchronize the
+    /// stream).
+    fn read_frame(&self) -> Result<Vec<u8>, End> {
+        let mut stream = self.stream;
+        let mut len4 = [0u8; 4];
+        self.read_exact_poll(&mut stream, &mut len4)?;
+        let len = u32::from_le_bytes(len4);
+        if len == 0 || len > self.state.cfg.max_frame_len {
+            self.state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = self.send_err(ErrorCode::Protocol, &FrameError::BadLength(len).to_string());
+            return Err(End::Protocol);
+        }
+        let mut rest = vec![0u8; len as usize + 4];
+        self.read_exact_poll(&mut stream, &mut rest)?;
+        let (payload, crc4) = rest.split_at(len as usize);
+        let got = u32::from_le_bytes(crc4.try_into().unwrap());
+        let expect = crate::protocol::crc32(payload);
+        if got != expect {
+            self.state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = self.send_err(
+                ErrorCode::Protocol,
+                &FrameError::BadChecksum { expect, got }.to_string(),
+            );
+            return Err(End::Protocol);
+        }
+        rest.truncate(len as usize);
+        Ok(rest)
+    }
+
+    fn read_exact_poll(&self, stream: &mut &TcpStream, buf: &mut [u8]) -> Result<(), End> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) => return Err(End::Disconnected),
+                Ok(n) => filled += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.state.shutdown.load(Ordering::Acquire) {
+                        return Err(End::Shutdown);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(End::Disconnected),
+            }
+        }
+        Ok(())
+    }
+
+    fn decode(&self, payload: &[u8]) -> Result<Request, End> {
+        match Request::decode(payload) {
+            Ok(req) => Ok(req),
+            Err(e) => {
+                self.state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = self.send_err(ErrorCode::Protocol, &e.to_string());
+                Err(End::Protocol)
+            }
+        }
+    }
+
+    fn checkout(&self) -> Option<PooledWorker> {
+        let w = self.state.pool.checkout_timeout(self.state.cfg.checkout_wait);
+        if w.is_none() {
+            self.state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        w
+    }
+
+    // -- the state machine ---------------------------------------------
+
+    /// Top level: between transactions.
+    fn serve(&mut self) -> SessionResult {
+        loop {
+            let payload = match self.read_frame() {
+                Ok(p) => p,
+                Err(End::Shutdown) => return Err(End::Shutdown),
+                Err(e) => return Err(e),
+            };
+            let req = self.decode(&payload)?;
+            self.state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
+            match req {
+                Request::Ping => self.send(Response::Pong)?,
+                Request::OpenTable { name } => self.open_table(&name)?,
+                Request::Begin { isolation } => {
+                    let Some(mut w) = self.checkout() else {
+                        self.send(Response::Busy)?;
+                        continue;
+                    };
+                    self.send(Response::Begun)?;
+                    self.txn_loop(&mut w, engine_isolation(isolation))?;
+                    // `w` drops here: worker back in the pool.
+                }
+                Request::Batch { isolation, sync, ops } => {
+                    let Some(mut w) = self.checkout() else {
+                        self.send(Response::Busy)?;
+                        continue;
+                    };
+                    self.run_batch(&mut w, engine_isolation(isolation), sync, &ops)?;
+                }
+                Request::Commit { .. } => self.send_err(ErrorCode::BadState, "no open txn")?,
+                Request::Abort => self.send_err(ErrorCode::BadState, "no open txn")?,
+                // Autocommit: a one-operation transaction.
+                Request::Get { .. }
+                | Request::Put { .. }
+                | Request::Delete { .. }
+                | Request::Scan { .. }
+                | Request::Insert { .. } => {
+                    let Some(mut w) = self.checkout() else {
+                        self.send(Response::Busy)?;
+                        continue;
+                    };
+                    let resp = {
+                        let mut txn = w.begin(IsolationLevel::Snapshot);
+                        let resp = self.exec_request_op(&mut txn, &req);
+                        if matches!(resp, Response::Error { .. }) {
+                            txn.abort();
+                            resp
+                        } else {
+                            match txn.commit_deferred() {
+                                Ok(_) => resp,
+                                Err(reason) => aborted(reason),
+                            }
+                        }
+                    };
+                    self.send(resp)?;
+                }
+            }
+        }
+    }
+
+    /// Inside `Begin` … `Commit`/`Abort`. The transaction borrows the
+    /// worker for exactly this scope; every exit path aborts or commits
+    /// it and returns the worker.
+    fn txn_loop(&mut self, w: &mut PooledWorker, isolation: IsolationLevel) -> SessionResult {
+        let mut txn = w.begin(isolation);
+        loop {
+            let payload = match self.read_frame() {
+                Ok(p) => p,
+                Err(End::Shutdown) => {
+                    // Abort the open transaction; queued durable replies
+                    // still drain through the writer.
+                    let _ = self.send_err(ErrorCode::ShuttingDown, "server shutting down");
+                    return Err(End::Shutdown);
+                }
+                Err(e) => {
+                    self.state.stats.disconnect_aborts.fetch_add(1, Ordering::Relaxed);
+                    return Err(e); // txn dropped => aborted, nothing leaked
+                }
+            };
+            let req = self.decode(&payload)?;
+            self.state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
+            match req {
+                Request::Ping => self.send(Response::Pong)?,
+                Request::OpenTable { name } => self.open_table(&name)?,
+                Request::Begin { .. } => self.send_err(ErrorCode::BadState, "nested begin")?,
+                Request::Batch { .. } => {
+                    self.send_err(ErrorCode::BadState, "batch inside open txn")?
+                }
+                Request::Abort => {
+                    txn.abort();
+                    return self.send(Response::Aborted);
+                }
+                Request::Commit { sync } => {
+                    return match txn.commit_deferred() {
+                        Ok(token) => {
+                            self.state.stats.commits.fetch_add(1, Ordering::Relaxed);
+                            if sync && token.end_offset().is_some() {
+                                self.tx
+                                    .send(Reply::Durable { token, batch: None })
+                                    .map_err(|_| End::Disconnected)
+                            } else {
+                                self.send(Response::Committed { lsn: token.lsn().raw() })
+                            }
+                        }
+                        Err(reason) => self.send(aborted(reason)),
+                    };
+                }
+                op => {
+                    let resp = self.exec_request_op(&mut txn, &op);
+                    self.send(resp)?;
+                }
+            }
+        }
+    }
+
+    /// One-shot batched transaction: begin, run every op, commit — one
+    /// request frame, one reply frame.
+    fn run_batch(
+        &mut self,
+        w: &mut PooledWorker,
+        isolation: IsolationLevel,
+        sync: bool,
+        ops: &[BatchOp],
+    ) -> SessionResult {
+        let mut results = Vec::with_capacity(ops.len());
+        let mut txn = w.begin(isolation);
+        let mut failure: Option<Response> = None;
+        for op in ops {
+            let resp = self.exec_batch_op(&mut txn, op);
+            let failed = matches!(resp, Response::Error { .. });
+            results.push(resp.clone());
+            if failed {
+                failure = Some(resp);
+                break;
+            }
+        }
+        if let Some(err) = failure {
+            txn.abort();
+            return self.send(Response::BatchDone { results, outcome: Box::new(err) });
+        }
+        match txn.commit_deferred() {
+            Ok(token) => {
+                self.state.stats.commits.fetch_add(1, Ordering::Relaxed);
+                if sync && token.end_offset().is_some() {
+                    self.tx
+                        .send(Reply::Durable { token, batch: Some(results) })
+                        .map_err(|_| End::Disconnected)
+                } else {
+                    self.send(Response::BatchDone {
+                        results,
+                        outcome: Box::new(Response::Committed { lsn: token.lsn().raw() }),
+                    })
+                }
+            }
+            Err(reason) => self.send(Response::BatchDone {
+                results,
+                outcome: Box::new(aborted(reason)),
+            }),
+        }
+    }
+
+    // -- operations ----------------------------------------------------
+
+    fn open_table(&self, name: &[u8]) -> SessionResult {
+        let Ok(name) = std::str::from_utf8(name) else {
+            return self.send_err(ErrorCode::BadState, "table name must be utf-8");
+        };
+        let id = self.state.db.create_table(name);
+        self.send(Response::TableId { id: id.0 })
+    }
+
+    fn table(&self, table: u32) -> Result<TableId, Response> {
+        if (table as usize) < self.state.db.table_count() {
+            Ok(TableId(table))
+        } else {
+            Err(Response::Error {
+                code: ErrorCode::UnknownTable,
+                detail: format!("table {table}"),
+            })
+        }
+    }
+
+    fn exec_request_op(&self, txn: &mut Transaction<'_>, req: &Request) -> Response {
+        match req {
+            Request::Get { table, key } => self.exec_get(txn, *table, key),
+            Request::Put { table, key, value } => self.exec_put(txn, *table, key, value),
+            Request::Delete { table, key } => self.exec_delete(txn, *table, key),
+            Request::Scan { table, low, high, limit } => {
+                self.exec_scan(txn, *table, low, high, *limit)
+            }
+            Request::Insert { table, key, value } => self.exec_insert(txn, *table, key, value),
+            _ => Response::Error { code: ErrorCode::BadState, detail: "not a data op".into() },
+        }
+    }
+
+    fn exec_batch_op(&self, txn: &mut Transaction<'_>, op: &BatchOp) -> Response {
+        match op {
+            BatchOp::Get { table, key } => self.exec_get(txn, *table, key),
+            BatchOp::Put { table, key, value } => self.exec_put(txn, *table, key, value),
+            BatchOp::Delete { table, key } => self.exec_delete(txn, *table, key),
+            BatchOp::Scan { table, low, high, limit } => {
+                self.exec_scan(txn, *table, low, high, *limit)
+            }
+            BatchOp::Insert { table, key, value } => self.exec_insert(txn, *table, key, value),
+        }
+    }
+
+    fn exec_get(&self, txn: &mut Transaction<'_>, table: u32, key: &[u8]) -> Response {
+        let t = match self.table(table) {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        match txn.read(t, key, |v| v.to_vec()) {
+            Ok(value) => Response::Value { value },
+            Err(r) => aborted(r),
+        }
+    }
+
+    /// Upsert: update if present in this snapshot, insert otherwise.
+    fn exec_put(&self, txn: &mut Transaction<'_>, table: u32, key: &[u8], value: &[u8]) -> Response {
+        let t = match self.table(table) {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        match txn.update(t, key, value) {
+            Ok(true) => Response::Done { existed: true },
+            Ok(false) => match txn.insert(t, key, value) {
+                Ok(_) => Response::Done { existed: false },
+                Err(r) => aborted(r),
+            },
+            Err(r) => aborted(r),
+        }
+    }
+
+    fn exec_delete(&self, txn: &mut Transaction<'_>, table: u32, key: &[u8]) -> Response {
+        let t = match self.table(table) {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        match txn.delete(t, key) {
+            Ok(existed) => Response::Done { existed },
+            Err(r) => aborted(r),
+        }
+    }
+
+    fn exec_insert(
+        &self,
+        txn: &mut Transaction<'_>,
+        table: u32,
+        key: &[u8],
+        value: &[u8],
+    ) -> Response {
+        let t = match self.table(table) {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        match txn.insert(t, key, value) {
+            Ok(oid) => Response::Inserted { oid: oid.0 as u64 },
+            Err(r) => aborted(r),
+        }
+    }
+
+    fn exec_scan(
+        &self,
+        txn: &mut Transaction<'_>,
+        table: u32,
+        low: &[u8],
+        high: &[u8],
+        limit: u32,
+    ) -> Response {
+        let t = match self.table(table) {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        let index = self.state.db.primary_index(t);
+        // Stay well inside one reply frame: stop collecting before the
+        // encoded response could exceed the frame cap.
+        let byte_cap = (self.state.cfg.max_frame_len as usize).saturating_sub(4096);
+        let mut bytes = 0usize;
+        let mut truncated = false;
+        let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let limit = if limit == 0 { None } else { Some(limit as usize) };
+        let r = txn.scan(index, low, high, limit, |k, v| {
+            bytes += k.len() + v.len() + 16;
+            if bytes > byte_cap {
+                truncated = true;
+                return false;
+            }
+            rows.push((k.to_vec(), v.to_vec()));
+            true
+        });
+        match r {
+            Ok(_) => Response::Rows { truncated, rows },
+            Err(r) => aborted(r),
+        }
+    }
+}
+
+fn engine_isolation(iso: WireIsolation) -> IsolationLevel {
+    match iso {
+        WireIsolation::Snapshot => IsolationLevel::Snapshot,
+        WireIsolation::Serializable => IsolationLevel::Serializable,
+    }
+}
+
+fn aborted(reason: AbortReason) -> Response {
+    Response::Error { code: ErrorCode::TxnAborted(reason), detail: reason.label().into() }
+}

@@ -1,0 +1,152 @@
+//! The durability-failure reply path: a wedged log must surface as the
+//! typed `LogStalled` error on a sync commit (bounded wait, connection
+//! survives), and a poisoned log as `LogFailed` — never a hang, never a
+//! generic close.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ermia::{Database, DbConfig};
+use ermia_log::{FaultInjector, FaultPlan, LogConfig};
+use ermia_server::{
+    BatchOp, Client, ClientError, ErrorCode, Response, Server, ServerConfig, WireIsolation,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ermia-server-logfault-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn halted_flusher_surfaces_logstalled_within_the_bound() {
+    let db = Database::open(DbConfig::durable(tmpdir("stall"))).unwrap();
+    let cfg = ServerConfig {
+        sync_wait: Duration::from_millis(300),
+        shutdown_poll: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let srv = Server::start(&db, "127.0.0.1:0", cfg).unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let t = c.open_table("kv").unwrap();
+
+    // Healthy baseline: sync commit completes.
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, b"before", b"v").unwrap();
+    c.commit(true).unwrap();
+
+    // Wedge the log: durability can no longer advance.
+    db.log().halt_flusher_for_test();
+
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, b"after", b"v").unwrap();
+    let started = Instant::now();
+    match c.commit(true) {
+        Err(ClientError::Server { code: ErrorCode::LogStalled, .. }) => {}
+        other => panic!("expected typed LogStalled, got {other:?}"),
+    }
+    let waited = started.elapsed();
+    assert!(
+        waited >= Duration::from_millis(250),
+        "must actually wait for the bound, waited {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "must time out near sync_wait, waited {waited:?}"
+    );
+
+    // The commit applied in memory (indeterminate durability, visible
+    // data) and the connection keeps working.
+    assert_eq!(c.get(t, b"after").unwrap().as_deref(), Some(&b"v"[..]));
+
+    // Async commits are unaffected by the wedged flusher.
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, b"async", b"v").unwrap();
+    c.commit(false).unwrap();
+
+    // Shutdown stays bounded even with sync replies pending: the writer's
+    // durability waits all hit the 300 ms ceiling.
+    let started = Instant::now();
+    srv.shutdown();
+    assert!(started.elapsed() < Duration::from_secs(10), "shutdown must not hang on a dead log");
+}
+
+#[test]
+fn poisoned_log_surfaces_logfailed_not_a_hang() {
+    // An fsync error is never retried: the first flush poisons the log.
+    let injector = FaultInjector::new(FaultPlan {
+        fail_sync_at: Some(0),
+        ..FaultPlan::default()
+    });
+    let mut cfg = DbConfig::durable(tmpdir("poison"));
+    cfg.log = LogConfig {
+        dir: cfg.log.dir.clone(),
+        fsync: true,
+        io_factory: Arc::new(injector),
+        ..LogConfig::default()
+    };
+    let db = Database::open(cfg).unwrap();
+    let srv = Server::start(
+        &db,
+        "127.0.0.1:0",
+        ServerConfig { sync_wait: Duration::from_secs(10), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let t = c.open_table("kv").unwrap();
+
+    // Sync commits against the doomed log: the first flush attempt fails
+    // its fsync and poisons the log. The waiting commit must get the
+    // typed LogFailed error (well before the generous sync_wait), and
+    // once poisoned, later transactions fail fast with a log-failure
+    // abort — the server never hangs and never panics.
+    let mut saw_log_failed = false;
+    let mut saw_fail_fast = false;
+    let started = Instant::now();
+    for i in 0..10 {
+        let (_, outcome) = c
+            .batch(
+                WireIsolation::Snapshot,
+                true,
+                vec![BatchOp::Put {
+                    table: t,
+                    key: format!("k{i}").into_bytes(),
+                    value: b"v".to_vec(),
+                }],
+            )
+            .unwrap();
+        match outcome {
+            Response::Error { code: ErrorCode::LogFailed, .. } => saw_log_failed = true,
+            Response::Error { code: ErrorCode::TxnAborted(reason), .. } => {
+                assert_eq!(reason.label(), "log-failure", "fail-fast must cite the log");
+                saw_fail_fast = true;
+            }
+            Response::Committed { .. } => {
+                // The flush that poisons the log may land after this
+                // commit's fill was already buffered but before its wait
+                // — only pre-poison commits may still pass. They cannot
+                // appear after a failure.
+                assert!(!saw_log_failed && !saw_fail_fast, "no commits after poison");
+            }
+            other => panic!("unexpected batch outcome {other:?}"),
+        }
+    }
+    assert!(
+        saw_log_failed || saw_fail_fast,
+        "poisoned log must surface a typed log failure"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(9),
+        "poison must fail the wait immediately, not ride out sync_wait"
+    );
+    assert!(db.log().is_poisoned());
+    srv.shutdown();
+}

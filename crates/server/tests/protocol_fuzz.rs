@@ -1,0 +1,153 @@
+//! Wire-protocol hardening: whatever bytes arrive — random garbage,
+//! truncated frames, checksum corruption, hostile length prefixes — the
+//! server must answer with a protocol error or close the connection. It
+//! must never panic, never wedge the acceptor, and never let one
+//! poisoned connection affect the next one.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use ermia::{Database, DbConfig};
+use ermia_server::protocol::{crc32, write_frame};
+use ermia_server::{Client, Request, Server, ServerConfig, WireIsolation};
+
+use proptest::prelude::*;
+
+/// One server shared by every case; if any hostile input kills it, the
+/// liveness probe of a later case fails loudly.
+fn server_addr() -> SocketAddr {
+    static SERVER: OnceLock<(Database, Server, u32)> = OnceLock::new();
+    let (_, srv, _) = SERVER.get_or_init(|| {
+        let db = Database::open(DbConfig::in_memory()).unwrap();
+        let cfg = ServerConfig {
+            shutdown_poll: Duration::from_millis(5),
+            checkout_wait: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let srv = Server::start(&db, "127.0.0.1:0", cfg).unwrap();
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        let t = c.open_table("fuzz").unwrap();
+        c.put(t, b"k", b"v").unwrap();
+        (db, srv, t)
+    });
+    srv.local_addr()
+}
+
+/// Deliver raw bytes, then drain whatever comes back until the server
+/// closes or goes quiet. The assertion is what does *not* happen: no
+/// hang (bounded read timeout) — panics/acceptor death show up in the
+/// follow-up liveness probe.
+fn poke(bytes: &[u8]) {
+    let Ok(mut s) = TcpStream::connect(server_addr()) else {
+        panic!("acceptor dead: connect refused")
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = s.write_all(bytes);
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    loop {
+        match s.read(&mut sink) {
+            Ok(0) => break,             // server closed: fine
+            Ok(_) => continue,          // an error reply: fine
+            Err(_) => break,            // reset / timeout boundary: fine
+        }
+    }
+}
+
+/// The real assertion: after hostile input, a well-formed session works.
+fn assert_alive() {
+    let mut c = Client::connect(server_addr()).expect("acceptor must survive hostile input");
+    c.ping().expect("server must keep serving after hostile input");
+}
+
+fn valid_frame(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &req.encode()).unwrap();
+    buf
+}
+
+fn sample_requests() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::OpenTable { name: b"fuzz".to_vec() },
+        Request::Begin { isolation: WireIsolation::Serializable },
+        Request::Get { table: 0, key: b"k".to_vec() },
+        Request::Put { table: 0, key: b"k".to_vec(), value: b"v".to_vec() },
+        Request::Scan { table: 0, low: b"a".to_vec(), high: b"z".to_vec(), limit: 5 },
+        Request::Commit { sync: true },
+    ]
+}
+
+#[test]
+fn truncation_at_every_cut_point_is_survived() {
+    for req in sample_requests() {
+        let frame = valid_frame(&req);
+        for cut in 0..frame.len() {
+            poke(&frame[..cut]);
+        }
+    }
+    assert_alive();
+}
+
+#[test]
+fn corruption_at_every_byte_is_survived() {
+    for req in sample_requests() {
+        let frame = valid_frame(&req);
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            poke(&bad);
+        }
+    }
+    assert_alive();
+}
+
+#[test]
+fn hostile_length_prefixes_are_rejected_without_allocation() {
+    // Lengths the server must refuse before trusting them: zero, just
+    // past the cap, and the maximum — a naive `Vec::with_capacity` on
+    // the latter would be a 4 GiB allocation per connection.
+    for len in [0u32, (16 << 20) + 1, u32::MAX] {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0xAB; 64]);
+        poke(&bytes);
+        assert_alive();
+    }
+}
+
+#[test]
+fn checksum_must_cover_the_payload_actually_sent() {
+    // A frame whose checksum matches different payload bytes than the
+    // ones on the wire must be rejected.
+    let payload = Request::Ping.encode();
+    let other = Request::Abort.encode();
+    let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&crc32(&other).to_le_bytes());
+    poke(&bytes);
+    assert_alive();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_garbage_never_wedges_the_server(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        poke(&bytes);
+        assert_alive();
+    }
+
+    #[test]
+    fn garbage_after_a_valid_frame_is_contained(
+        bytes in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        // A connection that behaves, then turns hostile: the valid part
+        // must be processed, the garbage must end only this connection.
+        let mut stream = valid_frame(&Request::Ping);
+        stream.extend_from_slice(&bytes);
+        poke(&stream);
+        assert_alive();
+    }
+}

@@ -90,6 +90,14 @@ impl LatencyHistogram {
         self.count += other.count;
     }
 
+    /// Tail shorthand used by the SLO tables: the 99.9th percentile in
+    /// nanoseconds. Server-side reply tails live here — one stalled
+    /// group-commit batch in a thousand shows up at p99.9 long before it
+    /// moves p99.
+    pub fn p999_ns(&self) -> f64 {
+        self.percentile_ns(99.9)
+    }
+
     /// The `p`-th percentile (0..=100) in nanoseconds, interpolated
     /// within the landing bucket; 0.0 when empty.
     pub fn percentile_ns(&self, p: f64) -> f64 {
@@ -154,6 +162,12 @@ impl TypeStats {
     /// `p`-th percentile committed latency in milliseconds.
     pub fn latency_pct_ms(&self, p: f64) -> f64 {
         self.latency.percentile_ns(p) / 1e6
+    }
+
+    /// 99.9th-percentile committed latency in milliseconds (the SLO
+    /// tail every bench table reports alongside p50/p99).
+    pub fn latency_p999_ms(&self) -> f64 {
+        self.latency.p999_ns() / 1e6
     }
 
     fn merge(&mut self, other: &TypeStats) {
@@ -297,13 +311,21 @@ pub fn format_result(r: &BenchResult) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:<14} {:>10} {:>10} {:>9} {:>12} {:>12} {:>12} {:>12}",
-        "type", "commits", "aborts", "abort%", "avg-lat(ms)", "p50-lat(ms)", "p99-lat(ms)", "max-lat(ms)"
+        "  {:<14} {:>10} {:>10} {:>9} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "type",
+        "commits",
+        "aborts",
+        "abort%",
+        "avg-lat(ms)",
+        "p50-lat(ms)",
+        "p99-lat(ms)",
+        "p99.9-lat(ms)",
+        "max-lat(ms)"
     );
     for t in &r.per_type {
         let _ = writeln!(
             out,
-            "  {:<14} {:>10} {:>10} {:>8.1}% {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            "  {:<14} {:>10} {:>10} {:>8.1}% {:>12.3} {:>12.3} {:>12.3} {:>14.3} {:>12.3}",
             t.name,
             t.commits,
             t.aborts,
@@ -311,6 +333,7 @@ pub fn format_result(r: &BenchResult) -> String {
             t.latency_avg_ms(),
             t.latency_pct_ms(50.0),
             t.latency_pct_ms(99.0),
+            t.latency_p999_ms(),
             t.latency_max_ns as f64 / 1e6
         );
     }
@@ -393,6 +416,24 @@ mod tests {
         for p in [1.0, 25.0, 50.0, 75.0, 99.0] {
             assert_eq!(a.percentile_ns(p), both.percentile_ns(p));
         }
+    }
+
+    #[test]
+    fn p999_separates_the_slo_tail_from_p99() {
+        let mut h = LatencyHistogram::default();
+        // 9989 fast samples, 11 slow ones (~0.1%): p99 stays in the fast
+        // bucket while p99.9 lands in the slow tail.
+        for _ in 0..9989 {
+            h.record(10_000); // ~10µs
+        }
+        for _ in 0..11 {
+            h.record(50_000_000); // 50ms stall
+        }
+        let p99 = h.percentile_ns(99.0);
+        let p999 = h.p999_ns();
+        assert!(p99 < 20_000.0, "p99 {p99} should still sit in the fast bucket");
+        assert!(p999 >= 8_192.0 * 1024.0, "p99.9 {p999} must reach the stall tail");
+        assert!(p999 >= p99);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Run an ERMIA server on a TCP port.
+//!
+//! ```sh
+//! cargo run --release --example server -- 127.0.0.1:7878
+//! ```
+//!
+//! Then talk to it with the client example (`--example client`) or any
+//! program speaking the framed wire protocol (`ermia_server::protocol`).
+//! Stop it with Ctrl-C (or, here, by pressing Enter).
+
+use std::time::Duration;
+
+use ermia::{Database, DbConfig};
+use ermia_server::{Server, ServerConfig};
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".into());
+
+    // Durable engine: the log goes to disk, sync commits really wait.
+    let dir = std::env::temp_dir().join("ermia-server-example");
+    let db = Database::open(DbConfig::durable(&dir)).expect("open database");
+
+    let cfg = ServerConfig {
+        max_sessions: 256,
+        checkout_wait: Duration::from_millis(100),
+        sync_wait: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let srv = Server::start(&db, &addr, cfg).expect("bind");
+    println!("ermia-server listening on {}", srv.local_addr());
+    println!("log dir: {}", dir.display());
+    println!("press Enter to shut down gracefully");
+
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+
+    println!("draining sessions…");
+    srv.shutdown();
+    let stats = srv.stats();
+    println!(
+        "served {} sessions, {} frames, {} commits; {} busy-rejects, {} protocol errors",
+        stats.sessions_opened,
+        stats.frames_processed,
+        stats.commits,
+        stats.busy_rejects,
+        stats.protocol_errors
+    );
+    assert_eq!(stats.active_sessions, 0);
+}
