@@ -55,9 +55,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
+/// Shared nearest-rank percentile, scaled to microseconds for the table.
 fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
-    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted[idx].as_secs_f64() * 1e6
+    ermia_telemetry::percentile_sorted(sorted, p).as_secs_f64() * 1e6
 }
 
 /// Latency of `wait_durable`-inclusive commits at one flush interval.

@@ -24,9 +24,9 @@ use std::time::{Duration, Instant};
 use ermia::{Database, DbConfig};
 use ermia_server::{BatchOp, Client, Request, Response, Server, ServerConfig, WireIsolation};
 
+/// Shared nearest-rank percentile, scaled to milliseconds for the table.
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
-    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted[idx].as_secs_f64() * 1e3
+    ermia_telemetry::percentile_sorted(sorted, p).as_secs_f64() * 1e3
 }
 
 struct Scenario {

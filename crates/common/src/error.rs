@@ -36,6 +36,25 @@ pub enum AbortReason {
 }
 
 impl AbortReason {
+    /// Every reason, in declaration order — the order metric tables and
+    /// per-reason breakdown columns index by ([`AbortReason::idx`]).
+    pub const ALL: [AbortReason; 8] = [
+        AbortReason::WriteWriteConflict,
+        AbortReason::SsnExclusion,
+        AbortReason::ReadValidation,
+        AbortReason::Phantom,
+        AbortReason::DuplicateKey,
+        AbortReason::UserRequested,
+        AbortReason::ResourceExhausted,
+        AbortReason::LogFailure,
+    ];
+
+    /// Position in [`AbortReason::ALL`]; stable across the process.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
     /// Short stable label used by the benchmark reporters.
     pub fn label(self) -> &'static str {
         match self {
@@ -112,19 +131,16 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let all = [
-            AbortReason::WriteWriteConflict,
-            AbortReason::SsnExclusion,
-            AbortReason::ReadValidation,
-            AbortReason::Phantom,
-            AbortReason::DuplicateKey,
-            AbortReason::UserRequested,
-            AbortReason::ResourceExhausted,
-            AbortReason::LogFailure,
-        ];
-        let mut labels: Vec<_> = all.iter().map(|r| r.label()).collect();
+        let mut labels: Vec<_> = AbortReason::ALL.iter().map(|r| r.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), all.len());
+        assert_eq!(labels.len(), AbortReason::ALL.len());
+    }
+
+    #[test]
+    fn idx_matches_position_in_all() {
+        for (i, r) in AbortReason::ALL.iter().enumerate() {
+            assert_eq!(r.idx(), i);
+        }
     }
 }

@@ -35,6 +35,11 @@ pub struct DbConfig {
     pub per_op_logging: bool,
     /// Collect per-component time breakdowns in each worker (Fig. 11).
     pub profile: bool,
+    /// Maintain per-transaction telemetry (commit/abort counters by
+    /// reason, chain-length samples, flight-recorder events). The write
+    /// side is a handful of relaxed increments per transaction; disable
+    /// only to measure its cost (the scaling bench's A/B run).
+    pub telemetry: bool,
     /// Values at or above this size are diverted to the large-object
     /// (blob) store at commit; the log carries only an indirect pointer
     /// (§3.3, log feature 4). `usize::MAX` disables diversion.
@@ -51,6 +56,7 @@ impl Default for DbConfig {
             rcu_epoch_interval: Duration::from_millis(2),
             per_op_logging: false,
             profile: false,
+            telemetry: true,
             large_value_threshold: usize::MAX,
         }
     }

@@ -9,7 +9,8 @@ use ermia_common::{IndexId, Lsn, TableId};
 use ermia_epoch::{EpochManager, Ticker};
 use ermia_index::BTree;
 use ermia_log::{CheckpointStore, LogManager};
-use ermia_storage::{GarbageCollector, OidArray, TidManager, VersionPool};
+use ermia_storage::{GarbageCollector, GcPassHook, GcStats, OidArray, TidManager, VersionPool};
+use ermia_telemetry::{EventKind, EventRing, Telemetry};
 use parking_lot::RwLock;
 
 use crate::config::DbConfig;
@@ -63,14 +64,18 @@ pub(crate) struct DbInner {
     /// Commits since the last checkpoint (stats).
     pub commits: AtomicU64,
     pub aborts: AtomicU64,
-    /// Registry of per-worker breakdown slabs (Fig. 11 instrumentation;
-    /// populated only when `cfg.profile` is set). Workers write their
-    /// own slab with relaxed adds; the mutex guards only registration,
-    /// retirement, and aggregate reads, never the transaction path. A
-    /// retiring worker folds its counts into the registry's retained
-    /// aggregate, so the live set stays bounded by the current worker
-    /// count while retired counts still survive.
-    pub breakdown: parking_lot::Mutex<crate::profile::BreakdownRegistry>,
+    /// The unified telemetry layer: per-worker metric slabs (txn
+    /// outcomes, the Fig. 11 breakdown), database-level collectors over
+    /// the subsystem atomics, and the flight-recorder event rings.
+    /// Workers write their own slabs with relaxed adds; locks guard only
+    /// registration, retirement, and reads, never the transaction path.
+    pub telemetry: Arc<Telemetry>,
+    /// GC statistics, owned here (not by the collector) so counts
+    /// survive the GC restarts that DDL triggers.
+    pub gc_stats: Arc<GcStats>,
+    /// Flight-recorder ring for background services (GC passes,
+    /// checkpoints, epoch advances); workers get their own rings.
+    pub svc_ring: Arc<EventRing>,
 }
 
 /// A memory-optimized multi-version database (the paper's ERMIA engine).
@@ -103,6 +108,8 @@ impl Database {
             Some(dir) => ermia_log::BlobStore::open(dir)?,
             None => ermia_log::BlobStore::in_memory(),
         };
+        let telemetry = Arc::new(Telemetry::new());
+        let svc_ring = telemetry.flight().ring();
         let inner = Arc::new(DbInner {
             log,
             tid: TidManager::new(),
@@ -118,9 +125,24 @@ impl Database {
             blobs,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
-            breakdown: parking_lot::Mutex::new(crate::profile::BreakdownRegistry::default()),
+            telemetry,
+            gc_stats: Arc::new(GcStats::default()),
+            svc_ring,
             cfg,
         });
+        crate::metrics::register_db_collectors(&inner);
+        if inner.cfg.telemetry {
+            // Record epoch transitions in the service ring. The hook runs
+            // after the advance, outside the epoch manager's locks; the
+            // Weak keeps the manager (owned by DbInner) from keeping its
+            // owner alive.
+            let weak = Arc::downgrade(&inner);
+            inner.epoch.set_advance_hook(move |epoch| {
+                if let Some(db) = weak.upgrade() {
+                    db.svc_ring.record(EventKind::EpochAdvance, epoch, 0);
+                }
+            });
+        }
         let cfg = &inner.cfg;
         // One ticker drives the unified timeline at the fastest of the
         // old per-timescale cadences (the tid valve's 1ms).
@@ -147,12 +169,20 @@ impl Database {
         // tables are created (cheap: GC restart on DDL).
         let arrays: Vec<Arc<OidArray>> =
             self.inner.catalog.read().tables.iter().map(|t| Arc::clone(&t.oids)).collect();
-        let gc = GarbageCollector::start(
+        let on_pass: Option<GcPassHook> = self.inner.cfg.telemetry.then(|| {
+            let ring = Arc::clone(&self.inner.svc_ring);
+            Box::new(move |reclaimed: u64, passes: u64| {
+                ring.record(EventKind::GcPass, reclaimed, passes);
+            }) as GcPassHook
+        });
+        let gc = GarbageCollector::start_with(
             arrays,
             self.inner.epoch.clone(),
             horizon,
             self.inner.cfg.gc_interval,
             Some(Arc::clone(&self.inner.versions)),
+            Arc::clone(&self.inner.gc_stats),
+            on_pass,
         );
         *self._services._gc.lock() = Some(gc);
     }
@@ -298,12 +328,24 @@ impl Database {
         let Some(store) = &self.inner.checkpoints else { return Ok(0) };
         let Some((meta, _)) = store.latest()? else { return Ok(0) };
         store.prune()?;
-        self.inner.log.truncate_before(meta.begin.offset())
+        let removed = self.inner.log.truncate_before(meta.begin.offset())?;
+        if self.inner.cfg.telemetry {
+            self.inner.svc_ring.record(EventKind::Checkpoint, meta.begin.offset(), removed as u64);
+        }
+        Ok(removed)
     }
 
     /// Aggregate per-component time breakdown, merged on read across
     /// every worker's slab — live and retired (requires `cfg.profile`).
     pub fn breakdown(&self) -> crate::profile::Breakdown {
-        self.inner.breakdown.lock().aggregate()
+        crate::profile::breakdown_from_counters(
+            &self.inner.telemetry.registry().family_counters(&crate::metrics::PROFILE_FAMILY),
+        )
+    }
+
+    /// The database's telemetry layer: merged metric registry, Prometheus
+    /// exposition, and the flight recorder.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 }

@@ -52,6 +52,7 @@
 
 mod config;
 mod database;
+mod metrics;
 mod pool;
 mod profile;
 mod recovery;

@@ -1,0 +1,331 @@
+//! Metric-family definitions and the database-level collectors.
+//!
+//! Two slab families are written on the transaction hot path (one
+//! relaxed increment per metric, per the telemetry contract):
+//!
+//! * [`TXN_FAMILY`] — per-worker commit/abort outcome counters (aborts
+//!   fanned out by [`AbortReason`]) plus the version-chain-length
+//!   histogram sampled on every visible-version fetch.
+//! * [`PROFILE_FAMILY`] — the Fig. 11 per-component time breakdown
+//!   (index / indirection / log / other nanoseconds), registered only
+//!   when `DbConfig::profile` is on.
+//!
+//! Everything else (log, GC, epoch, TID, pool) already keeps its own
+//! atomics; [`register_db_collectors`] exposes those through read-side
+//! collector closures that capture a `Weak<DbInner>` — no reference
+//! cycle, no hot-path change.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Weak};
+
+use ermia_telemetry::{FamilyDef, MetricDesc, MetricKind, Sample};
+
+use crate::database::DbInner;
+
+// --- TXN_FAMILY indices -------------------------------------------------
+
+/// Counter 0: committed transactions.
+pub(crate) const TXN_COMMITS: usize = 0;
+/// Counters 1..=8: aborts, indexed by `TXN_ABORT_BASE + reason.idx()`.
+pub(crate) const TXN_ABORT_BASE: usize = 1;
+/// Histogram 0: version-chain nodes walked per transaction (summed
+/// over its visibility fetches; recorded once at release so the
+/// per-read hot path carries no telemetry work).
+pub(crate) const TXN_CHAIN_HIST: usize = 0;
+
+const ABORT_HELP: &str = "Aborted transactions by reason";
+
+/// Per-transaction outcome counters. The abort descriptors must stay in
+/// [`ermia_common::AbortReason::ALL`] order (asserted by a test below).
+pub(crate) static TXN_FAMILY: FamilyDef = FamilyDef {
+    counters: &[
+        MetricDesc {
+            name: "ermia_txn_commits_total",
+            help: "Committed transactions",
+            kind: MetricKind::Counter,
+            label: None,
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "ww-conflict")),
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "ssn-exclusion")),
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "read-validation")),
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "phantom")),
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "dup-key")),
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "user")),
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "resource")),
+        },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "log-failure")),
+        },
+    ],
+    hists: &[MetricDesc {
+        name: "ermia_txn_chain_length",
+        help: "Version-chain nodes walked per transaction (summed over its reads)",
+        kind: MetricKind::Counter,
+        label: None,
+    }],
+};
+
+// --- PROFILE_FAMILY indices ---------------------------------------------
+
+pub(crate) const IDX_INDEX: usize = 0;
+pub(crate) const IDX_INDIRECTION: usize = 1;
+pub(crate) const IDX_LOG: usize = 2;
+pub(crate) const IDX_OTHER: usize = 3;
+pub(crate) const IDX_TXNS: usize = 4;
+
+/// The Fig. 11 per-component time breakdown, in nanoseconds.
+pub(crate) static PROFILE_FAMILY: FamilyDef = FamilyDef {
+    counters: &[
+        MetricDesc {
+            name: "ermia_profile_index_ns_total",
+            help: "Nanoseconds in index (B+-tree) operations",
+            kind: MetricKind::Counter,
+            label: None,
+        },
+        MetricDesc {
+            name: "ermia_profile_indirection_ns_total",
+            help: "Nanoseconds in indirection-array and version-chain work",
+            kind: MetricKind::Counter,
+            label: None,
+        },
+        MetricDesc {
+            name: "ermia_profile_log_ns_total",
+            help: "Nanoseconds in log allocation, serialization and copy",
+            kind: MetricKind::Counter,
+            label: None,
+        },
+        MetricDesc {
+            name: "ermia_profile_other_ns_total",
+            help: "Nanoseconds outside the instrumented components",
+            kind: MetricKind::Counter,
+            label: None,
+        },
+        MetricDesc {
+            name: "ermia_profile_txns_total",
+            help: "Transactions measured by the profiler",
+            kind: MetricKind::Counter,
+            label: None,
+        },
+    ],
+    hists: &[],
+};
+
+/// Register the read-side collectors that expose the database's existing
+/// subsystem atomics (log, GC, epoch, TID, pool). The closures capture a
+/// `Weak<DbInner>` so the registry (owned by `DbInner`) never keeps its
+/// owner alive; once the database drops, the collectors render nothing.
+pub(crate) fn register_db_collectors(inner: &Arc<DbInner>) {
+    let registry = inner.telemetry.registry();
+    let group = registry.group();
+    let weak: Weak<DbInner> = Arc::downgrade(inner);
+    registry.register_collector(group, move |out| {
+        if let Some(db) = weak.upgrade() {
+            collect_db(&db, out);
+        }
+    });
+}
+
+fn collect_db(db: &DbInner, out: &mut Vec<Sample>) {
+    // Log manager: counters from LogStats plus the derived gauges the
+    // issue calls out (durable-LSN lag, ring occupancy, batch size).
+    let log = &db.log;
+    let s = log.stats();
+    out.push(Sample::counter(
+        "ermia_log_allocations_total",
+        "Log space reservations (one fetch_add per committing txn)",
+        s.allocations.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_log_rotations_total",
+        "Segment rotations",
+        s.rotations.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_log_skip_blocks_total",
+        "Skip blocks written (aborts, segment closes)",
+        s.skip_blocks.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_log_dead_zone_bytes_total",
+        "Bytes retired into dead zones",
+        s.dead_zone_bytes.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_log_flush_batches_total",
+        "Group-commit flush batches",
+        s.flush_batches.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_log_flushed_bytes_total",
+        "Bytes handed to stable storage",
+        s.flushed_bytes.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_log_flush_retries_total",
+        "Transient write errors the flusher retried",
+        s.flush_retries.load(Relaxed),
+    ));
+    out.push(Sample::gauge(
+        "ermia_log_poisoned",
+        "1 once the log hit an unrecoverable I/O error",
+        s.log_poisoned.load(Relaxed) as f64,
+    ));
+    out.push(Sample::gauge(
+        "ermia_log_durable_lag_bytes",
+        "Allocated-but-not-yet-durable log bytes (next - durable)",
+        log.next_offset().saturating_sub(log.durable_offset()) as f64,
+    ));
+    out.push(Sample::gauge(
+        "ermia_log_ring_occupancy_bytes",
+        "Filled-but-unflushed bytes in the centralized ring buffer",
+        log.ring_occupancy() as f64,
+    ));
+    out.push(Sample::gauge(
+        "ermia_log_ring_capacity_bytes",
+        "Centralized ring buffer capacity",
+        log.ring_capacity() as f64,
+    ));
+    out.push(Sample::counter(
+        "ermia_log_space_waits_total",
+        "Reservations that blocked waiting for ring space",
+        log.ring_space_waits(),
+    ));
+    out.push(Sample::gauge(
+        "ermia_log_last_batch_bytes",
+        "Size of the most recent group-commit flush batch",
+        s.last_batch_bytes.load(Relaxed) as f64,
+    ));
+
+    // Garbage collector (database-owned stats survive GC restarts on DDL).
+    let gc = &db.gc_stats;
+    out.push(Sample::counter(
+        "ermia_gc_passes_total",
+        "Full GC passes over the indirection arrays",
+        gc.passes.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_gc_reclaimed_versions_total",
+        "Versions unlinked and retired by the GC",
+        gc.reclaimed.load(Relaxed),
+    ));
+
+    // Unified epoch manager (one timeline for the paper's 3 timescales).
+    let timescale = db.epoch.name();
+    let es = db.epoch.stats();
+    let e = |s: Sample| s.labeled("timescale", timescale);
+    out.push(e(Sample::gauge("ermia_epoch_current", "Current (open) epoch", es.epoch as f64)));
+    out.push(e(Sample::counter(
+        "ermia_epoch_advances_total",
+        "Successful epoch advances",
+        es.advances,
+    )));
+    out.push(e(Sample::counter(
+        "ermia_epoch_advance_blocked_total",
+        "Advance attempts blocked by a straggler",
+        es.advance_blocked,
+    )));
+    out.push(e(Sample::counter(
+        "ermia_epoch_deferred_total",
+        "Destructors deferred through the epoch manager",
+        es.deferred,
+    )));
+    out.push(e(Sample::counter(
+        "ermia_epoch_freed_total",
+        "Deferred destructors executed",
+        es.freed,
+    )));
+    out.push(e(Sample::gauge(
+        "ermia_epoch_pending_destructors",
+        "Deferred destructors not yet safe to run",
+        es.pending as f64,
+    )));
+    out.push(e(Sample::gauge(
+        "ermia_epoch_threads",
+        "Registered (non-retired) epoch participants",
+        es.threads as f64,
+    )));
+    out.push(e(Sample::gauge(
+        "ermia_epoch_stragglers",
+        "Threads active two or more epochs behind",
+        es.stragglers as f64,
+    )));
+
+    // TID table and version pool.
+    out.push(Sample::gauge(
+        "ermia_tid_slots_in_use",
+        "Transaction-context slots currently held",
+        db.tid.in_use() as f64,
+    ));
+    out.push(Sample::gauge(
+        "ermia_version_pool_size",
+        "Version nodes parked in the reuse pool",
+        db.versions.pooled() as f64,
+    ));
+
+    // Database-level lifetime totals (mirror Database::txn_counts).
+    out.push(Sample::counter(
+        "ermia_db_commits_total",
+        "Committed transactions since open",
+        db.commits.load(Relaxed),
+    ));
+    out.push(Sample::counter(
+        "ermia_db_aborts_total",
+        "Aborted transactions since open",
+        db.aborts.load(Relaxed),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ermia_common::AbortReason;
+
+    #[test]
+    fn abort_descriptors_align_with_abort_reason_order() {
+        for r in AbortReason::ALL {
+            let desc = &TXN_FAMILY.counters[TXN_ABORT_BASE + r.idx()];
+            assert_eq!(desc.name, "ermia_txn_aborts_total");
+            let (key, val) = desc.label.expect("abort counters carry a reason label");
+            assert_eq!(key, "reason");
+            assert_eq!(val, r.label(), "descriptor order must match AbortReason::ALL");
+        }
+        assert_eq!(TXN_FAMILY.counters.len(), TXN_ABORT_BASE + AbortReason::ALL.len());
+    }
+}

@@ -2,20 +2,20 @@
 //!
 //! The paper reports CPU cycles per transaction spent in Masstree, the
 //! indirection arrays, the log manager, and everything else. We measure
-//! the same boundaries with monotonic-clock nanoseconds, accumulated in
-//! a per-worker [`BreakdownSlab`] — plain relaxed adds to cache lines no
-//! other worker writes — and merged across slabs only when somebody asks
-//! for the aggregate ([`crate::Database::breakdown`]). The previous
-//! design folded workers into a global mutex-guarded aggregate on drop;
-//! a shared lock has no business next to a hot path this PR just made
-//! lock-free, so the mutex now guards only the slab *registry*
-//! ([`BreakdownRegistry`]: live slabs plus the folded counts of retired
-//! workers), touched at worker registration/retirement and on aggregate
-//! reads, never per transaction.
+//! the same boundaries with monotonic-clock nanoseconds. The counters
+//! themselves now live in a per-worker telemetry slab (the
+//! [`crate::metrics::PROFILE_FAMILY`] family, one
+//! [`ermia_telemetry::Slab`] per worker) — plain relaxed adds to cache
+//! lines no other worker writes, merged across live and retired slabs by
+//! the [`ermia_telemetry::Registry`] only when somebody asks for the
+//! aggregate ([`crate::Database::breakdown`]). This module keeps the
+//! user-facing [`Breakdown`] snapshot type, the conversion from a merged
+//! counter vector, and the [`Timed`] scoped timer.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
+
+use crate::metrics::{IDX_INDEX, IDX_INDIRECTION, IDX_LOG, IDX_OTHER, IDX_TXNS};
 
 /// Accumulated nanoseconds per engine component.
 #[derive(Clone, Copy, Debug, Default)]
@@ -48,81 +48,17 @@ impl Breakdown {
     }
 }
 
-/// One worker's breakdown counters. Written by exactly one thread with
-/// relaxed adds; read (racily, which is fine for statistics) by whoever
-/// aggregates. Aligned out to its own cache-line pair so two workers'
-/// slabs never false-share.
-#[repr(align(128))]
-#[derive(Debug, Default)]
-pub(crate) struct BreakdownSlab {
-    pub index_ns: AtomicU64,
-    pub indirection_ns: AtomicU64,
-    pub log_ns: AtomicU64,
-    pub other_ns: AtomicU64,
-    pub txns: AtomicU64,
-}
-
-impl BreakdownSlab {
-    pub fn snapshot(&self) -> Breakdown {
-        Breakdown {
-            index_ns: self.index_ns.load(Ordering::Relaxed),
-            indirection_ns: self.indirection_ns.load(Ordering::Relaxed),
-            log_ns: self.log_ns.load(Ordering::Relaxed),
-            other_ns: self.other_ns.load(Ordering::Relaxed),
-            txns: self.txns.load(Ordering::Relaxed),
-        }
-    }
-
-    pub fn reset(&self) {
-        self.index_ns.store(0, Ordering::Relaxed);
-        self.indirection_ns.store(0, Ordering::Relaxed);
-        self.log_ns.store(0, Ordering::Relaxed);
-        self.other_ns.store(0, Ordering::Relaxed);
-        self.txns.store(0, Ordering::Relaxed);
-    }
-}
-
-/// The database-wide registry: slabs of live workers plus the folded
-/// counts of retired ones. Registration and retirement keep the live set
-/// bounded by the number of *current* workers — a workload churning
-/// short-lived workers must not grow the registry (or the cost of
-/// [`crate::Database::breakdown`]) without bound.
-#[derive(Default)]
-pub(crate) struct BreakdownRegistry {
-    live: Vec<Arc<BreakdownSlab>>,
-    retired: Breakdown,
-}
-
-impl BreakdownRegistry {
-    pub fn register(&mut self, slab: &Arc<BreakdownSlab>) {
-        self.live.push(Arc::clone(slab));
-    }
-
-    /// Fold a retiring worker's counts into the retained aggregate and
-    /// drop its slab from the live set. A no-op for slabs that were
-    /// never registered (profiling disabled).
-    pub fn retire(&mut self, slab: &Arc<BreakdownSlab>) {
-        if let Some(i) = self.live.iter().position(|s| Arc::ptr_eq(s, slab)) {
-            self.live.swap_remove(i);
-            self.retired.add(&slab.snapshot());
-        }
-    }
-
-    /// Retired counts plus a racy (fine for statistics) snapshot of
-    /// every live slab.
-    pub fn aggregate(&self) -> Breakdown {
-        let mut sum = self.retired;
-        for slab in &self.live {
-            sum.add(&slab.snapshot());
-        }
-        sum
-    }
-
-    /// Number of currently registered live slabs (boundedness checks in
-    /// tests).
-    #[cfg(test)]
-    pub fn live_count(&self) -> usize {
-        self.live.len()
+/// View a merged [`crate::metrics::PROFILE_FAMILY`] counter vector as a
+/// [`Breakdown`]. Tolerates a short vector (a registry with no slabs
+/// registered merges to per-family zeroes anyway).
+pub(crate) fn breakdown_from_counters(counters: &[u64]) -> Breakdown {
+    let at = |i: usize| counters.get(i).copied().unwrap_or(0);
+    Breakdown {
+        index_ns: at(IDX_INDEX),
+        indirection_ns: at(IDX_INDIRECTION),
+        log_ns: at(IDX_LOG),
+        other_ns: at(IDX_OTHER),
+        txns: at(IDX_TXNS),
     }
 }
 
@@ -152,25 +88,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_retains_retired_counts_and_stays_bounded() {
-        let mut reg = BreakdownRegistry::default();
-        let a = Arc::new(BreakdownSlab::default());
-        a.txns.store(3, Ordering::Relaxed);
-        reg.register(&a);
-        let b = Arc::new(BreakdownSlab::default());
-        b.txns.store(4, Ordering::Relaxed);
-        reg.register(&b);
-        assert_eq!(reg.aggregate().txns, 7);
+    fn counter_vector_maps_onto_breakdown_fields() {
+        let b = breakdown_from_counters(&[1, 2, 3, 4, 5]);
+        assert_eq!(b.index_ns, 1);
+        assert_eq!(b.indirection_ns, 2);
+        assert_eq!(b.log_ns, 3);
+        assert_eq!(b.other_ns, 4);
+        assert_eq!(b.txns, 5);
+        assert_eq!(b.total_ns(), 10);
 
-        reg.retire(&a);
-        assert_eq!(reg.live_count(), 1, "retired slab leaves the live set");
-        assert_eq!(reg.aggregate().txns, 7, "retired counts are retained");
-
-        // Retiring a slab that never registered (profiling off) is a no-op.
-        let c = Arc::new(BreakdownSlab::default());
-        c.txns.store(100, Ordering::Relaxed);
-        reg.retire(&c);
-        assert_eq!(reg.live_count(), 1);
-        assert_eq!(reg.aggregate().txns, 7);
+        // A short (or empty) vector reads as zeroes, not a panic.
+        let z = breakdown_from_counters(&[]);
+        assert_eq!(z.txns, 0);
+        assert_eq!(z.total_ns(), 0);
     }
 }

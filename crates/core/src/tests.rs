@@ -973,7 +973,8 @@ fn breakdown_survives_worker_churn_without_growing_registry() {
         tx.commit().unwrap();
     }
     assert_eq!(db.breakdown().txns, 8, "retired workers' counts are retained");
-    assert_eq!(db.inner.breakdown.lock().live_count(), 0, "no live slabs after churn");
+    let reg = db.telemetry().registry();
+    assert_eq!(reg.live_slabs(&crate::metrics::PROFILE_FAMILY), 0, "no live slabs after churn");
 
     // With profiling off, worker churn must not register anything at all.
     let db = Database::open(DbConfig::in_memory()).unwrap();
@@ -984,5 +985,10 @@ fn breakdown_survives_worker_churn_without_growing_registry() {
         tx.insert(t, &i.to_be_bytes(), b"v").unwrap();
         tx.commit().unwrap();
     }
-    assert_eq!(db.inner.breakdown.lock().live_count(), 0, "profiling off: never registered");
+    let reg = db.telemetry().registry();
+    assert_eq!(
+        reg.live_slabs(&crate::metrics::PROFILE_FAMILY),
+        0,
+        "profiling off: never registered"
+    );
 }

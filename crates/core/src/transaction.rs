@@ -19,9 +19,13 @@ use ermia_common::{AbortReason, IndexId, Lsn, Oid, OpResult, Stamp, TableId, Tid
 use ermia_epoch::Guard;
 use ermia_index::{BTree, InsertOutcome, LeafSnapshot, ScanControl};
 use ermia_storage::{defer_release, OidArray, TidStatus, TxContext, Version};
+use ermia_telemetry::EventKind;
 
 use crate::config::IsolationLevel;
 use crate::database::{Database, IndexInfo, Table};
+use crate::metrics::{
+    IDX_INDEX, IDX_INDIRECTION, IDX_LOG, IDX_TXNS, TXN_ABORT_BASE, TXN_CHAIN_HIST, TXN_COMMITS,
+};
 use crate::profile::Timed;
 use crate::worker::{Scratch, Worker};
 
@@ -94,6 +98,11 @@ pub struct Transaction<'w> {
     writes: Vec<WriteEntry>,
     secondary: Vec<SecondaryEntry>,
     node_set: Vec<(Arc<BTree>, LeafSnapshot)>,
+    /// Version-chain nodes inspected by every visibility walk of this
+    /// transaction. A plain local accumulator so the per-read path pays
+    /// one integer add; folded into the telemetry chain-length
+    /// histogram once, at release.
+    chain_walked: u64,
     doomed: Option<AbortReason>,
     finished: bool,
 }
@@ -116,6 +125,9 @@ impl<'w> Transaction<'w> {
         let guard = epoch_handle.pin();
         let begin = db.inner.log.tail_lsn();
         let (tid, _ctx) = db.inner.tid.acquire(begin, &mut scratch.tid_hint);
+        if let Some(t) = &scratch.telemetry {
+            t.ring.record(EventKind::TxnBegin, tid.raw(), 0);
+        }
         scratch.logbuf.clear();
         scratch.keys.clear();
         Transaction {
@@ -130,6 +142,7 @@ impl<'w> Transaction<'w> {
             writes: std::mem::take(&mut scratch.writes),
             secondary: std::mem::take(&mut scratch.secondary),
             node_set: std::mem::take(&mut scratch.node_set),
+            chain_walked: 0,
             scratch,
             doomed: None,
             finished: false,
@@ -218,10 +231,12 @@ impl<'w> Transaction<'w> {
     fn fetch_visible(&mut self, oids: &OidArray, oid: Oid) -> OpResult<Option<VisibleVersion>> {
         let mut cur = oids.head(oid);
         let mut skipped_min: u64 = u64::MAX;
+        let mut walked: u64 = 0;
         let result = loop {
             if cur.is_null() {
                 break None;
             }
+            walked += 1;
             let v = unsafe { &*cur };
             match self.visibility_of(v) {
                 Visibility::Visible { cstamp, own } => {
@@ -236,6 +251,11 @@ impl<'w> Transaction<'w> {
                 }
             }
         };
+        // Chain nodes inspected before the verdict — the GC-health
+        // signal the paper's Fig. 9 degradation traces back to. Only
+        // accumulated here; the histogram is fed once per transaction
+        // at release so this per-read path stays telemetry-free.
+        self.chain_walked += walked;
         if self.serializable() && skipped_min != u64::MAX {
             // We read beneath committed overwrites: π(T) shrinks to the
             // earliest of their stamps.
@@ -336,7 +356,7 @@ impl<'w> Transaction<'w> {
         let profile = self.db.inner.cfg.profile;
         let timer = Timed::start(profile);
         let (oid, snap) = t.primary.get(&self.guard, key);
-        Timed::stop(timer, &self.scratch.breakdown.index_ns);
+        Timed::stop(timer, self.scratch.breakdown.counter(IDX_INDEX));
         let Some(oid) = oid else {
             if self.serializable() {
                 self.node_set.push((Arc::clone(&t.primary), snap));
@@ -345,7 +365,7 @@ impl<'w> Transaction<'w> {
         };
         let timer = Timed::start(profile);
         let vis = self.fetch_visible(&t.oids, Oid(oid as u32))?;
-        Timed::stop(timer, &self.scratch.breakdown.indirection_ns);
+        Timed::stop(timer, self.scratch.breakdown.counter(IDX_INDIRECTION));
         match vis {
             Some(vis) => {
                 self.register_read(&vis)?;
@@ -392,7 +412,7 @@ impl<'w> Transaction<'w> {
         let profile = self.db.inner.cfg.profile;
         let timer = Timed::start(profile);
         let (oid, snap) = t.primary.get(&self.guard, key);
-        Timed::stop(timer, &self.scratch.breakdown.index_ns);
+        Timed::stop(timer, self.scratch.breakdown.counter(IDX_INDEX));
         let Some(oid) = oid else {
             if self.serializable() {
                 self.node_set.push((Arc::clone(&t.primary), snap));
@@ -401,7 +421,7 @@ impl<'w> Transaction<'w> {
         };
         let timer = Timed::start(profile);
         let r = self.install_version(&t, Oid(oid as u32), key, value, WriteKind::Update);
-        Timed::stop(timer, &self.scratch.breakdown.indirection_ns);
+        Timed::stop(timer, self.scratch.breakdown.counter(IDX_INDIRECTION));
         r
     }
 
@@ -571,7 +591,7 @@ impl<'w> Transaction<'w> {
             self.capture_valid_node_entries(&t.primary);
             let timer = Timed::start(profile);
             let outcome = t.primary.insert(&self.guard, key, oid.0 as u64);
-            Timed::stop(timer, &self.scratch.breakdown.index_ns);
+            Timed::stop(timer, self.scratch.breakdown.counter(IDX_INDEX));
             match outcome {
                 InsertOutcome::Inserted => {
                     self.refresh_node_set();
@@ -690,7 +710,7 @@ impl<'w> Transaction<'w> {
                     },
                 );
             }
-            Timed::stop(timer, &self.scratch.breakdown.index_ns);
+            Timed::stop(timer, self.scratch.breakdown.counter(IDX_INDEX));
 
             // Phase 2: visibility + delivery.
             let timer = Timed::start(profile);
@@ -707,7 +727,7 @@ impl<'w> Transaction<'w> {
                     }
                 }
             }
-            Timed::stop(timer, &self.scratch.breakdown.indirection_ns);
+            Timed::stop(timer, self.scratch.breakdown.counter(IDX_INDIRECTION));
             if stopped || !truncated {
                 return Ok(delivered);
             }
@@ -820,22 +840,28 @@ impl<'w> Transaction<'w> {
         let reservation = match db.inner.log.allocate(self.scratch.logbuf.block_len()) {
             Ok(r) => r,
             Err(_) => {
-                ctx.abort();
-                self.rollback();
-                self.release(false);
                 // A poisoned log rejects all allocations until restart;
-                // anything else is transient resource pressure.
+                // anything else is transient resource pressure. Decide
+                // (and doom) before release so the abort is attributed to
+                // the right reason.
                 let reason = if db.inner.log.is_poisoned() {
+                    if let Some(t) = &self.scratch.telemetry {
+                        t.ring.record(EventKind::LogPoison, 1, 0);
+                    }
                     AbortReason::LogFailure
                 } else {
                     AbortReason::ResourceExhausted
                 };
+                self.doomed = Some(reason);
+                ctx.abort();
+                self.rollback();
+                self.release(false);
                 return Err(reason);
             }
         };
         let cstamp = reservation.lsn();
         ctx.enter_precommit(cstamp);
-        Timed::stop(timer, &self.scratch.breakdown.log_ns);
+        Timed::stop(timer, self.scratch.breakdown.counter(IDX_LOG));
 
         // --- CC commit protocol (SSN exclusion-window test) -------------
         if self.serializable() {
@@ -852,6 +878,7 @@ impl<'w> Transaction<'w> {
             }
             if self.sstamp <= self.pstamp {
                 drop(reservation); // becomes a skip record
+                self.doomed = Some(AbortReason::SsnExclusion);
                 ctx.abort();
                 self.rollback();
                 self.release(false);
@@ -861,6 +888,7 @@ impl<'w> Transaction<'w> {
             for (tree, snap) in &self.node_set {
                 if !tree.validate(snap) {
                     drop(reservation);
+                    self.doomed = Some(AbortReason::Phantom);
                     ctx.abort();
                     self.rollback();
                     self.release(false);
@@ -879,15 +907,19 @@ impl<'w> Transaction<'w> {
             // fate is unknown (timeout). Roll back in memory and surface
             // the failure; restart recovery truncates at the first hole,
             // so an unacknowledged block can never resurrect past one.
+            self.doomed = Some(AbortReason::LogFailure);
             ctx.abort();
             self.rollback();
             self.release(false);
             return Err(AbortReason::LogFailure);
         }
-        Timed::stop(timer, &self.scratch.breakdown.log_ns);
+        Timed::stop(timer, self.scratch.breakdown.counter(IDX_LOG));
 
         // All updates become visible atomically at this store.
         ctx.commit(cstamp);
+        if let Some(t) = &self.scratch.telemetry {
+            t.ring.record(EventKind::TxnCommit, self.tid.raw(), cstamp.raw());
+        }
 
         // --- Post-commit ------------------------------------------------
         let sstamp_final = self.sstamp;
@@ -929,12 +961,14 @@ impl<'w> Transaction<'w> {
                 self.sstamp = self.sstamp.min(vs);
             }
             if self.sstamp <= self.pstamp {
+                self.doomed = Some(AbortReason::SsnExclusion);
                 ctx.abort();
                 self.release(false);
                 return Err(AbortReason::SsnExclusion);
             }
             for (tree, snap) in &self.node_set {
                 if !tree.validate(snap) {
+                    self.doomed = Some(AbortReason::Phantom);
                     ctx.abort();
                     self.release(false);
                     return Err(AbortReason::Phantom);
@@ -947,6 +981,9 @@ impl<'w> Transaction<'w> {
         ctx.enter_pending();
         ctx.enter_precommit(cstamp);
         ctx.commit(cstamp);
+        if let Some(t) = &self.scratch.telemetry {
+            t.ring.record(EventKind::TxnCommit, self.tid.raw(), cstamp.raw());
+        }
         self.release(true);
         Ok(CommitToken { lsn: cstamp, end_offset: None })
     }
@@ -1011,7 +1048,21 @@ impl<'w> Transaction<'w> {
         } else {
             self.db.inner.aborts.fetch_add(1, Ordering::Relaxed);
         }
-        self.scratch.breakdown.txns.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.scratch.telemetry {
+            // Chain nodes this transaction walked, accumulated read by
+            // read in `fetch_visible` and recorded once here.
+            t.slab.hist(TXN_CHAIN_HIST).record(self.chain_walked);
+            if committed {
+                t.slab.add(TXN_COMMITS, 1);
+            } else {
+                // Every abort path records its reason in `doomed` before
+                // releasing; an explicit `abort()` call has none.
+                let reason = self.doomed.unwrap_or(AbortReason::UserRequested);
+                t.slab.add(TXN_ABORT_BASE + reason.idx(), 1);
+                t.ring.record(EventKind::TxnAbort, self.tid.raw(), reason.idx() as u64);
+            }
+        }
+        self.scratch.breakdown.add(IDX_TXNS, 1);
         self.reads.clear();
         self.writes.clear();
         self.secondary.clear();

@@ -8,14 +8,18 @@
 //! all live here and are recycled across transactions, so beginning and
 //! committing a transaction is allocation-free in the steady state.
 
+use std::sync::Arc;
+
 use ermia_epoch::EpochHandle;
 use ermia_index::{BTree, LeafSnapshot};
 use ermia_log::TxLogBuffer;
 use ermia_storage::{Version, VersionCache};
+use ermia_telemetry::{EventRing, Slab};
 
 use crate::config::IsolationLevel;
 use crate::database::Database;
-use crate::profile::{Breakdown, BreakdownSlab};
+use crate::metrics::{PROFILE_FAMILY, TXN_FAMILY};
+use crate::profile::Breakdown;
 use crate::transaction::{SecondaryEntry, Transaction, WriteEntry};
 
 /// Per-thread handle for running transactions against a [`Database`].
@@ -23,6 +27,16 @@ pub struct Worker {
     pub(crate) db: Database,
     pub(crate) epoch_handle: EpochHandle,
     pub(crate) scratch: Scratch,
+}
+
+/// This worker's share of the telemetry layer: a [`TXN_FAMILY`] slab for
+/// outcome counters and the chain-length histogram, plus a flight-recorder
+/// event ring. Present iff `cfg.telemetry`; every hot-path touch is one
+/// relaxed increment (or one seqlock-protected slot write for events)
+/// against memory only this thread writes.
+pub(crate) struct WorkerTelemetry {
+    pub slab: Arc<Slab>,
+    pub ring: Arc<EventRing>,
 }
 
 /// Mutable per-thread scratch reused across transactions.
@@ -35,14 +49,19 @@ pub struct Worker {
 pub(crate) struct Scratch {
     pub tid_hint: usize,
     pub logbuf: TxLogBuffer,
-    /// This worker's breakdown counters. The slab is shared with the
-    /// database's registry (merged on read) but written only here, so
-    /// profiling never takes a lock on the transaction path.
-    pub breakdown: std::sync::Arc<BreakdownSlab>,
+    /// This worker's Fig. 11 breakdown counters (the
+    /// [`PROFILE_FAMILY`] slab). Registered with the telemetry registry
+    /// (merged on read) only when profiling is on — otherwise a detached
+    /// slab, so a workload churning short-lived workers never grows the
+    /// registry for counters nobody reads. Written only by this thread,
+    /// so profiling never takes a lock on the transaction path.
+    pub breakdown: Arc<Slab>,
+    /// Txn outcome counters + flight ring, when `cfg.telemetry`.
+    pub telemetry: Option<WorkerTelemetry>,
     pub reads: Vec<*mut Version>,
     pub writes: Vec<WriteEntry>,
     pub secondary: Vec<SecondaryEntry>,
-    pub node_set: Vec<(std::sync::Arc<BTree>, LeafSnapshot)>,
+    pub node_set: Vec<(Arc<BTree>, LeafSnapshot)>,
     /// Reused index scratch for `valid_node_entries`.
     pub valid_idx: Vec<usize>,
     /// Bump arena backing the write/secondary sets' key bytes.
@@ -68,16 +87,20 @@ impl Worker {
             std::thread::current().id().hash(&mut h);
             (h.finish() as usize) % ermia_common::ids::TID_TABLE_CAPACITY
         };
-        let versions = VersionCache::new(std::sync::Arc::clone(&db.inner.versions));
-        // The slab always exists (the transaction path bumps it
+        let versions = VersionCache::new(Arc::clone(&db.inner.versions));
+        let registry = db.inner.telemetry.registry();
+        // The breakdown slab always exists (the transaction path bumps it
         // unconditionally — cheaper than a branch), but it only joins the
-        // database registry when profiling is on: otherwise a workload
-        // churning short-lived workers would grow the registry without
-        // bound for counters nobody reads.
-        let breakdown = std::sync::Arc::new(BreakdownSlab::default());
-        if db.inner.cfg.profile {
-            db.inner.breakdown.lock().register(&breakdown);
-        }
+        // registry when profiling is on.
+        let breakdown = if db.inner.cfg.profile {
+            registry.register_slab(&PROFILE_FAMILY)
+        } else {
+            Arc::new(Slab::new(&PROFILE_FAMILY))
+        };
+        let telemetry = db.inner.cfg.telemetry.then(|| WorkerTelemetry {
+            slab: registry.register_slab(&TXN_FAMILY),
+            ring: db.inner.telemetry.flight().ring(),
+        });
         Worker {
             db,
             epoch_handle,
@@ -85,6 +108,7 @@ impl Worker {
                 tid_hint,
                 logbuf: TxLogBuffer::new(),
                 breakdown,
+                telemetry,
                 reads: Vec::new(),
                 writes: Vec::new(),
                 secondary: Vec::new(),
@@ -104,7 +128,7 @@ impl Worker {
     /// The accumulated per-component time breakdown (when
     /// [`DbConfig::profile`](crate::DbConfig) is on).
     pub fn breakdown(&self) -> Breakdown {
-        self.scratch.breakdown.snapshot()
+        crate::profile::breakdown_from_counters(&self.scratch.breakdown.counter_snapshot())
     }
 
     /// Zero this worker's breakdown counters. The slab is the same one
@@ -131,13 +155,16 @@ impl Worker {
 
 impl Drop for Worker {
     fn drop(&mut self) {
-        // Retire the slab: its counts fold into the registry's retained
-        // aggregate, so `Database::breakdown` stays complete while the
-        // live set stops growing with every worker ever created.
-        // `retire` is a no-op when profiling is off (never registered).
+        // Retire this worker's telemetry: counts fold into the registry's
+        // retained aggregate (so database-wide totals stay complete) and
+        // the live sets stop growing with every worker ever created.
+        let registry = self.db.inner.telemetry.registry();
         if self.db.inner.cfg.profile {
-            self.db.inner.breakdown.lock().retire(&self.scratch.breakdown);
+            registry.retire_slab(&PROFILE_FAMILY, &self.scratch.breakdown);
+        }
+        if let Some(t) = &self.scratch.telemetry {
+            registry.retire_slab(&TXN_FAMILY, &t.slab);
+            self.db.inner.telemetry.flight().retire(&t.ring);
         }
     }
 }
-

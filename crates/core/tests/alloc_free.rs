@@ -57,8 +57,14 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 #[test]
 fn steady_state_transactions_do_not_allocate() {
     // Default config: asynchronous commit (the paper's group-commit
-    // pipeline acknowledges without waiting), GC on.
-    let db = Database::open(DbConfig::in_memory()).unwrap();
+    // pipeline acknowledges without waiting), GC on. Telemetry stays
+    // explicitly ON: the zero-allocation guarantee must hold with the
+    // metric counters and flight-recorder events live, not just with
+    // them compiled out — a telemetry regression that allocates on the
+    // hot path fails this test.
+    let cfg = DbConfig { telemetry: true, ..DbConfig::in_memory() };
+    assert!(cfg.telemetry, "this guard is only meaningful with telemetry on");
+    let db = Database::open(cfg).unwrap();
     let t = db.create_table("t");
     let mut w = db.register_worker();
 

@@ -33,6 +33,10 @@ pub enum EpochPhase {
 /// epoch is proven safe.
 type Deferred = Box<dyn FnOnce() + Send>;
 
+/// Observer invoked with the new epoch after each successful advance
+/// (telemetry: the flight recorder's epoch-transition events).
+type AdvanceHook = Box<dyn Fn(u64) + Send + Sync>;
+
 struct Bag {
     epoch: u64,
     items: Vec<Deferred>,
@@ -59,6 +63,8 @@ struct Shared {
     advance_blocked: AtomicU64,
     deferred_total: AtomicU64,
     freed_total: AtomicU64,
+    /// Called (outside the slots lock) after each successful advance.
+    advance_hook: Mutex<Option<AdvanceHook>>,
     name: &'static str,
 }
 
@@ -105,6 +111,7 @@ impl EpochManager {
                 advance_blocked: AtomicU64::new(0),
                 deferred_total: AtomicU64::new(0),
                 freed_total: AtomicU64::new(0),
+                advance_hook: Mutex::new(None),
                 name,
             }),
         }
@@ -175,7 +182,21 @@ impl EpochManager {
         }
         shared.global.store(global + 1, Ordering::SeqCst);
         shared.advances.fetch_add(1, Ordering::Relaxed);
+        // Notify outside the slots lock so a hook touching the manager
+        // (or anything that pins) cannot deadlock against it.
+        drop(slots);
+        if let Some(hook) = &*shared.advance_hook.lock() {
+            hook(global + 1);
+        }
         Some(global + 1)
+    }
+
+    /// Install an observer called with the new epoch after every
+    /// successful advance. Replaces any previous hook. The hook runs on
+    /// whichever thread advanced, outside the manager's internal locks —
+    /// keep it cheap (a relaxed store / ring event).
+    pub fn set_advance_hook(&self, f: impl Fn(u64) + Send + Sync + 'static) {
+        *self.shared.advance_hook.lock() = Some(Box::new(f));
     }
 
     /// Run destructors whose retirement epoch is proven safe: every

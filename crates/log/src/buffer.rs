@@ -95,6 +95,9 @@ pub struct RingBuffer {
     consumer_parked: AtomicU32,
     /// Number of writers parked on `space_cv`.
     space_waiters: AtomicU32,
+    /// Cumulative count of reservations that had to park for space — the
+    /// "log buffer too small / flusher too slow" back-pressure signal.
+    space_waits: AtomicU64,
     /// Guards only the condvars below; never held while filling,
     /// flushing, or scanning outside the park paths.
     wake_mx: Mutex<()>,
@@ -132,6 +135,7 @@ impl RingBuffer {
             poisoned: AtomicBool::new(false),
             consumer_parked: AtomicU32::new(0),
             space_waiters: AtomicU32::new(0),
+            space_waits: AtomicU64::new(0),
             wake_mx: Mutex::new(()),
             filled_cv: Condvar::new(),
             space_cv: Condvar::new(),
@@ -140,9 +144,14 @@ impl RingBuffer {
         }
     }
 
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn capacity(&self) -> u64 {
         self.cap
+    }
+
+    /// Cumulative number of slow-path space waits (telemetry).
+    #[inline]
+    pub fn space_waits(&self) -> u64 {
+        self.space_waits.load(Ordering::Relaxed)
     }
 
     /// The contiguous filled watermark as last advanced by the consumer.
@@ -222,6 +231,7 @@ impl RingBuffer {
         }
         let mut guard = self.wake_mx.lock();
         self.space_waiters.fetch_add(1, Ordering::Relaxed);
+        self.space_waits.fetch_add(1, Ordering::Relaxed);
         fence(Ordering::SeqCst);
         let ok = loop {
             if self.is_poisoned() {

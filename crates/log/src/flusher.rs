@@ -67,6 +67,7 @@ fn run(inner: &LogInner) {
         inner.durable.store(hi, Ordering::Release);
         inner.stats.flush_batches.fetch_add(1, Ordering::Relaxed);
         inner.stats.flushed_bytes.fetch_add(hi - flushed, Ordering::Relaxed);
+        inner.stats.last_batch_bytes.store(hi - flushed, Ordering::Relaxed);
         // Wake exactly the group-commit waiters this batch satisfied.
         inner.notify_durable(hi);
         flushed = hi;

@@ -79,6 +79,9 @@ pub struct LogStats {
     pub flush_retries: AtomicU64,
     /// 1 once the log has been poisoned by an unrecoverable I/O error.
     pub log_poisoned: AtomicU64,
+    /// Bytes of the most recent flush batch — the instantaneous
+    /// group-commit batch size (flusher-owned, telemetry gauge).
+    pub last_batch_bytes: AtomicU64,
 }
 
 /// One parked durability waiter. Thread-local and reused across waits, so
@@ -503,6 +506,34 @@ impl LogManager {
 
     pub fn stats(&self) -> &LogStats {
         &self.inner.stats
+    }
+
+    /// Logical offset of the allocation tip (one past the last claimed
+    /// byte). `next_offset() - durable_offset()` is the durable-LSN lag.
+    #[inline]
+    pub fn next_offset(&self) -> u64 {
+        self.inner.next.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sitting in the ring buffer between the flushed and filled
+    /// watermarks — how much contiguous work the flusher has pending.
+    #[inline]
+    pub fn ring_occupancy(&self) -> u64 {
+        let b = &self.inner.buffer;
+        b.filled().saturating_sub(b.flushed())
+    }
+
+    /// Ring buffer capacity in bytes.
+    #[inline]
+    pub fn ring_capacity(&self) -> u64 {
+        self.inner.buffer.capacity()
+    }
+
+    /// Cumulative count of reservations that blocked waiting for ring
+    /// space (the log back-pressure signal).
+    #[inline]
+    pub fn ring_space_waits(&self) -> u64 {
+        self.inner.buffer.space_waits()
     }
 
     pub fn config(&self) -> &LogConfig {

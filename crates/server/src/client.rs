@@ -232,6 +232,25 @@ impl Client {
         }
     }
 
+    /// Fetch the server's metrics in Prometheus text exposition format.
+    /// Parse with [`ermia_telemetry::parse_exposition`] or point any
+    /// Prometheus-compatible tooling at `GET /metrics` on the same port.
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        match Self::expect_ok(self.call(&Request::Metrics)?)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fetch a human-readable flight-recorder dump of the most recent
+    /// `max` events (`0` = server default).
+    pub fn dump_events(&mut self, max: u32) -> ClientResult<String> {
+        match Self::expect_ok(self.call(&Request::DumpEvents { max })?)? {
+            Response::Events { text } => Ok(text),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
     /// Run `ops` as one transaction in a single round trip. Returns the
     /// per-op results and the commit outcome.
     pub fn batch(

@@ -30,6 +30,9 @@
 //! Abort                                       0x09
 //! Batch      iso:u8 sync:u8 n:u32 op*n        0x0A   one-shot transaction
 //! Insert     table:u32 key:bytes val:bytes    0x0B   duplicate key aborts
+//! Metrics                                     0x0C   Prometheus exposition
+//! DumpEvents max:u32                          0x0D   flight-recorder dump,
+//!                                                    max 0 = server default
 //! ```
 //!
 //! A batch `op` is `kind:u8` (the request opcode of Get/Put/Delete/
@@ -53,6 +56,8 @@
 //! Inserted   oid:u64                          0x8B
 //! BatchDone  n:u32 (len:u32 resp)*n           0x8C   per-op replies, then
 //!            outcome:(len:u32 resp)                  Committed/Error
+//! Metrics    text:bytes                       0x8D   Prometheus 0.0.4 text
+//! Events     text:bytes                       0x8E   flight-recorder dump
 //! ```
 
 use std::io::{self, Read, Write};
@@ -293,6 +298,11 @@ pub enum Request {
     Abort,
     Batch { isolation: WireIsolation, sync: bool, ops: Vec<BatchOp> },
     Insert { table: u32, key: Vec<u8>, value: Vec<u8> },
+    /// Scrape the server's telemetry registry (Prometheus text format).
+    Metrics,
+    /// Dump the flight recorder's most recent events; `max` 0 means the
+    /// server default cap.
+    DumpEvents { max: u32 },
 }
 
 const OP_PING: u8 = 0x01;
@@ -306,6 +316,8 @@ const OP_COMMIT: u8 = 0x08;
 const OP_ABORT: u8 = 0x09;
 const OP_BATCH: u8 = 0x0A;
 const OP_INSERT: u8 = 0x0B;
+const OP_METRICS: u8 = 0x0C;
+const OP_DUMP_EVENTS: u8 = 0x0D;
 
 ///// Cap on ops per batch frame: a bound the session enforces before doing
 /// any work, so a hostile frame cannot make one transaction arbitrarily
@@ -437,6 +449,12 @@ impl Request {
                 e.bytes(value);
                 e.buf
             }
+            Request::Metrics => Enc::new(OP_METRICS).buf,
+            Request::DumpEvents { max } => {
+                let mut e = Enc::new(OP_DUMP_EVENTS);
+                e.u32(*max);
+                e.buf
+            }
         }
     }
 
@@ -481,6 +499,8 @@ impl Request {
                 key: d.bytes()?.to_vec(),
                 value: d.bytes()?.to_vec(),
             },
+            OP_METRICS => Request::Metrics,
+            OP_DUMP_EVENTS => Request::DumpEvents { max: d.u32()? },
             _ => return Err(FrameError::Malformed("unknown request opcode")),
         };
         d.finish()?;
@@ -573,6 +593,10 @@ pub enum Response {
     Busy,
     Inserted { oid: u64 },
     BatchDone { results: Vec<Response>, outcome: Box<Response> },
+    /// Prometheus text exposition (version 0.0.4).
+    Metrics { text: String },
+    /// Human-readable flight-recorder dump.
+    Events { text: String },
 }
 
 const RE_PONG: u8 = 0x81;
@@ -587,6 +611,8 @@ const RE_ERROR: u8 = 0x89;
 const RE_BUSY: u8 = 0x8A;
 const RE_INSERTED: u8 = 0x8B;
 const RE_BATCH_DONE: u8 = 0x8C;
+const RE_METRICS: u8 = 0x8D;
+const RE_EVENTS: u8 = 0x8E;
 
 impl Response {
     /// Serialize into a frame payload.
@@ -652,6 +678,16 @@ impl Response {
                 e.bytes(&outcome.encode());
                 e.buf
             }
+            Response::Metrics { text } => {
+                let mut e = Enc::new(RE_METRICS);
+                e.bytes(text.as_bytes());
+                e.buf
+            }
+            Response::Events { text } => {
+                let mut e = Enc::new(RE_EVENTS);
+                e.bytes(text.as_bytes());
+                e.buf
+            }
         }
     }
 
@@ -705,6 +741,12 @@ impl Response {
                 let outcome = Box::new(Response::decode(d.bytes()?)?);
                 Response::BatchDone { results, outcome }
             }
+            RE_METRICS => {
+                Response::Metrics { text: String::from_utf8_lossy(d.bytes()?).into_owned() }
+            }
+            RE_EVENTS => {
+                Response::Events { text: String::from_utf8_lossy(d.bytes()?).into_owned() }
+            }
             _ => return Err(FrameError::Malformed("unknown response opcode")),
         })
     }
@@ -748,6 +790,9 @@ mod tests {
         roundtrip_req(Request::Commit { sync: true });
         roundtrip_req(Request::Commit { sync: false });
         roundtrip_req(Request::Abort);
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::DumpEvents { max: 0 });
+        roundtrip_req(Request::DumpEvents { max: 256 });
         roundtrip_req(Request::Insert { table: 2, key: b"k".to_vec(), value: b"v".to_vec() });
         roundtrip_req(Request::Batch {
             isolation: WireIsolation::Snapshot,
@@ -799,6 +844,10 @@ mod tests {
             ],
             outcome: Box::new(Response::Committed { lsn: 99 }),
         });
+        roundtrip_resp(Response::Metrics {
+            text: "# HELP ermia_x x\n# TYPE ermia_x counter\nermia_x 1\n".into(),
+        });
+        roundtrip_resp(Response::Events { text: "flight-recorder dump: 0 event(s)".into() });
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ermia::{Database, WorkerPool};
+use ermia_telemetry::{EventRing, Sample};
 use parking_lot::Mutex;
 
 use crate::protocol::{write_frame, Response, MAX_FRAME_LEN};
@@ -77,6 +78,9 @@ pub(crate) struct Stats {
     pub frames_processed: AtomicU64,
     pub commits: AtomicU64,
     pub disconnect_aborts: AtomicU64,
+    /// Replies currently sitting in per-connection reply queues (summed
+    /// across sessions; the telemetry reply-queue-depth gauge).
+    pub queued_replies: AtomicUsize,
 }
 
 /// A point-in-time copy of the server counters.
@@ -99,6 +103,13 @@ pub(crate) struct ServerState {
     pub pool: WorkerPool,
     pub shutdown: AtomicBool,
     pub stats: Stats,
+    /// Flight-recorder ring for service-layer incidents (log stalls and
+    /// poison observed on writer threads). Long-lived so the events stay
+    /// in `DumpEvents` reports after the incident.
+    pub svc_ring: Arc<EventRing>,
+    /// Collector group in the database's registry; unregistered at
+    /// shutdown.
+    telemetry_group: u64,
 }
 
 /// A running server; dropping it shuts it down.
@@ -114,12 +125,23 @@ impl Server {
     pub fn start(db: &Database, addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let telemetry_group = db.telemetry().registry().group();
         let state = Arc::new(ServerState {
             db: db.clone(),
             pool: WorkerPool::new(db, cfg.worker_capacity),
             cfg,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
+            svc_ring: db.telemetry().flight().ring(),
+            telemetry_group,
+        });
+        // Weak: the registry lives inside the database the state holds,
+        // so a strong capture would cycle and leak both.
+        let weak = Arc::downgrade(&state);
+        db.telemetry().registry().register_collector(telemetry_group, move |out| {
+            if let Some(s) = weak.upgrade() {
+                collect_server(&s, out);
+            }
         });
         let accept_state = Arc::clone(&state);
         let acceptor = std::thread::Builder::new()
@@ -156,6 +178,11 @@ impl Server {
     /// including draining queued sync-commit replies. Idempotent.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::Release);
+        // Deregister this server's share of the telemetry surface. Both
+        // calls are idempotent, matching this method.
+        let telemetry = self.state.db.telemetry();
+        telemetry.registry().unregister_group(self.state.telemetry_group);
+        telemetry.flight().retire(&self.state.svc_ring);
         // The acceptor blocks in `accept`; a throwaway connect unblocks it
         // so it can observe the flag. Best effort: if the listener is
         // already gone, so is the acceptor.
@@ -170,6 +197,78 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Emit the service-layer samples (server counters, queue depth, worker
+/// pool occupancy) into a registry render.
+fn collect_server(state: &ServerState, out: &mut Vec<Sample>) {
+    let s = &state.stats;
+    let c = |name, help, v: &AtomicU64| Sample::counter(name, help, v.load(Ordering::Relaxed));
+    out.push(c(
+        "ermia_server_sessions_opened_total",
+        "Connections accepted and given a session thread.",
+        &s.sessions_opened,
+    ));
+    out.push(c(
+        "ermia_server_sessions_closed_total",
+        "Session threads that have finished.",
+        &s.sessions_closed,
+    ));
+    out.push(c(
+        "ermia_server_busy_rejects_total",
+        "Connections or requests shed by admission control.",
+        &s.busy_rejects,
+    ));
+    out.push(c(
+        "ermia_server_protocol_errors_total",
+        "Malformed frames / protocol-state violations observed.",
+        &s.protocol_errors,
+    ));
+    out.push(c(
+        "ermia_server_frames_processed_total",
+        "Request frames decoded and dispatched.",
+        &s.frames_processed,
+    ));
+    out.push(c(
+        "ermia_server_commits_total",
+        "Transactions committed on behalf of clients.",
+        &s.commits,
+    ));
+    out.push(c(
+        "ermia_server_disconnect_aborts_total",
+        "Open transactions aborted because the client vanished.",
+        &s.disconnect_aborts,
+    ));
+    out.push(Sample::gauge(
+        "ermia_server_active_sessions",
+        "Currently connected sessions.",
+        s.active_sessions.load(Ordering::Relaxed) as f64,
+    ));
+    out.push(Sample::gauge(
+        "ermia_server_reply_queue_depth",
+        "Replies queued toward clients across all sessions.",
+        s.queued_replies.load(Ordering::Relaxed) as f64,
+    ));
+    let pool = &state.pool;
+    let workers_help = "Engine workers in the shared pool, by state.";
+    out.push(
+        Sample::gauge("ermia_pool_workers", workers_help, pool.idle() as f64)
+            .labeled("state", "idle"),
+    );
+    out.push(
+        Sample::gauge("ermia_pool_workers", workers_help, pool.outstanding() as f64)
+            .labeled("state", "checked_out"),
+    );
+    out.push(Sample::gauge(
+        "ermia_pool_capacity",
+        "Configured worker-pool capacity.",
+        pool.capacity() as f64,
+    ));
+    out.push(Sample::counter(
+        "ermia_pool_workers_created_total",
+        "Workers ever constructed by the pool.",
+        pool.created() as u64,
+    ));
 }
 
 fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {

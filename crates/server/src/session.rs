@@ -40,11 +40,20 @@ use std::sync::Arc;
 
 use ermia::{IsolationLevel, PooledWorker, Transaction};
 use ermia_common::{AbortReason, LogError, TableId};
+use ermia_telemetry::EventKind;
 
 use crate::protocol::{
     write_frame, BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation,
 };
 use crate::server::ServerState;
+
+/// Events returned by a `DumpEvents` frame that asks for the server
+/// default (`max == 0`), and the size of the dump captured when a
+/// durability incident is first observed.
+const DEFAULT_DUMP_EVENTS: usize = 128;
+
+/// Accumulation cap for a sniffed HTTP request head.
+const MAX_HTTP_HEAD: usize = 8 * 1024;
 
 /// One queued reply.
 pub(crate) enum Reply {
@@ -83,6 +92,21 @@ pub(crate) fn run_session(state: Arc<ServerState>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     // The read timeout doubles as the shutdown poll interval.
     let _ = stream.set_read_timeout(Some(state.cfg.shutdown_poll));
+
+    // Protocol sniff: the first four bytes are either a frame length
+    // prefix or the start of an HTTP request line. `"GET "` as a frame
+    // length would be ~0.5 GiB — far past `max_frame_len` — so the two
+    // grammars cannot collide. This lets Prometheus scrape the wire port
+    // directly with no second listener.
+    let mut first4 = [0u8; 4];
+    if read_exact_poll(&state, &stream, &mut first4).is_err() {
+        return;
+    }
+    if &first4 == b"GET " {
+        serve_http(&state, &stream);
+        return;
+    }
+
     let Ok(write_half) = stream.try_clone() else { return };
     let (tx, rx) = std::sync::mpsc::sync_channel::<Reply>(state.cfg.reply_queue_depth);
     let writer_state = Arc::clone(&state);
@@ -91,7 +115,7 @@ pub(crate) fn run_session(state: Arc<ServerState>, stream: TcpStream) {
         .spawn(move || writer_loop(writer_state, write_half, rx))
         .expect("spawn writer");
 
-    let mut session = Session { state: &state, stream: &stream, tx };
+    let mut session = Session { state: &state, stream: &stream, tx, preread: Some(first4) };
     let _ = session.serve();
     drop(session); // closes the reply queue; the writer drains and exits
     let _ = writer.join();
@@ -100,22 +124,34 @@ pub(crate) fn run_session(state: Arc<ServerState>, stream: TcpStream) {
 /// The writer half: drains the reply queue in order, resolving durable
 /// waits as it goes, flushing when the queue runs momentarily dry.
 fn writer_loop(state: Arc<ServerState>, stream: TcpStream, rx: Receiver<Reply>) {
+    let dequeued = || {
+        state.stats.queued_replies.fetch_sub(1, Ordering::Relaxed);
+    };
     let mut w = BufWriter::new(stream);
     'outer: while let Ok(mut reply) = rx.recv() {
+        dequeued();
         loop {
             let payload = match reply {
                 Reply::Now(p) => p,
                 Reply::Durable { token, batch } => {
                     let outcome = match token.wait_durable(&state.db, state.cfg.sync_wait) {
                         Ok(()) => Response::Committed { lsn: token.lsn().raw() },
-                        Err(LogError::Timeout) => Response::Error {
-                            code: ErrorCode::LogStalled,
-                            detail: "durability wait timed out; commit fate indeterminate".into(),
-                        },
-                        Err(e @ LogError::Poisoned { .. }) => Response::Error {
-                            code: ErrorCode::LogFailed,
-                            detail: e.to_string(),
-                        },
+                        Err(LogError::Timeout) => {
+                            record_log_incident(
+                                &state,
+                                EventKind::LogStall,
+                                state.cfg.sync_wait.as_millis() as u64,
+                            );
+                            Response::Error {
+                                code: ErrorCode::LogStalled,
+                                detail: "durability wait timed out; commit fate indeterminate"
+                                    .into(),
+                            }
+                        }
+                        Err(e @ LogError::Poisoned { .. }) => {
+                            record_log_incident(&state, EventKind::LogPoison, 1);
+                            Response::Error { code: ErrorCode::LogFailed, detail: e.to_string() }
+                        }
                     };
                     match batch {
                         Some(results) => {
@@ -130,7 +166,10 @@ fn writer_loop(state: Arc<ServerState>, stream: TcpStream, rx: Receiver<Reply>) 
             }
             // Keep writing while more replies are ready; flush on a lull.
             match rx.try_recv() {
-                Ok(next) => reply = next,
+                Ok(next) => {
+                    dequeued();
+                    reply = next;
+                }
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
@@ -139,20 +178,116 @@ fn writer_loop(state: Arc<ServerState>, stream: TcpStream, rx: Receiver<Reply>) 
         }
     }
     let _ = w.flush();
+    // The session thread may still enqueue until it drops its sender.
+    // Keep consuming (dropping replies unwritten — the client is gone) so
+    // the send side never wedges and the queue-depth gauge settles at the
+    // true value.
+    for _ in rx.iter() {
+        dequeued();
+    }
+}
+
+/// A durability incident just surfaced to a client: stamp it into the
+/// server's long-lived service ring, capture a bounded flight-recorder
+/// dump, park it for later retrieval, and mirror it to stderr. The ring
+/// is not retired, so `DumpEvents` frames sent after the fact still see
+/// the incident.
+fn record_log_incident(state: &ServerState, kind: EventKind, a: u64) {
+    state.svc_ring.record(kind, a, 0);
+    let telemetry = state.db.telemetry();
+    let dump = telemetry.dump_events(DEFAULT_DUMP_EVENTS);
+    telemetry.flight().store_last_dump(dump.clone());
+    eprintln!("{dump}");
+}
+
+/// Fill `buf`, polling the shutdown flag on every read-timeout tick.
+/// Free-standing because the HTTP sniff needs it before a [`Session`]
+/// exists.
+fn read_exact_poll(state: &ServerState, mut stream: &TcpStream, buf: &mut [u8]) -> Result<(), End> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(End::Disconnected),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return Err(End::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(End::Disconnected),
+        }
+    }
+    Ok(())
+}
+
+/// Minimal single-request HTTP responder, entered after `"GET "` was
+/// sniffed off the wire. Serves `/metrics` as Prometheus text exposition
+/// and 404s everything else; always closes.
+fn serve_http(state: &ServerState, mut stream: &TcpStream) {
+    // Accumulate the request head (we already consumed `"GET "`, so the
+    // buffer starts at the path).
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HTTP_HEAD || state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    let path_end = head.iter().position(|&b| b == b' ').unwrap_or(head.len());
+    let path = &head[..path_end];
+    let (status, body) = if path == b"/metrics" {
+        ("200 OK", state.db.telemetry().render_prometheus())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let mut w = BufWriter::new(stream);
+    let _ = write!(
+        w,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = w.write_all(body.as_bytes());
+    let _ = w.flush();
 }
 
 struct Session<'a> {
     state: &'a Arc<ServerState>,
     stream: &'a TcpStream,
     tx: SyncSender<Reply>,
+    /// Bytes consumed by the protocol sniff, replayed as the first
+    /// frame's length prefix.
+    preread: Option<[u8; 4]>,
 }
 
 impl Session<'_> {
     // -- plumbing ------------------------------------------------------
 
+    /// Enqueue a reply toward the writer, keeping the queue-depth gauge
+    /// in step. The counter moves *after* a successful send; the writer
+    /// decrements as it dequeues, and drains what it never wrote.
+    fn enqueue(&self, reply: Reply) -> SessionResult {
+        self.tx.send(reply).map_err(|_| End::Disconnected)?;
+        self.state.stats.queued_replies.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Enqueue an already-built response.
     fn send(&self, resp: Response) -> SessionResult {
-        self.tx.send(Reply::Now(resp.encode())).map_err(|_| End::Disconnected)
+        self.enqueue(Reply::Now(resp.encode()))
     }
 
     fn send_err(&self, code: ErrorCode, detail: &str) -> SessionResult {
@@ -165,10 +300,13 @@ impl Session<'_> {
     /// mid-frame never loses already-consumed bytes (a slow client's
     /// frame spanning several poll windows must not desynchronize the
     /// stream).
-    fn read_frame(&self) -> Result<Vec<u8>, End> {
-        let mut stream = self.stream;
+    fn read_frame(&mut self) -> Result<Vec<u8>, End> {
+        let stream = self.stream;
         let mut len4 = [0u8; 4];
-        self.read_exact_poll(&mut stream, &mut len4)?;
+        match self.preread.take() {
+            Some(b) => len4 = b,
+            None => read_exact_poll(self.state, stream, &mut len4)?,
+        }
         let len = u32::from_le_bytes(len4);
         if len == 0 || len > self.state.cfg.max_frame_len {
             self.state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -176,7 +314,7 @@ impl Session<'_> {
             return Err(End::Protocol);
         }
         let mut rest = vec![0u8; len as usize + 4];
-        self.read_exact_poll(&mut stream, &mut rest)?;
+        read_exact_poll(self.state, stream, &mut rest)?;
         let (payload, crc4) = rest.split_at(len as usize);
         let got = u32::from_le_bytes(crc4.try_into().unwrap());
         let expect = crate::protocol::crc32(payload);
@@ -190,27 +328,6 @@ impl Session<'_> {
         }
         rest.truncate(len as usize);
         Ok(rest)
-    }
-
-    fn read_exact_poll(&self, stream: &mut &TcpStream, buf: &mut [u8]) -> Result<(), End> {
-        let mut filled = 0;
-        while filled < buf.len() {
-            match stream.read(&mut buf[filled..]) {
-                Ok(0) => return Err(End::Disconnected),
-                Ok(n) => filled += n,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if self.state.shutdown.load(Ordering::Acquire) {
-                        return Err(End::Shutdown);
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return Err(End::Disconnected),
-            }
-        }
-        Ok(())
     }
 
     fn decode(&self, payload: &[u8]) -> Result<Request, End> {
@@ -246,6 +363,8 @@ impl Session<'_> {
             self.state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
             match req {
                 Request::Ping => self.send(Response::Pong)?,
+                Request::Metrics => self.send_metrics()?,
+                Request::DumpEvents { max } => self.send_events(max)?,
                 Request::OpenTable { name } => self.open_table(&name)?,
                 Request::Begin { isolation } => {
                     let Some(mut w) = self.checkout() else {
@@ -317,6 +436,10 @@ impl Session<'_> {
             self.state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
             match req {
                 Request::Ping => self.send(Response::Pong)?,
+                // Telemetry reads are legal mid-transaction (and useful:
+                // scrape while a stall is in progress).
+                Request::Metrics => self.send_metrics()?,
+                Request::DumpEvents { max } => self.send_events(max)?,
                 Request::OpenTable { name } => self.open_table(&name)?,
                 Request::Begin { .. } => self.send_err(ErrorCode::BadState, "nested begin")?,
                 Request::Batch { .. } => {
@@ -331,9 +454,7 @@ impl Session<'_> {
                         Ok(token) => {
                             self.state.stats.commits.fetch_add(1, Ordering::Relaxed);
                             if sync && token.end_offset().is_some() {
-                                self.tx
-                                    .send(Reply::Durable { token, batch: None })
-                                    .map_err(|_| End::Disconnected)
+                                self.enqueue(Reply::Durable { token, batch: None })
                             } else {
                                 self.send(Response::Committed { lsn: token.lsn().raw() })
                             }
@@ -378,9 +499,7 @@ impl Session<'_> {
             Ok(token) => {
                 self.state.stats.commits.fetch_add(1, Ordering::Relaxed);
                 if sync && token.end_offset().is_some() {
-                    self.tx
-                        .send(Reply::Durable { token, batch: Some(results) })
-                        .map_err(|_| End::Disconnected)
+                    self.enqueue(Reply::Durable { token, batch: Some(results) })
                 } else {
                     self.send(Response::BatchDone {
                         results,
@@ -396,6 +515,15 @@ impl Session<'_> {
     }
 
     // -- operations ----------------------------------------------------
+
+    fn send_metrics(&self) -> SessionResult {
+        self.send(Response::Metrics { text: self.state.db.telemetry().render_prometheus() })
+    }
+
+    fn send_events(&self, max: u32) -> SessionResult {
+        let max = if max == 0 { DEFAULT_DUMP_EVENTS } else { max as usize };
+        self.send(Response::Events { text: self.state.db.telemetry().dump_events(max) })
+    }
 
     fn open_table(&self, name: &[u8]) -> SessionResult {
         let Ok(name) = std::str::from_utf8(name) else {

@@ -67,6 +67,19 @@ fn halted_flusher_surfaces_logstalled_within_the_bound() {
     // data) and the connection keeps working.
     assert_eq!(c.get(t, b"after").unwrap().as_deref(), Some(&b"v"[..]));
 
+    // The incident went into the flight recorder: a DumpEvents frame
+    // after the fact shows the stall alongside the transaction history
+    // that led up to it.
+    let dump = c.dump_events(0).unwrap();
+    assert!(dump.contains("log-stall"), "dump must show the stall:\n{dump}");
+    assert!(dump.contains("txn-commit"), "dump must show recent txn events:\n{dump}");
+    // The server also parked the same dump for post-mortem retrieval.
+    let parked = db.telemetry().flight().last_dump();
+    assert!(
+        parked.as_deref().is_some_and(|d| d.contains("log-stall")),
+        "incident dump must be stored: {parked:?}"
+    );
+
     // Async commits are unaffected by the wedged flusher.
     c.begin(WireIsolation::Snapshot).unwrap();
     c.put(t, b"async", b"v").unwrap();

@@ -1,0 +1,145 @@
+//! Golden test for the telemetry surface: the `Metrics` wire frame and
+//! the HTTP `GET /metrics` sniff on the same port must both return a
+//! valid Prometheus text exposition covering every layer — log, GC,
+//! epoch, TID, pool, sessions, and the per-reason abort counters.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ermia::{Database, DbConfig};
+use ermia_server::{Client, Server, ServerConfig, WireIsolation};
+use ermia_telemetry::parse_exposition;
+
+/// Must match `AbortReason::ALL` order — the exposition labels.
+const ABORT_REASONS: [&str; 8] = [
+    "ww-conflict",
+    "ssn-exclusion",
+    "read-validation",
+    "phantom",
+    "dup-key",
+    "user",
+    "resource",
+    "log-failure",
+];
+
+fn scrape_http(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: bench\r\nAccept: text/plain\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let (head, body) = buf.split_once("\r\n\r\n").expect("response head/body split");
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn metrics_frame_and_http_scrape_expose_the_full_surface() {
+    let db = Database::open(DbConfig::in_memory()).unwrap();
+    let srv = Server::start(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let t = c.open_table("kv").unwrap();
+
+    // Move the outcome counters: one commit, one user abort.
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, b"a", b"1").unwrap();
+    c.commit(false).unwrap();
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, b"b", b"1").unwrap();
+    c.abort().unwrap();
+
+    let text = c.metrics().unwrap();
+    let exp = parse_exposition(&text).expect("wire exposition must parse");
+
+    // Required metric families, one or more per layer.
+    for name in [
+        // transactions
+        "ermia_txn_commits_total",
+        "ermia_txn_aborts_total",
+        "ermia_txn_chain_length",
+        // log
+        "ermia_log_flush_batches_total",
+        "ermia_log_flushed_bytes_total",
+        "ermia_log_durable_lag_bytes",
+        "ermia_log_ring_occupancy_bytes",
+        "ermia_log_ring_capacity_bytes",
+        "ermia_log_space_waits_total",
+        "ermia_log_last_batch_bytes",
+        "ermia_log_poisoned",
+        // gc / storage
+        "ermia_gc_passes_total",
+        "ermia_gc_reclaimed_versions_total",
+        "ermia_version_pool_size",
+        // epoch + tid
+        "ermia_epoch_current",
+        "ermia_epoch_advances_total",
+        "ermia_tid_slots_in_use",
+        // database aggregates
+        "ermia_db_commits_total",
+        "ermia_db_aborts_total",
+        // server + pool
+        "ermia_server_sessions_opened_total",
+        "ermia_server_active_sessions",
+        "ermia_server_frames_processed_total",
+        "ermia_server_reply_queue_depth",
+        "ermia_pool_workers",
+        "ermia_pool_capacity",
+    ] {
+        assert!(exp.has(name), "exposition is missing {name}:\n{text}");
+    }
+
+    // Kinds are declared, and declared right.
+    assert_eq!(exp.kind("ermia_txn_commits_total"), Some("counter"));
+    assert_eq!(exp.kind("ermia_txn_aborts_total"), Some("counter"));
+    assert_eq!(exp.kind("ermia_txn_chain_length"), Some("histogram"));
+    assert_eq!(exp.kind("ermia_log_durable_lag_bytes"), Some("gauge"));
+    assert_eq!(exp.kind("ermia_server_active_sessions"), Some("gauge"));
+
+    // Every abort reason appears as a label, zero-filled or not.
+    for reason in ABORT_REASONS {
+        assert!(
+            exp.value_with("ermia_txn_aborts_total", "reason", reason).is_some(),
+            "missing abort reason label {reason:?}:\n{text}"
+        );
+    }
+    assert!(
+        exp.value_with("ermia_txn_aborts_total", "reason", "user").unwrap() >= 1.0,
+        "the explicit abort above must be attributed to reason=user"
+    );
+    assert!(exp.value("ermia_txn_commits_total").unwrap() >= 1.0);
+    // Worker-pool states are labeled.
+    assert!(exp.value_with("ermia_pool_workers", "state", "idle").is_some());
+    assert!(exp.value_with("ermia_pool_workers", "state", "checked_out").is_some());
+
+    // HTTP scrape of the same port: same exposition, proper headers.
+    let (head, body) = scrape_http(srv.local_addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    let http_exp = parse_exposition(&body).expect("http exposition must parse");
+    assert!(http_exp.has("ermia_txn_commits_total"));
+    assert!(http_exp.has("ermia_server_active_sessions"));
+
+    // Unknown paths 404; neither scrape disturbs the wire session.
+    let (head, _) = scrape_http(srv.local_addr(), "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    c.ping().unwrap();
+    srv.shutdown();
+}
+
+#[test]
+fn dump_events_frame_returns_recent_transaction_events() {
+    let db = Database::open(DbConfig::in_memory()).unwrap();
+    let srv = Server::start(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let t = c.open_table("kv").unwrap();
+    for i in 0..4u32 {
+        c.begin(WireIsolation::Snapshot).unwrap();
+        c.put(t, &i.to_be_bytes(), b"v").unwrap();
+        c.commit(false).unwrap();
+    }
+    let dump = c.dump_events(64).unwrap();
+    assert!(dump.contains("flight-recorder dump"), "header missing:\n{dump}");
+    assert!(dump.contains("txn-begin"), "begin events missing:\n{dump}");
+    assert!(dump.contains("txn-commit"), "commit events missing:\n{dump}");
+    srv.shutdown();
+}

@@ -81,6 +81,39 @@ fn full_op_surface_over_the_wire() {
 }
 
 #[test]
+fn metrics_frame_agrees_with_server_stats() {
+    let (_db, srv) = server(ServerConfig::default());
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let t = c.open_table("kv").unwrap();
+    c.put(t, b"k", b"v").unwrap();
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, b"k2", b"v").unwrap();
+    c.commit(false).unwrap();
+
+    // One client, so nothing moves between the render and the snapshot:
+    // the exposition and ServerStats must agree exactly.
+    let exp = ermia_telemetry::parse_exposition(&c.metrics().unwrap()).unwrap();
+    let stats = srv.stats();
+    assert_eq!(
+        exp.value("ermia_server_sessions_opened_total"),
+        Some(stats.sessions_opened as f64)
+    );
+    assert_eq!(exp.value("ermia_server_active_sessions"), Some(stats.active_sessions as f64));
+    assert_eq!(exp.value("ermia_server_commits_total"), Some(stats.commits as f64));
+    assert_eq!(
+        exp.value("ermia_server_frames_processed_total"),
+        Some(stats.frames_processed as f64)
+    );
+    assert_eq!(
+        exp.value("ermia_server_protocol_errors_total"),
+        Some(stats.protocol_errors as f64)
+    );
+    assert!(stats.frames_processed >= 6, "every request above is a frame");
+    assert_eq!(stats.commits, 1, "only the interactive commit counts as a server commit");
+    srv.shutdown();
+}
+
+#[test]
 fn pipelined_requests_come_back_in_order() {
     let (_db, srv) = server(ServerConfig::default());
     let mut c = Client::connect(srv.local_addr()).unwrap();

@@ -33,6 +33,10 @@ pub struct GcStats {
     pub passes: AtomicU64,
 }
 
+/// Observer invoked after each full pass with `(reclaimed_this_pass,
+/// total_passes)` — telemetry's flight-recorder hook.
+pub type GcPassHook = Box<dyn Fn(u64, u64) + Send>;
+
 /// Background garbage collector over a set of indirection arrays.
 pub struct GarbageCollector {
     stop: Arc<AtomicBool>,
@@ -52,8 +56,22 @@ impl GarbageCollector {
         interval: Duration,
         pool: Option<Arc<VersionPool>>,
     ) -> GarbageCollector {
+        Self::start_with(arrays, epoch, horizon, interval, pool, Arc::new(GcStats::default()), None)
+    }
+
+    /// [`GarbageCollector::start`] with caller-owned stats (so counts
+    /// survive collector restarts across DDL) and an optional per-pass
+    /// observer.
+    pub fn start_with(
+        arrays: Vec<Arc<OidArray>>,
+        epoch: EpochManager,
+        horizon: impl Fn() -> Lsn + Send + 'static,
+        interval: Duration,
+        pool: Option<Arc<VersionPool>>,
+        stats: Arc<GcStats>,
+        on_pass: Option<GcPassHook>,
+    ) -> GarbageCollector {
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(GcStats::default());
         let stop2 = Arc::clone(&stop);
         let stats2 = Arc::clone(&stats);
         let thread = std::thread::Builder::new()
@@ -70,7 +88,10 @@ impl GarbageCollector {
                         epoch.advance_and_collect();
                     }
                     stats2.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
-                    stats2.passes.fetch_add(1, Ordering::Relaxed);
+                    let passes = stats2.passes.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(hook) = &on_pass {
+                        hook(reclaimed, passes);
+                    }
                     std::thread::sleep(interval);
                 }
             })

@@ -26,7 +26,7 @@ pub mod oid_array;
 pub mod tid;
 pub mod version;
 
-pub use gc::{GcStats, GarbageCollector};
+pub use gc::{GarbageCollector, GcPassHook, GcStats};
 pub use oid_array::OidArray;
 pub use tid::{TidManager, TidStatus, TxContext};
 pub use version::{defer_release, Version, VersionCache, VersionPool};

@@ -1,0 +1,68 @@
+//! `ermia-telemetry` — the unified observability layer.
+//!
+//! Three pieces, all std-only and allocation-free on the write side:
+//!
+//! * [`registry`] — per-thread metric slabs (relaxed `AtomicU64`
+//!   counters + [`hist::AtomicHistogram`]s) merged on read, with a
+//!   retire-on-drop aggregate so thread churn neither leaks nor loses
+//!   counts, plus read-side collector callbacks for subsystems that
+//!   already keep their own atomics.
+//! * [`prom`] — Prometheus text-format exposition: the renderer behind
+//!   the `Metrics` wire frame and HTTP `GET /metrics`, and the parser
+//!   the golden tests / CI smoke use to validate a live scrape.
+//! * [`flight`] — the flight recorder: fixed-size per-worker event
+//!   rings with nanosecond timestamps, merged into a bounded
+//!   human-readable dump on demand or when the log stalls.
+//!
+//! [`Telemetry`] bundles one registry and one flight recorder; the
+//! database owns one instance and every layer hangs its instruments
+//! off it.
+
+mod flight;
+mod hist;
+mod prom;
+mod registry;
+
+pub use flight::{Event, EventKind, EventRing, FlightRecorder};
+pub use hist::{percentile_sorted, AtomicHistogram, Histogram, BUCKETS};
+pub use prom::{parse_exposition, Exposition, ParsedMetric, SampleLine};
+pub use registry::{FamilyDef, MetricDesc, MetricKind, Registry, Sample, Slab};
+
+/// Default number of slots in each flight-recorder ring.
+pub const DEFAULT_RING_CAP: usize = 512;
+
+/// The per-database telemetry bundle.
+pub struct Telemetry {
+    registry: Registry,
+    flight: FlightRecorder,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    pub fn new() -> Telemetry {
+        Telemetry { registry: Registry::new(), flight: FlightRecorder::new(DEFAULT_RING_CAP) }
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Full Prometheus exposition of everything registered.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render()
+    }
+
+    /// Bounded flight-recorder dump across all rings.
+    pub fn dump_events(&self, max_events: usize) -> String {
+        self.flight.dump(max_events)
+    }
+}

@@ -11,6 +11,7 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use ermia_common::AbortReason;
+use ermia_telemetry::Histogram;
 
 use crate::engine::Engine;
 
@@ -54,40 +55,32 @@ impl RunConfig {
     }
 }
 
-/// Fixed-footprint log2 latency histogram: bucket `i` counts samples
-/// with `floor(log2(ns)) == i`. 64 buckets cover every representable
-/// nanosecond value, recording is a branch-free shift-and-increment on a
-/// worker-private struct, and percentiles come from a cumulative walk
-/// with linear interpolation inside the landing bucket (resolution: one
-/// power of two, plenty for p50/p99 curves across thread counts).
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-}
+/// Latency histogram for the driver tables: a façade over the shared
+/// telemetry [`Histogram`] (the log2-bucket implementation this one
+/// originated). The wrapper keeps the driver's historical f64-nanosecond
+/// percentile surface so figure JSON stays byte-identical; the bucketing
+/// and interpolation are the shared code.
+#[derive(Clone, Default)]
+pub struct LatencyHistogram(Histogram);
 
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram { buckets: [0; 64], count: 0 }
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LatencyHistogram(count={})", self.0.count())
     }
 }
 
 impl LatencyHistogram {
     #[inline]
     pub fn record(&mut self, ns: u64) {
-        self.buckets[63 - ns.max(1).leading_zeros() as usize] += 1;
-        self.count += 1;
+        self.0.record(ns);
     }
 
     pub fn count(&self) -> u64 {
-        self.count
+        self.0.count()
     }
 
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
+        self.0.merge(&other.0);
     }
 
     /// Tail shorthand used by the SLO tables: the 99.9th percentile in
@@ -101,23 +94,7 @@ impl LatencyHistogram {
     /// The `p`-th percentile (0..=100) in nanoseconds, interpolated
     /// within the landing bucket; 0.0 when empty.
     pub fn percentile_ns(&self, p: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = (p / 100.0 * self.count as f64).max(1.0);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            if (seen + n) as f64 >= rank {
-                let lo = (1u64 << i) as f64;
-                let frac = (rank - seen as f64) / n as f64;
-                return lo + frac * lo; // bucket spans [2^i, 2^(i+1))
-            }
-            seen += n;
-        }
-        (1u64 << 63) as f64
+        self.0.percentile(p)
     }
 }
 
@@ -168,6 +145,16 @@ impl TypeStats {
     /// tail every bench table reports alongside p50/p99).
     pub fn latency_p999_ms(&self) -> f64 {
         self.latency.p999_ns() / 1e6
+    }
+
+    /// Abort counts keyed by reason, in [`AbortReason::ALL`] order and
+    /// zero-filled — a stable shape for tables and JSON regardless of
+    /// which reasons actually fired.
+    pub fn abort_breakdown(&self) -> Vec<(&'static str, u64)> {
+        AbortReason::ALL
+            .iter()
+            .map(|r| (r.label(), self.abort_reasons.get(r.label()).copied().unwrap_or(0)))
+            .collect()
     }
 
     fn merge(&mut self, other: &TypeStats) {
@@ -336,6 +323,15 @@ pub fn format_result(r: &BenchResult) -> String {
             t.latency_p999_ms(),
             t.latency_max_ns as f64 / 1e6
         );
+        if t.aborts > 0 {
+            let mut reasons = String::new();
+            for (label, n) in t.abort_breakdown() {
+                if n > 0 {
+                    let _ = write!(reasons, " {label}={n}");
+                }
+            }
+            let _ = writeln!(out, "  {:<14}   aborts by reason:{}", "", reasons);
+        }
     }
     out
 }

@@ -1,0 +1,115 @@
+//! `top` for an ERMIA server: poll the `Metrics` wire frame and render
+//! a small live dashboard of throughput, log health, and service load.
+//!
+//! ```sh
+//! cargo run --release --example server   -- 127.0.0.1:7878   # terminal 1
+//! cargo run --release --example ermia_top -- 127.0.0.1:7878  # terminal 2
+//! ```
+//!
+//! Counters are shown as per-second rates (delta between polls);
+//! gauges as-is. `--once` prints a single snapshot and exits, which is
+//! also what the CI smoke step runs.
+
+use std::time::{Duration, Instant};
+
+use ermia_server::Client;
+use ermia_telemetry::{parse_exposition, Exposition};
+
+const POLL: Duration = Duration::from_secs(1);
+
+/// One dashboard row: (display label, metric name, optional label
+/// key/value selecting one sample, is_rate).
+type Row = (&'static str, &'static str, Option<(&'static str, &'static str)>, bool);
+
+const ROWS: &[Row] = &[
+    ("commits/s", "ermia_db_commits_total", None, true),
+    ("aborts/s", "ermia_db_aborts_total", None, true),
+    ("log flushes/s", "ermia_log_flush_batches_total", None, true),
+    ("log bytes/s", "ermia_log_flushed_bytes_total", None, true),
+    ("log durable lag (B)", "ermia_log_durable_lag_bytes", None, false),
+    ("log ring occupancy (B)", "ermia_log_ring_occupancy_bytes", None, false),
+    ("log space waits/s", "ermia_log_space_waits_total", None, true),
+    ("gc passes/s", "ermia_gc_passes_total", None, true),
+    ("gc reclaimed/s", "ermia_gc_reclaimed_versions_total", None, true),
+    ("tid slots in use", "ermia_tid_slots_in_use", None, false),
+    ("version pool size", "ermia_version_pool_size", None, false),
+    ("active sessions", "ermia_server_active_sessions", None, false),
+    ("reply queue depth", "ermia_server_reply_queue_depth", None, false),
+    ("frames/s", "ermia_server_frames_processed_total", None, true),
+    ("idle workers", "ermia_pool_workers", Some(("state", "idle")), false),
+    ("checked-out workers", "ermia_pool_workers", Some(("state", "checked_out")), false),
+];
+
+fn value(exp: &Exposition, name: &str, label: Option<(&str, &str)>) -> Option<f64> {
+    match label {
+        Some((k, v)) => exp.value_with(name, k, v),
+        None => exp.value(name),
+    }
+}
+
+fn render(now: &Exposition, prev: Option<(&Exposition, f64)>) {
+    println!("{:<26} {:>14}", "metric", "value");
+    for &(label, name, sel, is_rate) in ROWS {
+        let Some(v) = value(now, name, sel) else {
+            println!("{label:<26} {:>14}", "-");
+            continue;
+        };
+        let shown = if is_rate {
+            match prev.and_then(|(p, dt)| value(p, name, sel).map(|pv| (pv, dt))) {
+                Some((pv, dt)) if dt > 0.0 => (v - pv).max(0.0) / dt,
+                // First poll: no delta yet; show the raw total instead.
+                _ => v,
+            }
+        } else {
+            v
+        };
+        println!("{label:<26} {shown:>14.1}");
+    }
+    // Abort mix: only the reasons that actually fired.
+    let reasons = now.label_values("ermia_txn_aborts_total", "reason");
+    let mut mix = String::new();
+    for r in reasons {
+        if let Some(n) = now.value_with("ermia_txn_aborts_total", "reason", r) {
+            if n > 0.0 {
+                mix.push_str(&format!(" {r}={n:.0}"));
+            }
+        }
+    }
+    if !mix.is_empty() {
+        println!("aborts by reason:{mix}");
+    }
+}
+
+fn main() {
+    let mut addr = None;
+    let mut once = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--once" => once = true,
+            other => addr = Some(other.to_string()),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:7878".into());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut prev: Option<(Exposition, Instant)> = None;
+    loop {
+        let text = client.metrics().expect("metrics frame");
+        let exp = parse_exposition(&text).expect("valid Prometheus exposition");
+        let at = Instant::now();
+        if !once {
+            // Poor man's screen clear; keeps the example dependency-free.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("ermia_top — {addr} ({} metrics)\n", exp.metrics.len());
+        render(
+            &exp,
+            prev.as_ref().map(|(p, t)| (p, at.duration_since(*t).as_secs_f64())),
+        );
+        if once {
+            return;
+        }
+        prev = Some((exp, at));
+        std::thread::sleep(POLL);
+    }
+}
