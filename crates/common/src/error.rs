@@ -33,12 +33,17 @@ pub enum AbortReason {
     /// in the log — its on-disk fate is indeterminate until restart
     /// recovery truncates at the first hole (see [`LogError`]).
     LogFailure,
+    /// The database is in degraded read-only mode (its log is poisoned,
+    /// so no new write could ever become durable). Read-only transactions
+    /// keep committing; any write operation is refused with this reason
+    /// until an operator resumes the log.
+    ReadOnlyMode,
 }
 
 impl AbortReason {
     /// Every reason, in declaration order — the order metric tables and
     /// per-reason breakdown columns index by ([`AbortReason::idx`]).
-    pub const ALL: [AbortReason; 8] = [
+    pub const ALL: [AbortReason; 9] = [
         AbortReason::WriteWriteConflict,
         AbortReason::SsnExclusion,
         AbortReason::ReadValidation,
@@ -47,6 +52,7 @@ impl AbortReason {
         AbortReason::UserRequested,
         AbortReason::ResourceExhausted,
         AbortReason::LogFailure,
+        AbortReason::ReadOnlyMode,
     ];
 
     /// Position in [`AbortReason::ALL`]; stable across the process.
@@ -66,6 +72,7 @@ impl AbortReason {
             AbortReason::UserRequested => "user",
             AbortReason::ResourceExhausted => "resource",
             AbortReason::LogFailure => "log-failure",
+            AbortReason::ReadOnlyMode => "read-only",
         }
     }
 }
@@ -94,9 +101,11 @@ pub type TxResult<T> = Result<T, AbortReason>;
 /// gone) — the log enters a *poisoned* state: the durable watermark is
 /// frozen, every pending and future `wait_durable` returns
 /// [`LogError::Poisoned`], and new log-space allocations fail. The
-/// process must restart and run recovery, which truncates the log at the
-/// first hole; transactions whose durability was never acknowledged may
-/// or may not survive, but every acknowledged one will.
+/// system either restarts and runs recovery — which truncates the log at
+/// the first hole — or degrades to read-only service until an operator
+/// clears the fault and resumes the log; transactions whose durability
+/// was never acknowledged may or may not survive, but every acknowledged
+/// one will.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LogError {
     /// The flusher stopped after an unrecoverable I/O error; nothing past

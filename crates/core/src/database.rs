@@ -1,7 +1,8 @@
 //! The `Database`: catalog, resource managers, lifecycle.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,6 +16,73 @@ use parking_lot::RwLock;
 
 use crate::config::DbConfig;
 use crate::worker::Worker;
+
+/// Service state of a [`Database`].
+///
+/// A database starts `Active`. When the log flusher dies on an
+/// unrecoverable I/O error it poisons the log and the database drops to
+/// `Degraded`: read-only transactions keep committing (snapshot reads
+/// need no log space), but every write operation aborts with
+/// [`ermia_common::AbortReason::ReadOnlyMode`] the moment it is issued.
+/// An operator brings the database back with [`Database::resume`], which
+/// re-probes the storage backend and re-arms the flusher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum DbState {
+    /// Normal read-write service.
+    Active = 0,
+    /// The log is poisoned; reads commit, writes abort.
+    Degraded = 1,
+}
+
+impl DbState {
+    fn from_u8(v: u8) -> DbState {
+        match v {
+            0 => DbState::Active,
+            _ => DbState::Degraded,
+        }
+    }
+}
+
+/// Exclusive-ownership lockfile on a durable data directory.
+///
+/// Holds `ermia.lock` containing the owning pid. Acquisition rules, in
+/// order: no file — create and own; file with our own pid — a same-
+/// process reopen, take ownership again; file with a dead pid (the
+/// previous owner was SIGKILLed — the chaos-harness restart path) or
+/// unparseable content — stale, replace it; file with a live foreign
+/// pid — refuse to open. Dropped with the database, removing the file.
+pub(crate) struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> std::io::Result<DirLock> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("ermia.lock");
+        if let Ok(contents) = std::fs::read_to_string(&path) {
+            match contents.trim().parse::<u32>() {
+                Ok(pid) if pid == std::process::id() => {}
+                Ok(pid) if Path::new(&format!("/proc/{pid}")).exists() => {
+                    return Err(std::io::Error::other(format!(
+                        "data directory {} is locked by live process {pid}",
+                        dir.display()
+                    )));
+                }
+                // Dead pid or garbage: the previous owner is gone.
+                _ => {}
+            }
+        }
+        std::fs::write(&path, format!("{}\n", std::process::id()))?;
+        Ok(DirLock { path })
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
 
 /// A table: an indirection array plus its primary index.
 pub struct Table {
@@ -76,6 +144,13 @@ pub(crate) struct DbInner {
     /// Flight-recorder ring for background services (GC passes,
     /// checkpoints, epoch advances); workers get their own rings.
     pub svc_ring: Arc<EventRing>,
+    /// Service state ([`DbState`] as u8): flipped to `Degraded` by the
+    /// log's poison hook, back to `Active` by [`Database::resume`]. Read
+    /// with a relaxed load on every write operation's admission check.
+    pub state: AtomicU8,
+    /// Pid lockfile on the data directory (`None` for in-memory
+    /// databases); held only for its Drop, which removes the file.
+    pub _dir_lock: Option<DirLock>,
 }
 
 /// A memory-optimized multi-version database (the paper's ERMIA engine).
@@ -99,6 +174,13 @@ impl Database {
     /// Open a database. If the log directory already contains segments,
     /// call [`Database::recover`] after re-declaring the schema.
     pub fn open(cfg: DbConfig) -> std::io::Result<Database> {
+        // Take the directory lock before touching any file in it: a live
+        // foreign owner means refusing here, a dead one (SIGKILL) means
+        // this open *is* the restart-recovery path.
+        let dir_lock = match &cfg.log.dir {
+            Some(dir) => Some(DirLock::acquire(dir)?),
+            None => None,
+        };
         let log = LogManager::open(cfg.log.clone())?;
         let checkpoints = match &cfg.log.dir {
             Some(dir) => Some(CheckpointStore::new(dir.join("checkpoints"))?),
@@ -128,9 +210,27 @@ impl Database {
             telemetry,
             gc_stats: Arc::new(GcStats::default()),
             svc_ring,
+            state: AtomicU8::new(DbState::Active as u8),
+            _dir_lock: dir_lock,
             cfg,
         });
         crate::metrics::register_db_collectors(&inner);
+        {
+            // Degrade to read-only the instant the flusher poisons the
+            // log: reads keep committing off the snapshot, writes are
+            // refused at admission with `AbortReason::ReadOnlyMode`.
+            let weak = Arc::downgrade(&inner);
+            inner.log.set_poison_hook(move || {
+                if let Some(db) = weak.upgrade() {
+                    db.state.store(DbState::Degraded as u8, Ordering::Release);
+                    db.svc_ring.record(
+                        EventKind::DbDegraded,
+                        db.log.durable_offset(),
+                        0,
+                    );
+                }
+            });
+        }
         if inner.cfg.telemetry {
             // Record epoch transitions in the service ring. The hook runs
             // after the advance, outside the epoch manager's locks; the
@@ -290,6 +390,26 @@ impl Database {
     /// The log manager (stats, durability control).
     pub fn log(&self) -> &LogManager {
         &self.inner.log
+    }
+
+    /// Current service state. `Degraded` means the log is poisoned:
+    /// reads commit, writes abort with `ReadOnlyMode`.
+    pub fn state(&self) -> DbState {
+        DbState::from_u8(self.inner.state.load(Ordering::Acquire))
+    }
+
+    /// Operator-triggered recovery from degraded read-only mode.
+    ///
+    /// Delegates to [`ermia_log::LogManager::resume`] — which re-probes
+    /// the storage backend, papers the never-durable gap with skip
+    /// blocks, and re-arms the flusher — and returns the database to
+    /// `Active` only if that succeeds. Safe to retry while the
+    /// underlying fault persists, and a no-op on a healthy database.
+    pub fn resume(&self) -> std::io::Result<()> {
+        self.inner.log.resume()?;
+        self.inner.state.store(DbState::Active as u8, Ordering::Release);
+        self.inner.svc_ring.record(EventKind::DbResumed, self.inner.log.durable_offset(), 0);
+        Ok(())
     }
 
     /// Committed / aborted transaction totals.

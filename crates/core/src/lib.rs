@@ -60,7 +60,7 @@ mod transaction;
 mod worker;
 
 pub use config::{DbConfig, IsolationLevel};
-pub use database::{Database, IndexInfo, Table};
+pub use database::{Database, DbState, IndexInfo, Table};
 pub use pool::{PooledWorker, WorkerPool};
 pub use profile::Breakdown;
 pub use recovery::RecoveryStats;

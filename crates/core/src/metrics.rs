@@ -93,6 +93,12 @@ pub(crate) static TXN_FAMILY: FamilyDef = FamilyDef {
             kind: MetricKind::Counter,
             label: Some(("reason", "log-failure")),
         },
+        MetricDesc {
+            name: "ermia_txn_aborts_total",
+            help: ABORT_HELP,
+            kind: MetricKind::Counter,
+            label: Some(("reason", "read-only")),
+        },
     ],
     hists: &[MetricDesc {
         name: "ermia_txn_chain_length",
@@ -206,6 +212,11 @@ fn collect_db(db: &DbInner, out: &mut Vec<Sample>) {
         "ermia_log_poisoned",
         "1 once the log hit an unrecoverable I/O error",
         s.log_poisoned.load(Relaxed) as f64,
+    ));
+    out.push(Sample::gauge(
+        "ermia_db_state",
+        "Database service state (0 = active, 1 = degraded read-only)",
+        db.state.load(Relaxed) as f64,
     ));
     out.push(Sample::gauge(
         "ermia_log_durable_lag_bytes",

@@ -47,15 +47,43 @@ pub struct RecoveryStats {
 
 impl Database {
     /// Take a fuzzy checkpoint: walk every indirection array, serialize
-    /// the newest *committed* version of each record, and persist it with
+    /// the newest committed version of each record, wait for everything
+    /// captured to be durable in the log, then persist the snapshot with
     /// a marker file. Returns the checkpoint's begin LSN.
+    ///
+    /// Two rules keep the fuzzy snapshot honest about crashes:
+    ///
+    /// * **Replay frontier.** A commit may be mid-post-commit while the
+    ///   walk runs, its versions still TID-stamped and invisible — yet
+    ///   its log block can already be durable, below where a naive
+    ///   `tail_lsn()` frontier would start replay. The begin LSN is
+    ///   lowered to the earliest in-flight commit stamp (captured
+    ///   *before* the walk) so replay re-applies whatever the walk could
+    ///   not see. Replay is idempotent, so overlap is harmless.
+    /// * **Durability barrier.** Version stamps advance before their log
+    ///   blocks reach disk, so the walk can capture commits the log
+    ///   cannot yet back — and chain GC may have already reclaimed the
+    ///   older durable version, so filtering them out would drop the key
+    ///   from the snapshot entirely. Instead the checkpoint is published
+    ///   only once the log is durable past every captured stamp. If the
+    ///   log cannot catch up (poisoned, or a crash lands first) no
+    ///   marker appears and recovery falls back to the previous
+    ///   checkpoint plus a longer replay; an acked write is never
+    ///   shadowed by unbacked state. Without the barrier, restoring such
+    ///   a version plants it *above* the recovered log tail — invisible
+    ///   to every snapshot and hiding the acked version the checkpoint
+    ///   no longer carries (the exact loss the chaos harness's
+    ///   durability oracle caught).
     pub fn checkpoint(&self) -> std::io::Result<Lsn> {
         let store = self
             .inner
             .checkpoints
             .as_ref()
             .expect("checkpointing requires a durable (log-dir) configuration");
-        let begin = self.inner.log.tail_lsn();
+        // Before the walk: any commit stamp acquired after this scan is
+        // at or above the current tail, hence at or above `begin`.
+        let begin = self.inner.tid.min_commit_low_water(self.inner.log.tail_lsn());
+        let mut max_captured = Lsn::NULL;
         let mut payload: Vec<u8> = Vec::new();
 
         let catalog = self.inner.catalog.read();
@@ -64,6 +92,7 @@ impl Database {
             payload.extend_from_slice(&table.id.0.to_le_bytes());
             let count_pos = payload.len();
             payload.extend_from_slice(&0u32.to_le_bytes());
+            let keys = primary_keys_of(table);
             let mut n: u32 = 0;
             table.oids.for_each(|oid, head| {
                 // Newest committed version at snapshot time; in-flight
@@ -74,13 +103,17 @@ impl Database {
                     let v = unsafe { &*cur };
                     let stamp = v.stamp();
                     if !stamp.is_tid() {
+                        // A key can only be missing for an OID committed
+                        // after the reverse scan; its stamp is past
+                        // `begin`, so replay restores it from the log.
+                        let Some(key) = keys.get(&oid.0) else { break };
+                        max_captured = max_captured.max(stamp.as_lsn());
                         payload.extend_from_slice(&oid.0.to_le_bytes());
                         payload.extend_from_slice(&stamp.raw().to_le_bytes());
                         payload.push(v.tombstone as u8);
-                        let key = primary_key_of(table, oid);
                         payload.extend_from_slice(&(key.len() as u16).to_le_bytes());
                         payload.extend_from_slice(&(v.data.len() as u32).to_le_bytes());
-                        payload.extend_from_slice(&key);
+                        payload.extend_from_slice(key);
                         payload.extend_from_slice(&v.data);
                         n += 1;
                         break;
@@ -118,6 +151,16 @@ impl Database {
         }
         drop(catalog);
 
+        // Durability barrier: publish nothing until the log durably backs
+        // every captured stamp. `durable` advancing past a block's start
+        // LSN means the whole block is on disk (it advances in block
+        // units), so `offset + 1` is the right group-commit target.
+        if !max_captured.is_null() {
+            self.inner
+                .log
+                .wait_durable(max_captured.offset() + 1)
+                .map_err(std::io::Error::other)?;
+        }
         store.write(CheckpointMeta { begin }, &payload)?;
         Ok(begin)
     }
@@ -297,45 +340,29 @@ impl Database {
     }
 }
 
-/// Recover a record's primary key for the checkpoint image. Keys are not
-/// stored in versions, so we look them up via a reverse scan cache built
-/// lazily per checkpoint.
+/// Build the OID→primary-key reverse map for one checkpoint pass. Keys
+/// are not stored in versions, so the walk resolves them through this
+/// map; it is rebuilt on every checkpoint — a cached map would miss keys
+/// inserted since it was built and silently emit them keyless.
 ///
 /// NOTE: building the reverse map per table per checkpoint is O(n); the
 /// paper's checkpoint stores OID→address only (keys live in the log).
 /// Payload-carrying checkpoints need the key; the map amortizes to one
 /// tree scan per table.
-fn primary_key_of(table: &crate::database::Table, oid: Oid) -> Vec<u8> {
-    use std::cell::RefCell;
-    use std::collections::HashMap;
-    thread_local! {
-        static CACHE: RefCell<HashMap<(usize, u32), Vec<u8>>> = RefCell::new(HashMap::new());
-        static CACHE_TABLE: RefCell<Option<usize>> = const { RefCell::new(None) };
-    }
-    let table_key = table as *const _ as usize;
-    CACHE_TABLE.with(|ct| {
-        let mut ct = ct.borrow_mut();
-        if *ct != Some(table_key) {
-            // (Re)build the reverse map for this table.
-            CACHE.with(|c| {
-                let mut c = c.borrow_mut();
-                c.clear();
-                let mgr = ermia_epoch::EpochManager::new("chk-key");
-                let h = mgr.register();
-                let g = h.pin();
-                table.primary.scan(
-                    &g,
-                    &[],
-                    &[0xFF; 64],
-                    |_| {},
-                    |k, v| {
-                        c.insert((table_key, v as u32), k.to_vec());
-                        ermia_index::ScanControl::Continue
-                    },
-                );
-            });
-            *ct = Some(table_key);
-        }
-    });
-    CACHE.with(|c| c.borrow().get(&(table_key, oid.0)).cloned().unwrap_or_default())
+fn primary_keys_of(table: &crate::database::Table) -> std::collections::HashMap<u32, Vec<u8>> {
+    let mut map = std::collections::HashMap::new();
+    let mgr = ermia_epoch::EpochManager::new("chk-key");
+    let h = mgr.register();
+    let g = h.pin();
+    table.primary.scan(
+        &g,
+        &[],
+        &[0xFF; 64],
+        |_| {},
+        |k, v| {
+            map.insert(v as u32, k.to_vec());
+            ermia_index::ScanControl::Continue
+        },
+    );
+    map
 }

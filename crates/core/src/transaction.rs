@@ -185,6 +185,21 @@ impl<'w> Transaction<'w> {
         r
     }
 
+    /// Admission check for write operations: while the database is in
+    /// degraded read-only mode (log poisoned), writes are refused the
+    /// moment they are issued — long before commit would discover the
+    /// poisoned log — so the transaction aborts with a typed reason
+    /// instead of burning work it can never make durable. One relaxed
+    /// load; reads are not checked and keep committing off the snapshot.
+    #[inline]
+    fn check_writable(&mut self) -> OpResult<()> {
+        if self.db.inner.state.load(Ordering::Relaxed) == crate::database::DbState::Degraded as u8
+        {
+            return Err(self.doom(AbortReason::ReadOnlyMode));
+        }
+        Ok(())
+    }
+
     fn serializable(&self) -> bool {
         self.isolation == IsolationLevel::Serializable
     }
@@ -408,6 +423,7 @@ impl<'w> Transaction<'w> {
     /// dooms this transaction immediately.
     pub fn update(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<bool> {
         self.check_doomed()?;
+        self.check_writable()?;
         let t = self.db.table(table);
         let profile = self.db.inner.cfg.profile;
         let timer = Timed::start(profile);
@@ -428,6 +444,7 @@ impl<'w> Transaction<'w> {
     /// Delete a record (tombstone install, §3.2); returns false on miss.
     pub fn delete(&mut self, table: TableId, key: &[u8]) -> OpResult<bool> {
         self.check_doomed()?;
+        self.check_writable()?;
         let t = self.db.table(table);
         let (oid, snap) = t.primary.get(&self.guard, key);
         let Some(oid) = oid else {
@@ -580,6 +597,7 @@ impl<'w> Transaction<'w> {
     /// live duplicate dooms the transaction.
     pub fn insert(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<Oid> {
         self.check_doomed()?;
+        self.check_writable()?;
         let t = self.db.table(table);
         let profile = self.db.inner.cfg.profile;
         loop {
@@ -647,6 +665,7 @@ impl<'w> Transaction<'w> {
     /// [`Transaction::insert`]). Secondary keys must be immutable.
     pub fn insert_secondary(&mut self, index: IndexId, key: &[u8], oid: Oid) -> OpResult<()> {
         self.check_doomed()?;
+        self.check_writable()?;
         let idx = self.db.index(index);
         self.capture_valid_node_entries(&idx.tree);
         match idx.tree.insert(&self.guard, key, oid.0 as u64) {

@@ -273,6 +273,60 @@ impl RingBuffer {
         self.mark_filled(offset, len);
     }
 
+    /// Copy `header` into the ring at logical offset `offset`, then mark
+    /// the whole `offset..offset+len` range filled in a *single* stamping
+    /// pass. Used for skip blocks: the bytes past the header are padding
+    /// nobody decodes, but header and padding must become visible to the
+    /// consumer atomically — a two-step fill would let the durable
+    /// watermark freeze between the header and its padding, leaving a
+    /// skip header on disk whose advertised length was never covered.
+    pub fn write_prefix_and_fill(&self, offset: u64, header: &[u8], len: u64) {
+        debug_assert!(header.len() as u64 <= len && len <= self.cap);
+        debug_assert!(
+            offset + len <= self.flushed() + self.cap,
+            "writer skipped wait_for_space"
+        );
+        let pos = (offset % self.cap) as usize;
+        let first = std::cmp::min(header.len(), self.cap as usize - pos);
+        // SAFETY: same argument as `write` — the reservation owns this
+        // range and nothing reads it until the mark_filled below.
+        unsafe {
+            let base = self.data.as_ptr() as *mut u8;
+            std::ptr::copy_nonoverlapping(header.as_ptr(), base.add(pos), first);
+            if first < header.len() {
+                std::ptr::copy_nonoverlapping(
+                    header.as_ptr().add(first),
+                    base,
+                    header.len() - first,
+                );
+            }
+        }
+        self.mark_filled(offset, len);
+    }
+
+    /// Reset the ring to begin a new life at logical offset `start`,
+    /// clearing the poison flag: every slot stamp is zeroed and both
+    /// watermarks jump to `start`. Only sound when fully quiesced — no
+    /// outstanding reservations, no running consumer (the resume path
+    /// joins the flusher and drains writers first).
+    pub fn reset(&self, start: u64) {
+        assert!(start.is_multiple_of(SLOT), "reset offset must be block-aligned");
+        for s in self.slots.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+        self.filled.store(start, Ordering::Release);
+        self.flushed.store(start, Ordering::Release);
+        self.demand.store(u64::MAX, Ordering::Release);
+        self.poisoned.store(false, Ordering::Release);
+        // The next flusher incarnation is a fresh thread; let it claim
+        // the single-consumer role.
+        #[cfg(debug_assertions)]
+        {
+            *self.consumer.lock() = None;
+        }
+        fence(Ordering::SeqCst);
+    }
+
     /// Mark `offset..offset+len` filled (without copying, for dead
     /// zones). Lock-free: a release store per covered slot, one `SeqCst`
     /// fence, and a mutex touch only when the consumer is parked *and*
@@ -300,7 +354,14 @@ impl RingBuffer {
         );
         let first = offset / SLOT;
         let last = (offset + len) / SLOT;
-        for s in first..last {
+        // Stamp in *reverse* order: the consumer's forward scan admits a
+        // range only once its first slot is stamped, and that stamp is
+        // release-ordered after every later slot's — so one fill call is
+        // all-or-nothing to the scan. The filled (and hence durable)
+        // watermark can therefore freeze only between fills, never
+        // inside a block, which the degraded-mode resume path relies on
+        // when it writes skip blocks from the durable frontier.
+        for s in (first..last).rev() {
             let idx = (s % self.nslots) as usize;
             let generation = s / self.nslots + 1;
             debug_assert!(generation <= u64::from(u32::MAX), "slot generation overflow");

@@ -7,11 +7,13 @@
 //! exactly as the paper describes, so recovery can find it without
 //! reading the log first.
 
-use std::io::{self, Write};
+use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use ermia_common::Lsn;
 
+use crate::io::{FileBackend, SegmentIoFactory};
 use crate::records::checksum32;
 
 /// Magic prefix of a checkpoint payload file.
@@ -30,10 +32,22 @@ pub struct CheckpointMeta {
 /// Reads and writes checkpoint payloads + marker files in a directory.
 pub struct CheckpointStore {
     dir: PathBuf,
+    io: Arc<dyn SegmentIoFactory>,
 }
 
 impl CheckpointStore {
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<CheckpointStore> {
+        CheckpointStore::with_backend(dir, Arc::new(FileBackend))
+    }
+
+    /// Open the store with an injectable write backend ([`FaultInjector`]
+    /// (crate::FaultInjector) in crash tests). Only the *write* path goes
+    /// through the backend; reads use plain `std::fs`, since a recovery
+    /// read never needs fault coverage beyond what corrupt files provide.
+    pub fn with_backend(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn SegmentIoFactory>,
+    ) -> io::Result<CheckpointStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         // A leftover `chk-tmp` means a checkpoint died mid-write (before
@@ -42,7 +56,7 @@ impl CheckpointStore {
         if tmp.exists() {
             std::fs::remove_file(&tmp)?;
         }
-        Ok(CheckpointStore { dir })
+        Ok(CheckpointStore { dir, io })
     }
 
     fn payload_path(&self, begin: Lsn) -> PathBuf {
@@ -59,15 +73,22 @@ impl CheckpointStore {
     pub fn write(&self, meta: CheckpointMeta, payload: &[u8]) -> io::Result<()> {
         let tmp = self.dir.join("chk-tmp");
         {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&CHECKPOINT_MAGIC)?;
-            f.write_all(&(payload.len() as u64).to_le_bytes())?;
-            f.write_all(&checksum32(payload).to_le_bytes())?;
-            f.write_all(payload)?;
+            let f = self.io.open(&tmp)?;
+            // Truncate first: a reused tmp from a failed earlier attempt
+            // must not leave trailing junk past this image.
+            f.set_len(0)?;
+            // One positional write for header + payload, so a fault plan
+            // addresses the whole checkpoint image as a single write.
+            let mut framed = Vec::with_capacity(CHECKPOINT_HEADER_LEN + payload.len());
+            framed.extend_from_slice(&CHECKPOINT_MAGIC);
+            framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            framed.extend_from_slice(&checksum32(payload).to_le_bytes());
+            framed.extend_from_slice(payload);
+            f.write_all_at(&framed, 0)?;
             f.sync_data()?;
         }
         std::fs::rename(&tmp, self.payload_path(meta.begin))?;
-        std::fs::File::create(self.marker_path(meta.begin))?.sync_data()?;
+        self.io.open(&self.marker_path(meta.begin))?.sync_data()?;
         Ok(())
     }
 
@@ -211,6 +232,74 @@ mod tests {
         let store = CheckpointStore::new(&dir).unwrap();
         assert!(!dir.join("chk-tmp").exists(), "stale tmp must be removed");
         assert!(store.latest().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_write_fails_and_falls_back() {
+        use crate::io::{FaultInjector, FaultPlan, TornWrite};
+        let dir = tmpdir("chk-torn");
+        // A good checkpoint first, through the plain backend.
+        CheckpointStore::new(&dir)
+            .unwrap()
+            .write(CheckpointMeta { begin: Lsn::from_parts(10, 0) }, b"good")
+            .unwrap();
+        // Now a checkpoint writer that tears its very first image write.
+        let inj = FaultInjector::new(FaultPlan {
+            torn_write: Some(TornWrite { at_write: 0, keep_bytes: 7 }),
+            ..FaultPlan::default()
+        });
+        let store = CheckpointStore::with_backend(&dir, Arc::new(inj.clone())).unwrap();
+        let err =
+            store.write(CheckpointMeta { begin: Lsn::from_parts(20, 0) }, b"newer").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert!(inj.crashed());
+        // The torn image died as `chk-tmp`: no marker, no payload file.
+        assert!(dir.join("chk-tmp").exists(), "torn image is left behind as tmp");
+        // A restarted store cleans the tmp and still serves the old one.
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(!dir.join("chk-tmp").exists());
+        let (meta, payload) = store.latest().unwrap().unwrap();
+        assert_eq!(meta.begin, Lsn::from_parts(10, 0));
+        assert_eq!(payload, b"good");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn silently_torn_checkpoint_with_marker_falls_back() {
+        use crate::io::{FaultInjector, FaultPlan, TornWrite};
+        let dir = tmpdir("chk-silent");
+        CheckpointStore::new(&dir)
+            .unwrap()
+            .write(CheckpointMeta { begin: Lsn::from_parts(10, 0) }, b"good")
+            .unwrap();
+        // The storage persists only 9 bytes of the image but reports
+        // success: the rename happens, the *marker is written* — the
+        // worst case, a marker pointing at a corrupt payload.
+        let inj = FaultInjector::new(FaultPlan {
+            silent_torn_write: Some(TornWrite { at_write: 0, keep_bytes: 9 }),
+            ..FaultPlan::default()
+        });
+        let store = CheckpointStore::with_backend(&dir, Arc::new(inj.clone())).unwrap();
+        store.write(CheckpointMeta { begin: Lsn::from_parts(20, 0) }, b"newer").unwrap();
+        assert_eq!(inj.faults_injected(), 1);
+        assert!(store.marker_path(Lsn::from_parts(20, 0)).exists(), "marker exists");
+        // `latest()` must catch the truncation and fall back past it.
+        let (meta, payload) = store.latest().unwrap().unwrap();
+        assert_eq!(meta.begin, Lsn::from_parts(10, 0), "corrupt-but-marked must be skipped");
+        assert_eq!(payload, b"good");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_fsync_failure_surfaces_before_any_rename() {
+        use crate::io::{FaultInjector, FaultPlan};
+        let dir = tmpdir("chk-sync");
+        let inj =
+            FaultInjector::new(FaultPlan { fail_sync_at: Some(0), ..FaultPlan::default() });
+        let store = CheckpointStore::with_backend(&dir, Arc::new(inj)).unwrap();
+        assert!(store.write(CheckpointMeta { begin: Lsn::from_parts(5, 0) }, b"x").is_err());
+        assert!(store.latest().unwrap().is_none(), "nothing was published");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

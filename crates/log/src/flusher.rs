@@ -25,7 +25,9 @@
 //! lost) — *poisons* the log: the durable watermark freezes, every
 //! current and future durability waiter is woken with
 //! [`ermia_common::LogError::Poisoned`], the ring buffer stops accepting
-//! writers, and the flusher thread exits.
+//! writers, and the flusher thread exits. An operator can later bring
+//! the log back without a restart via [`crate::LogManager::resume`],
+//! which re-probes the backend and re-arms a fresh flusher.
 
 use std::io;
 use std::sync::atomic::Ordering;
@@ -84,6 +86,11 @@ fn poison(inner: &LogInner, err: &io::Error) {
     inner.stats.log_poisoned.store(1, Ordering::Release);
     inner.buffer.poison();
     inner.notify_all_waiters();
+    // Last, after every waiter can already observe the poison: let the
+    // database layer flip itself into degraded read-only mode.
+    if let Some(hook) = &*inner.poison_hook.lock() {
+        hook();
+    }
 }
 
 fn is_transient(kind: io::ErrorKind) -> bool {

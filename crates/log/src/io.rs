@@ -87,6 +87,11 @@ pub struct FaultPlan {
     pub write_error_kind: Option<io::ErrorKind>,
     /// On the Nth write, persist only the first K bytes, then crash.
     pub torn_write: Option<TornWrite>,
+    /// On the Nth write, persist only the first K bytes but *report
+    /// success* and keep running — a firmware-style lost write with no
+    /// visible error. Checksum verification on the read path is the only
+    /// thing that can catch it.
+    pub silent_torn_write: Option<TornWrite>,
     /// Fail the Nth `sync_data` call (fsync errors are never retried).
     pub fail_sync_at: Option<u64>,
     /// Total byte budget; writes that would exceed it fail with
@@ -115,6 +120,9 @@ struct InjectorState {
     bytes_written: AtomicU64,
     crashed: AtomicBool,
     faults_injected: AtomicU64,
+    /// Set by [`FaultInjector::repair`]: every planned fault is disabled
+    /// from then on; counters keep their history.
+    disarmed: AtomicBool,
 }
 
 /// Deterministic fault-injecting backend. Clones share state, so the
@@ -134,8 +142,19 @@ impl FaultInjector {
                 bytes_written: AtomicU64::new(0),
                 crashed: AtomicBool::new(false),
                 faults_injected: AtomicU64::new(0),
+                disarmed: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// The operator replaced the disk: clear the crash flag and disable
+    /// every planned fault from here on. Handles opened before the
+    /// repair work again (they share this state); fault counters keep
+    /// their history. This is what a degraded-mode resume test calls
+    /// before [`crate::LogManager::resume`].
+    pub fn repair(&self) {
+        self.state.disarmed.store(true, Ordering::Release);
+        self.state.crashed.store(false, Ordering::Release);
     }
 
     /// True once the crash point (or a torn write) has fired.
@@ -194,6 +213,11 @@ impl SegmentIo for FaultyIo {
             return Err(crash_error());
         }
         let n = state.writes.fetch_add(1, Ordering::AcqRel);
+        if state.disarmed.load(Ordering::Acquire) {
+            FileExt::write_all_at(&self.file, buf, offset)?;
+            state.bytes_written.fetch_add(buf.len() as u64, Ordering::AcqRel);
+            return Ok(());
+        }
         if let Some(torn) = state.plan.torn_write {
             if n == torn.at_write {
                 let keep = torn.keep_bytes.min(buf.len());
@@ -203,6 +227,15 @@ impl SegmentIo for FaultyIo {
                     io::ErrorKind::WriteZero,
                     format!("injected torn write: {keep}/{} bytes persisted", buf.len()),
                 )));
+            }
+        }
+        if let Some(torn) = state.plan.silent_torn_write {
+            if n == torn.at_write {
+                let keep = torn.keep_bytes.min(buf.len());
+                FileExt::write_all_at(&self.file, &buf[..keep], offset)?;
+                state.faults_injected.fetch_add(1, Ordering::AcqRel);
+                state.bytes_written.fetch_add(keep as u64, Ordering::AcqRel);
+                return Ok(());
             }
         }
         if state.plan.fail_write_at == Some(n) {
@@ -241,7 +274,7 @@ impl SegmentIo for FaultyIo {
             return Err(crash_error());
         }
         let s = state.syncs.fetch_add(1, Ordering::AcqRel);
-        if state.plan.fail_sync_at == Some(s) {
+        if state.plan.fail_sync_at == Some(s) && !state.disarmed.load(Ordering::Acquire) {
             return Err(self.inject(io::Error::other("injected fsync failure")));
         }
         self.file.sync_data()

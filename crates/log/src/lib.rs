@@ -40,8 +40,11 @@
 //! backoff; an unrecoverable error *poisons* the log. A poisoned log
 //! freezes its durable watermark, wakes every [`LogManager::wait_durable`]
 //! waiter with [`ermia_common::LogError::Poisoned`], and rejects further
-//! allocations — the database must restart and recover, which truncates
-//! the log at the first hole. `wait_durable` is additionally bounded by
+//! allocations. From there the system takes one of two exits: restart and
+//! recover — which truncates the log at the first hole — or degrade to
+//! read-only service and later call [`LogManager::resume`], which
+//! re-probes the backend, papers the never-durable gap with on-disk skip
+//! blocks, and re-arms a fresh flusher. `wait_durable` is bounded by
 //! [`LogConfig::wait_durable_timeout`]. The durability contract is: every
 //! acknowledged commit survives recovery; unacknowledged blocks may or may
 //! not, but never past the first hole.

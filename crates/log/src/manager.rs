@@ -132,6 +132,22 @@ pub(crate) struct LogInner {
     /// Set by the flusher when it dies on an unrecoverable I/O error.
     pub(crate) poisoned: AtomicBool,
     pub(crate) poison_cause: Mutex<Option<LogError>>,
+    /// Reservations currently alive (claimed but not yet dropped). The
+    /// resume path drains this to zero — while `poisoned` is still up —
+    /// before it rewrites the allocation frontier: any allocator either
+    /// observed the poison (and never touched `next`) or joined this set
+    /// first, so an empty set with the poison flag raised freezes `next`.
+    pub(crate) outstanding: AtomicU64,
+    /// Invoked from the flusher thread at the moment the log poisons; the
+    /// database layer hooks its transition to degraded read-only mode here.
+    pub(crate) poison_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    /// Offset ranges `(lo, hi]` a degraded-mode resume overwrote with
+    /// on-disk skip blocks. Durability targets inside them can never be
+    /// honored even though the watermark has moved past them.
+    pub(crate) resume_gaps: Mutex<Vec<(u64, u64)>>,
+    /// Highest `hi` of any resume gap (0 = none): one load keeps the
+    /// common `wait_durable` path off the gap lock entirely.
+    pub(crate) resume_gap_hi: AtomicU64,
 }
 
 impl LogInner {
@@ -237,6 +253,10 @@ impl LogManager {
             stop: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             poison_cause: Mutex::new(None),
+            outstanding: AtomicU64::new(0),
+            poison_hook: Mutex::new(None),
+            resume_gaps: Mutex::new(Vec::new()),
+            resume_gap_hi: AtomicU64::new(0),
             cfg,
         });
         let flusher = flusher::spawn(Arc::clone(&inner));
@@ -267,6 +287,20 @@ impl LogManager {
         let len64 = len as u64;
         assert!(len64 <= inner.cfg.segment_size, "block exceeds segment size");
         assert!(len64 <= inner.cfg.buffer_size, "block exceeds log buffer");
+        // Join the outstanding set *before* checking for poison: resume
+        // drains the set to zero while the poison flag is still raised, so
+        // every allocator that touches `next` either saw a healthy log or
+        // finished before resume rewrote the frontier (see `resume`). The
+        // guard's drop covers every early exit; the success path forgets
+        // it and hands the decrement to `Reservation::drop`.
+        struct Outstanding<'g>(&'g LogInner);
+        impl Drop for Outstanding<'_> {
+            fn drop(&mut self) {
+                self.0.outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        let guard = Outstanding(inner);
         if inner.poisoned.load(Ordering::Acquire) {
             return Err(poisoned_error(inner));
         }
@@ -282,6 +316,7 @@ impl LogManager {
                     // will ever drain past the poison point anyway.
                     return Err(poisoned_error(inner));
                 }
+                std::mem::forget(guard);
                 return Ok(Reservation {
                     mgr: self,
                     lsn: seg.lsn(off),
@@ -348,12 +383,11 @@ impl LogManager {
         };
         let mut buf = [0u8; BLOCK_HEADER_LEN];
         header.encode_into(&mut buf);
-        inner.buffer.write(off, &buf);
-        if pad > BLOCK_HEADER_LEN as u64 {
-            // Bytes after a skip header are never examined; publish the
-            // range without copying.
-            inner.buffer.mark_filled(off + BLOCK_HEADER_LEN as u64, pad - BLOCK_HEADER_LEN as u64);
-        }
+        // Header and padding are published in a single stamping pass
+        // (bytes after a skip header are never examined, so only the
+        // header is copied): the filled — and hence durable — watermark
+        // can never freeze between a skip header and its padding.
+        inner.buffer.write_prefix_and_fill(off, &buf, pad);
         inner.stats.skip_blocks.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -436,6 +470,18 @@ impl LogManager {
     pub fn wait_durable_for(&self, end: u64, timeout: Duration) -> Result<(), LogError> {
         let inner = &*self.inner;
         let deadline = std::time::Instant::now() + timeout;
+        // Targets inside a resume gap were overwritten with skip blocks:
+        // the watermark has moved past them, but the commit bytes are
+        // gone for good — reporting `Ok` here would acknowledge a commit
+        // that can never be recovered.
+        if self.lost_to_resume_gap(end) {
+            return Err(LogError::Poisoned {
+                kind: std::io::ErrorKind::Other,
+                detail: "commit block was discarded by a degraded-mode resume; \
+                         it never became durable"
+                    .into(),
+            });
+        }
         if self.durable_offset() >= end {
             return Ok(());
         }
@@ -472,6 +518,13 @@ impl LogManager {
             if now >= deadline {
                 drop(woken);
                 inner.deregister_waiter(key);
+                // A poison landing between the loop's check above and this
+                // exit must still win: `Timeout` claims the commit's fate
+                // is indeterminate, but a poisoned log has settled it —
+                // the block will never become durable.
+                if inner.poisoned.load(Ordering::Acquire) {
+                    return Err(self.poison_cause_or_default());
+                }
                 return Err(LogError::Timeout);
             }
             // A stale wake from a previous registration on this reused
@@ -497,6 +550,160 @@ impl LogManager {
             kind: std::io::ErrorKind::Other,
             detail: "log poisoned".into(),
         })
+    }
+
+    /// True when `end` falls inside a range a degraded-mode resume
+    /// overwrote with on-disk skip blocks: those commit bytes are gone
+    /// even though the durable watermark has moved past them.
+    fn lost_to_resume_gap(&self, end: u64) -> bool {
+        let inner = &*self.inner;
+        if end > inner.resume_gap_hi.load(Ordering::Acquire) {
+            return false;
+        }
+        inner.resume_gaps.lock().iter().any(|&(lo, hi)| end > lo && end <= hi)
+    }
+
+    /// Register a callback invoked — from the flusher thread, exactly
+    /// once per poisoning — at the moment the log poisons. The database
+    /// layer hooks its transition to degraded read-only mode here.
+    pub fn set_poison_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.inner.poison_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Set the poison flag and cause *without* waking any waiter or
+    /// stopping the ring — a test seam for racing durability timeouts
+    /// against a concurrent poisoning.
+    #[doc(hidden)]
+    pub fn poison_quietly_for_test(&self, cause: LogError) {
+        *self.inner.poison_cause.lock() = Some(cause);
+        self.inner.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Attempt to bring a poisoned log back into service without a
+    /// process restart — the operator-triggered half of degraded
+    /// read-only mode. No-op on a healthy log.
+    ///
+    /// The poisoned flusher froze the durable watermark at some offset
+    /// `D` while the allocation frontier `next` kept (briefly) moving;
+    /// the range `[D, next)` holds blocks that never reached disk and
+    /// must never be reported durable. Resume:
+    ///
+    /// 1. reaps the dead flusher thread;
+    /// 2. quiesces: waits for the outstanding-reservation set to drain
+    ///    while the poison flag is still up, which freezes `next` (any
+    ///    new allocator observes the poison before touching it);
+    /// 3. overwrites `[D, next)` on disk with skip blocks and fsyncs the
+    ///    touched segments — the fsync doubles as the backend re-probe:
+    ///    if storage is still broken the error is returned and the log
+    ///    stays poisoned, so resume is safely retryable;
+    /// 4. records `(D, next]` as a *resume gap*: durability waits on
+    ///    targets inside it keep failing with [`LogError::Poisoned`]
+    ///    rather than being absorbed by the advanced watermark;
+    /// 5. resets the watermarks and ring to `next`, clears the poison
+    ///    state, and re-arms a fresh flusher. The poison flag falls
+    ///    last, so nobody allocates into a half-reset log.
+    ///
+    /// Commits in the gap were never acknowledged (their waiters got
+    /// `Poisoned` or `Timeout`), so discarding them cannot violate the
+    /// durability contract; their in-memory effects survive until the
+    /// next restart, which is the documented indeterminacy of
+    /// unacknowledged commits.
+    pub fn resume(&self) -> io::Result<()> {
+        let inner = &*self.inner;
+        // Holding the flusher handle lock for the whole walk serializes
+        // concurrent resumes.
+        let mut flusher = self.flusher.lock();
+        if !inner.poisoned.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        if let Some(handle) = flusher.take() {
+            let _ = handle.join();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while inner.outstanding.load(Ordering::Acquire) != 0 {
+            if std::time::Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "log resume: outstanding reservations did not drain",
+                ));
+            }
+            std::thread::yield_now();
+        }
+        let durable = inner.durable.load(Ordering::Acquire);
+        let next = inner.next.load(Ordering::SeqCst);
+        self.write_gap_skips(durable, next)?;
+        if next > durable {
+            let mut gaps = inner.resume_gaps.lock();
+            gaps.push((durable, next));
+            let hi = gaps.iter().map(|&(_, hi)| hi).max().unwrap_or(0);
+            inner.resume_gap_hi.store(hi, Ordering::Release);
+        }
+        inner.durable.store(next, Ordering::Release);
+        inner.buffer.reset(next);
+        *inner.poison_cause.lock() = None;
+        inner.stats.log_poisoned.store(0, Ordering::Release);
+        inner.stop.store(false, Ordering::Release);
+        *flusher = Some(flusher::spawn(Arc::clone(&self.inner)));
+        inner.poisoned.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Overwrite `[lo, hi)` on disk with one skip block per contiguous
+    /// segment chunk (dead zones map to no storage and need nothing),
+    /// then fsync every touched segment. Even when the range is empty
+    /// the current segment is synced, as a storage health probe.
+    fn write_gap_skips(&self, lo: u64, hi: u64) -> io::Result<()> {
+        let inner = &*self.inner;
+        let mut off = lo;
+        let mut touched: Vec<Arc<Segment>> = Vec::new();
+        while off < hi {
+            match inner.segments.lookup(off) {
+                Some(seg) => {
+                    // A skip block's length field is u32: split giant
+                    // chunks (only reachable with multi-GB segments).
+                    let stop = hi.min(seg.end).min(off + (1u64 << 30));
+                    if let Some(io) = &seg.io {
+                        let header = LogBlockHeader {
+                            kind: BlockKind::Skip,
+                            nrec: 0,
+                            len: (stop - off) as u32,
+                            checksum: 0,
+                            cstamp: seg.lsn(off),
+                            prev: 0,
+                        };
+                        let mut buf = [0u8; BLOCK_HEADER_LEN];
+                        header.encode_into(&mut buf);
+                        io.write_all_at(&buf, seg.file_pos(off))?;
+                        touched.push(Arc::clone(&seg));
+                    }
+                    off = stop;
+                }
+                None => {
+                    off = inner
+                        .segments
+                        .all()
+                        .iter()
+                        .map(|s| s.start)
+                        .filter(|&s| s > off)
+                        .min()
+                        .unwrap_or(hi)
+                        .min(hi);
+                }
+            }
+        }
+        if touched.is_empty() {
+            let seg = inner.segments.current();
+            if seg.io.is_some() {
+                touched.push(seg);
+            }
+        }
+        touched.dedup_by_key(|s| s.index);
+        for seg in &touched {
+            if let Some(io) = &seg.io {
+                io.sync_data()?;
+            }
+        }
+        Ok(())
     }
 
     /// Access the segment table (recovery, tests).
@@ -669,5 +876,9 @@ impl Drop for Reservation<'_> {
         if !self.filled {
             self.do_skip();
         }
+        // Leave the outstanding set only after the skip (or fill) is in
+        // the ring: resume must never observe zero while a stamp is still
+        // in flight.
+        self.mgr.inner.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 }

@@ -11,12 +11,17 @@
 //!   the next request is already executing — so a single connection can
 //!   keep a full group-commit window in flight.
 //!
-//! The client is deliberately dumb: no retries, no reconnects, no
-//! background threads. Errors surface as [`ClientError`] and leave the
-//! connection in an unusable state; callers build policy on top.
+//! The core client is deliberately dumb: [`Client::call`] does no
+//! retries and no reconnects; errors surface as [`ClientError`] and
+//! leave the connection in an unusable state. Resilience is opt-in and
+//! explicit: [`Client::call_with_retry`] layers a [`RetryPolicy`] —
+//! bounded exponential backoff with jitter on `Busy`/`LogStalled`/
+//! connect-refused, automatic reconnect on a broken pipe — on top of the
+//! same dumb call, for callers (like the chaos harness) whose requests
+//! are safe to repeat.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
@@ -72,10 +77,56 @@ pub type ClientResult<T> = Result<T, ClientError>;
 /// Rows returned by [`Client::scan`]: `(key, value)` pairs.
 pub type ScanRows = Vec<(Vec<u8>, Vec<u8>)>;
 
+/// Retry/backoff policy for [`Client::call_with_retry`].
+///
+/// Attempt `n` (0-based) sleeps `base_delay * 2^n`, capped at
+/// `max_delay`, with up to 50% random jitter subtracted so a fleet of
+/// clients bounced by the same incident doesn't reconverge in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 0 behaves like 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before attempt `attempt + 1`.
+    fn delay(&self, attempt: u32, jitter: &mut u64) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.max_delay);
+        // SplitMix64 step: cheap, seedable, no external crates.
+        *jitter = jitter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let nanos = capped.as_nanos() as u64;
+        Duration::from_nanos(nanos - (z % (nanos / 2).max(1)))
+    }
+}
+
 /// One connection to an ERMIA server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The resolved address, kept so [`reconnect`](Client::reconnect)
+    /// and the retry helper can re-dial after a broken pipe.
+    addr: SocketAddr,
+    /// The reply timeout last set, re-applied across reconnects.
+    reply_timeout: Option<Duration>,
     /// Requests sent but not yet answered (pipelining depth).
     in_flight: usize,
 }
@@ -83,15 +134,35 @@ pub struct Client {
 impl Client {
     /// Connect to `addr`.
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: BufWriter::new(stream), in_flight: 0 })
+        Ok(Client { reader, writer: BufWriter::new(stream), addr, reply_timeout: None, in_flight: 0 })
+    }
+
+    /// Drop the current connection (if any is still alive) and dial the
+    /// original address again. Any in-flight pipelined requests are
+    /// forgotten — their replies belonged to the old connection. Session
+    /// state on the server (an open transaction) died with the old
+    /// connection too; the server aborted it on disconnect.
+    pub fn reconnect(&mut self) -> ClientResult<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.reply_timeout)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
+        self.in_flight = 0;
+        Ok(())
     }
 
     /// Set a ceiling on how long [`recv`](Client::recv) blocks.
     pub fn set_reply_timeout(&mut self, timeout: Option<Duration>) -> ClientResult<()> {
         self.reader.get_ref().set_read_timeout(timeout)?;
+        self.reply_timeout = timeout;
         Ok(())
     }
 
@@ -128,6 +199,66 @@ impl Client {
     pub fn call(&mut self, req: &Request) -> ClientResult<Response> {
         self.send(req)?;
         self.recv()
+    }
+
+    /// [`call`](Client::call) with bounded retries under `policy`.
+    ///
+    /// Retried outcomes:
+    ///
+    /// * [`Response::Busy`] — the server shed the request; nothing
+    ///   happened, retrying is always safe.
+    /// * [`ErrorCode::LogStalled`] — the durability wait timed out;
+    ///   the write *may* be durable.
+    /// * Transport failures (connect refused, connection reset, broken
+    ///   pipe, unexpected EOF) — the client re-dials the server first;
+    ///   the request *may* have been applied before the connection died.
+    ///
+    /// Because the last two classes are *indeterminate*, only send
+    /// requests through here that are safe to repeat: reads, idempotent
+    /// upserts (`Put` of an absolute value), `Health`, `Metrics`. A
+    /// non-idempotent request (`Insert`, a relative update) can be
+    /// applied twice. Terminal replies (`Error` other than the retried
+    /// codes, `Busy` after the last attempt) are converted to `Err` like
+    /// the typed helpers do; a returned `Ok` response is never `Busy` or
+    /// `Error`.
+    ///
+    /// Must not be called with pipelined requests in flight — their
+    /// replies would be mistaken for this call's.
+    pub fn call_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> ClientResult<Response> {
+        assert_eq!(self.in_flight, 0, "call_with_retry with pipelined requests in flight");
+        let mut jitter = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x5EED, |d| d.subsec_nanos() as u64 ^ (self.addr.port() as u64) << 32);
+        let attempts = policy.max_attempts.max(1);
+        let mut broken = false;
+        let mut last: ClientResult<Response> = Err(ClientError::Busy);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt - 1, &mut jitter));
+            }
+            if broken && self.reconnect().is_err() {
+                // Server still down (connect refused): count the attempt
+                // and keep backing off.
+                last = Err(ClientError::Io(std::io::Error::from(
+                    std::io::ErrorKind::ConnectionRefused,
+                )));
+                continue;
+            }
+            broken = false;
+            last = self.call(req);
+            match &last {
+                Ok(Response::Busy) => {}
+                Ok(Response::Error { code: ErrorCode::LogStalled, .. }) => {}
+                Ok(_) => break,
+                Err(ClientError::Io(e)) if io_severed(e) => broken = true,
+                Err(_) => break,
+            }
+        }
+        Self::expect_ok(last?)
     }
 
     // -- typed helpers --------------------------------------------------
@@ -251,6 +382,27 @@ impl Client {
         }
     }
 
+    /// Probe the database service state. Returns `(degraded, durable_lsn)`:
+    /// `degraded` is `true` when the write path is down and the database
+    /// is serving reads only.
+    pub fn health(&mut self) -> ClientResult<(bool, u64)> {
+        match Self::expect_ok(self.call(&Request::Health)?)? {
+            Response::Health { state, durable_lsn } => Ok((state != 0, durable_lsn)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Ask the server to leave degraded read-only mode (after the
+    /// operator repaired the storage). Returns the post-resume health.
+    /// Fails with [`ErrorCode::DegradedReadOnly`] if the backend re-probe
+    /// still fails.
+    pub fn resume(&mut self) -> ClientResult<(bool, u64)> {
+        match Self::expect_ok(self.call(&Request::Resume)?)? {
+            Response::Health { state, durable_lsn } => Ok((state != 0, durable_lsn)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
     /// Run `ops` as one transaction in a single round trip. Returns the
     /// per-op results and the commit outcome.
     pub fn batch(
@@ -265,4 +417,18 @@ impl Client {
             other => Err(ClientError::Unexpected(other)),
         }
     }
+}
+
+/// Did this I/O error sever the connection (as opposed to, say, a read
+/// timeout on a connection that is still healthy)?
+fn io_severed(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::NotConnected
+    )
 }

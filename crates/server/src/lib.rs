@@ -23,6 +23,6 @@ pub mod protocol;
 mod server;
 mod session;
 
-pub use client::{Client, ClientError, ClientResult};
+pub use client::{Client, ClientError, ClientResult, RetryPolicy};
 pub use protocol::{BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation};
 pub use server::{Server, ServerConfig, StatsSnapshot};

@@ -33,6 +33,8 @@
 //! Metrics                                     0x0C   Prometheus exposition
 //! DumpEvents max:u32                          0x0D   flight-recorder dump,
 //!                                                    max 0 = server default
+//! Health                                      0x0E   service-state probe
+//! Resume                                      0x0F   leave degraded mode
 //! ```
 //!
 //! A batch `op` is `kind:u8` (the request opcode of Get/Put/Delete/
@@ -58,6 +60,8 @@
 //!            outcome:(len:u32 resp)                  Committed/Error
 //! Metrics    text:bytes                       0x8D   Prometheus 0.0.4 text
 //! Events     text:bytes                       0x8E   flight-recorder dump
+//! Health     state:u8 durable_lsn:u64         0x8F   0 = active, 1 =
+//!                                                    degraded read-only
 //! ```
 
 use std::io::{self, Read, Write};
@@ -303,6 +307,14 @@ pub enum Request {
     /// Dump the flight recorder's most recent events; `max` 0 means the
     /// server default cap.
     DumpEvents { max: u32 },
+    /// Probe the database service state (active vs. degraded read-only)
+    /// and the durable log frontier. Legal at any point in a session,
+    /// including mid-transaction.
+    Health,
+    /// Operator request: leave degraded read-only mode by re-probing the
+    /// storage backend and re-arming the flusher. Replies with a fresh
+    /// `Health` frame on success, `DegradedReadOnly` on failure.
+    Resume,
 }
 
 const OP_PING: u8 = 0x01;
@@ -318,6 +330,8 @@ const OP_BATCH: u8 = 0x0A;
 const OP_INSERT: u8 = 0x0B;
 const OP_METRICS: u8 = 0x0C;
 const OP_DUMP_EVENTS: u8 = 0x0D;
+const OP_HEALTH: u8 = 0x0E;
+const OP_RESUME: u8 = 0x0F;
 
 ///// Cap on ops per batch frame: a bound the session enforces before doing
 /// any work, so a hostile frame cannot make one transaction arbitrarily
@@ -455,6 +469,8 @@ impl Request {
                 e.u32(*max);
                 e.buf
             }
+            Request::Health => Enc::new(OP_HEALTH).buf,
+            Request::Resume => Enc::new(OP_RESUME).buf,
         }
     }
 
@@ -501,6 +517,8 @@ impl Request {
             },
             OP_METRICS => Request::Metrics,
             OP_DUMP_EVENTS => Request::DumpEvents { max: d.u32()? },
+            OP_HEALTH => Request::Health,
+            OP_RESUME => Request::Resume,
             _ => return Err(FrameError::Malformed("unknown request opcode")),
         };
         d.finish()?;
@@ -529,6 +547,10 @@ pub enum ErrorCode {
     /// The log is poisoned by an unrecoverable I/O error; the commit will
     /// never become durable without a restart.
     LogFailed,
+    /// The database is in degraded read-only mode: the write path is down
+    /// (poisoned log) but reads keep serving. Writes are refused until an
+    /// operator repairs the storage and sends [`Request::Resume`].
+    DegradedReadOnly,
     /// The transaction aborted; the payload carries the engine reason.
     TxnAborted(AbortReason),
 }
@@ -542,6 +564,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 4,
             ErrorCode::LogStalled => 5,
             ErrorCode::LogFailed => 6,
+            ErrorCode::DegradedReadOnly => 7,
             ErrorCode::TxnAborted(r) => {
                 16 + match r {
                     AbortReason::WriteWriteConflict => 0,
@@ -552,6 +575,7 @@ impl ErrorCode {
                     AbortReason::UserRequested => 5,
                     AbortReason::ResourceExhausted => 6,
                     AbortReason::LogFailure => 7,
+                    AbortReason::ReadOnlyMode => 8,
                 }
             }
         }
@@ -565,6 +589,7 @@ impl ErrorCode {
             4 => ErrorCode::ShuttingDown,
             5 => ErrorCode::LogStalled,
             6 => ErrorCode::LogFailed,
+            7 => ErrorCode::DegradedReadOnly,
             16 => ErrorCode::TxnAborted(AbortReason::WriteWriteConflict),
             17 => ErrorCode::TxnAborted(AbortReason::SsnExclusion),
             18 => ErrorCode::TxnAborted(AbortReason::ReadValidation),
@@ -573,6 +598,7 @@ impl ErrorCode {
             21 => ErrorCode::TxnAborted(AbortReason::UserRequested),
             22 => ErrorCode::TxnAborted(AbortReason::ResourceExhausted),
             23 => ErrorCode::TxnAborted(AbortReason::LogFailure),
+            24 => ErrorCode::TxnAborted(AbortReason::ReadOnlyMode),
             _ => return Err(FrameError::Malformed("error code")),
         })
     }
@@ -597,6 +623,9 @@ pub enum Response {
     Metrics { text: String },
     /// Human-readable flight-recorder dump.
     Events { text: String },
+    /// Service-state probe reply: `state` 0 = active, 1 = degraded
+    /// read-only; `durable_lsn` is the durable log frontier.
+    Health { state: u8, durable_lsn: u64 },
 }
 
 const RE_PONG: u8 = 0x81;
@@ -613,6 +642,7 @@ const RE_INSERTED: u8 = 0x8B;
 const RE_BATCH_DONE: u8 = 0x8C;
 const RE_METRICS: u8 = 0x8D;
 const RE_EVENTS: u8 = 0x8E;
+const RE_HEALTH: u8 = 0x8F;
 
 impl Response {
     /// Serialize into a frame payload.
@@ -688,6 +718,12 @@ impl Response {
                 e.bytes(text.as_bytes());
                 e.buf
             }
+            Response::Health { state, durable_lsn } => {
+                let mut e = Enc::new(RE_HEALTH);
+                e.u8(*state);
+                e.u64(*durable_lsn);
+                e.buf
+            }
         }
     }
 
@@ -747,6 +783,7 @@ impl Response {
             RE_EVENTS => {
                 Response::Events { text: String::from_utf8_lossy(d.bytes()?).into_owned() }
             }
+            RE_HEALTH => Response::Health { state: d.u8()?, durable_lsn: d.u64()? },
             _ => return Err(FrameError::Malformed("unknown response opcode")),
         })
     }
@@ -793,6 +830,8 @@ mod tests {
         roundtrip_req(Request::Metrics);
         roundtrip_req(Request::DumpEvents { max: 0 });
         roundtrip_req(Request::DumpEvents { max: 256 });
+        roundtrip_req(Request::Health);
+        roundtrip_req(Request::Resume);
         roundtrip_req(Request::Insert { table: 2, key: b"k".to_vec(), value: b"v".to_vec() });
         roundtrip_req(Request::Batch {
             isolation: WireIsolation::Snapshot,
@@ -830,10 +869,12 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::LogStalled,
             ErrorCode::LogFailed,
+            ErrorCode::DegradedReadOnly,
             ErrorCode::TxnAborted(AbortReason::WriteWriteConflict),
             ErrorCode::TxnAborted(AbortReason::SsnExclusion),
             ErrorCode::TxnAborted(AbortReason::DuplicateKey),
             ErrorCode::TxnAborted(AbortReason::LogFailure),
+            ErrorCode::TxnAborted(AbortReason::ReadOnlyMode),
         ] {
             roundtrip_resp(Response::Error { code, detail: "why".into() });
         }
@@ -848,6 +889,8 @@ mod tests {
             text: "# HELP ermia_x x\n# TYPE ermia_x counter\nermia_x 1\n".into(),
         });
         roundtrip_resp(Response::Events { text: "flight-recorder dump: 0 event(s)".into() });
+        roundtrip_resp(Response::Health { state: 0, durable_lsn: 0 });
+        roundtrip_resp(Response::Health { state: 1, durable_lsn: u64::MAX >> 8 });
     }
 
     #[test]

@@ -365,6 +365,8 @@ impl Session<'_> {
                 Request::Ping => self.send(Response::Pong)?,
                 Request::Metrics => self.send_metrics()?,
                 Request::DumpEvents { max } => self.send_events(max)?,
+                Request::Health => self.send_health()?,
+                Request::Resume => self.do_resume()?,
                 Request::OpenTable { name } => self.open_table(&name)?,
                 Request::Begin { isolation } => {
                     let Some(mut w) = self.checkout() else {
@@ -437,9 +439,13 @@ impl Session<'_> {
             match req {
                 Request::Ping => self.send(Response::Pong)?,
                 // Telemetry reads are legal mid-transaction (and useful:
-                // scrape while a stall is in progress).
+                // scrape while a stall is in progress). So is the health
+                // probe — a client whose writes start bouncing wants to
+                // ask why without abandoning its transaction.
                 Request::Metrics => self.send_metrics()?,
                 Request::DumpEvents { max } => self.send_events(max)?,
+                Request::Health => self.send_health()?,
+                Request::Resume => self.do_resume()?,
                 Request::OpenTable { name } => self.open_table(&name)?,
                 Request::Begin { .. } => self.send_err(ErrorCode::BadState, "nested begin")?,
                 Request::Batch { .. } => {
@@ -523,6 +529,27 @@ impl Session<'_> {
     fn send_events(&self, max: u32) -> SessionResult {
         let max = if max == 0 { DEFAULT_DUMP_EVENTS } else { max as usize };
         self.send(Response::Events { text: self.state.db.telemetry().dump_events(max) })
+    }
+
+    /// Service-state probe: the database state plus the durable frontier.
+    fn send_health(&self) -> SessionResult {
+        self.send(Response::Health {
+            state: self.state.db.state() as u8,
+            durable_lsn: self.state.db.log().durable_offset(),
+        })
+    }
+
+    /// Operator-triggered exit from degraded read-only mode. Success is
+    /// answered with a fresh `Health` frame (state back to active); a
+    /// failed re-probe keeps the database degraded and reports why.
+    fn do_resume(&self) -> SessionResult {
+        match self.state.db.resume() {
+            Ok(()) => self.send_health(),
+            Err(e) => self.send_err(
+                ErrorCode::DegradedReadOnly,
+                &format!("resume failed, still read-only: {e}"),
+            ),
+        }
     }
 
     fn open_table(&self, name: &[u8]) -> SessionResult {
@@ -668,5 +695,12 @@ fn engine_isolation(iso: WireIsolation) -> IsolationLevel {
 }
 
 fn aborted(reason: AbortReason) -> Response {
-    Response::Error { code: ErrorCode::TxnAborted(reason), detail: reason.label().into() }
+    // Writes bounced by degraded mode get the dedicated service-level
+    // code: the client's request was fine, the database's write path is
+    // down, and a Health probe / later Resume is the way forward.
+    let code = match reason {
+        AbortReason::ReadOnlyMode => ErrorCode::DegradedReadOnly,
+        other => ErrorCode::TxnAborted(other),
+    };
+    Response::Error { code, detail: reason.label().into() }
 }

@@ -12,7 +12,7 @@ use ermia_server::{Client, Server, ServerConfig, WireIsolation};
 use ermia_telemetry::parse_exposition;
 
 /// Must match `AbortReason::ALL` order — the exposition labels.
-const ABORT_REASONS: [&str; 8] = [
+const ABORT_REASONS: [&str; 9] = [
     "ww-conflict",
     "ssn-exclusion",
     "read-validation",
@@ -21,6 +21,7 @@ const ABORT_REASONS: [&str; 8] = [
     "user",
     "resource",
     "log-failure",
+    "read-only",
 ];
 
 fn scrape_http(addr: SocketAddr, path: &str) -> (String, String) {
@@ -77,6 +78,7 @@ fn metrics_frame_and_http_scrape_expose_the_full_surface() {
         // database aggregates
         "ermia_db_commits_total",
         "ermia_db_aborts_total",
+        "ermia_db_state",
         // server + pool
         "ermia_server_sessions_opened_total",
         "ermia_server_active_sessions",

@@ -243,6 +243,35 @@ impl TidManager {
         min
     }
 
+    /// The smallest commit stamp among transactions that have acquired
+    /// one but not yet released their context (PRECOMMIT or COMMITTED),
+    /// capped by `fallback`.
+    ///
+    /// This is the fuzzy-checkpoint replay frontier: a transaction in
+    /// this window may have filled its log block while its versions
+    /// still carry TID stamps that the checkpoint walk cannot capture.
+    /// Replaying from at or below the returned LSN re-applies such
+    /// commits from the log. Slots still PENDING (stamp not yet
+    /// acquired) need no term here: `PENDING` precedes the commit-LSN
+    /// `fetch_add`, so their eventual stamp lands at or above any
+    /// tail-derived fallback captured before this scan.
+    pub fn min_commit_low_water(&self, fallback: Lsn) -> Lsn {
+        let mut min = fallback;
+        for ctx in self.slots.iter() {
+            let w = ctx.word.load(Ordering::Acquire);
+            match w & TAG_MASK {
+                TAG_PRECOMMIT | TAG_COMMITTED => {
+                    let c = Lsn::from_raw(w >> TAG_BITS);
+                    if c < min {
+                        min = c;
+                    }
+                }
+                _ => {}
+            }
+        }
+        min
+    }
+
     /// Number of currently claimed slots (tests / stats).
     pub fn in_use(&self) -> usize {
         self.slots.iter().filter(|c| c.word.load(Ordering::Relaxed) != TAG_FREE).count()

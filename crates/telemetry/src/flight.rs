@@ -41,6 +41,10 @@ pub enum EventKind {
     GcPass,
     Checkpoint,
     EpochAdvance,
+    /// The database entered degraded read-only mode (log poisoned).
+    DbDegraded,
+    /// The database resumed Active after an operator cleared the fault.
+    DbResumed,
 }
 
 impl EventKind {
@@ -54,6 +58,8 @@ impl EventKind {
             EventKind::GcPass => 6,
             EventKind::Checkpoint => 7,
             EventKind::EpochAdvance => 8,
+            EventKind::DbDegraded => 9,
+            EventKind::DbResumed => 10,
         }
     }
 
@@ -67,6 +73,8 @@ impl EventKind {
             6 => EventKind::GcPass,
             7 => EventKind::Checkpoint,
             8 => EventKind::EpochAdvance,
+            9 => EventKind::DbDegraded,
+            10 => EventKind::DbResumed,
             _ => return None,
         })
     }
@@ -81,6 +89,8 @@ impl EventKind {
             EventKind::GcPass => "gc-pass",
             EventKind::Checkpoint => "checkpoint",
             EventKind::EpochAdvance => "epoch-advance",
+            EventKind::DbDegraded => "db-degraded",
+            EventKind::DbResumed => "db-resumed",
         }
     }
 }
@@ -276,6 +286,8 @@ fn describe(e: &Event) -> String {
         EventKind::GcPass => format!("reclaimed={} pass={}", e.a, e.b),
         EventKind::Checkpoint => format!("lsn={:#x}", e.a),
         EventKind::EpochAdvance => format!("epoch={}", e.a),
+        EventKind::DbDegraded => format!("durable_frozen_at={:#x}", e.a),
+        EventKind::DbResumed => format!("durable_lsn={:#x}", e.a),
     }
 }
 

@@ -1,0 +1,86 @@
+//! A spawnable, kill-friendly ERMIA server for crash/chaos drills.
+//!
+//! ```sh
+//! cargo run --release --example ermia_server -- /var/tmp/ermia-data
+//! ```
+//!
+//! Unlike `--example server` (interactive, in-memory-ish demo), this
+//! binary is built to be driven by an orchestrator that SIGKILLs it:
+//!
+//! * the data directory is the first argument (or `ERMIA_DATA_DIR`) and
+//!   is reused across restarts — every start recovers what the previous
+//!   incarnation made durable;
+//! * it binds an ephemeral port by default and prints a single
+//!   machine-readable `PORT <n>` line on stdout, then parks;
+//! * `ERMIA_FAULT_PLAN` injects storage faults for degraded-mode drills:
+//!   `enospc:<bytes>` (fail writes past a byte budget) or `fsync:<n>`
+//!   (fail the nth fsync) — pair with the `Resume` wire frame after
+//!   clearing the fault;
+//! * `ERMIA_CKPT_MS=<ms>` runs a background checkpointer so kills can
+//!   land mid-checkpoint.
+//!
+//! The in-tree chaos harness (`crates/server/tests/chaos.rs`) uses the
+//! same protocol — spawn, read `PORT`, hammer, SIGKILL, restart, verify
+//! the durability oracle — so this binary doubles as a target for
+//! external chaos tooling.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ermia::{Database, DbConfig};
+use ermia_log::{FaultInjector, FaultPlan, LogConfig};
+use ermia_server::{Server, ServerConfig};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("ERMIA_DATA_DIR").ok())
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join("ermia-chaos-server").display().to_string()
+        });
+    let addr = std::env::args().nth(2).unwrap_or_else(|| "127.0.0.1:0".into());
+
+    let mut plan = FaultPlan::default();
+    if let Ok(fault) = std::env::var("ERMIA_FAULT_PLAN") {
+        if let Some(bytes) = fault.strip_prefix("enospc:") {
+            plan.enospc_after_bytes = Some(bytes.parse().expect("enospc byte budget"));
+        } else if let Some(n) = fault.strip_prefix("fsync:") {
+            plan.fail_sync_at = Some(n.parse().expect("fsync call index"));
+        } else if fault != "none" && !fault.is_empty() {
+            panic!("unknown ERMIA_FAULT_PLAN {fault:?} (want enospc:<bytes> or fsync:<n>)");
+        }
+    }
+
+    let mut cfg = DbConfig::durable(&dir);
+    cfg.log = LogConfig {
+        dir: cfg.log.dir.clone(),
+        io_factory: Arc::new(FaultInjector::new(plan)),
+        ..cfg.log
+    };
+    let db = Database::open(cfg).expect("open database (is the data dir locked by a live server?)");
+    db.create_table("chaos");
+    let stats = db.recover().expect("recovery");
+    eprintln!("recovered: {stats:?}");
+
+    if let Some(ms) =
+        std::env::var("ERMIA_CKPT_MS").ok().and_then(|v| v.parse::<u64>().ok()).filter(|&ms| ms > 0)
+    {
+        let ckpt_db = db.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(ms));
+            let _ = ckpt_db.checkpoint();
+        });
+    }
+
+    let srv = Server::start(&db, &addr, ServerConfig::default()).expect("bind");
+    println!("PORT {}", srv.local_addr().port());
+    let _ = std::io::stdout().flush();
+    eprintln!("ermia_server: data dir {dir}, listening on {}", srv.local_addr());
+
+    // Park until killed (or until the spawner closes stdin, which gets a
+    // graceful drain instead of the SIGKILL treatment).
+    let mut line = String::new();
+    while std::io::stdin().read_line(&mut line).map(|n| n > 0).unwrap_or(false) {}
+    srv.shutdown();
+}
