@@ -14,14 +14,28 @@
 //! * **interactive ops** — one request per round trip (autocommitted
 //!   gets/puts and a begin/put/commit-sync transaction), the latency
 //!   floor a non-pipelining client sees.
+//! * **open-loop fan-in** — ten thousand concurrent connections (one
+//!   thousand under `--quick`), most of them an idle herd, a subset
+//!   sending autocommitted gets on a fixed open-loop schedule while
+//!   connections churn underneath. Latency is measured from each
+//!   request's *scheduled* send time, so a stalled event loop cannot
+//!   hide behind coordinated omission. Also records the OS thread count
+//!   before and after the herd connects: threads must scale with
+//!   shards + workers, never with connections.
 //!
 //! Emits `BENCH_net.json` (path override: `BENCH_OUT`). `-- --quick`
 //! runs a CI-sized load.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
 
 use ermia::{Database, DbConfig};
+use ermia_server::poll::{raise_nofile_limit, Interest, Poller};
+use ermia_server::protocol::{write_frame, FrameAssembler, MAX_FRAME_LEN};
 use ermia_server::{BatchOp, Client, Request, Response, Server, ServerConfig, WireIsolation};
 
 /// Shared nearest-rank percentile, scaled to milliseconds for the table.
@@ -165,6 +179,238 @@ fn interactive_scenario(
     Scenario { name, ops: rounds as u64, elapsed, lat }
 }
 
+/// Current OS thread count of this process (`/proc/self/status`).
+fn os_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One multiplexed bench-side connection. The bench drives all of them
+/// from a single thread with the same epoll shim the server uses — a
+/// thread-per-connection client would melt long before the server did.
+struct FanConn {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Scheduled send times of in-flight requests (replies are in order).
+    pending: VecDeque<Instant>,
+    write_armed: bool,
+}
+
+impl FanConn {
+    fn connect(addr: SocketAddr) -> FanConn {
+        let stream = TcpStream::connect(addr).expect("fan-in connect");
+        stream.set_nodelay(true).unwrap();
+        stream.set_nonblocking(true).unwrap();
+        FanConn {
+            stream,
+            asm: FrameAssembler::new(MAX_FRAME_LEN),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            write_armed: false,
+        }
+    }
+
+    /// Flush buffered request bytes; true if fully drained.
+    fn flush(&mut self) -> bool {
+        while self.out_pos < self.out.len() {
+            match (&self.stream).write(&self.out[self.out_pos..]) {
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) => panic!("fan-in write failed: {e}"),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        true
+    }
+}
+
+struct OpenLoopResult {
+    scenario: Scenario,
+    conns: usize,
+    threads_before: usize,
+    threads_after: usize,
+    churned: usize,
+    busy: u64,
+}
+
+/// The fan-in scenario: `conns` sessions held open at once, `senders` of
+/// them issuing autocommitted gets on a fixed schedule, idle conns
+/// churning underneath. Runs against its own server so the session cap
+/// can be sized to the herd.
+fn open_loop_scenario(quick: bool) -> OpenLoopResult {
+    let want_conns: usize = if quick { 1_000 } else { 10_000 };
+    let mut senders: usize = if quick { 64 } else { 256 };
+    let rate_per_sec: f64 = if quick { 2_000.0 } else { 5_000.0 };
+    let events_per_sender: usize = if quick { 100 } else { 200 };
+    let churn_batch: usize = if quick { 4 } else { 16 };
+
+    // Client + server fds live in this process: ~2 per connection.
+    let limit = raise_nofile_limit((2 * want_conns + 512) as u64);
+    let conns = want_conns.min(((limit.saturating_sub(256)) / 2) as usize);
+    if conns < want_conns {
+        eprintln!("open_loop: RLIMIT_NOFILE {limit} caps the herd at {conns} connections");
+    }
+    senders = senders.min(conns / 2).max(1);
+
+    let db = Database::open(DbConfig::in_memory()).unwrap();
+    let cfg = ServerConfig {
+        max_sessions: conns + 64,
+        worker_capacity: 4,
+        ..ServerConfig::default()
+    };
+    let srv = Server::start(&db, "127.0.0.1:0", cfg).unwrap();
+    let addr = srv.local_addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    let table = setup.open_table("fan_in").unwrap();
+    for i in 0..4096 {
+        setup.put(table, format!("f{i:06}").as_bytes(), &[b'v'; 64]).unwrap();
+    }
+    drop(setup);
+
+    let threads_before = os_threads();
+
+    // The herd: tokens 1..=conns. The first `senders` are active, the
+    // rest idle; churn recycles only idle tokens.
+    let poller = Poller::new().expect("bench poller");
+    let mut herd: HashMap<u64, FanConn> = HashMap::with_capacity(conns);
+    for t in 1..=conns as u64 {
+        let conn = FanConn::connect(addr);
+        poller.register(conn.stream.as_raw_fd(), t, Interest::READ).unwrap();
+        herd.insert(t, conn);
+    }
+    let threads_after = os_threads();
+
+    // Open-loop schedule: each sender fires every `period`, staggered so
+    // the aggregate rate is smooth rather than a phase-locked burst.
+    let period = Duration::from_secs_f64(senders as f64 / rate_per_sec);
+    let start = Instant::now();
+    let mut next_send: Vec<Instant> =
+        (0..senders).map(|i| start + period.mul_f64(i as f64 / senders as f64)).collect();
+    let mut sent = vec![0usize; senders];
+    let mut recvd = 0usize;
+    let total = senders * events_per_sender;
+
+    let mut lat: Vec<Duration> = Vec::with_capacity(total);
+    let mut busy = 0u64;
+    let mut churned = 0usize;
+    let mut churn_cursor = senders as u64 + 1;
+    let mut next_churn = start + Duration::from_millis(250);
+    let deadline = start + period.mul_f64(events_per_sender as f64) + Duration::from_secs(60);
+
+    let mut events = Vec::new();
+    let mut buf = [0u8; 16 << 10];
+    while recvd < total {
+        let now = Instant::now();
+        assert!(now < deadline, "open_loop wedged: {recvd}/{total} replies after {:?}", now - start);
+
+        // Readiness: drain replies, flush blocked request bytes.
+        let wait = next_send
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sent[*i] < events_per_sender)
+            .map(|(_, t)| t.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_millis(10));
+        let _ = poller.wait(&mut events, Some(wait.clamp(Duration::from_millis(1), Duration::from_millis(10))));
+        for &ev in &events {
+            let Some(conn) = herd.get_mut(&ev.token) else { continue };
+            if ev.writable && conn.flush() && conn.write_armed {
+                conn.write_armed = false;
+                poller.modify(conn.stream.as_raw_fd(), ev.token, Interest::READ).unwrap();
+            }
+            if ev.readable || ev.hangup {
+                loop {
+                    match (&conn.stream).read(&mut buf) {
+                        Ok(0) => panic!("server closed fan-in conn {}", ev.token),
+                        Ok(n) => conn.asm.feed(&buf[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) => panic!("fan-in read failed: {e}"),
+                    }
+                }
+                while let Some(payload) = conn.asm.next_frame().expect("reply frame") {
+                    let scheduled = conn.pending.pop_front().expect("reply matches a request");
+                    match Response::decode(&payload).expect("reply decodes") {
+                        Response::Value { .. } => {}
+                        Response::Busy => busy += 1,
+                        other => panic!("unexpected fan-in reply {other:?}"),
+                    }
+                    lat.push(scheduled.elapsed());
+                    recvd += 1;
+                }
+            }
+        }
+
+        // Scheduled sends: latency clocks start at the *scheduled* time
+        // even if the socket (or this loop) is running behind.
+        let now = Instant::now();
+        for s in 0..senders {
+            while sent[s] < events_per_sender && next_send[s] <= now {
+                let token = s as u64 + 1;
+                let conn = herd.get_mut(&token).expect("sender conn");
+                let key = format!("f{:06}", (s * events_per_sender + sent[s]) % 4096);
+                let req = Request::Get { table, key: key.into_bytes() };
+                write_frame(&mut conn.out, &req.encode()).unwrap();
+                conn.pending.push_back(next_send[s]);
+                if !conn.flush() && !conn.write_armed {
+                    conn.write_armed = true;
+                    poller.modify(conn.stream.as_raw_fd(), token, Interest::rw(true, true)).unwrap();
+                }
+                sent[s] += 1;
+                next_send[s] += period;
+            }
+        }
+
+        // Churn: retire a batch of idle connections and replace them.
+        if now >= next_churn && conns > senders {
+            next_churn = now + Duration::from_millis(250);
+            for _ in 0..churn_batch {
+                let victim = senders as u64 + 1 + (churn_cursor - senders as u64 - 1) % (conns - senders) as u64;
+                churn_cursor += 1;
+                if let Some(old) = herd.remove(&victim) {
+                    poller.deregister(old.stream.as_raw_fd()).unwrap();
+                    drop(old);
+                    let fresh = FanConn::connect(addr);
+                    poller.register(fresh.stream.as_raw_fd(), victim, Interest::READ).unwrap();
+                    herd.insert(victim, fresh);
+                    churned += 1;
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    drop(herd);
+
+    let retire = Instant::now() + Duration::from_secs(30);
+    while srv.stats().active_sessions != 0 {
+        assert!(Instant::now() < retire, "herd sessions failed to retire");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    srv.shutdown();
+    assert_eq!(srv.worker_pool().outstanding(), 0, "open_loop must not leak workers");
+
+    lat.sort();
+    OpenLoopResult {
+        scenario: Scenario { name: "open_loop_fan_in", ops: total as u64, elapsed, lat },
+        conns,
+        threads_before,
+        threads_after,
+        churned,
+        busy,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let conns = if quick { 2 } else { 4 };
@@ -220,6 +466,9 @@ fn main() {
         },
     ));
 
+    let fan_in = open_loop_scenario(quick);
+    scenarios.push(fan_in.scenario);
+
     // ---- report ------------------------------------------------------
     eprintln!(
         "\n{:<24} {:>12} {:>12} {:>12} {:>12} {:>14}",
@@ -264,8 +513,29 @@ fn main() {
     json.push_str("  ],\n");
     let sync_ops_s = scenarios[0].ops_per_sec();
     let _ = writeln!(json, "  \"sync_pipelined_ops_per_sec\": {sync_ops_s:.0},");
-    let _ = writeln!(json, "  \"sync_target_ops_per_sec\": 20000");
+    let _ = writeln!(json, "  \"sync_target_ops_per_sec\": 20000,");
+    let threads_per_conn =
+        (fan_in.threads_after.saturating_sub(fan_in.threads_before)) as f64 / fan_in.conns as f64;
+    json.push_str("  \"open_loop\": {\n");
+    let _ = writeln!(json, "    \"conns\": {},", fan_in.conns);
+    let _ = writeln!(json, "    \"threads_before\": {},", fan_in.threads_before);
+    let _ = writeln!(json, "    \"threads_after\": {},", fan_in.threads_after);
+    let _ = writeln!(json, "    \"threads_per_conn\": {threads_per_conn:.6},");
+    let _ = writeln!(json, "    \"churned\": {},", fan_in.churned);
+    let _ = writeln!(json, "    \"busy\": {}", fan_in.busy);
+    json.push_str("  }\n");
     json.push_str("}\n");
+    eprintln!(
+        "open_loop: {} conns, threads {} -> {} ({:.6} per conn), {} churned, {} busy",
+        fan_in.conns, fan_in.threads_before, fan_in.threads_after, threads_per_conn,
+        fan_in.churned, fan_in.busy
+    );
+    assert!(
+        fan_in.threads_after.saturating_sub(fan_in.threads_before) <= 16,
+        "thread count grew with connections: {} -> {}",
+        fan_in.threads_before,
+        fan_in.threads_after
+    );
 
     srv.shutdown();
     assert_eq!(srv.stats().active_sessions, 0, "bench must not leak sessions");

@@ -3,25 +3,35 @@
 //! Everything the embedded engine exposes in-process, over a socket:
 //!
 //! * [`protocol`] — the framed, checksummed wire format (length-prefixed
-//!   payload + CRC-32), request/response codecs, and hardening against
-//!   malformed input.
-//! * [`Server`] — a TCP acceptor with one thread per session, a bounded
-//!   [`WorkerPool`](ermia::WorkerPool) mapping sessions to engine
-//!   workers per transaction, explicit `Busy` load shedding, pipelined
-//!   replies through a per-connection writer thread, and graceful
+//!   payload + CRC-32), request/response codecs, an incremental
+//!   [`FrameAssembler`](protocol::FrameAssembler) for non-blocking
+//!   transports, and hardening against malformed input.
+//! * [`poll`] — a std-only epoll shim (raw syscalls against the libc
+//!   std already links): readiness poller, cross-thread wake fd, and an
+//!   `RLIMIT_NOFILE` helper for high-fan-in harnesses.
+//! * [`Server`] — an event-driven TCP front end: N epoll shards each
+//!   multiplexing thousands of non-blocking sessions, a bounded
+//!   [`WorkerPool`](ermia::WorkerPool) mapping requests to engine
+//!   workers per transaction, explicit `Busy` load shedding, in-order
+//!   pipelined replies with write-interest-driven partial-write state,
+//!   per-shard durability parkers for sync commits, and graceful
 //!   shutdown that drains in-flight commits.
 //! * [`Client`] — a pipelined client library used by the loopback bench
 //!   harness and the examples.
 //!
 //! The layer is std-only (plus the workspace's vendored `parking_lot`):
-//! no async runtime, no serialization framework. Threads and blocking
-//! sockets keep the latency path legible — the interesting concurrency
-//! lives in the engine, not the front-end.
+//! no async runtime, no serialization framework, no `libc` crate.
+//! Threads scale with shards + workers, never with connections — the
+//! engine, not the front end, is meant to be the bottleneck.
 
 pub mod client;
+pub mod poll;
 pub mod protocol;
+
+mod conn;
 mod server;
 mod session;
+mod sys;
 
 pub use client::{Client, ClientError, ClientResult, RetryPolicy};
 pub use protocol::{BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation};

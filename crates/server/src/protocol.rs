@@ -173,6 +173,91 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Vec<u8>, FrameError
     Ok(payload)
 }
 
+/// Incremental frame decoder for non-blocking transports.
+///
+/// Bytes arrive in arbitrary readiness-sized chunks via [`FrameAssembler::feed`];
+/// [`FrameAssembler::next_frame`] yields each complete payload exactly as
+/// [`read_frame`] would have, enforcing the length cap *before* the body
+/// is buffered and verifying the checksum once the trailer lands. Errors
+/// are sticky in the same sense as a blocking stream: the caller is
+/// expected to drop the connection, not resynchronize.
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` — compacted lazily to amortize the memmove.
+    pos: usize,
+    max_len: u32,
+}
+
+impl FrameAssembler {
+    pub fn new(max_len: u32) -> FrameAssembler {
+        FrameAssembler { buf: Vec::new(), pos: 0, max_len }
+    }
+
+    /// Append newly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing so a long-lived session doesn't drag the
+        // consumed prefix of every previous frame behind it.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the unconsumed bytes out of the assembler (used when a
+    /// connection switches modes, e.g. the HTTP sniff path).
+    pub fn take_buffered(&mut self) -> Vec<u8> {
+        let rest = self.buf[self.pos..].to_vec();
+        self.buf.clear();
+        self.pos = 0;
+        rest
+    }
+
+    /// Whether [`FrameAssembler::next_frame`] would make progress right
+    /// now — a complete frame is buffered, or an error is detectable.
+    pub fn has_frame(&self) -> bool {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return false;
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len == 0 || len > self.max_len {
+            return true; // next_frame will surface the BadLength
+        }
+        avail.len() >= 4 + len as usize + 4
+    }
+
+    /// Pop the next complete frame payload, `Ok(None)` if more bytes are
+    /// needed, or the same `FrameError` the blocking reader would raise.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len == 0 || len > self.max_len {
+            return Err(FrameError::BadLength(len));
+        }
+        let total = 4 + len as usize + 4;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len as usize].to_vec();
+        let got = u32::from_le_bytes(avail[4 + len as usize..total].try_into().unwrap());
+        let expect = crc32(&payload);
+        if got != expect {
+            return Err(FrameError::BadChecksum { expect, got });
+        }
+        self.pos += total;
+        Ok(Some(payload))
+    }
+}
+
 // ---------------------------------------------------------------------
 // Primitive (de)serialization
 // ---------------------------------------------------------------------
@@ -938,6 +1023,64 @@ mod tests {
                 other => panic!("truncation at {cut} not caught: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn assembler_matches_one_shot_reader_at_every_split() {
+        let payloads = [
+            Request::Ping.encode(),
+            Request::Get { table: 3, key: b"split-me".to_vec() }.encode(),
+            Request::Put { table: 3, key: b"k".to_vec(), value: vec![0xAB; 300] }.encode(),
+        ];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        for cut in 0..=wire.len() {
+            let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+            asm.feed(&wire[..cut]);
+            asm.feed(&wire[cut..]);
+            let mut got = Vec::new();
+            while let Some(p) = asm.next_frame().unwrap() {
+                got.push(p);
+            }
+            assert_eq!(got.len(), payloads.len(), "split at {cut}");
+            for (g, p) in got.iter().zip(&payloads) {
+                assert_eq!(g, p, "split at {cut}");
+            }
+            assert_eq!(asm.buffered(), 0);
+        }
+        // Byte-at-a-time: the pathological readiness pattern.
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        let mut got = 0usize;
+        for b in &wire {
+            asm.feed(std::slice::from_ref(b));
+            while let Some(p) = asm.next_frame().unwrap() {
+                assert_eq!(p, payloads[got]);
+                got += 1;
+            }
+        }
+        assert_eq!(got, payloads.len());
+    }
+
+    #[test]
+    fn assembler_raises_the_same_errors_as_the_blocking_reader() {
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        asm.feed(&u32::MAX.to_le_bytes());
+        assert!(matches!(asm.next_frame(), Err(FrameError::BadLength(u32::MAX))));
+
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        asm.feed(&0u32.to_le_bytes());
+        assert!(matches!(asm.next_frame(), Err(FrameError::BadLength(0))));
+
+        let payload = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let n = wire.len();
+        wire[n - 1] ^= 0x01;
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        asm.feed(&wire);
+        assert!(matches!(asm.next_frame(), Err(FrameError::BadChecksum { .. })));
     }
 
     #[test]

@@ -1,25 +1,25 @@
-//! The TCP server: acceptor, admission control, graceful shutdown.
+//! The TCP server: shard fleet, admission control, graceful shutdown.
 //!
-//! One acceptor thread owns the listening socket. Each accepted
-//! connection gets a session thread (see [`crate::session`]); engine
-//! workers are a separate, much smaller resource managed by the shared
-//! [`WorkerPool`]. Admission control happens at two levels:
+//! The service layer is event-driven: [`ServerConfig::shards`] event
+//! loops (see [`crate::session`]) multiplex every connection over epoll,
+//! so OS threads scale with shards + engine workers + one durability
+//! parker per shard — never with connections. Shard 0 owns the
+//! non-blocking listener. Admission control happens at two levels:
 //!
 //! 1. **Connection count** — beyond [`ServerConfig::max_sessions`] the
-//!    acceptor writes a single [`Response::Busy`] frame and closes; no
-//!    session thread is spawned.
-//! 2. **Worker checkout** — a session that cannot get a worker within
-//!    [`ServerConfig::checkout_wait`] replies `Busy` for that request
-//!    and keeps the connection.
+//!    accepting shard writes a single [`Response::Busy`] frame and
+//!    closes; the connection never enters an event loop.
+//! 2. **Worker checkout** — a request that cannot get a worker within
+//!    [`ServerConfig::checkout_wait`] gets `Busy` for that request and
+//!    keeps the connection.
 //!
-//! Shutdown is cooperative: [`Server::shutdown`] raises a flag, nudges
-//! the acceptor awake with a loopback connect, and joins every session.
-//! Sessions notice the flag at their next read-poll boundary, abort any
-//! open transaction, and let their writer thread drain queued replies —
-//! so a sync commit whose group-commit flush is in flight still gets its
-//! `Committed` frame before the socket closes.
+//! Shutdown is cooperative and wake-fd driven: [`Server::shutdown`]
+//! raises a flag and rings every shard's event fd. Shards close the
+//! listener, serve a short quiet window so frames already flushed by
+//! clients still get replies — including sync commits whose group-commit
+//! flush is in flight — then abort what remains and drain outbound
+//! queues before closing.
 
-use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -29,18 +29,21 @@ use ermia::{Database, WorkerPool};
 use ermia_telemetry::{EventRing, Sample};
 use parking_lot::Mutex;
 
-use crate::protocol::{write_frame, Response, MAX_FRAME_LEN};
-use crate::session::run_session;
+use crate::poll::WakeFd;
+use crate::protocol::MAX_FRAME_LEN;
+use crate::session::{run_parker, run_shard, Completion, ParkJob};
 
 /// Tunables for one server instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Concurrent connections admitted before the acceptor sheds load.
     pub max_sessions: usize,
+    /// Event-loop shards multiplexing the admitted connections.
+    pub shards: usize,
     /// Engine workers shared by all sessions (the real concurrency bound).
     pub worker_capacity: usize,
-    /// Replies buffered per connection before the session thread blocks
-    /// (backpressure toward the client that stops reading).
+    /// Replies buffered per connection before the server stops reading
+    /// from it (backpressure toward the client that stops reading).
     pub reply_queue_depth: usize,
     /// How long a request waits for a pooled worker before `Busy`.
     pub checkout_wait: Duration,
@@ -49,15 +52,18 @@ pub struct ServerConfig {
     pub sync_wait: Duration,
     /// Largest accepted frame (guards allocation on untrusted input).
     pub max_frame_len: u32,
-    /// Granularity at which blocked reads re-check the shutdown flag.
+    /// Quiet-window granularity for the shutdown drain: the window
+    /// extends by this much each time in-flight frames keep arriving.
     pub shutdown_poll: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
         ServerConfig {
             max_sessions: 1024,
-            worker_capacity: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            shards: cores.min(8),
+            worker_capacity: cores,
             reply_queue_depth: 128,
             checkout_wait: Duration::from_millis(100),
             sync_wait: Duration::from_secs(5),
@@ -78,8 +84,8 @@ pub(crate) struct Stats {
     pub frames_processed: AtomicU64,
     pub commits: AtomicU64,
     pub disconnect_aborts: AtomicU64,
-    /// Replies currently sitting in per-connection reply queues (summed
-    /// across sessions; the telemetry reply-queue-depth gauge).
+    /// Replies currently sitting in per-connection outbound queues
+    /// (summed across sessions; the telemetry reply-queue-depth gauge).
     pub queued_replies: AtomicUsize,
 }
 
@@ -96,16 +102,50 @@ pub struct StatsSnapshot {
     pub disconnect_aborts: u64,
 }
 
-/// Shared between the acceptor, sessions, and the handle.
+/// Per-shard occupancy and churn counters.
+#[derive(Default)]
+pub(crate) struct ShardStats {
+    /// Connections currently owned by this shard.
+    pub sessions: AtomicUsize,
+    /// Times the shard's epoll wait returned.
+    pub epoll_wakeups: AtomicU64,
+    /// Writes that could not complete in one syscall.
+    pub partial_writes: AtomicU64,
+    /// Requests parked waiting for an engine worker.
+    pub run_queue: AtomicUsize,
+}
+
+/// Cross-thread surface of one shard: how the accepting shard, the
+/// durability parker, and `Server::shutdown` reach its event loop.
+pub(crate) struct ShardHandle {
+    /// Rings the shard's epoll wait.
+    pub wake: Arc<WakeFd>,
+    /// Connections handed over by the accepting shard.
+    pub inbox: Mutex<Vec<TcpStream>>,
+    /// Resolved durability waits from the shard's parker.
+    pub completions: Mutex<Vec<Completion>>,
+    /// Intake of the shard's durability parker; `None` once the shard
+    /// cut over to shutdown (which is what lets the parker exit).
+    pub park_tx: Mutex<Option<std::sync::mpsc::Sender<ParkJob>>>,
+    /// Sync commits whose inline durability probe missed; the shard
+    /// re-probes them at the end of the loop turn (one group-commit
+    /// flush usually lands in between) before paying the parker handoff.
+    pub deferred: Mutex<Vec<ParkJob>>,
+    pub stats: ShardStats,
+}
+
+/// Shared between shards, parkers, and the handle.
 pub(crate) struct ServerState {
     pub db: Database,
     pub cfg: ServerConfig,
     pub pool: WorkerPool,
     pub shutdown: AtomicBool,
     pub stats: Stats,
+    pub shards: Vec<ShardHandle>,
     /// Flight-recorder ring for service-layer incidents (log stalls and
-    /// poison observed on writer threads). Long-lived so the events stay
-    /// in `DumpEvents` reports after the incident.
+    /// poison observed on parker threads, session park/resume). Long-
+    /// lived so the events stay in `DumpEvents` reports after the
+    /// incident.
     pub svc_ring: Arc<EventRing>,
     /// Collector group in the database's registry; unregistered at
     /// shutdown.
@@ -116,7 +156,7 @@ pub(crate) struct ServerState {
 pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
-    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    threads: Mutex<Option<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -125,6 +165,21 @@ impl Server {
     pub fn start(db: &Database, addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let shard_count = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut park_rxs = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (tx, rx) = std::sync::mpsc::channel::<ParkJob>();
+            park_rxs.push(rx);
+            shards.push(ShardHandle {
+                wake: Arc::new(WakeFd::new()?),
+                inbox: Mutex::new(Vec::new()),
+                completions: Mutex::new(Vec::new()),
+                park_tx: Mutex::new(Some(tx)),
+                deferred: Mutex::new(Vec::new()),
+                stats: ShardStats::default(),
+            });
+        }
         let telemetry_group = db.telemetry().registry().group();
         let state = Arc::new(ServerState {
             db: db.clone(),
@@ -132,6 +187,7 @@ impl Server {
             cfg,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
+            shards,
             svc_ring: db.telemetry().flight().ring(),
             telemetry_group,
         });
@@ -143,11 +199,24 @@ impl Server {
                 collect_server(&s, out);
             }
         });
-        let accept_state = Arc::clone(&state);
-        let acceptor = std::thread::Builder::new()
-            .name("ermia-acceptor".into())
-            .spawn(move || accept_loop(accept_state, listener))?;
-        Ok(Server { state, addr: local, acceptor: Mutex::new(Some(acceptor)) })
+        let mut threads = Vec::with_capacity(shard_count * 2);
+        for (i, rx) in park_rxs.into_iter().enumerate() {
+            let shard_state = Arc::clone(&state);
+            let shard_listener = if i == 0 { Some(listener.try_clone()?) } else { None };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ermia-shard-{i}"))
+                    .spawn(move || run_shard(shard_state, i, shard_listener))?,
+            );
+            let parker_state = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ermia-parker-{i}"))
+                    .spawn(move || run_parker(parker_state, i, rx))?,
+            );
+        }
+        drop(listener); // shard 0 holds the only remaining handle
+        Ok(Server { state, addr: local, threads: Mutex::new(Some(threads)) })
     }
 
     /// The bound address (useful with port 0).
@@ -174,7 +243,7 @@ impl Server {
         }
     }
 
-    /// Stop accepting, wake every session, and wait for them to finish —
+    /// Stop accepting, wake every shard, and wait for them to finish —
     /// including draining queued sync-commit replies. Idempotent.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::Release);
@@ -183,12 +252,14 @@ impl Server {
         let telemetry = self.state.db.telemetry();
         telemetry.registry().unregister_group(self.state.telemetry_group);
         telemetry.flight().retire(&self.state.svc_ring);
-        // The acceptor blocks in `accept`; a throwaway connect unblocks it
-        // so it can observe the flag. Best effort: if the listener is
-        // already gone, so is the acceptor.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.lock().take() {
-            let _ = h.join();
+        // Every shard blocks in epoll_wait; its event fd gets it moving.
+        for shard in &self.state.shards {
+            shard.wake.wake();
+        }
+        if let Some(threads) = self.threads.lock().take() {
+            for h in threads {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -199,8 +270,8 @@ impl Drop for Server {
     }
 }
 
-/// Emit the service-layer samples (server counters, queue depth, worker
-/// pool occupancy) into a registry render.
+/// Emit the service-layer samples (server counters, queue depth, shard
+/// occupancy, worker pool) into a registry render.
 fn collect_server(state: &ServerState, out: &mut Vec<Sample>) {
     let s = &state.stats;
     let c = |name, help, v: &AtomicU64| Sample::counter(name, help, v.load(Ordering::Relaxed));
@@ -249,6 +320,50 @@ fn collect_server(state: &ServerState, out: &mut Vec<Sample>) {
         "Replies queued toward clients across all sessions.",
         s.queued_replies.load(Ordering::Relaxed) as f64,
     ));
+    out.push(Sample::gauge(
+        "ermia_server_shards",
+        "Event-loop shards multiplexing connections.",
+        state.shards.len() as f64,
+    ));
+    let shard_sessions_help = "Connections currently owned by the shard.";
+    let wakeups_help = "Times the shard's epoll wait returned.";
+    let partial_help = "Reply writes that could not complete in one syscall.";
+    let run_queue_help = "Requests parked on the shard waiting for an engine worker.";
+    for (i, sh) in state.shards.iter().enumerate() {
+        let label = i.to_string();
+        out.push(
+            Sample::gauge(
+                "ermia_server_shard_sessions",
+                shard_sessions_help,
+                sh.stats.sessions.load(Ordering::Relaxed) as f64,
+            )
+            .labeled("shard", label.clone()),
+        );
+        out.push(
+            Sample::counter(
+                "ermia_server_epoll_wakeups_total",
+                wakeups_help,
+                sh.stats.epoll_wakeups.load(Ordering::Relaxed),
+            )
+            .labeled("shard", label.clone()),
+        );
+        out.push(
+            Sample::counter(
+                "ermia_server_partial_writes_total",
+                partial_help,
+                sh.stats.partial_writes.load(Ordering::Relaxed),
+            )
+            .labeled("shard", label.clone()),
+        );
+        out.push(
+            Sample::gauge(
+                "ermia_server_run_queue_depth",
+                run_queue_help,
+                sh.stats.run_queue.load(Ordering::Relaxed) as f64,
+            )
+            .labeled("shard", label),
+        );
+    }
     let pool = &state.pool;
     let workers_help = "Engine workers in the shared pool, by state.";
     out.push(
@@ -269,47 +384,4 @@ fn collect_server(state: &ServerState, out: &mut Vec<Sample>) {
         "Workers ever constructed by the pool.",
         pool.created() as u64,
     ));
-}
-
-fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
-    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    loop {
-        let stream = match listener.accept() {
-            Ok((s, _)) => s,
-            Err(_) => {
-                if state.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                continue;
-            }
-        };
-        if state.shutdown.load(Ordering::Acquire) {
-            break; // the wake-up connect (or a late client) during shutdown
-        }
-        // Reap finished sessions so the handle list doesn't grow without
-        // bound on long-running servers.
-        sessions.retain(|h| !h.is_finished());
-        if state.stats.active_sessions.load(Ordering::Relaxed) >= state.cfg.max_sessions {
-            state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
-            let mut w = BufWriter::new(stream);
-            let _ = write_frame(&mut w, &Response::Busy.encode());
-            continue; // drop closes the connection after the Busy frame
-        }
-        let session_state = Arc::clone(&state);
-        match std::thread::Builder::new()
-            .name("ermia-session".into())
-            .spawn(move || run_session(session_state, stream))
-        {
-            Ok(h) => sessions.push(h),
-            Err(_) => {
-                // Thread exhaustion: shed this connection.
-                state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-    // Graceful drain: every session notices the flag within one poll
-    // interval, finishes its in-flight reply traffic, and exits.
-    for h in sessions {
-        let _ = h.join();
-    }
 }

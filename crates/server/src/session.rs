@@ -1,189 +1,1051 @@
-//! Sessions: one connection, one state machine, zero leaks.
+//! Event-loop shards: thousands of sessions, a handful of threads.
 //!
-//! # Lifecycle
+//! # Shape
 //!
-//! A session binds a TCP connection to the engine through the server's
-//! bounded [`WorkerPool`](ermia::WorkerPool). Workers are checked out
-//! per *transaction* (`Begin`…`Commit`/`Abort`, a one-shot `Batch`, or a
-//! single autocommitted operation), not per connection, so thousands of
-//! mostly-idle connections share a pool sized near the core count. When
-//! no worker frees up within the admission window the session replies
-//! [`Response::Busy`] — explicit load shedding, never an unbounded queue.
+//! The server runs N shards, each a single thread around an epoll
+//! [`Poller`]. A shard multiplexes every connection assigned to it:
+//! non-blocking reads feed a per-connection [`FrameAssembler`]
+//! (incremental decode — no blocking `read_exact`), decoded requests
+//! dispatch against the engine through the shared
+//! [`WorkerPool`](ermia::WorkerPool), and replies flush through a
+//! bounded per-connection outbound queue with write-interest-driven
+//! partial-write state. Shard 0 additionally owns the (non-blocking)
+//! listener; admission control happens at accept and connections are
+//! handed round-robin to the other shards through a mailbox + wake fd.
 //!
-//! # Teardown invariant
+//! # Workers and the run queue
 //!
-//! The transaction object borrows the checked-out worker and lives on
-//! the session thread's stack, scoped to the transaction loop. *Any*
-//! exit from that scope — clean commit, explicit abort, client
-//! disconnect mid-transaction, a malformed frame, server shutdown —
-//! drops the `Transaction` (which aborts it, releasing its TID context
-//! slot and epoch pin) and then the `PooledWorker` guard (which returns
-//! the worker). Nothing is leaked because nothing *can* leak: cleanup is
-//! Rust drop order, not bookkeeping.
+//! Workers are checked out per *transaction* (`Begin`…`Commit`/`Abort`,
+//! a one-shot `Batch`, or a single autocommitted operation), never per
+//! connection. A request that finds the pool empty parks the connection
+//! on the shard's run queue (reads paused so pipelining stays ordered);
+//! the shard retries on a millisecond tick until a worker frees up or
+//! the admission window lapses into a `Busy` reply. An interactive
+//! transaction pins its worker across readiness events via
+//! [`OpenTxn`]; every exit path — commit, abort, disconnect mid-txn,
+//! malformed frame, shutdown — drops the transaction (aborting it) and
+//! returns the worker. Nothing leaks because cleanup is drop order, not
+//! bookkeeping.
 //!
-//! # Pipelining
+//! # Durability parker
 //!
-//! Replies travel through a bounded queue to a per-connection writer
-//! thread. A synchronous commit enqueues a [`Reply::Durable`] carrying
-//! its [`CommitToken`]; the writer awaits group commit while the session
-//! thread is already reading the next frame. Replies stay in order
-//! because there is exactly one queue. If the durability wait times out
-//! the writer sends the typed [`ErrorCode::LogStalled`] — the commit is
-//! applied in memory, its on-disk fate indeterminate until restart
-//! recovery.
+//! A synchronous commit must not pin a thread while group commit
+//! fsyncs. `commit_deferred` yields a [`CommitToken`]; the connection
+//! queues an in-order placeholder reply and posts the token to the
+//! shard's durability parker — one thread per shard that resolves
+//! waits FIFO against absolute deadlines (enqueue time + `sync_wait`,
+//! so concurrent stalls share one window) and posts the finished frame
+//! back through the shard's completion mailbox + wake fd. A stalled
+//! log therefore parks sessions, not threads, and the client gets the
+//! typed [`ErrorCode::LogStalled`] when the window lapses.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`](crate::Server::shutdown) raises the flag and
+//! wakes every shard's event fd — no loopback connects, no read
+//! timeouts. Each shard closes the listener, drains a quiet window so
+//! already-flushed client frames still get served, aborts what remains
+//! (`ShuttingDown` frames to open transactions), flushes outbound
+//! queues — including parked sync commits resolving through the parker
+//! — and joins.
 
-use std::io::{BufWriter, Read, Write};
-use std::net::TcpStream;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use ermia::{IsolationLevel, PooledWorker, Transaction};
-use ermia_common::{AbortReason, LogError, TableId};
+use ermia::{CommitToken, IsolationLevel, PooledWorker};
+use ermia_common::LogError;
 use ermia_telemetry::EventKind;
 
-use crate::protocol::{
-    write_frame, BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation,
+use crate::conn::{
+    aborted, engine_isolation, exec_batch_op, exec_request_op, frame_bytes, Conn, FlushState,
+    Mode, OpenTxn, Out, PendingWork, Waiting, MAX_HTTP_HEAD,
 };
-use crate::server::ServerState;
+use crate::poll::{Event, Interest, Poller};
+use crate::protocol::{write_frame, BatchOp, ErrorCode, Request, Response};
+use crate::server::{ServerState, ShardHandle};
 
 /// Events returned by a `DumpEvents` frame that asks for the server
 /// default (`max == 0`), and the size of the dump captured when a
 /// durability incident is first observed.
 const DEFAULT_DUMP_EVENTS: usize = 128;
 
-/// Accumulation cap for a sniffed HTTP request head.
-const MAX_HTTP_HEAD: usize = 8 * 1024;
+const TOK_WAKE: u64 = 0;
+const TOK_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
 
-/// One queued reply.
-pub(crate) enum Reply {
-    /// Pre-encoded response payload, ready to write.
-    Now(Vec<u8>),
-    /// A sync commit: await durability, then reply `Committed` or a typed
-    /// log error. For a batch, the per-op results ride along and the
-    /// outcome lands in the `BatchDone` frame.
-    Durable { token: ermia::CommitToken, batch: Option<Vec<Response>> },
+/// A sync commit handed to the durability parker.
+pub(crate) struct ParkJob {
+    pub conn: u64,
+    pub seq: u64,
+    pub token: CommitToken,
+    /// Batch per-op results that ride along into the `BatchDone` frame.
+    pub batch: Option<Vec<Response>>,
+    pub enqueued: Instant,
 }
 
-/// Why the session ended (all paths release everything on the way out).
-enum End {
-    Disconnected,
-    Shutdown,
-    /// Protocol violation: error sent (best effort), connection closed.
-    Protocol,
+/// A resolved durability wait, posted back to the owning shard.
+pub(crate) struct Completion {
+    pub conn: u64,
+    pub seq: u64,
+    pub bytes: Vec<u8>,
 }
 
-type SessionResult = Result<(), End>;
-
-/// Entry point: serve one connection until it ends, then account for it.
-pub(crate) fn run_session(state: Arc<ServerState>, stream: TcpStream) {
-    state.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
-    state.stats.active_sessions.fetch_add(1, Ordering::Relaxed);
-    // Accounting on every exit path, including panics in the handler.
-    struct Account<'a>(&'a ServerState);
-    impl Drop for Account<'_> {
-        fn drop(&mut self) {
-            self.0.stats.active_sessions.fetch_sub(1, Ordering::Relaxed);
-            self.0.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    let _account = Account(&state);
-
-    let _ = stream.set_nodelay(true);
-    // The read timeout doubles as the shutdown poll interval.
-    let _ = stream.set_read_timeout(Some(state.cfg.shutdown_poll));
-
-    // Protocol sniff: the first four bytes are either a frame length
-    // prefix or the start of an HTTP request line. `"GET "` as a frame
-    // length would be ~0.5 GiB — far past `max_frame_len` — so the two
-    // grammars cannot collide. This lets Prometheus scrape the wire port
-    // directly with no second listener.
-    let mut first4 = [0u8; 4];
-    if read_exact_poll(&state, &stream, &mut first4).is_err() {
-        return;
-    }
-    if &first4 == b"GET " {
-        serve_http(&state, &stream);
-        return;
-    }
-
-    let Ok(write_half) = stream.try_clone() else { return };
-    let (tx, rx) = std::sync::mpsc::sync_channel::<Reply>(state.cfg.reply_queue_depth);
-    let writer_state = Arc::clone(&state);
-    let writer = std::thread::Builder::new()
-        .name("ermia-conn-writer".into())
-        .spawn(move || writer_loop(writer_state, write_half, rx))
-        .expect("spawn writer");
-
-    let mut session = Session { state: &state, stream: &stream, tx, preread: Some(first4) };
-    let _ = session.serve();
-    drop(session); // closes the reply queue; the writer drains and exits
-    let _ = writer.join();
+enum Phase {
+    Running,
+    /// Shutdown observed: listener closed, still serving frames already
+    /// in flight. Once `soft` passes, idle connections quiesce each tick
+    /// (aborting their open transactions, which frees their workers for
+    /// connections still working through a backlog); `hard` caps the
+    /// window against a client that never stops sending.
+    Drain { soft: Instant, hard: Instant },
+    /// Reads cut off; flushing outbound queues (and parked commits).
+    Flush { deadline: Instant },
 }
 
-/// The writer half: drains the reply queue in order, resolving durable
-/// waits as it goes, flushing when the queue runs momentarily dry.
-fn writer_loop(state: Arc<ServerState>, stream: TcpStream, rx: Receiver<Reply>) {
-    let dequeued = || {
-        state.stats.queued_replies.fetch_sub(1, Ordering::Relaxed);
-    };
-    let mut w = BufWriter::new(stream);
-    'outer: while let Ok(mut reply) = rx.recv() {
-        dequeued();
-        loop {
-            let payload = match reply {
-                Reply::Now(p) => p,
-                Reply::Durable { token, batch } => {
-                    let outcome = match token.wait_durable(&state.db, state.cfg.sync_wait) {
-                        Ok(()) => Response::Committed { lsn: token.lsn().raw() },
-                        Err(LogError::Timeout) => {
-                            record_log_incident(
-                                &state,
-                                EventKind::LogStall,
-                                state.cfg.sync_wait.as_millis() as u64,
-                            );
-                            Response::Error {
-                                code: ErrorCode::LogStalled,
-                                detail: "durability wait timed out; commit fate indeterminate"
-                                    .into(),
-                            }
-                        }
-                        Err(e @ LogError::Poisoned { .. }) => {
-                            record_log_incident(&state, EventKind::LogPoison, 1);
-                            Response::Error { code: ErrorCode::LogFailed, detail: e.to_string() }
-                        }
-                    };
-                    match batch {
-                        Some(results) => {
-                            Response::BatchDone { results, outcome: Box::new(outcome) }.encode()
-                        }
-                        None => outcome.encode(),
+/// One shard's event loop. `listener` is `Some` only for shard 0.
+pub(crate) fn run_shard(state: Arc<ServerState>, idx: usize, mut listener: Option<TcpListener>) {
+    let handle = &state.shards[idx];
+    let poller = Poller::new().expect("epoll_create1");
+    poller
+        .register(
+            handle.wake.as_raw_fd(),
+            TOK_WAKE,
+            Interest { readable: true, writable: false, edge: true },
+        )
+        .expect("register wake fd");
+    if let Some(l) = &listener {
+        l.set_nonblocking(true).expect("non-blocking listener");
+        poller.register(l.as_raw_fd(), TOK_LISTENER, Interest::READ).expect("register listener");
+    }
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut rr = 0usize; // round-robin accept target (shard 0 only)
+    let mut events: Vec<Event> = Vec::new();
+    let mut phase = Phase::Running;
+
+    loop {
+        let now = Instant::now();
+        let timeout = match &phase {
+            Phase::Running => {
+                if handle.stats.run_queue.load(Ordering::Relaxed) > 0 {
+                    // Worker-checkout retry tick.
+                    Some(Duration::from_millis(1))
+                } else {
+                    None
+                }
+            }
+            Phase::Drain { soft, .. } => Some(
+                soft.saturating_duration_since(now)
+                    .clamp(Duration::from_millis(1), Duration::from_millis(25)),
+            ),
+            Phase::Flush { deadline } => {
+                Some(deadline.saturating_duration_since(now).min(Duration::from_millis(100)))
+            }
+        };
+        let _ = poller.wait(&mut events, timeout);
+        handle.stats.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+
+        let mut touched: Vec<u64> = Vec::new();
+        let mut to_close: Vec<u64> = Vec::new();
+
+        for &ev in &events {
+            match ev.token {
+                TOK_WAKE => handle.wake.drain(),
+                TOK_LISTENER => {
+                    if let Some(l) = &listener {
+                        accept_burst(&state, &poller, l, &mut conns, &mut next_token, &mut rr);
                     }
                 }
-            };
-            if write_frame(&mut w, &payload).is_err() {
-                break 'outer; // client gone; the reader will notice EOF
-            }
-            // Keep writing while more replies are ready; flush on a lull.
-            match rx.try_recv() {
-                Ok(next) => {
-                    dequeued();
-                    reply = next;
+                t => {
+                    let Some(conn) = conns.get_mut(&t) else { continue };
+                    touched.push(t);
+                    if handle_conn_event(&state, handle, conn, ev) {
+                        to_close.push(t);
+                    }
                 }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
-        if w.flush().is_err() {
+
+        // Connections handed over from the accepting shard.
+        let inbound: Vec<TcpStream> = {
+            let mut inbox = handle.inbox.lock();
+            if inbox.is_empty() { Vec::new() } else { std::mem::take(&mut *inbox) }
+        };
+        for stream in inbound {
+            if matches!(phase, Phase::Running) {
+                if let Some(t) = admit(&state, handle, &poller, &mut conns, &mut next_token, stream)
+                {
+                    touched.push(t);
+                }
+            } else {
+                // Accepted just before shutdown: account and drop.
+                state.stats.active_sessions.fetch_sub(1, Ordering::Relaxed);
+                state.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Resolved durability waits.
+        let comps: Vec<Completion> = {
+            let mut c = handle.completions.lock();
+            if c.is_empty() { Vec::new() } else { std::mem::take(&mut *c) }
+        };
+        for c in comps {
+            let Some(conn) = conns.get_mut(&c.conn) else { continue };
+            conn.complete(c.seq, c.bytes);
+            touched.push(c.conn);
+            if service(&state, handle, conn) {
+                to_close.push(c.conn);
+            }
+        }
+
+        // Run-queue retries: hand freed workers to parked requests, or
+        // turn lapsed admission windows into `Busy`.
+        if handle.stats.run_queue.load(Ordering::Relaxed) > 0 {
+            let now = Instant::now();
+            let waiters: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.waiting.is_some())
+                .map(|(t, _)| *t)
+                .collect();
+            for t in waiters {
+                let Some(conn) = conns.get_mut(&t) else { continue };
+                let deadline = conn.waiting.as_ref().expect("waiting").deadline;
+                let resolved = if now >= deadline {
+                    conn.waiting = None;
+                    state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                    conn.push(&state, Response::Busy);
+                    true
+                } else if let Some(w) = state.pool.try_checkout() {
+                    let work = conn.waiting.take().expect("waiting").work;
+                    start_work(&state, handle, conn, work, w);
+                    true
+                } else {
+                    false
+                };
+                if resolved {
+                    handle.stats.run_queue.fetch_sub(1, Ordering::Relaxed);
+                    touched.push(t);
+                    if service(&state, handle, conn) {
+                        to_close.push(t);
+                    }
+                }
+            }
+        }
+
+        // Second-chance durability probes for this turn's sync commits.
+        // Serving a resolved commit can unblock further frames that park
+        // again, so drain until empty — later passes forward their
+        // misses to the parker, so this terminates and the loop never
+        // sleeps on an unforwarded job.
+        loop {
+            drain_deferred(&state, handle, &mut conns, &mut touched, &mut to_close);
+            if handle.deferred.lock().is_empty() {
+                break;
+            }
+        }
+
+        to_close.sort_unstable();
+        to_close.dedup();
+        for t in &to_close {
+            if let Some(c) = conns.remove(t) {
+                close_conn(&state, handle, &poller, c);
+            }
+        }
+
+        // Re-arm interest for everything we touched and kept.
+        touched.sort_unstable();
+        touched.dedup();
+        for t in touched {
+            let Some(conn) = conns.get_mut(&t) else { continue };
+            let blocked = matches!(conn.out.front(), Some(Out::Bytes(_)));
+            let want = conn.desired_interest(blocked, state.cfg.reply_queue_depth);
+            if want != conn.interest
+                && poller.modify(conn.stream.as_raw_fd(), t, want).is_ok()
+            {
+                conn.interest = want;
+            }
+        }
+
+        // Shutdown phase machine.
+        let now = Instant::now();
+        match phase {
+            Phase::Running => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    if let Some(l) = listener.take() {
+                        let _ = poller.deregister(l.as_raw_fd());
+                    }
+                    // The quiet window gives frames a client flushed just
+                    // before shutdown time to land and be served.
+                    let quiet = (state.cfg.shutdown_poll * 2).max(Duration::from_millis(50));
+                    let hard = now + (state.cfg.checkout_wait + Duration::from_secs(2));
+                    phase = Phase::Drain { soft: now + quiet, hard };
+                }
+            }
+            Phase::Drain { soft, hard } => {
+                if now >= hard {
+                    cutoff(&state, handle, &mut conns);
+                    phase = Phase::Flush {
+                        deadline: now + state.cfg.sync_wait + Duration::from_secs(1),
+                    };
+                } else if now >= soft {
+                    quiesce_idle(&state, handle, &mut conns);
+                    if conns.values().all(|c| c.draining) {
+                        *handle.park_tx.lock() = None;
+                        phase = Phase::Flush {
+                            deadline: now + state.cfg.sync_wait + Duration::from_secs(1),
+                        };
+                    } else {
+                        // Some connections still have frames or worker
+                        // waits in flight: give them another tick.
+                        phase = Phase::Drain { soft: now + state.cfg.shutdown_poll, hard };
+                    }
+                } else {
+                    phase = Phase::Drain { soft, hard };
+                }
+            }
+            Phase::Flush { deadline } => {
+                let finished: Vec<u64> =
+                    conns.iter().filter(|(_, c)| c.finished()).map(|(t, _)| *t).collect();
+                for t in finished {
+                    if let Some(c) = conns.remove(&t) {
+                        close_conn(&state, handle, &poller, c);
+                    }
+                }
+                if conns.is_empty() || now >= deadline {
+                    for (_, c) in conns.drain() {
+                        close_conn(&state, handle, &poller, c);
+                    }
+                    return;
+                }
+                phase = Phase::Flush { deadline };
+            }
+        }
+    }
+}
+
+/// Accept until `WouldBlock`, applying admission control, and hand the
+/// survivors round-robin across shards.
+fn accept_burst(
+    state: &Arc<ServerState>,
+    poller: &Poller,
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    rr: &mut usize,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if state.shutdown.load(Ordering::Acquire) {
+            continue; // late stragglers during shutdown: drop
+        }
+        if state.stats.active_sessions.load(Ordering::Relaxed) >= state.cfg.max_sessions {
+            // Shed load with an explicit frame; the stream is still
+            // blocking here, and the frame fits any socket buffer.
+            state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(&mut &stream, &Response::Busy.encode());
+            continue;
+        }
+        state.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        state.stats.active_sessions.fetch_add(1, Ordering::Relaxed);
+        let target = *rr % state.shards.len();
+        *rr += 1;
+        if target == 0 {
+            admit(state, &state.shards[0], poller, conns, next_token, stream);
+        } else {
+            state.shards[target].inbox.lock().push(stream);
+            state.shards[target].wake.wake();
+        }
+    }
+}
+
+/// Take ownership of an admitted connection on this shard.
+fn admit(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    stream: TcpStream,
+) -> Option<u64> {
+    let _ = stream.set_nodelay(true);
+    let token = *next_token;
+    *next_token += 1;
+    if stream.set_nonblocking(true).is_err()
+        || poller.register(stream.as_raw_fd(), token, Interest::READ).is_err()
+    {
+        state.stats.active_sessions.fetch_sub(1, Ordering::Relaxed);
+        state.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    conns.insert(token, Conn::new(stream, token, state.cfg.max_frame_len));
+    handle.stats.sessions.fetch_add(1, Ordering::Relaxed);
+    Some(token)
+}
+
+/// Tear a connection down, releasing everything it holds.
+fn close_conn(state: &Arc<ServerState>, handle: &ShardHandle, poller: &Poller, mut conn: Conn) {
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    if conn.txn.take().is_some() {
+        // Dropping the `OpenTxn` aborted the transaction and returned
+        // the worker; all that's left is attribution.
+        state.stats.disconnect_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    if conn.waiting.take().is_some() {
+        handle.stats.run_queue.fetch_sub(1, Ordering::Relaxed);
+    }
+    if !conn.out.is_empty() {
+        state.stats.queued_replies.fetch_sub(conn.out.len(), Ordering::Relaxed);
+        conn.out.clear();
+    }
+    handle.stats.sessions.fetch_sub(1, Ordering::Relaxed);
+    state.stats.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    state.stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// React to one readiness event. Returns true if the connection must
+/// close now.
+fn handle_conn_event(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+    ev: Event,
+) -> bool {
+    if ev.error {
+        return true;
+    }
+    if ev.writable && matches!(conn.flush(state, &handle.stats), FlushState::Dead) {
+        return true;
+    }
+    if (ev.readable || ev.hangup) && !conn.draining && !conn.read_shut && read_into(conn) {
+        return true;
+    }
+    service(state, handle, conn)
+}
+
+/// Drain the socket into the connection's buffers. Returns true on a
+/// fatal transport error.
+fn read_into(conn: &mut Conn) -> bool {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => {
+                conn.read_shut = true;
+                return false;
+            }
+            Ok(n) => feed(conn, &buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Route newly read bytes by protocol mode, resolving the initial
+/// sniff: the first four bytes are either a frame length prefix or the
+/// start of an HTTP request line. `"GET "` as a frame length would be
+/// ~0.5 GiB — far past `max_frame_len` — so the grammars cannot
+/// collide. This lets Prometheus scrape the wire port directly.
+fn feed(conn: &mut Conn, bytes: &[u8]) {
+    if let Mode::Sniff { buf } = &mut conn.mode {
+        buf.extend_from_slice(bytes);
+        if buf.len() >= 4 {
+            let buf = std::mem::take(buf);
+            if buf.starts_with(b"GET ") {
+                conn.mode = Mode::Http { head: buf[4..].to_vec() };
+            } else {
+                conn.asm.feed(&buf);
+                conn.mode = Mode::Frames;
+            }
+        }
+        return;
+    }
+    match &mut conn.mode {
+        Mode::Frames => conn.asm.feed(bytes),
+        Mode::Http { head } => head.extend_from_slice(bytes),
+        Mode::Sniff { .. } => unreachable!(),
+    }
+}
+
+/// Process buffered input, flush output, and settle end-of-life state.
+/// Returns true if the connection must close now.
+fn service(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn) -> bool {
+    let mut exhausted;
+    loop {
+        let worked = match conn.mode {
+            Mode::Http { .. } => {
+                if process_http(state, conn) {
+                    return true;
+                }
+                exhausted = true;
+                0
+            }
+            Mode::Frames | Mode::Sniff { .. } => {
+                let (worked, ex) = process_frames(state, handle, conn);
+                exhausted = ex;
+                worked
+            }
+        };
+        if matches!(conn.flush(state, &handle.stats), FlushState::Dead) {
+            return true;
+        }
+        if worked == 0 {
             break;
         }
     }
-    let _ = w.flush();
-    // The session thread may still enqueue until it drops its sender.
-    // Keep consuming (dropping replies unwritten — the client is gone) so
-    // the send side never wedges and the queue-depth gauge settles at the
-    // true value.
-    for _ in rx.iter() {
-        dequeued();
+    // Peer EOF and every complete frame served: finish the session.
+    if conn.read_shut && exhausted && conn.waiting.is_none() && !conn.draining {
+        if conn.txn.take().is_some() {
+            state.stats.disconnect_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        conn.draining = true;
+    }
+    conn.finished()
+}
+
+/// Dispatch complete frames until input runs dry, backpressure bites,
+/// or the connection parks on the run queue. Returns (frames handled,
+/// input exhausted).
+fn process_frames(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+) -> (usize, bool) {
+    let mut worked = 0usize;
+    loop {
+        if conn.draining {
+            return (worked, true);
+        }
+        if conn.waiting.is_some() || conn.out.len() >= state.cfg.reply_queue_depth {
+            return (worked, false);
+        }
+        match conn.asm.next_frame() {
+            Ok(Some(payload)) => {
+                worked += 1;
+                dispatch(state, handle, conn, &payload);
+            }
+            Ok(None) => return (worked, true),
+            Err(e) => {
+                state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.push_err(state, ErrorCode::Protocol, &e.to_string());
+                conn.draining = true;
+                return (worked, true);
+            }
+        }
+    }
+}
+
+/// Minimal single-request HTTP responder. Serves `/metrics` as
+/// Prometheus text exposition and 404s everything else; always closes.
+/// Returns true if the connection should close immediately (oversized
+/// or truncated head).
+fn process_http(state: &Arc<ServerState>, conn: &mut Conn) -> bool {
+    if conn.draining {
+        return false; // response already queued
+    }
+    let is_metrics = {
+        let Mode::Http { head } = &conn.mode else { return false };
+        if head.len() > MAX_HTTP_HEAD {
+            return true;
+        }
+        if !head.windows(4).any(|w| w == b"\r\n\r\n") {
+            return conn.read_shut; // EOF before a full head: just close
+        }
+        // We consumed `"GET "` in the sniff, so the head starts at the
+        // path.
+        let path_end = head.iter().position(|&b| b == b' ').unwrap_or(head.len());
+        &head[..path_end] == b"/metrics"
+    };
+    let (status, body) = if is_metrics {
+        ("200 OK", state.db.telemetry().render_prometheus())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    conn.push_bytes(state, resp.into_bytes());
+    conn.draining = true;
+    false
+}
+
+// ---------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------
+
+fn dispatch(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn, payload: &[u8]) {
+    let req = match Request::decode(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            conn.push_err(state, ErrorCode::Protocol, &e.to_string());
+            conn.draining = true;
+            return;
+        }
+    };
+    state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
+    if conn.txn.is_some() {
+        dispatch_in_txn(state, handle, conn, req);
+    } else {
+        dispatch_top(state, handle, conn, req);
+    }
+}
+
+/// Between transactions.
+fn dispatch_top(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn, req: Request) {
+    match req {
+        Request::Ping => conn.push(state, Response::Pong),
+        Request::Metrics => push_metrics(state, conn),
+        Request::DumpEvents { max } => push_events(state, conn, max),
+        Request::Health => push_health(state, conn),
+        Request::Resume => do_resume(state, conn),
+        Request::OpenTable { name } => open_table(state, conn, &name),
+        Request::Commit { .. } | Request::Abort => {
+            conn.push_err(state, ErrorCode::BadState, "no open txn")
+        }
+        Request::Begin { isolation } => need_worker(
+            state,
+            handle,
+            conn,
+            PendingWork::Begin { isolation: engine_isolation(isolation) },
+        ),
+        Request::Batch { isolation, sync, ops } => need_worker(
+            state,
+            handle,
+            conn,
+            PendingWork::Batch { isolation: engine_isolation(isolation), sync, ops },
+        ),
+        // Autocommit: a one-operation transaction.
+        req @ (Request::Get { .. }
+        | Request::Put { .. }
+        | Request::Delete { .. }
+        | Request::Scan { .. }
+        | Request::Insert { .. }) => {
+            need_worker(state, handle, conn, PendingWork::Auto { req })
+        }
+    }
+}
+
+/// Inside `Begin` … `Commit`/`Abort`.
+fn dispatch_in_txn(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn, req: Request) {
+    match req {
+        Request::Ping => conn.push(state, Response::Pong),
+        // Telemetry reads are legal mid-transaction (and useful: scrape
+        // while a stall is in progress). So is the health probe — a
+        // client whose writes start bouncing wants to ask why without
+        // abandoning its transaction.
+        Request::Metrics => push_metrics(state, conn),
+        Request::DumpEvents { max } => push_events(state, conn, max),
+        Request::Health => push_health(state, conn),
+        Request::Resume => do_resume(state, conn),
+        Request::OpenTable { name } => open_table(state, conn, &name),
+        Request::Begin { .. } => conn.push_err(state, ErrorCode::BadState, "nested begin"),
+        Request::Batch { .. } => {
+            conn.push_err(state, ErrorCode::BadState, "batch inside open txn")
+        }
+        Request::Abort => {
+            let open = conn.txn.take().expect("open txn");
+            open.finish(|t| t.abort());
+            conn.push(state, Response::Aborted);
+        }
+        Request::Commit { sync } => {
+            let open = conn.txn.take().expect("open txn");
+            match open.finish(|t| t.commit_deferred()) {
+                Ok(token) => {
+                    state.stats.commits.fetch_add(1, Ordering::Relaxed);
+                    if sync && token.end_offset().is_some() {
+                        park_commit(state, handle, conn, token, None);
+                    } else {
+                        conn.push(state, Response::Committed { lsn: token.lsn().raw() });
+                    }
+                }
+                Err(reason) => conn.push(state, aborted(reason)),
+            }
+        }
+        op => {
+            let resp = exec_request_op(state, conn.txn.as_mut().expect("open txn").txn(), &op);
+            conn.push(state, resp);
+        }
+    }
+}
+
+/// A request that needs an engine worker: take one now, or park on the
+/// shard run queue until one frees up or the admission window closes.
+fn need_worker(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+    work: PendingWork,
+) {
+    match state.pool.try_checkout() {
+        Some(w) => start_work(state, handle, conn, work, w),
+        None => {
+            conn.waiting =
+                Some(Waiting { deadline: Instant::now() + state.cfg.checkout_wait, work });
+            handle.stats.run_queue.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn start_work(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+    work: PendingWork,
+    w: PooledWorker,
+) {
+    match work {
+        PendingWork::Begin { isolation } => {
+            conn.push(state, Response::Begun);
+            conn.txn = Some(OpenTxn::begin(w, isolation));
+        }
+        PendingWork::Batch { isolation, sync, ops } => {
+            run_batch(state, handle, conn, w, isolation, sync, &ops)
+        }
+        PendingWork::Auto { req } => {
+            let mut w = w;
+            let resp = {
+                let mut txn = w.begin(IsolationLevel::Snapshot);
+                let resp = exec_request_op(state, &mut txn, &req);
+                if matches!(resp, Response::Error { .. }) {
+                    txn.abort();
+                    resp
+                } else {
+                    match txn.commit_deferred() {
+                        Ok(_) => resp,
+                        Err(reason) => aborted(reason),
+                    }
+                }
+            };
+            conn.push(state, resp);
+        }
+    }
+}
+
+/// One-shot batched transaction: begin, run every op, commit — one
+/// request frame, one reply frame. Stops at the first failed op.
+fn run_batch(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+    mut w: PooledWorker,
+    isolation: IsolationLevel,
+    sync: bool,
+    ops: &[BatchOp],
+) {
+    let mut results = Vec::with_capacity(ops.len());
+    let mut txn = w.begin(isolation);
+    let mut failure: Option<Response> = None;
+    for op in ops {
+        let resp = exec_batch_op(state, &mut txn, op);
+        let failed = matches!(resp, Response::Error { .. });
+        results.push(resp.clone());
+        if failed {
+            failure = Some(resp);
+            break;
+        }
+    }
+    if let Some(err) = failure {
+        txn.abort();
+        conn.push(state, Response::BatchDone { results, outcome: Box::new(err) });
+        return;
+    }
+    match txn.commit_deferred() {
+        Ok(token) => {
+            state.stats.commits.fetch_add(1, Ordering::Relaxed);
+            if sync && token.end_offset().is_some() {
+                park_commit(state, handle, conn, token, Some(results));
+            } else {
+                conn.push(
+                    state,
+                    Response::BatchDone {
+                        results,
+                        outcome: Box::new(Response::Committed { lsn: token.lsn().raw() }),
+                    },
+                );
+            }
+        }
+        Err(reason) => conn.push(
+            state,
+            Response::BatchDone { results, outcome: Box::new(aborted(reason)) },
+        ),
+    }
+}
+
+/// Hand a sync commit to the shard's durability parker, reserving its
+/// in-order reply slot.
+fn park_commit(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+    token: CommitToken,
+    batch: Option<Vec<Response>>,
+) {
+    // Group commit means the target is often already durable by the time
+    // the reply is built: probe with zero patience before paying the
+    // parker round trip (cross-thread handoff, eventfd wake, an extra
+    // event-loop turn). The probe also surfaces a poisoned log inline.
+    match token.wait_durable(&state.db, Duration::ZERO) {
+        Ok(()) => {
+            let outcome = Response::Committed { lsn: token.lsn().raw() };
+            conn.push(
+                state,
+                match batch {
+                    Some(results) => {
+                        Response::BatchDone { results, outcome: Box::new(outcome) }
+                    }
+                    None => outcome,
+                },
+            );
+            return;
+        }
+        Err(LogError::Timeout) => {} // not yet durable: park for real
+        Err(e @ LogError::Poisoned { .. }) => {
+            record_log_incident(state, EventKind::LogPoison, 1);
+            let outcome = Response::Error { code: ErrorCode::LogFailed, detail: e.to_string() };
+            conn.push(
+                state,
+                match batch {
+                    Some(results) => {
+                        Response::BatchDone { results, outcome: Box::new(outcome) }
+                    }
+                    None => outcome,
+                },
+            );
+            return;
+        }
+    }
+
+    let seq = conn.push_pending(state);
+    state.svc_ring.record(EventKind::SessionParked, conn.token, seq);
+    let job = ParkJob { conn: conn.token, seq, token, batch, enqueued: Instant::now() };
+    handle.deferred.lock().push(job);
+}
+
+/// End-of-turn second chance for commits whose inline probe missed:
+/// re-probe with zero patience (the flusher usually landed a batch while
+/// the rest of the turn ran) and hand only genuine stragglers to the
+/// parker thread.
+fn drain_deferred(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conns: &mut HashMap<u64, Conn>,
+    touched: &mut Vec<u64>,
+    to_close: &mut Vec<u64>,
+) {
+    let jobs: Vec<ParkJob> = {
+        let mut d = handle.deferred.lock();
+        if d.is_empty() { Vec::new() } else { std::mem::take(&mut *d) }
+    };
+    for job in jobs {
+        let probe = match job.token.wait_durable(&state.db, Duration::ZERO) {
+            Ok(()) => Some(Response::Committed { lsn: job.token.lsn().raw() }),
+            Err(LogError::Timeout) => None, // still in flight
+            Err(e @ LogError::Poisoned { .. }) => {
+                record_log_incident(state, EventKind::LogPoison, 1);
+                Some(Response::Error { code: ErrorCode::LogFailed, detail: e.to_string() })
+            }
+        };
+        let (job, outcome) = match probe {
+            Some(outcome) => (job, outcome),
+            None => {
+                let returned = match &*handle.park_tx.lock() {
+                    Some(tx) => match tx.send(job) {
+                        Ok(()) => None, // the parker owns it now
+                        Err(std::sync::mpsc::SendError(job)) => Some(job),
+                    },
+                    None => Some(job),
+                };
+                match returned {
+                    None => continue,
+                    // Parker already gone (shutdown race): resolve inline
+                    // so the reply slot never wedges.
+                    Some(job) => (
+                        job,
+                        Response::Error {
+                            code: ErrorCode::LogStalled,
+                            detail: "durability wait timed out; commit fate indeterminate"
+                                .into(),
+                        },
+                    ),
+                }
+            }
+        };
+        let resp = match job.batch {
+            Some(results) => Response::BatchDone { results, outcome: Box::new(outcome) },
+            None => outcome,
+        };
+        state.svc_ring.record(
+            EventKind::SessionResumed,
+            job.conn,
+            job.enqueued.elapsed().as_micros() as u64,
+        );
+        if let Some(conn) = conns.get_mut(&job.conn) {
+            conn.complete(job.seq, frame_bytes(&resp));
+            touched.push(job.conn);
+            if service(state, handle, conn) {
+                to_close.push(job.conn);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service frames
+// ---------------------------------------------------------------------
+
+fn push_metrics(state: &Arc<ServerState>, conn: &mut Conn) {
+    conn.push(state, Response::Metrics { text: state.db.telemetry().render_prometheus() });
+}
+
+fn push_events(state: &Arc<ServerState>, conn: &mut Conn, max: u32) {
+    let max = if max == 0 { DEFAULT_DUMP_EVENTS } else { max as usize };
+    conn.push(state, Response::Events { text: state.db.telemetry().dump_events(max) });
+}
+
+/// Service-state probe: the database state plus the durable frontier.
+fn push_health(state: &Arc<ServerState>, conn: &mut Conn) {
+    conn.push(
+        state,
+        Response::Health {
+            state: state.db.state() as u8,
+            durable_lsn: state.db.log().durable_offset(),
+        },
+    );
+}
+
+/// Operator-triggered exit from degraded read-only mode. Success is
+/// answered with a fresh `Health` frame (state back to active); a
+/// failed re-probe keeps the database degraded and reports why.
+fn do_resume(state: &Arc<ServerState>, conn: &mut Conn) {
+    match state.db.resume() {
+        Ok(()) => push_health(state, conn),
+        Err(e) => conn.push_err(
+            state,
+            ErrorCode::DegradedReadOnly,
+            &format!("resume failed, still read-only: {e}"),
+        ),
+    }
+}
+
+fn open_table(state: &Arc<ServerState>, conn: &mut Conn, name: &[u8]) {
+    let Ok(name) = std::str::from_utf8(name) else {
+        return conn.push_err(state, ErrorCode::BadState, "table name must be utf-8");
+    };
+    let id = state.db.create_table(name);
+    conn.push(state, Response::TableId { id: id.0 });
+}
+
+// ---------------------------------------------------------------------
+// Shutdown cutoff
+// ---------------------------------------------------------------------
+
+/// One shutdown-drain tick: quiesce every connection with no pending
+/// input — abort its open transaction (freeing its worker for
+/// connections still working through a backlog), tell its client, and
+/// stop its reads. Mirrors the blocking server, where idle sessions
+/// noticed the flag at their next read-poll tick while busy sessions
+/// kept serving buffered frames.
+fn quiesce_idle(state: &Arc<ServerState>, handle: &ShardHandle, conns: &mut HashMap<u64, Conn>) {
+    for conn in conns.values_mut() {
+        if conn.draining || conn.waiting.is_some() || conn.asm.has_frame() {
+            continue;
+        }
+        if let Some(open) = conn.txn.take() {
+            open.finish(|t| t.abort());
+            conn.push_err(state, ErrorCode::ShuttingDown, "server shutting down");
+        }
+        conn.draining = true;
+        let _ = conn.flush(state, &handle.stats);
+    }
+}
+
+/// The drain window's hard cap: abort open transactions (telling their
+/// clients), cancel parked admissions, stop all reads, and close the
+/// parker intake so it can finish and exit once queued waits resolve.
+fn cutoff(state: &Arc<ServerState>, handle: &ShardHandle, conns: &mut HashMap<u64, Conn>) {
+    for conn in conns.values_mut() {
+        if conn.waiting.take().is_some() {
+            handle.stats.run_queue.fetch_sub(1, Ordering::Relaxed);
+            state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+            conn.push(state, Response::Busy);
+        }
+        if let Some(open) = conn.txn.take() {
+            open.finish(|t| t.abort());
+            conn.push_err(state, ErrorCode::ShuttingDown, "server shutting down");
+        }
+        conn.draining = true;
+        let _ = conn.flush(state, &handle.stats);
+    }
+    *handle.park_tx.lock() = None;
+}
+
+// ---------------------------------------------------------------------
+// Durability parker
+// ---------------------------------------------------------------------
+
+/// One per shard: resolves sync-commit durability waits off the event
+/// loop, FIFO with absolute deadlines, posting finished frames back
+/// through the shard's completion mailbox. Exits when the shard drops
+/// the intake at cutoff and the queue drains.
+pub(crate) fn run_parker(state: Arc<ServerState>, idx: usize, rx: Receiver<ParkJob>) {
+    let handle = &state.shards[idx];
+    while let Ok(first) = rx.recv() {
+        // One flush batch typically resolves a whole run of parked
+        // commits at once: drain whatever else has queued and resolve
+        // the lot, posting a single wake instead of one per job.
+        let mut jobs = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            jobs.push(more);
+        }
+        let mut done = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let deadline = job.enqueued + state.cfg.sync_wait;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let outcome = match job.token.wait_durable(&state.db, remaining) {
+                Ok(()) => Response::Committed { lsn: job.token.lsn().raw() },
+                Err(LogError::Timeout) => {
+                    record_log_incident(
+                        &state,
+                        EventKind::LogStall,
+                        state.cfg.sync_wait.as_millis() as u64,
+                    );
+                    Response::Error {
+                        code: ErrorCode::LogStalled,
+                        detail: "durability wait timed out; commit fate indeterminate".into(),
+                    }
+                }
+                Err(e @ LogError::Poisoned { .. }) => {
+                    record_log_incident(&state, EventKind::LogPoison, 1);
+                    Response::Error { code: ErrorCode::LogFailed, detail: e.to_string() }
+                }
+            };
+            let resp = match job.batch {
+                Some(results) => Response::BatchDone { results, outcome: Box::new(outcome) },
+                None => outcome,
+            };
+            state.svc_ring.record(
+                EventKind::SessionResumed,
+                job.conn,
+                job.enqueued.elapsed().as_micros() as u64,
+            );
+            done.push(Completion { conn: job.conn, seq: job.seq, bytes: frame_bytes(&resp) });
+        }
+        handle.completions.lock().extend(done);
+        handle.wake.wake();
     }
 }
 
@@ -198,509 +1060,4 @@ fn record_log_incident(state: &ServerState, kind: EventKind, a: u64) {
     let dump = telemetry.dump_events(DEFAULT_DUMP_EVENTS);
     telemetry.flight().store_last_dump(dump.clone());
     eprintln!("{dump}");
-}
-
-/// Fill `buf`, polling the shutdown flag on every read-timeout tick.
-/// Free-standing because the HTTP sniff needs it before a [`Session`]
-/// exists.
-fn read_exact_poll(state: &ServerState, mut stream: &TcpStream, buf: &mut [u8]) -> Result<(), End> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return Err(End::Disconnected),
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if state.shutdown.load(Ordering::Acquire) {
-                    return Err(End::Shutdown);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return Err(End::Disconnected),
-        }
-    }
-    Ok(())
-}
-
-/// Minimal single-request HTTP responder, entered after `"GET "` was
-/// sniffed off the wire. Serves `/metrics` as Prometheus text exposition
-/// and 404s everything else; always closes.
-fn serve_http(state: &ServerState, mut stream: &TcpStream) {
-    // Accumulate the request head (we already consumed `"GET "`, so the
-    // buffer starts at the path).
-    let mut head: Vec<u8> = Vec::with_capacity(256);
-    let mut chunk = [0u8; 512];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
-        if head.len() > MAX_HTTP_HEAD || state.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => head.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-    let path_end = head.iter().position(|&b| b == b' ').unwrap_or(head.len());
-    let path = &head[..path_end];
-    let (status, body) = if path == b"/metrics" {
-        ("200 OK", state.db.telemetry().render_prometheus())
-    } else {
-        ("404 Not Found", "not found; try /metrics\n".to_string())
-    };
-    let mut w = BufWriter::new(stream);
-    let _ = write!(
-        w,
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = w.write_all(body.as_bytes());
-    let _ = w.flush();
-}
-
-struct Session<'a> {
-    state: &'a Arc<ServerState>,
-    stream: &'a TcpStream,
-    tx: SyncSender<Reply>,
-    /// Bytes consumed by the protocol sniff, replayed as the first
-    /// frame's length prefix.
-    preread: Option<[u8; 4]>,
-}
-
-impl Session<'_> {
-    // -- plumbing ------------------------------------------------------
-
-    /// Enqueue a reply toward the writer, keeping the queue-depth gauge
-    /// in step. The counter moves *after* a successful send; the writer
-    /// decrements as it dequeues, and drains what it never wrote.
-    fn enqueue(&self, reply: Reply) -> SessionResult {
-        self.tx.send(reply).map_err(|_| End::Disconnected)?;
-        self.state.stats.queued_replies.fetch_add(1, Ordering::Relaxed);
-        Ok(())
-    }
-
-    /// Enqueue an already-built response.
-    fn send(&self, resp: Response) -> SessionResult {
-        self.enqueue(Reply::Now(resp.encode()))
-    }
-
-    fn send_err(&self, code: ErrorCode, detail: &str) -> SessionResult {
-        self.send(Response::Error { code, detail: detail.into() })
-    }
-
-    /// Read the next frame, polling the shutdown flag between reads.
-    ///
-    /// Uses a raw `read` loop rather than `read_exact` so a poll timeout
-    /// mid-frame never loses already-consumed bytes (a slow client's
-    /// frame spanning several poll windows must not desynchronize the
-    /// stream).
-    fn read_frame(&mut self) -> Result<Vec<u8>, End> {
-        let stream = self.stream;
-        let mut len4 = [0u8; 4];
-        match self.preread.take() {
-            Some(b) => len4 = b,
-            None => read_exact_poll(self.state, stream, &mut len4)?,
-        }
-        let len = u32::from_le_bytes(len4);
-        if len == 0 || len > self.state.cfg.max_frame_len {
-            self.state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = self.send_err(ErrorCode::Protocol, &FrameError::BadLength(len).to_string());
-            return Err(End::Protocol);
-        }
-        let mut rest = vec![0u8; len as usize + 4];
-        read_exact_poll(self.state, stream, &mut rest)?;
-        let (payload, crc4) = rest.split_at(len as usize);
-        let got = u32::from_le_bytes(crc4.try_into().unwrap());
-        let expect = crate::protocol::crc32(payload);
-        if got != expect {
-            self.state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = self.send_err(
-                ErrorCode::Protocol,
-                &FrameError::BadChecksum { expect, got }.to_string(),
-            );
-            return Err(End::Protocol);
-        }
-        rest.truncate(len as usize);
-        Ok(rest)
-    }
-
-    fn decode(&self, payload: &[u8]) -> Result<Request, End> {
-        match Request::decode(payload) {
-            Ok(req) => Ok(req),
-            Err(e) => {
-                self.state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = self.send_err(ErrorCode::Protocol, &e.to_string());
-                Err(End::Protocol)
-            }
-        }
-    }
-
-    fn checkout(&self) -> Option<PooledWorker> {
-        let w = self.state.pool.checkout_timeout(self.state.cfg.checkout_wait);
-        if w.is_none() {
-            self.state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
-        }
-        w
-    }
-
-    // -- the state machine ---------------------------------------------
-
-    /// Top level: between transactions.
-    fn serve(&mut self) -> SessionResult {
-        loop {
-            let payload = match self.read_frame() {
-                Ok(p) => p,
-                Err(End::Shutdown) => return Err(End::Shutdown),
-                Err(e) => return Err(e),
-            };
-            let req = self.decode(&payload)?;
-            self.state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
-            match req {
-                Request::Ping => self.send(Response::Pong)?,
-                Request::Metrics => self.send_metrics()?,
-                Request::DumpEvents { max } => self.send_events(max)?,
-                Request::Health => self.send_health()?,
-                Request::Resume => self.do_resume()?,
-                Request::OpenTable { name } => self.open_table(&name)?,
-                Request::Begin { isolation } => {
-                    let Some(mut w) = self.checkout() else {
-                        self.send(Response::Busy)?;
-                        continue;
-                    };
-                    self.send(Response::Begun)?;
-                    self.txn_loop(&mut w, engine_isolation(isolation))?;
-                    // `w` drops here: worker back in the pool.
-                }
-                Request::Batch { isolation, sync, ops } => {
-                    let Some(mut w) = self.checkout() else {
-                        self.send(Response::Busy)?;
-                        continue;
-                    };
-                    self.run_batch(&mut w, engine_isolation(isolation), sync, &ops)?;
-                }
-                Request::Commit { .. } => self.send_err(ErrorCode::BadState, "no open txn")?,
-                Request::Abort => self.send_err(ErrorCode::BadState, "no open txn")?,
-                // Autocommit: a one-operation transaction.
-                Request::Get { .. }
-                | Request::Put { .. }
-                | Request::Delete { .. }
-                | Request::Scan { .. }
-                | Request::Insert { .. } => {
-                    let Some(mut w) = self.checkout() else {
-                        self.send(Response::Busy)?;
-                        continue;
-                    };
-                    let resp = {
-                        let mut txn = w.begin(IsolationLevel::Snapshot);
-                        let resp = self.exec_request_op(&mut txn, &req);
-                        if matches!(resp, Response::Error { .. }) {
-                            txn.abort();
-                            resp
-                        } else {
-                            match txn.commit_deferred() {
-                                Ok(_) => resp,
-                                Err(reason) => aborted(reason),
-                            }
-                        }
-                    };
-                    self.send(resp)?;
-                }
-            }
-        }
-    }
-
-    /// Inside `Begin` … `Commit`/`Abort`. The transaction borrows the
-    /// worker for exactly this scope; every exit path aborts or commits
-    /// it and returns the worker.
-    fn txn_loop(&mut self, w: &mut PooledWorker, isolation: IsolationLevel) -> SessionResult {
-        let mut txn = w.begin(isolation);
-        loop {
-            let payload = match self.read_frame() {
-                Ok(p) => p,
-                Err(End::Shutdown) => {
-                    // Abort the open transaction; queued durable replies
-                    // still drain through the writer.
-                    let _ = self.send_err(ErrorCode::ShuttingDown, "server shutting down");
-                    return Err(End::Shutdown);
-                }
-                Err(e) => {
-                    self.state.stats.disconnect_aborts.fetch_add(1, Ordering::Relaxed);
-                    return Err(e); // txn dropped => aborted, nothing leaked
-                }
-            };
-            let req = self.decode(&payload)?;
-            self.state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
-            match req {
-                Request::Ping => self.send(Response::Pong)?,
-                // Telemetry reads are legal mid-transaction (and useful:
-                // scrape while a stall is in progress). So is the health
-                // probe — a client whose writes start bouncing wants to
-                // ask why without abandoning its transaction.
-                Request::Metrics => self.send_metrics()?,
-                Request::DumpEvents { max } => self.send_events(max)?,
-                Request::Health => self.send_health()?,
-                Request::Resume => self.do_resume()?,
-                Request::OpenTable { name } => self.open_table(&name)?,
-                Request::Begin { .. } => self.send_err(ErrorCode::BadState, "nested begin")?,
-                Request::Batch { .. } => {
-                    self.send_err(ErrorCode::BadState, "batch inside open txn")?
-                }
-                Request::Abort => {
-                    txn.abort();
-                    return self.send(Response::Aborted);
-                }
-                Request::Commit { sync } => {
-                    return match txn.commit_deferred() {
-                        Ok(token) => {
-                            self.state.stats.commits.fetch_add(1, Ordering::Relaxed);
-                            if sync && token.end_offset().is_some() {
-                                self.enqueue(Reply::Durable { token, batch: None })
-                            } else {
-                                self.send(Response::Committed { lsn: token.lsn().raw() })
-                            }
-                        }
-                        Err(reason) => self.send(aborted(reason)),
-                    };
-                }
-                op => {
-                    let resp = self.exec_request_op(&mut txn, &op);
-                    self.send(resp)?;
-                }
-            }
-        }
-    }
-
-    /// One-shot batched transaction: begin, run every op, commit — one
-    /// request frame, one reply frame.
-    fn run_batch(
-        &mut self,
-        w: &mut PooledWorker,
-        isolation: IsolationLevel,
-        sync: bool,
-        ops: &[BatchOp],
-    ) -> SessionResult {
-        let mut results = Vec::with_capacity(ops.len());
-        let mut txn = w.begin(isolation);
-        let mut failure: Option<Response> = None;
-        for op in ops {
-            let resp = self.exec_batch_op(&mut txn, op);
-            let failed = matches!(resp, Response::Error { .. });
-            results.push(resp.clone());
-            if failed {
-                failure = Some(resp);
-                break;
-            }
-        }
-        if let Some(err) = failure {
-            txn.abort();
-            return self.send(Response::BatchDone { results, outcome: Box::new(err) });
-        }
-        match txn.commit_deferred() {
-            Ok(token) => {
-                self.state.stats.commits.fetch_add(1, Ordering::Relaxed);
-                if sync && token.end_offset().is_some() {
-                    self.enqueue(Reply::Durable { token, batch: Some(results) })
-                } else {
-                    self.send(Response::BatchDone {
-                        results,
-                        outcome: Box::new(Response::Committed { lsn: token.lsn().raw() }),
-                    })
-                }
-            }
-            Err(reason) => self.send(Response::BatchDone {
-                results,
-                outcome: Box::new(aborted(reason)),
-            }),
-        }
-    }
-
-    // -- operations ----------------------------------------------------
-
-    fn send_metrics(&self) -> SessionResult {
-        self.send(Response::Metrics { text: self.state.db.telemetry().render_prometheus() })
-    }
-
-    fn send_events(&self, max: u32) -> SessionResult {
-        let max = if max == 0 { DEFAULT_DUMP_EVENTS } else { max as usize };
-        self.send(Response::Events { text: self.state.db.telemetry().dump_events(max) })
-    }
-
-    /// Service-state probe: the database state plus the durable frontier.
-    fn send_health(&self) -> SessionResult {
-        self.send(Response::Health {
-            state: self.state.db.state() as u8,
-            durable_lsn: self.state.db.log().durable_offset(),
-        })
-    }
-
-    /// Operator-triggered exit from degraded read-only mode. Success is
-    /// answered with a fresh `Health` frame (state back to active); a
-    /// failed re-probe keeps the database degraded and reports why.
-    fn do_resume(&self) -> SessionResult {
-        match self.state.db.resume() {
-            Ok(()) => self.send_health(),
-            Err(e) => self.send_err(
-                ErrorCode::DegradedReadOnly,
-                &format!("resume failed, still read-only: {e}"),
-            ),
-        }
-    }
-
-    fn open_table(&self, name: &[u8]) -> SessionResult {
-        let Ok(name) = std::str::from_utf8(name) else {
-            return self.send_err(ErrorCode::BadState, "table name must be utf-8");
-        };
-        let id = self.state.db.create_table(name);
-        self.send(Response::TableId { id: id.0 })
-    }
-
-    fn table(&self, table: u32) -> Result<TableId, Response> {
-        if (table as usize) < self.state.db.table_count() {
-            Ok(TableId(table))
-        } else {
-            Err(Response::Error {
-                code: ErrorCode::UnknownTable,
-                detail: format!("table {table}"),
-            })
-        }
-    }
-
-    fn exec_request_op(&self, txn: &mut Transaction<'_>, req: &Request) -> Response {
-        match req {
-            Request::Get { table, key } => self.exec_get(txn, *table, key),
-            Request::Put { table, key, value } => self.exec_put(txn, *table, key, value),
-            Request::Delete { table, key } => self.exec_delete(txn, *table, key),
-            Request::Scan { table, low, high, limit } => {
-                self.exec_scan(txn, *table, low, high, *limit)
-            }
-            Request::Insert { table, key, value } => self.exec_insert(txn, *table, key, value),
-            _ => Response::Error { code: ErrorCode::BadState, detail: "not a data op".into() },
-        }
-    }
-
-    fn exec_batch_op(&self, txn: &mut Transaction<'_>, op: &BatchOp) -> Response {
-        match op {
-            BatchOp::Get { table, key } => self.exec_get(txn, *table, key),
-            BatchOp::Put { table, key, value } => self.exec_put(txn, *table, key, value),
-            BatchOp::Delete { table, key } => self.exec_delete(txn, *table, key),
-            BatchOp::Scan { table, low, high, limit } => {
-                self.exec_scan(txn, *table, low, high, *limit)
-            }
-            BatchOp::Insert { table, key, value } => self.exec_insert(txn, *table, key, value),
-        }
-    }
-
-    fn exec_get(&self, txn: &mut Transaction<'_>, table: u32, key: &[u8]) -> Response {
-        let t = match self.table(table) {
-            Ok(t) => t,
-            Err(e) => return e,
-        };
-        match txn.read(t, key, |v| v.to_vec()) {
-            Ok(value) => Response::Value { value },
-            Err(r) => aborted(r),
-        }
-    }
-
-    /// Upsert: update if present in this snapshot, insert otherwise.
-    fn exec_put(&self, txn: &mut Transaction<'_>, table: u32, key: &[u8], value: &[u8]) -> Response {
-        let t = match self.table(table) {
-            Ok(t) => t,
-            Err(e) => return e,
-        };
-        match txn.update(t, key, value) {
-            Ok(true) => Response::Done { existed: true },
-            Ok(false) => match txn.insert(t, key, value) {
-                Ok(_) => Response::Done { existed: false },
-                Err(r) => aborted(r),
-            },
-            Err(r) => aborted(r),
-        }
-    }
-
-    fn exec_delete(&self, txn: &mut Transaction<'_>, table: u32, key: &[u8]) -> Response {
-        let t = match self.table(table) {
-            Ok(t) => t,
-            Err(e) => return e,
-        };
-        match txn.delete(t, key) {
-            Ok(existed) => Response::Done { existed },
-            Err(r) => aborted(r),
-        }
-    }
-
-    fn exec_insert(
-        &self,
-        txn: &mut Transaction<'_>,
-        table: u32,
-        key: &[u8],
-        value: &[u8],
-    ) -> Response {
-        let t = match self.table(table) {
-            Ok(t) => t,
-            Err(e) => return e,
-        };
-        match txn.insert(t, key, value) {
-            Ok(oid) => Response::Inserted { oid: oid.0 as u64 },
-            Err(r) => aborted(r),
-        }
-    }
-
-    fn exec_scan(
-        &self,
-        txn: &mut Transaction<'_>,
-        table: u32,
-        low: &[u8],
-        high: &[u8],
-        limit: u32,
-    ) -> Response {
-        let t = match self.table(table) {
-            Ok(t) => t,
-            Err(e) => return e,
-        };
-        let index = self.state.db.primary_index(t);
-        // Stay well inside one reply frame: stop collecting before the
-        // encoded response could exceed the frame cap.
-        let byte_cap = (self.state.cfg.max_frame_len as usize).saturating_sub(4096);
-        let mut bytes = 0usize;
-        let mut truncated = false;
-        let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        let limit = if limit == 0 { None } else { Some(limit as usize) };
-        let r = txn.scan(index, low, high, limit, |k, v| {
-            bytes += k.len() + v.len() + 16;
-            if bytes > byte_cap {
-                truncated = true;
-                return false;
-            }
-            rows.push((k.to_vec(), v.to_vec()));
-            true
-        });
-        match r {
-            Ok(_) => Response::Rows { truncated, rows },
-            Err(r) => aborted(r),
-        }
-    }
-}
-
-fn engine_isolation(iso: WireIsolation) -> IsolationLevel {
-    match iso {
-        WireIsolation::Snapshot => IsolationLevel::Snapshot,
-        WireIsolation::Serializable => IsolationLevel::Serializable,
-    }
-}
-
-fn aborted(reason: AbortReason) -> Response {
-    // Writes bounced by degraded mode get the dedicated service-level
-    // code: the client's request was fine, the database's write path is
-    // down, and a Health probe / later Resume is the way forward.
-    let code = match reason {
-        AbortReason::ReadOnlyMode => ErrorCode::DegradedReadOnly,
-        other => ErrorCode::TxnAborted(other),
-    };
-    Response::Error { code, detail: reason.label().into() }
 }

@@ -84,6 +84,12 @@ fn metrics_frame_and_http_scrape_expose_the_full_surface() {
         "ermia_server_active_sessions",
         "ermia_server_frames_processed_total",
         "ermia_server_reply_queue_depth",
+        // event-loop shards
+        "ermia_server_shards",
+        "ermia_server_shard_sessions",
+        "ermia_server_epoll_wakeups_total",
+        "ermia_server_partial_writes_total",
+        "ermia_server_run_queue_depth",
         "ermia_pool_workers",
         "ermia_pool_capacity",
     ] {
@@ -96,6 +102,20 @@ fn metrics_frame_and_http_scrape_expose_the_full_surface() {
     assert_eq!(exp.kind("ermia_txn_chain_length"), Some("histogram"));
     assert_eq!(exp.kind("ermia_log_durable_lag_bytes"), Some("gauge"));
     assert_eq!(exp.kind("ermia_server_active_sessions"), Some("gauge"));
+    assert_eq!(exp.kind("ermia_server_shards"), Some("gauge"));
+    assert_eq!(exp.kind("ermia_server_epoll_wakeups_total"), Some("counter"));
+
+    // Per-shard families carry a shard label; every shard reports, and the
+    // session that is scraping right now lives on exactly one of them.
+    let shards = exp.value("ermia_server_shards").unwrap() as usize;
+    assert!(shards >= 1, "at least one event-loop shard:\n{text}");
+    let shard_sessions: f64 = (0..shards)
+        .map(|i| {
+            exp.value_with("ermia_server_shard_sessions", "shard", &i.to_string())
+                .unwrap_or_else(|| panic!("missing shard label {i}:\n{text}"))
+        })
+        .sum();
+    assert!(shard_sessions >= 1.0, "the scraping session must be counted on a shard");
 
     // Every abort reason appears as a label, zero-filled or not.
     for reason in ABORT_REASONS {

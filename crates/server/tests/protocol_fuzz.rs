@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use std::time::Duration;
 
 use ermia::{Database, DbConfig};
-use ermia_server::protocol::{crc32, write_frame};
+use ermia_server::protocol::{crc32, read_frame, write_frame, FrameAssembler, MAX_FRAME_LEN};
 use ermia_server::{Client, Request, Server, ServerConfig, WireIsolation};
 
 use proptest::prelude::*;
@@ -130,8 +130,88 @@ fn checksum_must_cover_the_payload_actually_sent() {
     assert_alive();
 }
 
+/// The event loop reassembles frames from whatever byte runs the socket
+/// hands it. Exhaustively: every valid frame, split at every byte
+/// boundary into two separate readiness events, must decode to exactly
+/// what the one-shot blocking reader sees.
+#[test]
+fn every_two_way_split_decodes_identically_to_one_shot() {
+    for req in sample_requests() {
+        let frame = valid_frame(&req);
+        let one_shot = read_frame(&mut &frame[..], MAX_FRAME_LEN).unwrap();
+        for cut in 0..=frame.len() {
+            let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+            asm.feed(&frame[..cut]);
+            let early = asm.next_frame().unwrap();
+            if cut < frame.len() {
+                assert!(early.is_none(), "decoded from a partial frame at cut {cut}");
+            }
+            asm.feed(&frame[cut..]);
+            let got = early.or_else(|| asm.next_frame().unwrap());
+            assert_eq!(got.as_deref(), Some(&one_shot[..]), "split at {cut} diverged");
+            assert!(asm.next_frame().unwrap().is_none(), "phantom second frame at cut {cut}");
+        }
+    }
+}
+
+/// Over the wire: a frame dribbled in one-byte writes (each its own
+/// readiness event on the server's event loop) must be served exactly
+/// like one delivered in a single write.
+#[test]
+fn byte_at_a_time_delivery_is_served_identically() {
+    let addr = server_addr();
+    let frame = valid_frame(&Request::Ping);
+    let mut dribble = TcpStream::connect(addr).unwrap();
+    dribble.set_nodelay(true).unwrap();
+    dribble.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    for b in &frame {
+        dribble.write_all(std::slice::from_ref(b)).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let reply_a = read_frame(&mut dribble, MAX_FRAME_LEN).unwrap();
+
+    let mut one_shot = TcpStream::connect(addr).unwrap();
+    one_shot.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    one_shot.write_all(&frame).unwrap();
+    let reply_b = read_frame(&mut one_shot, MAX_FRAME_LEN).unwrap();
+    assert_eq!(reply_a, reply_b, "dribbled delivery changed the reply");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Randomized generalization of the exhaustive split test: a stream
+    /// of several frames, carved into arbitrary chunks fed one readiness
+    /// event at a time, decodes to the same sequence as one-shot reads.
+    #[test]
+    fn arbitrary_chunking_preserves_the_frame_stream(
+        picks in proptest::collection::vec(0usize..7, 1..5),
+        cuts in proptest::collection::vec(any::<u16>(), 0..16),
+    ) {
+        let reqs = sample_requests();
+        let mut stream = Vec::new();
+        let mut expect = Vec::new();
+        for &p in &picks {
+            let frame = valid_frame(&reqs[p]);
+            expect.push(read_frame(&mut &frame[..], MAX_FRAME_LEN).unwrap());
+            stream.extend_from_slice(&frame);
+        }
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| *c as usize % (stream.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(stream.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        let mut got = Vec::new();
+        for pair in bounds.windows(2) {
+            asm.feed(&stream[pair[0]..pair[1]]);
+            while let Some(payload) = asm.next_frame().unwrap() {
+                got.push(payload);
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
 
     #[test]
     fn random_garbage_never_wedges_the_server(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {

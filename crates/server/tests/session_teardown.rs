@@ -1,4 +1,4 @@
-//! Session-teardown torture: a thousand clients die mid-transaction —
+//! Session-teardown torture: five thousand clients die mid-transaction —
 //! mid-interactive-txn, mid-pipelined-batch, even mid-frame — and the
 //! server must release every TID context slot, epoch pin, and pooled
 //! worker. The leak checks are exact, not "eventually small".
@@ -11,8 +11,8 @@ use ermia::{Database, DbConfig};
 use ermia_server::protocol::{write_frame, Request};
 use ermia_server::{BatchOp, Client, Server, ServerConfig, WireIsolation};
 
-const CLIENTS: usize = 1000;
-const WAVE: usize = 100;
+const CLIENTS: usize = 5000;
+const WAVE: usize = 250;
 
 /// Connect, get partway into some transactional work, and vanish.
 fn die_midway(addr: std::net::SocketAddr, table: u32, variant: usize) {
@@ -67,6 +67,7 @@ fn thousand_disconnects_leak_nothing() {
     let cfg = ServerConfig {
         max_sessions: 2 * WAVE,
         worker_capacity: 8,
+        shards: 2,
         checkout_wait: Duration::from_millis(500),
         shutdown_poll: Duration::from_millis(5),
         ..ServerConfig::default()

@@ -202,6 +202,79 @@ fn worker_exhaustion_returns_busy_but_keeps_the_connection() {
 }
 
 #[test]
+fn shutdown_latency_is_bounded_by_the_wake_fd_not_polling() {
+    // The old acceptor woke from `accept` by a loopback self-connect and
+    // sessions noticed shutdown only at read-timeout granularity. The
+    // event loop is woken by an eventfd instead: an idle server with an
+    // idle session must shut down in a tight bound, not some multiple of
+    // a poll interval.
+    let cfg = ServerConfig {
+        // Deliberately coarse: a poll-based shutdown would eat several of
+        // these; the wake fd makes the setting nearly irrelevant.
+        shutdown_poll: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let (_db, srv) = server(cfg);
+    let mut idle = Client::connect(srv.local_addr()).unwrap();
+    idle.ping().unwrap();
+
+    let start = std::time::Instant::now();
+    srv.shutdown();
+    let took = start.elapsed();
+    assert!(
+        took < Duration::from_millis(1500),
+        "idle shutdown took {took:?}; the wake fd should rouse every shard immediately"
+    );
+    assert_eq!(srv.stats().active_sessions, 0);
+}
+
+#[test]
+fn multiple_shards_serve_concurrent_sessions_consistently() {
+    let cfg = ServerConfig { shards: 2, ..ServerConfig::default() };
+    let (_db, srv) = server(cfg);
+    let addr = srv.local_addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    let t = setup.open_table("sharded").unwrap();
+    drop(setup);
+
+    // Enough concurrent clients that round-robin admission lands sessions
+    // on both shards; each runs a sync-commit batch and a readback.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let key = format!("shard-k{i}").into_bytes();
+                let (_, outcome) = c
+                    .batch(
+                        WireIsolation::Snapshot,
+                        true,
+                        vec![BatchOp::Put { table: t, key: key.clone(), value: vec![b'v'; 8] }],
+                    )
+                    .unwrap();
+                assert!(matches!(outcome, Response::Committed { .. }));
+                assert_eq!(c.get(t, &key).unwrap().as_deref(), Some(&[b'v'; 8][..]));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Cross-shard visibility: one client sees every other client's write.
+    let mut check = Client::connect(addr).unwrap();
+    let (rows, _) = check.scan(t, b"shard-", b"shard-z", 0).unwrap();
+    assert_eq!(rows.len(), 8, "writes from every shard are visible");
+    drop(check);
+
+    let stats = srv.stats();
+    assert_eq!(stats.sessions_opened, 10);
+    srv.shutdown();
+    assert_eq!(srv.stats().active_sessions, 0);
+    assert_eq!(srv.worker_pool().outstanding(), 0);
+}
+
+#[test]
 fn graceful_shutdown_drains_inflight_sync_commits_and_leaks_nothing() {
     let cfg = ServerConfig { shutdown_poll: Duration::from_millis(5), ..ServerConfig::default() };
     let (db, srv) = server(cfg);

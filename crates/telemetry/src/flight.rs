@@ -45,6 +45,12 @@ pub enum EventKind {
     DbDegraded,
     /// The database resumed Active after an operator cleared the fault.
     DbResumed,
+    /// A server session parked a sync-commit reply on the durability
+    /// parker (the reply slot waits for the log instead of a thread).
+    SessionParked,
+    /// A parked session's commit resolved; its reply slot was filled and
+    /// write interest re-armed.
+    SessionResumed,
 }
 
 impl EventKind {
@@ -60,6 +66,8 @@ impl EventKind {
             EventKind::EpochAdvance => 8,
             EventKind::DbDegraded => 9,
             EventKind::DbResumed => 10,
+            EventKind::SessionParked => 11,
+            EventKind::SessionResumed => 12,
         }
     }
 
@@ -75,6 +83,8 @@ impl EventKind {
             8 => EventKind::EpochAdvance,
             9 => EventKind::DbDegraded,
             10 => EventKind::DbResumed,
+            11 => EventKind::SessionParked,
+            12 => EventKind::SessionResumed,
             _ => return None,
         })
     }
@@ -91,6 +101,8 @@ impl EventKind {
             EventKind::EpochAdvance => "epoch-advance",
             EventKind::DbDegraded => "db-degraded",
             EventKind::DbResumed => "db-resumed",
+            EventKind::SessionParked => "session-parked",
+            EventKind::SessionResumed => "session-resumed",
         }
     }
 }
@@ -288,6 +300,8 @@ fn describe(e: &Event) -> String {
         EventKind::EpochAdvance => format!("epoch={}", e.a),
         EventKind::DbDegraded => format!("durable_frozen_at={:#x}", e.a),
         EventKind::DbResumed => format!("durable_lsn={:#x}", e.a),
+        EventKind::SessionParked => format!("conn={} seq={}", e.a, e.b),
+        EventKind::SessionResumed => format!("conn={} waited_us={}", e.a, e.b),
     }
 }
 
