@@ -56,6 +56,7 @@ mod metrics;
 mod pool;
 mod profile;
 mod recovery;
+mod shard;
 mod transaction;
 mod worker;
 
@@ -63,7 +64,11 @@ pub use config::{DbConfig, IsolationLevel};
 pub use database::{Database, DbState, IndexInfo, Table};
 pub use pool::{PooledWorker, WorkerPool};
 pub use profile::Breakdown;
-pub use recovery::RecoveryStats;
+pub use recovery::{InDoubtTxn, RecoveryOutcome, RecoveryStats};
+pub use shard::{
+    shard_of_key, IndexRouting, PooledShardedWorker, ShardPolicy, ShardRecoveryStats,
+    ShardedCommitToken, ShardedDb, ShardedTransaction, ShardedWorker, ShardedWorkerPool,
+};
 pub use transaction::{CommitToken, Transaction};
 pub use worker::Worker;
 

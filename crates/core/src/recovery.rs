@@ -15,10 +15,11 @@
 //! snapshot + header-driven forward scan, idempotent by stamp
 //! comparison) matches the paper.
 
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 
 use ermia_common::{Lsn, Oid, Stamp};
-use ermia_log::{CheckpointMeta, LogRecordKind, LogScanner};
+use ermia_log::{CheckpointMeta, DecideRecord, LogRecord, LogRecordKind, LogScanner, PrepareMarker};
 use ermia_storage::Version;
 
 use crate::database::Database;
@@ -35,6 +36,36 @@ pub struct RecoveryStats {
     /// Records skipped because a newer version was already present
     /// (fuzzy-checkpoint overlap).
     pub skipped_stale: u64,
+    /// 2PC prepares whose verdict was not in this shard's own log. A
+    /// standalone [`Database::recover`] presumes abort for these; a
+    /// sharded recovery resolves them against every participant's log.
+    pub in_doubt: u64,
+}
+
+/// A 2PC prepare found in the log without a local verdict: validated,
+/// durable, and waiting on the coordinator's decision. Produced by
+/// [`Database::recover_outcome`]; the sharded recovery pass either
+/// applies it (a commit decide exists in the coordinator's log) or drops
+/// it (presumed abort).
+pub struct InDoubtTxn {
+    /// Shard that coordinated the global transaction.
+    pub coord_shard: u32,
+    /// Raw LSN of the coordinator's prepare block (with `coord_shard`,
+    /// the global transaction id).
+    pub gtid_lsn: u64,
+    /// This participant's prepare cstamp — the commit LSN the records
+    /// take if the verdict is commit.
+    pub cstamp: Lsn,
+    records: Vec<LogRecord>,
+}
+
+/// Everything one shard's log scan produced: replay counters, unresolved
+/// prepares, and every 2PC verdict found (keyed by global transaction
+/// id) for resolving *other* shards' in-doubt prepares.
+pub struct RecoveryOutcome {
+    pub stats: RecoveryStats,
+    pub in_doubt: Vec<InDoubtTxn>,
+    pub decides: HashMap<(u32, u64), bool>,
 }
 
 // Checkpoint payload format (little-endian):
@@ -169,7 +200,20 @@ impl Database {
     /// log forward. The schema (tables and secondary indexes) must have
     /// been re-declared — `create_table` / `create_secondary_index` are
     /// idempotent by name, so applications simply run their DDL first.
+    ///
+    /// 2PC prepares whose verdict is not in this log are *presumed
+    /// aborted* (counted in [`RecoveryStats::in_doubt`]). Sharded
+    /// deployments recover through `ShardedDb::recover`, which uses
+    /// [`Database::recover_outcome`] to resolve them against the
+    /// coordinator's log instead.
     pub fn recover(&self) -> std::io::Result<RecoveryStats> {
+        self.recover_outcome().map(|o| o.stats)
+    }
+
+    /// [`Database::recover`] plus the raw material the sharded
+    /// resolution pass needs: this shard's unresolved prepares and every
+    /// 2PC verdict its log contains.
+    pub fn recover_outcome(&self) -> std::io::Result<RecoveryOutcome> {
         let mut stats = RecoveryStats::default();
         let mut from = 0u64;
         if let Some(store) = &self.inner.checkpoints {
@@ -178,66 +222,118 @@ impl Database {
                 from = meta.begin.offset();
             }
         }
-        // Roll forward from the checkpoint.
+        // Roll forward from the checkpoint. Prepared-but-undecided
+        // transactions are buffered: first-updater-wins guarantees no
+        // conflicting commit interleaves with a prepared transaction on
+        // the same record, and replay is stamp-idempotent, so applying a
+        // decided prepare after later Txn blocks is order-safe.
+        let mut pending: HashMap<(u32, u64), InDoubtTxn> = HashMap::new();
+        let mut decides: HashMap<(u32, u64), bool> = HashMap::new();
         let mut scanner = LogScanner::new(self.inner.log.segments(), from);
         while let Some(block) = scanner.next_block()? {
-            if block.header.kind != ermia_log::BlockKind::Txn {
-                continue;
-            }
-            stats.replayed_blocks += 1;
-            let cstamp = block.header.cstamp;
-            let recs = block.records();
-            // Every record in a block shares the commit stamp, so the
-            // stamp-based idempotency check in `apply_record` cannot order
-            // multiple ops on the same OID within one transaction (e.g.
-            // delete-then-reinsert of a key). Only the last image per OID
-            // is the committed outcome; apply that one alone.
-            let mut last_per_oid = std::collections::HashMap::new();
-            for (i, rec) in recs.iter().enumerate() {
-                if !matches!(rec.kind, LogRecordKind::SecondaryInsert) {
-                    last_per_oid.insert((rec.table.0, rec.oid.0), i);
+            match block.header.kind {
+                ermia_log::BlockKind::Txn => {
+                    stats.replayed_blocks += 1;
+                    self.replay_records(&block.records(), block.header.cstamp, &mut stats)?;
                 }
+                ermia_log::BlockKind::TxnPrepare => {
+                    let Some(marker) = block.prepare_marker() else { continue };
+                    let cstamp = block.header.cstamp;
+                    let gtid_lsn = if marker.coord_lsn == PrepareMarker::COORD_SELF {
+                        cstamp.raw()
+                    } else {
+                        marker.coord_lsn
+                    };
+                    let txn = InDoubtTxn {
+                        coord_shard: marker.coord_shard,
+                        gtid_lsn,
+                        cstamp,
+                        records: block.records(),
+                    };
+                    pending.insert((marker.coord_shard, gtid_lsn), txn);
+                }
+                ermia_log::BlockKind::TxnDecide => {
+                    let Some(d) = DecideRecord::decode(&block.payload) else { continue };
+                    decides.insert((d.coord_shard, d.gtid_lsn), d.commit);
+                    if let Some(txn) = pending.remove(&(d.coord_shard, d.gtid_lsn)) {
+                        if d.commit {
+                            stats.replayed_blocks += 1;
+                            self.replay_records(&txn.records, txn.cstamp, &mut stats)?;
+                        }
+                    }
+                }
+                _ => {}
             }
-            for (i, rec) in recs.iter().enumerate() {
-                stats.replayed_records += 1;
-                match rec.kind {
-                    LogRecordKind::Insert | LogRecordKind::Update | LogRecordKind::Delete => {
-                        if last_per_oid.get(&(rec.table.0, rec.oid.0)) != Some(&i) {
-                            stats.skipped_stale += 1;
-                            continue;
-                        }
-                        // Indirect values live in the blob store; the log
-                        // record carries the reference.
-                        let resolved;
-                        let value: &[u8] = if rec.indirect {
-                            let blob = ermia_log::BlobRef::decode(&rec.value)
-                                .expect("malformed blob reference in log");
-                            resolved = self.inner.blobs.read(blob)?;
-                            &resolved
-                        } else {
-                            &rec.value
-                        };
-                        let applied = self.apply_record(
-                            rec.table.0,
-                            rec.oid,
-                            &rec.key,
-                            value,
-                            cstamp,
-                            rec.kind == LogRecordKind::Delete,
-                        );
-                        if !applied {
-                            stats.skipped_stale += 1;
-                        }
+        }
+        let in_doubt: Vec<InDoubtTxn> = pending.into_values().collect();
+        stats.in_doubt = in_doubt.len() as u64;
+        Ok(RecoveryOutcome { stats, in_doubt, decides })
+    }
+
+    /// Apply a resolved in-doubt prepare (verdict: commit) produced by
+    /// [`Database::recover_outcome`] on this same database.
+    pub fn apply_in_doubt(&self, txn: &InDoubtTxn) -> std::io::Result<()> {
+        let mut stats = RecoveryStats::default();
+        self.replay_records(&txn.records, txn.cstamp, &mut stats)
+    }
+
+    /// Replay one committed transaction's records at `cstamp`.
+    fn replay_records(
+        &self,
+        recs: &[LogRecord],
+        cstamp: Lsn,
+        stats: &mut RecoveryStats,
+    ) -> std::io::Result<()> {
+        // Every record in a block shares the commit stamp, so the
+        // stamp-based idempotency check in `apply_record` cannot order
+        // multiple ops on the same OID within one transaction (e.g.
+        // delete-then-reinsert of a key). Only the last image per OID
+        // is the committed outcome; apply that one alone.
+        let mut last_per_oid = std::collections::HashMap::new();
+        for (i, rec) in recs.iter().enumerate() {
+            if !matches!(rec.kind, LogRecordKind::SecondaryInsert) {
+                last_per_oid.insert((rec.table.0, rec.oid.0), i);
+            }
+        }
+        for (i, rec) in recs.iter().enumerate() {
+            stats.replayed_records += 1;
+            match rec.kind {
+                LogRecordKind::Insert | LogRecordKind::Update | LogRecordKind::Delete => {
+                    if last_per_oid.get(&(rec.table.0, rec.oid.0)) != Some(&i) {
+                        stats.skipped_stale += 1;
+                        continue;
                     }
-                    LogRecordKind::SecondaryInsert => {
-                        let index_raw =
-                            u32::from_le_bytes(rec.value[..4].try_into().expect("index id"));
-                        self.apply_secondary(index_raw, &rec.key, rec.oid);
+                    // Indirect values live in the blob store; the log
+                    // record carries the reference.
+                    let resolved;
+                    let value: &[u8] = if rec.indirect {
+                        let blob = ermia_log::BlobRef::decode(&rec.value)
+                            .expect("malformed blob reference in log");
+                        resolved = self.inner.blobs.read(blob)?;
+                        &resolved
+                    } else {
+                        &rec.value
+                    };
+                    let applied = self.apply_record(
+                        rec.table.0,
+                        rec.oid,
+                        &rec.key,
+                        value,
+                        cstamp,
+                        rec.kind == LogRecordKind::Delete,
+                    );
+                    if !applied {
+                        stats.skipped_stale += 1;
                     }
+                }
+                LogRecordKind::SecondaryInsert => {
+                    let index_raw =
+                        u32::from_le_bytes(rec.value[..4].try_into().expect("index id"));
+                    self.apply_secondary(index_raw, &rec.key, rec.oid);
                 }
             }
         }
-        Ok(stats)
+        Ok(())
     }
 
     fn restore_checkpoint(&self, payload: &[u8]) -> std::io::Result<u64> {

@@ -824,38 +824,7 @@ impl<'w> Transaction<'w> {
         // with the single atomic fetch-and-add.
         ctx.enter_pending();
         let timer = Timed::start(profile);
-        let blob_threshold = db.inner.cfg.large_value_threshold;
-        for w in &self.writes {
-            let key = w.key.slice(&self.scratch.keys);
-            let (data, tombstone) = unsafe { (&(*w.new).data, (*w.new).tombstone) };
-            // The entry coalesces every op this txn applied to the
-            // record; what commits is the final version, so its tombstone
-            // flag (not the entry kind) decides the record kind. An
-            // insert-then-delete must log a delete, or replay would
-            // resurrect the key with the tombstone's empty payload.
-            let kind = if tombstone { WriteKind::Delete } else { w.kind };
-            let indirect = kind != WriteKind::Delete && data.len() >= blob_threshold;
-            if indirect {
-                // Divert the payload to the blob store; the log record
-                // carries only the fixed-size reference (§3.3 feature 4).
-                let blob = db.inner.blobs.append(data).expect("blob append");
-                let kind = match kind {
-                    WriteKind::Insert => ermia_log::LogRecordKind::Insert,
-                    _ => ermia_log::LogRecordKind::Update,
-                };
-                self.scratch.logbuf.add_indirect(kind, w.table.id, w.oid, key, &blob.encode());
-                continue;
-            }
-            match kind {
-                WriteKind::Insert => self.scratch.logbuf.add_insert(w.table.id, w.oid, key, data),
-                WriteKind::Update => self.scratch.logbuf.add_update(w.table.id, w.oid, key, data),
-                WriteKind::Delete => self.scratch.logbuf.add_delete(w.table.id, w.oid, key),
-            }
-        }
-        for s in &self.secondary {
-            let key = s.key.slice(&self.scratch.keys);
-            self.scratch.logbuf.add_secondary_insert(s.index.table, s.index.id.0, s.oid, key);
-        }
+        self.stage_log_records();
         let reservation = match db.inner.log.allocate(self.scratch.logbuf.block_len()) {
             Ok(r) => r,
             Err(_) => {
@@ -962,6 +931,135 @@ impl<'w> Transaction<'w> {
         }
         self.release(true);
         Ok(CommitToken { lsn: cstamp, end_offset: Some(end_offset) })
+    }
+
+    /// Fill the private log buffer from the write/secondary sets,
+    /// diverting large payloads to the blob store.
+    fn stage_log_records(&mut self) {
+        let blob_threshold = self.db.inner.cfg.large_value_threshold;
+        for w in &self.writes {
+            let key = w.key.slice(&self.scratch.keys);
+            let (data, tombstone) = unsafe { (&(*w.new).data, (*w.new).tombstone) };
+            // The entry coalesces every op this txn applied to the
+            // record; what commits is the final version, so its tombstone
+            // flag (not the entry kind) decides the record kind. An
+            // insert-then-delete must log a delete, or replay would
+            // resurrect the key with the tombstone's empty payload.
+            let kind = if tombstone { WriteKind::Delete } else { w.kind };
+            let indirect = kind != WriteKind::Delete && data.len() >= blob_threshold;
+            if indirect {
+                // Divert the payload to the blob store; the log record
+                // carries only the fixed-size reference (§3.3 feature 4).
+                let blob = self.db.inner.blobs.append(data).expect("blob append");
+                let kind = match kind {
+                    WriteKind::Insert => ermia_log::LogRecordKind::Insert,
+                    _ => ermia_log::LogRecordKind::Update,
+                };
+                self.scratch.logbuf.add_indirect(kind, w.table.id, w.oid, key, &blob.encode());
+                continue;
+            }
+            match kind {
+                WriteKind::Insert => self.scratch.logbuf.add_insert(w.table.id, w.oid, key, data),
+                WriteKind::Update => self.scratch.logbuf.add_update(w.table.id, w.oid, key, data),
+                WriteKind::Delete => self.scratch.logbuf.add_delete(w.table.id, w.oid, key),
+            }
+        }
+        for s in &self.secondary {
+            let key = s.key.slice(&self.scratch.keys);
+            self.scratch.logbuf.add_secondary_insert(s.index.table, s.index.id.0, s.oid, key);
+        }
+    }
+
+    /// True if this transaction installed any write or secondary entry —
+    /// i.e. it must participate in 2PC as a writer when cross-shard.
+    pub(crate) fn has_writes(&self) -> bool {
+        !self.writes.is_empty() || !self.secondary.is_empty()
+    }
+
+    /// 2PC phase one: run the full pre-commit pipeline (CC validation,
+    /// log-space reservation, block fill) but publish the block as a
+    /// [`ermia_log::BlockKind::TxnPrepare`] carrying `marker`, and stop
+    /// *before* the in-memory commit. The transaction stays in the
+    /// `Precommit` TID state, so its uncommitted head versions keep acting
+    /// as write locks (first-updater-wins) and readers that depend on the
+    /// verdict spin briefly — no conflicting transaction can commit around
+    /// a prepared one.
+    ///
+    /// The caller must wait for the returned block to become durable
+    /// before the coordinator decides, then call
+    /// [`PreparedTransaction::finish_commit`] or
+    /// [`PreparedTransaction::abort`].
+    pub(crate) fn prepare(
+        mut self,
+        marker: ermia_log::PrepareMarker,
+    ) -> TxResult<PreparedTransaction<'w>> {
+        if let Some(r) = self.doomed {
+            self.do_abort();
+            return Err(r);
+        }
+        debug_assert!(self.has_writes(), "read-only participants never prepare");
+        let db = self.db;
+        let ctx = db.inner.tid.ctx(self.tid);
+
+        ctx.enter_pending();
+        self.stage_log_records();
+        let reservation = match db.inner.log.allocate(self.scratch.logbuf.prepare_block_len()) {
+            Ok(r) => r,
+            Err(_) => {
+                let reason = if db.inner.log.is_poisoned() {
+                    if let Some(t) = &self.scratch.telemetry {
+                        t.ring.record(EventKind::LogPoison, 1, 0);
+                    }
+                    AbortReason::LogFailure
+                } else {
+                    AbortReason::ResourceExhausted
+                };
+                self.doomed = Some(reason);
+                ctx.abort();
+                self.rollback();
+                self.release(false);
+                return Err(reason);
+            }
+        };
+        let cstamp = reservation.lsn();
+        ctx.enter_precommit(cstamp);
+
+        if self.serializable() {
+            for w in &self.writes {
+                if !w.prev.is_null() {
+                    let p = unsafe { &*w.prev };
+                    self.pstamp = self.pstamp.max(p.pstamp.load(Ordering::Acquire));
+                }
+            }
+            self.sstamp = self.sstamp.min(cstamp.raw());
+            for &r in &self.reads {
+                let vs = unsafe { (*r).sstamp.load(Ordering::Acquire) };
+                self.sstamp = self.sstamp.min(vs);
+            }
+            if self.sstamp <= self.pstamp {
+                drop(reservation); // becomes a skip record
+                self.doomed = Some(AbortReason::SsnExclusion);
+                ctx.abort();
+                self.rollback();
+                self.release(false);
+                return Err(AbortReason::SsnExclusion);
+            }
+            for (tree, snap) in &self.node_set {
+                if !tree.validate(snap) {
+                    drop(reservation);
+                    self.doomed = Some(AbortReason::Phantom);
+                    ctx.abort();
+                    self.rollback();
+                    self.release(false);
+                    return Err(AbortReason::Phantom);
+                }
+            }
+        }
+
+        let end_offset = reservation.end_offset();
+        let block = self.scratch.logbuf.serialize_prepare(cstamp, marker);
+        reservation.fill(block);
+        Ok(PreparedTransaction { txn: self, cstamp, end_offset })
     }
 
     /// Read-only commit: no log space needed. Under SSN the transaction
@@ -1111,6 +1209,68 @@ enum Visibility {
     SkipUncommitted,
 }
 
+/// A transaction that passed [`Transaction::prepare`]: CC-validated, its
+/// prepare block filled in the log, awaiting the coordinator's verdict.
+/// Dropping it without a verdict aborts in memory — matching recovery's
+/// presumed-abort reading of a prepare without a decide record.
+pub struct PreparedTransaction<'w> {
+    txn: Transaction<'w>,
+    cstamp: Lsn,
+    end_offset: u64,
+}
+
+impl<'w> PreparedTransaction<'w> {
+    /// The commit stamp reserved at prepare (becomes the commit LSN).
+    pub fn cstamp(&self) -> Lsn {
+        self.cstamp
+    }
+
+    /// Exclusive end offset of the prepare block; the coordinator must
+    /// see this durable before writing its decision.
+    pub fn end_offset(&self) -> u64 {
+        self.end_offset
+    }
+
+    /// 2PC phase two, commit verdict: make the updates visible atomically
+    /// and run post-commit stamping. The caller must already have made
+    /// the decide record durable.
+    pub fn finish_commit(mut self) -> CommitToken {
+        let cstamp = self.cstamp;
+        let txn = &mut self.txn;
+        txn.db.inner.tid.ctx(txn.tid).commit(cstamp);
+        if let Some(t) = &txn.scratch.telemetry {
+            t.ring.record(EventKind::TxnCommit, txn.tid.raw(), cstamp.raw());
+        }
+        let sstamp_final = txn.sstamp;
+        let serializable = txn.serializable();
+        for w in &txn.writes {
+            let new = unsafe { &*w.new };
+            if serializable {
+                if !w.prev.is_null() {
+                    unsafe { (*w.prev).sstamp.fetch_min(sstamp_final, Ordering::AcqRel) };
+                }
+                new.pstamp.store(cstamp.raw(), Ordering::Release);
+            }
+            new.clsn.store(Stamp::from_lsn(cstamp).raw(), Ordering::Release);
+        }
+        if serializable {
+            for &r in &txn.reads {
+                unsafe { (*r).raise_pstamp(cstamp.raw()) };
+            }
+        }
+        txn.release(true);
+        CommitToken { lsn: cstamp, end_offset: Some(self.end_offset) }
+    }
+
+    /// 2PC phase two, abort verdict: roll back the in-memory effects.
+    /// The prepare block stays in the log; recovery's in-doubt resolution
+    /// presumes abort when no commit decide record exists.
+    pub fn abort(mut self) {
+        self.txn.doomed.get_or_insert(AbortReason::UserRequested);
+        self.txn.do_abort();
+    }
+}
+
 /// Receipt of a [`Transaction::commit_deferred`]: the commit LSN plus the
 /// log offset whose durability implies the commit block is on disk.
 ///
@@ -1125,6 +1285,12 @@ pub struct CommitToken {
 }
 
 impl CommitToken {
+    /// A token for a commit that occupied no log space (read-only or
+    /// empty transactions) — trivially durable.
+    pub(crate) fn readonly_at(lsn: Lsn) -> CommitToken {
+        CommitToken { lsn, end_offset: None }
+    }
+
     /// The commit timestamp.
     pub fn lsn(&self) -> Lsn {
         self.lsn

@@ -65,8 +65,9 @@ pub use checkpoint::{CheckpointMeta, CheckpointStore};
 pub use io::{FaultInjector, FaultPlan, FileBackend, SegmentIo, SegmentIoFactory, TornWrite};
 pub use manager::{LogConfig, LogManager, LogStats, Reservation};
 pub use records::{
-    checksum32, checksum64, BlockKind, LogBlockHeader, LogRecord, LogRecordKind,
-    BLOCK_HEADER_LEN, BLOCK_MAGIC, MIN_BLOCK_LEN, RECORD_HEADER_LEN,
+    checksum32, checksum64, BlockKind, DecideRecord, LogBlockHeader, LogRecord, LogRecordKind,
+    PrepareMarker, BLOCK_HEADER_LEN, BLOCK_MAGIC, DECIDE_RECORD_LEN, MIN_BLOCK_LEN,
+    PREPARE_MARKER_LEN, RECORD_HEADER_LEN,
 };
 pub use recovery::{LogScanner, ScannedBlock};
 pub use segment::{Segment, SegmentTable};

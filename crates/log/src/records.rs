@@ -34,6 +34,16 @@ pub enum BlockKind {
     CheckpointBegin = 3,
     /// Checkpoint end marker (payload: the checkpoint's metadata).
     CheckpointEnd = 4,
+    /// A cross-shard transaction's updates, written at 2PC *prepare*.
+    /// The payload starts with a [`PrepareMarker`] naming the
+    /// coordinator, then carries ordinary records. The updates are not
+    /// committed until a matching [`BlockKind::TxnDecide`] (on the
+    /// coordinator's log) says so.
+    TxnPrepare = 5,
+    /// A 2PC decision record (payload: [`DecideRecord`]). Written on the
+    /// coordinator's log once every participant's prepare is durable;
+    /// mirrored best-effort on participant logs to shortcut recovery.
+    TxnDecide = 6,
 }
 
 impl BlockKind {
@@ -43,8 +53,89 @@ impl BlockKind {
             2 => Some(BlockKind::Skip),
             3 => Some(BlockKind::CheckpointBegin),
             4 => Some(BlockKind::CheckpointEnd),
+            5 => Some(BlockKind::TxnPrepare),
+            6 => Some(BlockKind::TxnDecide),
             _ => None,
         }
+    }
+}
+
+/// Serialized size of a [`PrepareMarker`] / [`DecideRecord`].
+pub const PREPARE_MARKER_LEN: usize = 16;
+pub const DECIDE_RECORD_LEN: usize = 16;
+
+/// First 16 bytes of a [`BlockKind::TxnPrepare`] payload: which shard
+/// coordinates this global transaction and where the coordinator's own
+/// prepare block lives. The global transaction id is
+/// `(coord_shard, coord_lsn)`; the *coordinator's own* prepare block
+/// stores [`PrepareMarker::COORD_SELF`] (its gtid LSN is its own
+/// `cstamp`, which is not known until the log reservation is made, and
+/// raw 0 is a real LSN — the first block of a fresh log).
+///
+/// Layout (little-endian): `coord_shard u32, pad u32, coord_lsn u64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrepareMarker {
+    pub coord_shard: u32,
+    /// Raw LSN of the coordinator's prepare block;
+    /// [`PrepareMarker::COORD_SELF`] on the coordinator's own prepare.
+    pub coord_lsn: u64,
+}
+
+impl PrepareMarker {
+    /// `coord_lsn` sentinel marking the coordinator's own prepare block:
+    /// its gtid LSN is the block's own cstamp. Never a valid raw LSN
+    /// (the top bit is reserved for TID stamps).
+    pub const COORD_SELF: u64 = u64::MAX;
+
+    pub fn encode_into(&self, out: &mut [u8]) {
+        assert!(out.len() >= PREPARE_MARKER_LEN);
+        out[0..4].copy_from_slice(&self.coord_shard.to_le_bytes());
+        out[4..8].copy_from_slice(&0u32.to_le_bytes());
+        out[8..16].copy_from_slice(&self.coord_lsn.to_le_bytes());
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<PrepareMarker> {
+        if buf.len() < PREPARE_MARKER_LEN {
+            return None;
+        }
+        Some(PrepareMarker {
+            coord_shard: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            coord_lsn: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        })
+    }
+}
+
+/// Payload of a [`BlockKind::TxnDecide`] block: the verdict for one
+/// global transaction. `decision` is 1 for commit, 0 for abort.
+///
+/// Layout (little-endian): `gtid_lsn u64, coord_shard u32, decision u8,
+/// pad [u8; 3]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecideRecord {
+    /// Raw LSN of the coordinator's prepare block (the gtid).
+    pub gtid_lsn: u64,
+    pub coord_shard: u32,
+    pub commit: bool,
+}
+
+impl DecideRecord {
+    pub fn encode(&self) -> [u8; DECIDE_RECORD_LEN] {
+        let mut out = [0u8; DECIDE_RECORD_LEN];
+        out[0..8].copy_from_slice(&self.gtid_lsn.to_le_bytes());
+        out[8..12].copy_from_slice(&self.coord_shard.to_le_bytes());
+        out[12] = self.commit as u8;
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<DecideRecord> {
+        if buf.len() < DECIDE_RECORD_LEN {
+            return None;
+        }
+        Some(DecideRecord {
+            gtid_lsn: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            coord_shard: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            commit: buf[12] != 0,
+        })
     }
 }
 

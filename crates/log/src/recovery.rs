@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 use ermia_common::Lsn;
 
-use crate::records::{BlockKind, LogBlockHeader, LogRecord, BLOCK_HEADER_LEN};
+use crate::records::{
+    BlockKind, LogBlockHeader, LogRecord, PrepareMarker, BLOCK_HEADER_LEN, PREPARE_MARKER_LEN,
+};
 use crate::segment::{Segment, SegmentTable};
 
 /// One block yielded by the scanner (skip blocks are filtered out).
@@ -24,10 +26,12 @@ pub struct ScannedBlock {
 }
 
 impl ScannedBlock {
-    /// Decode the transaction records in a Txn block.
+    /// Decode the transaction records in a Txn or TxnPrepare block
+    /// (skipping the prepare marker when present).
     pub fn records(&self) -> Vec<LogRecord> {
         let mut out = Vec::with_capacity(self.header.nrec as usize);
-        let mut pos = 0;
+        let mut pos =
+            if self.header.kind == BlockKind::TxnPrepare { PREPARE_MARKER_LEN } else { 0 };
         for _ in 0..self.header.nrec {
             match LogRecord::decode(&self.payload, pos) {
                 Some((rec, next)) => {
@@ -38,6 +42,14 @@ impl ScannedBlock {
             }
         }
         out
+    }
+
+    /// The coordinator marker of a TxnPrepare block, if this is one.
+    pub fn prepare_marker(&self) -> Option<PrepareMarker> {
+        if self.header.kind != BlockKind::TxnPrepare {
+            return None;
+        }
+        PrepareMarker::decode(&self.payload)
     }
 }
 
@@ -103,13 +115,20 @@ impl LogScanner {
             self.offset += len;
             match header.kind {
                 BlockKind::Skip => continue,
-                BlockKind::Txn | BlockKind::CheckpointBegin | BlockKind::CheckpointEnd => {
+                BlockKind::Txn
+                | BlockKind::TxnPrepare
+                | BlockKind::TxnDecide
+                | BlockKind::CheckpointBegin
+                | BlockKind::CheckpointEnd => {
                     let mut payload = vec![0u8; header.len as usize - BLOCK_HEADER_LEN];
                     file.read_exact_at(
                         &mut payload,
                         seg.file_pos(block_offset) + BLOCK_HEADER_LEN as u64,
                     )?;
-                    if header.kind == BlockKind::Txn {
+                    if matches!(
+                        header.kind,
+                        BlockKind::Txn | BlockKind::TxnPrepare | BlockKind::TxnDecide
+                    ) {
                         let sum = crate::records::checksum32(&payload);
                         if sum != header.checksum {
                             return Ok(None); // torn block: truncate

@@ -15,8 +15,8 @@
 use ermia_common::{Lsn, Oid, TableId};
 
 use crate::records::{
-    checksum32, encode_record_into, BlockKind, LogBlockHeader, LogRecordKind, BLOCK_HEADER_LEN,
-    MIN_BLOCK_LEN, RECORD_HEADER_LEN,
+    checksum32, encode_record_into, BlockKind, LogBlockHeader, LogRecordKind, PrepareMarker,
+    BLOCK_HEADER_LEN, MIN_BLOCK_LEN, PREPARE_MARKER_LEN, RECORD_HEADER_LEN,
 };
 
 /// Metadata for one buffered record; its key/value bytes live in the
@@ -149,12 +149,42 @@ impl TxLogBuffer {
         raw.div_ceil(MIN_BLOCK_LEN) * MIN_BLOCK_LEN
     }
 
+    /// The block length a 2PC *prepare* must reserve: like
+    /// [`TxLogBuffer::block_len`] plus the [`PrepareMarker`] prefix.
+    pub fn prepare_block_len(&self) -> usize {
+        let raw = BLOCK_HEADER_LEN + PREPARE_MARKER_LEN + self.payload_bytes;
+        raw.div_ceil(MIN_BLOCK_LEN) * MIN_BLOCK_LEN
+    }
+
     /// Serialize the block with commit stamp `cstamp` into an internal
     /// scratch buffer and return it. Length equals [`TxLogBuffer::block_len`].
     pub fn serialize(&mut self, cstamp: Lsn) -> &[u8] {
-        let total = self.block_len();
+        self.serialize_inner(BlockKind::Txn, cstamp, None)
+    }
+
+    /// Serialize the same records as a [`BlockKind::TxnPrepare`] block:
+    /// the payload leads with `marker` so recovery can find the
+    /// coordinator's verdict. Length equals
+    /// [`TxLogBuffer::prepare_block_len`].
+    pub fn serialize_prepare(&mut self, cstamp: Lsn, marker: PrepareMarker) -> &[u8] {
+        self.serialize_inner(BlockKind::TxnPrepare, cstamp, Some(marker))
+    }
+
+    fn serialize_inner(
+        &mut self,
+        kind: BlockKind,
+        cstamp: Lsn,
+        marker: Option<PrepareMarker>,
+    ) -> &[u8] {
+        let total =
+            if marker.is_some() { self.prepare_block_len() } else { self.block_len() };
         self.scratch.clear();
         self.scratch.resize(BLOCK_HEADER_LEN, 0);
+        if let Some(m) = marker {
+            let start = self.scratch.len();
+            self.scratch.resize(start + PREPARE_MARKER_LEN, 0);
+            m.encode_into(&mut self.scratch[start..]);
+        }
         for m in &self.metas {
             let ks = m.key_start as usize;
             let vs = ks + m.key_len as usize;
@@ -171,7 +201,7 @@ impl TxLogBuffer {
         self.scratch.resize(total, 0); // zero pad to block granularity
         let checksum = checksum32(&self.scratch[BLOCK_HEADER_LEN..]);
         let header = LogBlockHeader {
-            kind: BlockKind::Txn,
+            kind,
             nrec: self.metas.len() as u16,
             len: total as u32,
             checksum,
@@ -234,6 +264,34 @@ mod tests {
         let (r3, _) = LogRecord::decode(&bytes, pos).unwrap();
         assert_eq!(r3.kind, LogRecordKind::Delete);
         assert!(r3.value.is_empty());
+    }
+
+    #[test]
+    fn serialize_prepare_leads_with_marker() {
+        let mut b = TxLogBuffer::new();
+        b.add_insert(TableId(4), Oid(40), b"gamma", b"CCCC");
+        let cstamp = Lsn::from_parts(0x77, 1);
+        let marker = PrepareMarker { coord_shard: 3, coord_lsn: 0xDEAD_BEEF };
+        let bytes = b.serialize_prepare(cstamp, marker).to_vec();
+        assert_eq!(bytes.len(), b.prepare_block_len());
+        assert!(b.prepare_block_len() >= b.block_len());
+
+        let header = LogBlockHeader::decode(&bytes).unwrap();
+        assert_eq!(header.kind, BlockKind::TxnPrepare);
+        assert_eq!(header.nrec, 1);
+        assert_eq!(header.len as usize, bytes.len());
+        assert_eq!(header.cstamp, cstamp);
+        assert_eq!(header.checksum, checksum32(&bytes[BLOCK_HEADER_LEN..]));
+
+        let got = PrepareMarker::decode(&bytes[BLOCK_HEADER_LEN..]).unwrap();
+        assert_eq!(got.coord_shard, 3);
+        assert_eq!(got.coord_lsn, 0xDEAD_BEEF);
+
+        let (r, _) =
+            LogRecord::decode(&bytes, BLOCK_HEADER_LEN + PREPARE_MARKER_LEN).unwrap();
+        assert_eq!(r.kind, LogRecordKind::Insert);
+        assert_eq!(r.key, b"gamma");
+        assert_eq!(r.value, b"CCCC");
     }
 
     #[test]

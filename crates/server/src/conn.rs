@@ -13,7 +13,7 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-use ermia::{IsolationLevel, PooledWorker, Transaction};
+use ermia::{IsolationLevel, PooledShardedWorker, ShardedTransaction};
 use ermia_common::{AbortReason, TableId};
 
 use crate::poll::Interest;
@@ -59,36 +59,36 @@ pub(crate) struct Waiting {
 
 /// An open interactive transaction spanning readiness events.
 ///
-/// `Transaction<'w>` borrows its worker, so carrying one across loop
-/// iterations needs the worker at a stable address with an erased
-/// lifetime: the `PooledWorker` is boxed onto the heap and held as a raw
-/// pointer (not a `Box`, which would assert unique access it no longer
-/// has while the transaction borrows through it). Drop order restores
-/// the invariant the blocking server got from scoping: transaction
-/// first (aborting it if still open), then the worker box, returning
-/// the worker to the pool.
+/// `ShardedTransaction<'w>` borrows its worker, so carrying one across
+/// loop iterations needs the worker at a stable address with an erased
+/// lifetime: the `PooledShardedWorker` is boxed onto the heap and held
+/// as a raw pointer (not a `Box`, which would assert unique access it no
+/// longer has while the transaction borrows through it). Drop order
+/// restores the invariant the blocking server got from scoping:
+/// transaction first (aborting it if still open), then the worker box,
+/// returning the worker to the pool.
 pub(crate) struct OpenTxn {
-    txn: Option<Transaction<'static>>,
-    worker: *mut PooledWorker,
+    txn: Option<ShardedTransaction<'static>>,
+    worker: *mut PooledShardedWorker,
 }
 
 impl OpenTxn {
-    pub fn begin(worker: PooledWorker, isolation: IsolationLevel) -> OpenTxn {
+    pub fn begin(worker: PooledShardedWorker, isolation: IsolationLevel) -> OpenTxn {
         let worker = Box::into_raw(Box::new(worker));
         // SAFETY: the worker lives on the heap until our Drop, and the
         // transaction is dropped (or consumed) strictly before the box;
         // `Conn` never moves the worker while the borrow is live.
-        let txn: Transaction<'static> = unsafe { (*worker).begin(isolation) };
+        let txn: ShardedTransaction<'static> = unsafe { (*worker).begin(isolation) };
         OpenTxn { txn: Some(txn), worker }
     }
 
-    pub fn txn(&mut self) -> &mut Transaction<'static> {
+    pub fn txn(&mut self) -> &mut ShardedTransaction<'static> {
         self.txn.as_mut().expect("open transaction")
     }
 
     /// Consume the transaction (commit/abort take `self` by value) and
     /// return the worker to the pool.
-    pub fn finish<R>(mut self, f: impl FnOnce(Transaction<'static>) -> R) -> R {
+    pub fn finish<R>(mut self, f: impl FnOnce(ShardedTransaction<'static>) -> R) -> R {
         let t = self.txn.take().expect("open transaction");
         f(t)
         // Drop of `self` frees the worker box.
@@ -343,7 +343,7 @@ fn table(state: &ServerState, table: u32) -> Result<TableId, Response> {
 
 pub(crate) fn exec_request_op(
     state: &ServerState,
-    txn: &mut Transaction<'_>,
+    txn: &mut ShardedTransaction<'_>,
     req: &Request,
 ) -> Response {
     match req {
@@ -358,7 +358,7 @@ pub(crate) fn exec_request_op(
 
 pub(crate) fn exec_batch_op(
     state: &ServerState,
-    txn: &mut Transaction<'_>,
+    txn: &mut ShardedTransaction<'_>,
     op: &BatchOp,
 ) -> Response {
     match op {
@@ -370,7 +370,7 @@ pub(crate) fn exec_batch_op(
     }
 }
 
-fn exec_get(state: &ServerState, txn: &mut Transaction<'_>, t: u32, key: &[u8]) -> Response {
+fn exec_get(state: &ServerState, txn: &mut ShardedTransaction<'_>, t: u32, key: &[u8]) -> Response {
     let t = match table(state, t) {
         Ok(t) => t,
         Err(e) => return e,
@@ -384,7 +384,7 @@ fn exec_get(state: &ServerState, txn: &mut Transaction<'_>, t: u32, key: &[u8]) 
 /// Upsert: update if present in this snapshot, insert otherwise.
 fn exec_put(
     state: &ServerState,
-    txn: &mut Transaction<'_>,
+    txn: &mut ShardedTransaction<'_>,
     t: u32,
     key: &[u8],
     value: &[u8],
@@ -403,7 +403,7 @@ fn exec_put(
     }
 }
 
-fn exec_delete(state: &ServerState, txn: &mut Transaction<'_>, t: u32, key: &[u8]) -> Response {
+fn exec_delete(state: &ServerState, txn: &mut ShardedTransaction<'_>, t: u32, key: &[u8]) -> Response {
     let t = match table(state, t) {
         Ok(t) => t,
         Err(e) => return e,
@@ -416,7 +416,7 @@ fn exec_delete(state: &ServerState, txn: &mut Transaction<'_>, t: u32, key: &[u8
 
 fn exec_insert(
     state: &ServerState,
-    txn: &mut Transaction<'_>,
+    txn: &mut ShardedTransaction<'_>,
     t: u32,
     key: &[u8],
     value: &[u8],
@@ -426,14 +426,14 @@ fn exec_insert(
         Err(e) => return e,
     };
     match txn.insert(t, key, value) {
-        Ok(oid) => Response::Inserted { oid: oid.0 as u64 },
+        Ok(handle) => Response::Inserted { oid: handle },
         Err(r) => aborted(r),
     }
 }
 
 fn exec_scan(
     state: &ServerState,
-    txn: &mut Transaction<'_>,
+    txn: &mut ShardedTransaction<'_>,
     t: u32,
     low: &[u8],
     high: &[u8],

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ermia::{Database, WorkerPool};
+use ermia::{Database, ShardedDb, ShardedWorkerPool};
 use ermia_telemetry::{EventRing, Sample};
 use parking_lot::Mutex;
 
@@ -136,9 +136,9 @@ pub(crate) struct ShardHandle {
 
 /// Shared between shards, parkers, and the handle.
 pub(crate) struct ServerState {
-    pub db: Database,
+    pub db: ShardedDb,
     pub cfg: ServerConfig,
-    pub pool: WorkerPool,
+    pub pool: ShardedWorkerPool,
     pub shutdown: AtomicBool,
     pub stats: Stats,
     pub shards: Vec<ShardHandle>,
@@ -161,8 +161,16 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// accepting connections against `db`.
+    /// accepting connections against `db`, wrapped as a one-shard engine
+    /// (zero routing overhead).
     pub fn start(db: &Database, addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        Server::start_sharded(&ShardedDb::single(db.clone()), addr, cfg)
+    }
+
+    /// Bind `addr` and start accepting connections against a sharded
+    /// engine. Session requests route by key; the wire protocol is
+    /// identical to the single-database server.
+    pub fn start_sharded(db: &ShardedDb, addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shard_count = cfg.shards.max(1);
@@ -183,7 +191,7 @@ impl Server {
         let telemetry_group = db.telemetry().registry().group();
         let state = Arc::new(ServerState {
             db: db.clone(),
-            pool: WorkerPool::new(db, cfg.worker_capacity),
+            pool: ShardedWorkerPool::new(db, cfg.worker_capacity),
             cfg,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
@@ -225,7 +233,7 @@ impl Server {
     }
 
     /// The shared worker pool (leak checks, sizing introspection).
-    pub fn worker_pool(&self) -> &WorkerPool {
+    pub fn worker_pool(&self) -> &ShardedWorkerPool {
         &self.state.pool
     }
 

@@ -58,7 +58,7 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ermia::{CommitToken, IsolationLevel, PooledWorker};
+use ermia::{IsolationLevel, PooledShardedWorker, ShardedCommitToken};
 use ermia_common::LogError;
 use ermia_telemetry::EventKind;
 
@@ -83,7 +83,7 @@ const FIRST_CONN_TOKEN: u64 = 2;
 pub(crate) struct ParkJob {
     pub conn: u64,
     pub seq: u64,
-    pub token: CommitToken,
+    pub token: ShardedCommitToken,
     /// Batch per-op results that ride along into the `BatchDone` frame.
     pub batch: Option<Vec<Response>>,
     pub enqueued: Instant,
@@ -705,7 +705,7 @@ fn start_work(
     handle: &ShardHandle,
     conn: &mut Conn,
     work: PendingWork,
-    w: PooledWorker,
+    w: PooledShardedWorker,
 ) {
     match work {
         PendingWork::Begin { isolation } => {
@@ -741,7 +741,7 @@ fn run_batch(
     state: &Arc<ServerState>,
     handle: &ShardHandle,
     conn: &mut Conn,
-    mut w: PooledWorker,
+    mut w: PooledShardedWorker,
     isolation: IsolationLevel,
     sync: bool,
     ops: &[BatchOp],
@@ -791,7 +791,7 @@ fn park_commit(
     state: &Arc<ServerState>,
     handle: &ShardHandle,
     conn: &mut Conn,
-    token: CommitToken,
+    token: ShardedCommitToken,
     batch: Option<Vec<Response>>,
 ) {
     // Group commit means the target is often already durable by the time
@@ -922,7 +922,7 @@ fn push_health(state: &Arc<ServerState>, conn: &mut Conn) {
         state,
         Response::Health {
             state: state.db.state() as u8,
-            durable_lsn: state.db.log().durable_offset(),
+            durable_lsn: state.db.log_durable_offset(),
         },
     );
 }

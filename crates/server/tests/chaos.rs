@@ -51,11 +51,16 @@ fn chaos_child_server() {
     if std::env::var("ERMIA_CHAOS_CHILD").is_err() {
         return;
     }
-    use ermia::{Database, DbConfig};
+    use ermia::{DbConfig, ShardedDb};
     use ermia_log::{FaultInjector, FaultPlan, LogConfig};
 
     let dir = PathBuf::from(std::env::var("ERMIA_CHAOS_DIR").expect("child needs a data dir"));
     let fault = std::env::var("ERMIA_CHAOS_FAULT").unwrap_or_else(|_| "none".into());
+    let shards: usize = std::env::var("ERMIA_CHAOS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1);
     let mut plan = FaultPlan::default();
     if let Some(bytes) = fault.strip_prefix("enospc:") {
         plan.enospc_after_bytes = Some(bytes.parse().expect("enospc byte budget"));
@@ -73,9 +78,14 @@ fn chaos_child_server() {
         io_factory: Arc::new(FaultInjector::new(plan)),
         wait_durable_timeout: Duration::from_secs(2),
     };
-    let db = Database::open(cfg).expect("child: open database");
+    let db = ShardedDb::open(cfg, shards).expect("child: open database");
     db.create_table("chaos");
-    db.recover().expect("child: recovery must succeed on any crash-consistent dir");
+    let stats =
+        db.recover().expect("child: recovery must succeed on any crash-consistent dir");
+    // How many in-doubt (prepared, undecided-locally) transactions this
+    // recovery resolved — the 2PC harness asserts kills actually landed
+    // between prepare and decide.
+    println!("INDOUBT {}", stats.resolved_commits + stats.resolved_aborts);
 
     let ckpt_ms: u64 = std::env::var("ERMIA_CHAOS_CKPT_MS")
         .ok()
@@ -95,7 +105,7 @@ fn chaos_child_server() {
         sync_wait: Duration::from_secs(2),
         ..ermia_server::ServerConfig::default()
     };
-    let srv = ermia_server::Server::start(&db, "127.0.0.1:0", scfg).expect("child: bind");
+    let srv = ermia_server::Server::start_sharded(&db, "127.0.0.1:0", scfg).expect("child: bind");
     println!("PORT {}", srv.local_addr().port());
     let _ = std::io::stdout().flush();
 
@@ -151,8 +161,23 @@ fn merge(into: &mut Journal, from: Journal) {
 ///
 /// The returned `Child` is deliberately live: every caller ends it via
 /// `sigkill`, which kills and reaps it.
-#[allow(clippy::zombie_processes)]
 fn spawn_server(dir: &Path, fault: &str, ckpt_ms: u64) -> (Child, u16) {
+    let (child, port, _) = spawn_server_with(dir, fault, ckpt_ms, 1, 0);
+    (child, port)
+}
+
+/// [`spawn_server`] with an explicit shard count and a 2PC
+/// prepare→decide delay (ms), both forwarded to the child. Additionally
+/// returns how many in-doubt prepared transactions the child's recovery
+/// had to resolve — the proof that a kill landed inside the window.
+#[allow(clippy::zombie_processes)]
+fn spawn_server_with(
+    dir: &Path,
+    fault: &str,
+    ckpt_ms: u64,
+    shards: usize,
+    prepare_delay_ms: u64,
+) -> (Child, u16, u64) {
     let exe = std::env::current_exe().expect("current_exe");
     let mut child = Command::new(exe)
         .arg("chaos_child_server")
@@ -162,6 +187,8 @@ fn spawn_server(dir: &Path, fault: &str, ckpt_ms: u64) -> (Child, u16) {
         .env("ERMIA_CHAOS_DIR", dir)
         .env("ERMIA_CHAOS_FAULT", fault)
         .env("ERMIA_CHAOS_CKPT_MS", ckpt_ms.to_string())
+        .env("ERMIA_CHAOS_SHARDS", shards.to_string())
+        .env("ERMIA_2PC_PREPARE_DELAY_MS", prepare_delay_ms.to_string())
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -169,17 +196,21 @@ fn spawn_server(dir: &Path, fault: &str, ckpt_ms: u64) -> (Child, u16) {
         .expect("spawn server child");
     let stdout = child.stdout.take().expect("child stdout");
     let mut lines = BufReader::new(stdout).lines();
+    let mut in_doubt = 0u64;
     for line in &mut lines {
         let line = line.expect("read child stdout");
         // The libtest harness prints `test chaos_child_server ... ` on
-        // the same line before the child's own output, so the marker is
-        // not necessarily at line start.
+        // the same line before the child's own output, so the markers
+        // are not necessarily at line start.
+        if let Some((_, n)) = line.split_once("INDOUBT ") {
+            in_doubt = n.trim().parse().unwrap_or(0);
+        }
         if let Some((_, port)) = line.split_once("PORT ") {
             let port = port.trim().parse().expect("child port");
             // Keep draining stdout in the background so the child never
             // blocks on a full pipe (the harness reads nothing else).
             std::thread::spawn(move || for _ in lines {});
-            return (child, port);
+            return (child, port, in_doubt);
         }
     }
     let _ = child.kill();
@@ -441,6 +472,227 @@ fn chaos_seeded_kill_restart_cycles() {
     assert!(
         journal.values().any(|l| l.acked.is_some()),
         "harness must ack at least one durable write across {cycles} cycles"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 2PC torture: SIGKILL between prepare and decide.
+// ---------------------------------------------------------------------
+
+/// Shard count for the 2PC torture run.
+const TWO_PC_SHARDS: usize = 2;
+
+/// For client `cid`, a pair of keys guaranteed to hash to *different*
+/// shards of a [`TWO_PC_SHARDS`]-way engine, so one sync batch writing
+/// both is a cross-shard two-phase commit.
+fn cross_shard_pair(cid: usize) -> (Vec<u8>, Vec<u8>) {
+    let a = format!("p{cid}-a").into_bytes();
+    let sa = ermia::shard_of_key(&a, TWO_PC_SHARDS);
+    let b = (0u32..)
+        .map(|j| format!("p{cid}-b{j}").into_bytes())
+        .find(|k| ermia::shard_of_key(k, TWO_PC_SHARDS) != sa)
+        .expect("some key hashes to the other shard");
+    (a, b)
+}
+
+/// One 2PC client: *serial* sync batches, each writing both keys of its
+/// cross-shard pair with the same sequence value. Serial (not
+/// pipelined) so the pair's committed history is totally ordered and
+/// atomicity reduces to "both keys recover to the same value".
+fn pair_traffic(port: u16, cid: usize, stop: &AtomicBool, mut log: KeyLog, start: u64) -> (KeyLog, u64) {
+    let mut s = start;
+    let Ok(mut c) = Client::connect(("127.0.0.1", port)) else { return (log, s) };
+    let _ = c.set_reply_timeout(Some(Duration::from_secs(3)));
+    let Ok(table) = c.open_table("chaos") else { return (log, s) };
+    let (ka, kb) = cross_shard_pair(cid);
+    while !stop.load(Ordering::Relaxed) {
+        s += 1;
+        let value = format!("{s:010}").into_bytes();
+        log.issued.insert(s);
+        let ops = vec![
+            BatchOp::Put { table, key: ka.clone(), value: value.clone() },
+            BatchOp::Put { table, key: kb.clone(), value },
+        ];
+        let batch = Request::Batch { isolation: WireIsolation::Snapshot, sync: true, ops };
+        if c.send(&batch).is_err() {
+            break;
+        }
+        match c.recv() {
+            Ok(Response::BatchDone { outcome, .. }) => match *outcome {
+                Response::Committed { .. } => log.acked = log.acked.max(Some(s)),
+                Response::Error { code, .. } => match code {
+                    // Durability wait failed; the decide may still be on
+                    // disk. Indeterminate: neither acked nor denied.
+                    ErrorCode::LogStalled | ErrorCode::LogFailed => {}
+                    _ => {
+                        log.denied.insert(s);
+                    }
+                },
+                _ => {}
+            },
+            Ok(Response::Busy) => {
+                log.denied.insert(s);
+            }
+            Ok(_) => {}
+            Err(_) => break, // killed mid-commit: indeterminate
+        }
+    }
+    (log, s)
+}
+
+/// Seeded 2PC crash-recovery torture (issue acceptance: ≥ 25 cycles).
+///
+/// The child runs 2 shards with `ERMIA_2PC_PREPARE_DELAY_MS` stretching
+/// every cross-shard commit's prepare→decide window to ~25 ms, while
+/// clients hammer sync cross-shard pair-writes — so a seeded-random
+/// SIGKILL usually lands *between a participant's durable prepare and
+/// the coordinator's decide*. After each kill the oracle restarts the
+/// engine and checks, per pair:
+///
+/// * **atomicity** — both keys recover to the *same* sequence (a 2PC
+///   either applied on both shards or on neither);
+/// * **acked ⇒ durable** — the recovered sequence is ≥ the acked
+///   frontier, was issued, and was never denied;
+/// * **no in-doubt residue** — `ermia_shard_in_doubt` is 0 and no
+///   transaction slots leak after recovery.
+///
+/// Across all cycles at least one recovery must actually have resolved
+/// an in-doubt prepare, proving the kills exercise the window.
+#[test]
+fn chaos_2pc_kill_between_prepare_and_decide() {
+    if std::env::var("ERMIA_CHAOS_CHILD").is_ok() {
+        return; // we are a child process; only chaos_child_server acts
+    }
+    let cycles: usize = std::env::var("ERMIA_CHAOS_2PC_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let seed: u64 = std::env::var("ERMIA_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x2BC0_FFEE);
+    let mut rng = Rng(seed);
+    const DELAY_MS: u64 = 25;
+    const CLIENTS: usize = 3;
+
+    let dir = std::env::temp_dir().join(format!("ermia-chaos2pc-{}-{seed:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut logs: Vec<KeyLog> = vec![KeyLog::default(); CLIENTS];
+    let mut next_seq: Vec<u64> = vec![0; CLIENTS];
+    let mut in_doubt_resolved_total = 0u64;
+    for cycle in 0..cycles {
+        let kill_after = Duration::from_millis(80 + rng.below(200));
+        let (child, port, resolved) =
+            spawn_server_with(&dir, "none", 0, TWO_PC_SHARDS, DELAY_MS);
+        in_doubt_resolved_total += resolved;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|cid| {
+                let stop = Arc::clone(&stop);
+                let log = logs[cid].clone();
+                let start = next_seq[cid];
+                std::thread::spawn(move || pair_traffic(port, cid, &stop, log, start))
+            })
+            .collect();
+        std::thread::sleep(kill_after);
+        sigkill(child); // lands inside a ~25 ms prepare→decide window
+        stop.store(true, Ordering::Relaxed);
+        for (cid, w) in workers.into_iter().enumerate() {
+            let (log, seq) = w.join().expect("2pc client");
+            logs[cid] = log;
+            next_seq[cid] = seq;
+        }
+
+        // Restart and verify: the oracle server itself performs the
+        // in-doubt resolution under test.
+        let (vchild, vport, vresolved) =
+            spawn_server_with(&dir, "none", 0, TWO_PC_SHARDS, 0);
+        in_doubt_resolved_total += vresolved;
+        eprintln!(
+            "2pc cycle {cycle}: kill_after={kill_after:?} resolved_in_doubt={vresolved} \
+             acked={:?}",
+            logs.iter().map(|l| l.acked).collect::<Vec<_>>()
+        );
+        let mut c = Client::connect(("127.0.0.1", vport)).expect("2pc oracle connect");
+        c.set_reply_timeout(Some(Duration::from_secs(10))).unwrap();
+        let table = c.open_table("chaos").unwrap();
+        let (rows, truncated) = c.scan(table, b"", &[0xFF], 0).expect("2pc oracle scan");
+        assert!(!truncated, "2pc oracle scan must fit one frame");
+        let recovered: HashMap<Vec<u8>, u64> = rows
+            .into_iter()
+            .map(|(k, v)| (k, String::from_utf8_lossy(&v).parse().unwrap_or(u64::MAX)))
+            .collect();
+
+        let mut violations: Vec<String> = Vec::new();
+        for (cid, log) in logs.iter().enumerate() {
+            let (ka, kb) = cross_shard_pair(cid);
+            let (ra, rb) = (recovered.get(&ka).copied(), recovered.get(&kb).copied());
+            if ra != rb {
+                violations.push(format!(
+                    "pair {cid}: atomicity broken — shards disagree ({ra:?} vs {rb:?})"
+                ));
+                continue;
+            }
+            match (ra, log.acked) {
+                (None, Some(a)) => {
+                    violations.push(format!("pair {cid}: acked seq {a} lost — keys absent"))
+                }
+                (None, None) => {}
+                (Some(r), acked) => {
+                    if !log.issued.contains(&r) {
+                        violations.push(format!("pair {cid}: recovered unissued value {r}"));
+                    }
+                    if log.denied.contains(&r) {
+                        violations.push(format!("pair {cid}: recovered denied value {r}"));
+                    }
+                    if let Some(a) = acked {
+                        if r < a {
+                            violations.push(format!(
+                                "pair {cid}: recovered {r} older than acked frontier {a}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // No in-doubt residue and no leaked slots after recovery.
+        let metrics = c.metrics().expect("2pc oracle metrics");
+        let exposition = ermia_telemetry::parse_exposition(&metrics).expect("metrics parse");
+        if exposition.value("ermia_shard_in_doubt") != Some(0.0) {
+            violations.push("in-doubt transactions left unresolved after restart".into());
+        }
+        if exposition.value("ermia_tid_slots_in_use") != Some(0.0) {
+            violations.push("transaction slots leaked across 2PC recovery".into());
+        }
+
+        if !violations.is_empty() {
+            let report = dir.join("oracle-report.txt");
+            let mut out = format!("2pc-oracle violations (cycle {cycle}):\n");
+            for v in &violations {
+                out.push_str("  - ");
+                out.push_str(v);
+                out.push('\n');
+            }
+            let _ = std::fs::write(&report, &out);
+            let dump = c.dump_events(256).unwrap_or_default();
+            let _ = std::fs::write(dir.join("flight-dump.txt"), dump);
+            sigkill(vchild);
+            panic!("{out}reports written to {}", report.display());
+        }
+        sigkill(vchild);
+    }
+    assert!(
+        logs.iter().any(|l| l.acked.is_some()),
+        "harness must ack at least one cross-shard commit across {cycles} cycles"
+    );
+    assert!(
+        in_doubt_resolved_total > 0,
+        "no kill ever landed between prepare and decide across {cycles} cycles — \
+         widen ERMIA_2PC_PREPARE_DELAY_MS or check the window instrumentation"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -148,6 +148,58 @@ fn metrics_frame_and_http_scrape_expose_the_full_surface() {
     srv.shutdown();
 }
 
+/// Golden names for the engine-shard surface: a server on a 2-shard
+/// engine must expose the shard families, the per-shard labels, and —
+/// after one cross-shard commit over the wire — the 2PC latency
+/// histograms and in-doubt gauge.
+#[test]
+fn sharded_engine_metrics_expose_per_shard_families() {
+    let db = ermia::ShardedDb::open(DbConfig::in_memory(), 2).unwrap();
+    let srv = Server::start_sharded(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let t = c.open_table("kv").unwrap();
+
+    // One cross-shard commit: two keys that hash to different shards.
+    let ka = b"shard-a".to_vec();
+    let kb = (0u32..)
+        .map(|j| format!("shard-b{j}").into_bytes())
+        .find(|k| ermia::shard_of_key(k, 2) != ermia::shard_of_key(&ka, 2))
+        .unwrap();
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, &ka, b"1").unwrap();
+    c.put(t, &kb, b"1").unwrap();
+    c.commit(false).unwrap();
+
+    let text = c.metrics().unwrap();
+    let exp = parse_exposition(&text).expect("sharded exposition must parse");
+    for name in [
+        "ermia_shard_count",
+        "ermia_shard_in_doubt",
+        "ermia_shard_txns_total",
+        "ermia_shard_cross_txns_total",
+        "ermia_2pc_prepare_ns",
+        "ermia_2pc_decide_ns",
+    ] {
+        assert!(exp.has(name), "exposition is missing {name}:\n{text}");
+    }
+    assert_eq!(exp.kind("ermia_shard_count"), Some("gauge"));
+    assert_eq!(exp.kind("ermia_shard_in_doubt"), Some("gauge"));
+    assert_eq!(exp.kind("ermia_shard_cross_txns_total"), Some("counter"));
+    assert_eq!(exp.kind("ermia_2pc_prepare_ns"), Some("histogram"));
+    assert_eq!(exp.kind("ermia_2pc_decide_ns"), Some("histogram"));
+    assert_eq!(exp.value("ermia_shard_count"), Some(2.0));
+    assert!(exp.value("ermia_shard_cross_txns_total").unwrap() >= 1.0);
+    // Nothing is in flight once the commit returned.
+    assert_eq!(exp.value("ermia_shard_in_doubt"), Some(0.0));
+    for shard in ["0", "1"] {
+        assert!(
+            exp.value_with("ermia_shard_txns_total", "shard", shard).is_some(),
+            "missing per-shard counter for shard {shard}:\n{text}"
+        );
+    }
+    srv.shutdown();
+}
+
 #[test]
 fn dump_events_frame_returns_recent_transaction_events() {
     let db = Database::open(DbConfig::in_memory()).unwrap();

@@ -51,6 +51,15 @@ pub enum EventKind {
     /// A parked session's commit resolved; its reply slot was filled and
     /// write interest re-armed.
     SessionResumed,
+    /// A cross-shard transaction's participant filled its prepare block
+    /// (`a` = participant shard, `b` = prepare cstamp).
+    TwoPcPrepare,
+    /// The coordinator's decision record was written (`a` = gtid lsn,
+    /// `b` = 1 commit / 0 abort).
+    TwoPcDecide,
+    /// Recovery resolved an in-doubt prepared transaction (`a` = gtid
+    /// lsn, `b` = 1 committed / 0 presumed abort).
+    TwoPcResolve,
 }
 
 impl EventKind {
@@ -68,6 +77,9 @@ impl EventKind {
             EventKind::DbResumed => 10,
             EventKind::SessionParked => 11,
             EventKind::SessionResumed => 12,
+            EventKind::TwoPcPrepare => 13,
+            EventKind::TwoPcDecide => 14,
+            EventKind::TwoPcResolve => 15,
         }
     }
 
@@ -85,6 +97,9 @@ impl EventKind {
             10 => EventKind::DbResumed,
             11 => EventKind::SessionParked,
             12 => EventKind::SessionResumed,
+            13 => EventKind::TwoPcPrepare,
+            14 => EventKind::TwoPcDecide,
+            15 => EventKind::TwoPcResolve,
             _ => return None,
         })
     }
@@ -103,6 +118,9 @@ impl EventKind {
             EventKind::DbResumed => "db-resumed",
             EventKind::SessionParked => "session-parked",
             EventKind::SessionResumed => "session-resumed",
+            EventKind::TwoPcPrepare => "2pc-prepare",
+            EventKind::TwoPcDecide => "2pc-decide",
+            EventKind::TwoPcResolve => "2pc-resolve",
         }
     }
 }
@@ -302,6 +320,13 @@ fn describe(e: &Event) -> String {
         EventKind::DbResumed => format!("durable_lsn={:#x}", e.a),
         EventKind::SessionParked => format!("conn={} seq={}", e.a, e.b),
         EventKind::SessionResumed => format!("conn={} waited_us={}", e.a, e.b),
+        EventKind::TwoPcPrepare => format!("shard={} cstamp={:#x}", e.a, e.b),
+        EventKind::TwoPcDecide => {
+            format!("gtid={:#x} {}", e.a, if e.b == 1 { "commit" } else { "abort" })
+        }
+        EventKind::TwoPcResolve => {
+            format!("gtid={:#x} {}", e.a, if e.b == 1 { "committed" } else { "presumed-abort" })
+        }
     }
 }
 

@@ -178,6 +178,152 @@ impl EngineTxn for ermia::Transaction<'_> {
 }
 
 // ---------------------------------------------------------------------
+// Sharded ERMIA adapter
+// ---------------------------------------------------------------------
+
+/// Shard placement policy for a workload table, by name.
+///
+/// TPC-C keys lead with the 4-byte big-endian warehouse id, so hashing
+/// that prefix keeps a warehouse's rows (and its single-warehouse
+/// transactions) on one shard — the paper's partitioning. The read-only
+/// catalog tables (`item`, `supplier`) replicate so NewOrder's item
+/// lookups never leave the home shard. The partitioned microbenchmark
+/// uses the same 4-byte-prefix scheme.
+pub fn table_policy(name: &str) -> ermia::ShardPolicy {
+    match name {
+        "tpcc.item" | "tpcc.supplier" => ermia::ShardPolicy::Replicated,
+        n if n.starts_with("tpcc.") => ermia::ShardPolicy::Hash { prefix: Some(4) },
+        "micro.stock_part" => ermia::ShardPolicy::Hash { prefix: Some(4) },
+        _ => ermia::ShardPolicy::Hash { prefix: None },
+    }
+}
+
+/// Secondary-index routing, by name. `customer_name` and
+/// `order_customer` keys lead with the owner row's warehouse id, so the
+/// entry colocates with its row; `stock_supplier` leads with the
+/// supplier id and must probe.
+pub fn index_routing(name: &str) -> ermia::IndexRouting {
+    match name {
+        "tpcc.customer_name" | "tpcc.order_customer" => ermia::IndexRouting::OwnerPrefix(4),
+        _ => ermia::IndexRouting::Probe,
+    }
+}
+
+/// Sharded ERMIA: N independent log/epoch/TID domains behind one
+/// namespace, cross-shard transactions committing via 2PC.
+#[derive(Clone)]
+pub struct ShardedErmiaEngine {
+    pub db: ermia::ShardedDb,
+    pub isolation: ermia::IsolationLevel,
+    name: &'static str,
+}
+
+impl ShardedErmiaEngine {
+    pub fn si(db: ermia::ShardedDb) -> ShardedErmiaEngine {
+        ShardedErmiaEngine { db, isolation: ermia::IsolationLevel::Snapshot, name: "ERMIA-shard" }
+    }
+
+    pub fn ssn(db: ermia::ShardedDb) -> ShardedErmiaEngine {
+        ShardedErmiaEngine {
+            db,
+            isolation: ermia::IsolationLevel::Serializable,
+            name: "ERMIA-shard-SSN",
+        }
+    }
+}
+
+impl Engine for ShardedErmiaEngine {
+    type Worker = ShardedErmiaWorkerAdapter;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn create_table(&self, name: &str) -> TableId {
+        self.db.create_table_with_policy(name, table_policy(name))
+    }
+
+    fn create_secondary_index(&self, table: TableId, name: &str) -> IndexId {
+        self.db.create_secondary_index(table, name, index_routing(name))
+    }
+
+    fn primary_index(&self, table: TableId) -> IndexId {
+        self.db.primary_index(table)
+    }
+
+    fn register_worker(&self) -> ShardedErmiaWorkerAdapter {
+        ShardedErmiaWorkerAdapter { worker: self.db.register_worker(), isolation: self.isolation }
+    }
+
+    fn txn_counts(&self) -> (u64, u64) {
+        self.db.txn_counts()
+    }
+}
+
+pub struct ShardedErmiaWorkerAdapter {
+    worker: ermia::ShardedWorker,
+    isolation: ermia::IsolationLevel,
+}
+
+impl EngineWorker for ShardedErmiaWorkerAdapter {
+    type Txn<'a> = ermia::ShardedTransaction<'a>;
+
+    fn begin(&mut self, _profile: TxnProfile) -> ermia::ShardedTransaction<'_> {
+        self.worker.begin(self.isolation)
+    }
+}
+
+impl EngineTxn for ermia::ShardedTransaction<'_> {
+    fn read(&mut self, table: TableId, key: &[u8], out: &mut dyn FnMut(&[u8])) -> OpResult<bool> {
+        ermia::ShardedTransaction::read(self, table, key, |v| out(v)).map(|o| o.is_some())
+    }
+
+    fn read_secondary(
+        &mut self,
+        index: IndexId,
+        key: &[u8],
+        out: &mut dyn FnMut(&[u8]),
+    ) -> OpResult<bool> {
+        ermia::ShardedTransaction::read_secondary(self, index, key, |v| out(v)).map(|o| o.is_some())
+    }
+
+    fn update(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<bool> {
+        ermia::ShardedTransaction::update(self, table, key, value)
+    }
+
+    fn insert(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<u64> {
+        ermia::ShardedTransaction::insert(self, table, key, value)
+    }
+
+    fn insert_secondary(&mut self, index: IndexId, key: &[u8], handle: u64) -> OpResult<()> {
+        ermia::ShardedTransaction::insert_secondary(self, index, key, handle)
+    }
+
+    fn delete(&mut self, table: TableId, key: &[u8]) -> OpResult<bool> {
+        ermia::ShardedTransaction::delete(self, table, key)
+    }
+
+    fn scan(
+        &mut self,
+        index: IndexId,
+        low: &[u8],
+        high: &[u8],
+        limit: Option<usize>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> OpResult<usize> {
+        ermia::ShardedTransaction::scan(self, index, low, high, limit, |k, v| f(k, v))
+    }
+
+    fn commit(self) -> TxResult<()> {
+        ermia::ShardedTransaction::commit(self).map(|_| ())
+    }
+
+    fn abort(self) {
+        ermia::ShardedTransaction::abort(self)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Silo adapter
 // ---------------------------------------------------------------------
 

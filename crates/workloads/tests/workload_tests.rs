@@ -5,15 +5,19 @@
 use std::time::Duration;
 
 use ermia_workloads::driver::{run, RunConfig};
-use ermia_workloads::micro::{MicroConfig, MicroWorkload};
+use ermia_workloads::micro::{MicroConfig, MicroWorkload, PartMicroConfig, PartMicroWorkload};
 use ermia_workloads::tpcc::{check_consistency, TpccConfig, TpccWorkload};
 use ermia_workloads::tpcc_hybrid::TpccHybridWorkload;
 use ermia_workloads::tpce::{TpceConfig, TpceWorkload};
 use ermia_workloads::tpce_hybrid::TpceHybridWorkload;
-use ermia_workloads::{Engine, ErmiaEngine, SiloEngine};
+use ermia_workloads::{Engine, ErmiaEngine, ShardedErmiaEngine, SiloEngine};
 
 fn ermia_si() -> ErmiaEngine {
     ErmiaEngine::si(ermia::Database::open(ermia::DbConfig::in_memory()).unwrap())
+}
+
+fn ermia_sharded(shards: usize) -> ShardedErmiaEngine {
+    ShardedErmiaEngine::si(ermia::ShardedDb::open(ermia::DbConfig::in_memory(), shards).unwrap())
 }
 
 fn ermia_ssn() -> ErmiaEngine {
@@ -69,6 +73,37 @@ fn tpcc_runs_and_stays_consistent_ermia_ssn() {
 #[test]
 fn tpcc_runs_and_stays_consistent_silo() {
     tpcc_on(silo());
+}
+
+#[test]
+fn tpcc_runs_and_stays_consistent_sharded() {
+    // 3 shards, 2 warehouses: cross-partition NewOrder/Payment become
+    // cross-shard two-phase commits; consistency conditions must still
+    // hold over the merged namespace.
+    tpcc_on(ermia_sharded(3));
+}
+
+#[test]
+fn part_micro_crosses_shards_and_commits() {
+    let engine = ermia_sharded(2);
+    let wl = PartMicroWorkload::new(PartMicroConfig {
+        partitions: 4,
+        shards: 2,
+        rows_per_partition: 500,
+        reads: 10,
+        write_ratio: 0.2,
+        cross_pct: 50,
+    });
+    let r = run(&engine, &wl, &short());
+    assert!(r.total_commits() > 0, "no commits");
+    // Half the transactions write two shards: 2PC must actually fire.
+    let cross = engine.db.telemetry().render_prometheus();
+    let line = cross
+        .lines()
+        .find(|l| l.starts_with("ermia_shard_cross_txns_total"))
+        .expect("cross-shard counter exported");
+    let n: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(n > 0.0, "expected cross-shard commits, counter: {line}");
 }
 
 fn tpcc_hybrid_on<E: Engine>(engine: E) -> ermia_workloads::BenchResult {

@@ -17,7 +17,11 @@
 //!   (fail the nth fsync) — pair with the `Resume` wire frame after
 //!   clearing the fault;
 //! * `ERMIA_CKPT_MS=<ms>` runs a background checkpointer so kills can
-//!   land mid-checkpoint.
+//!   land mid-checkpoint;
+//! * `ERMIA_SHARDS=<n>` opens the engine as `n` independent shard
+//!   domains (each with its own log under `<dir>/shard-<i>`) so kills
+//!   can land between 2PC prepare and decide — pair with
+//!   `ERMIA_2PC_PREPARE_DELAY_MS` to widen that window.
 //!
 //! The in-tree chaos harness (`crates/server/tests/chaos.rs`) uses the
 //! same protocol — spawn, read `PORT`, hammer, SIGKILL, restart, verify
@@ -28,7 +32,7 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ermia::{Database, DbConfig};
+use ermia::{DbConfig, ShardedDb};
 use ermia_log::{FaultInjector, FaultPlan, LogConfig};
 use ermia_server::{Server, ServerConfig};
 
@@ -58,7 +62,13 @@ fn main() {
         io_factory: Arc::new(FaultInjector::new(plan)),
         ..cfg.log
     };
-    let db = Database::open(cfg).expect("open database (is the data dir locked by a live server?)");
+    let shards: usize = std::env::var("ERMIA_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1);
+    let db = ShardedDb::open(cfg, shards)
+        .expect("open database (is the data dir locked by a live server?)");
     db.create_table("chaos");
     let stats = db.recover().expect("recovery");
     eprintln!("recovered: {stats:?}");
@@ -73,7 +83,7 @@ fn main() {
         });
     }
 
-    let srv = Server::start(&db, &addr, ServerConfig::default()).expect("bind");
+    let srv = Server::start_sharded(&db, &addr, ServerConfig::default()).expect("bind");
     println!("PORT {}", srv.local_addr().port());
     let _ = std::io::stdout().flush();
     eprintln!("ermia_server: data dir {dir}, listening on {}", srv.local_addr());

@@ -2,7 +2,12 @@
 //!
 //! ```sh
 //! cargo run --release --example server -- 127.0.0.1:7878
+//! cargo run --release --example server -- 127.0.0.1:7878 --shards 4
 //! ```
+//!
+//! `--shards N` partitions the engine into N independent shard domains
+//! (log, epochs, TID space); keys hash-route to a home shard and
+//! transactions that touch several shards commit with two-phase commit.
 //!
 //! Then talk to it with the client example (`--example client`) or any
 //! program speaking the framed wire protocol (`ermia_server::protocol`).
@@ -10,15 +15,29 @@
 
 use std::time::Duration;
 
-use ermia::{Database, DbConfig};
+use ermia::{DbConfig, ShardedDb};
 use ermia_server::{Server, ServerConfig};
 
 fn main() {
-    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut shards = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--shards" {
+            shards = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&s| s >= 1)
+                .expect("--shards needs a positive integer");
+        } else {
+            addr = a.clone();
+        }
+    }
 
     // Durable engine: the log goes to disk, sync commits really wait.
     let dir = std::env::temp_dir().join("ermia-server-example");
-    let db = Database::open(DbConfig::durable(&dir)).expect("open database");
+    let db = ShardedDb::open(DbConfig::durable(&dir), shards).expect("open database");
 
     let cfg = ServerConfig {
         max_sessions: 256,
@@ -26,8 +45,8 @@ fn main() {
         sync_wait: Duration::from_secs(5),
         ..ServerConfig::default()
     };
-    let srv = Server::start(&db, &addr, cfg).expect("bind");
-    println!("ermia-server listening on {}", srv.local_addr());
+    let srv = Server::start_sharded(&db, &addr, cfg).expect("bind");
+    println!("ermia-server listening on {} ({} shard(s))", srv.local_addr(), db.shards());
     println!("log dir: {}", dir.display());
     println!("press Enter to shut down gracefully");
 
