@@ -1,0 +1,292 @@
+//! Replication bench: shipping lag under sync write load, replica vs
+//! primary read throughput over the wire, and fork latency vs table
+//! size with allocation accounting proving the fork is O(metadata).
+//!
+//! Emits `BENCH_repl.json` (path override: `BENCH_OUT`). `-- --quick`
+//! runs a CI-sized load.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ermia::{Database, DbConfig};
+use ermia_repl::{Replica, ReplicaConfig};
+use ermia_server::{Client, Server, ServerConfig, WireIsolation};
+
+// ---------------------------------------------------------------------
+// Counting allocator: global byte meter for the fork-cost accounting.
+// ---------------------------------------------------------------------
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ermia-repl-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1: shipping lag under sync write load.
+// ---------------------------------------------------------------------
+
+struct LagRun {
+    samples: usize,
+    p50_bytes: u64,
+    p99_bytes: u64,
+    max_bytes: u64,
+    writes: u64,
+    rounds: u64,
+}
+
+fn lag_under_write_load(addr: &str, secs: u64) -> LagRun {
+    let replica_dir = tmpdir("lag-replica");
+    let mut replica = Replica::bootstrap(ReplicaConfig::new(addr, &replica_dir)).unwrap();
+    replica.catch_up().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writes = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let (stop, writes) = (Arc::clone(&stop), Arc::clone(&writes));
+        let addr = addr.to_string();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr.as_str()).unwrap();
+            let t = c.open_table("kv").unwrap();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                c.begin(WireIsolation::Snapshot).unwrap();
+                c.put(t, &i.to_be_bytes(), &[0x42; 128]).unwrap();
+                c.commit(true).unwrap();
+                writes.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        })
+    };
+
+    // Tail continuously, sampling the post-round lag.
+    let mut lags = Vec::new();
+    let mut rounds = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        let p = replica.poll().unwrap();
+        lags.push(p.lag_bytes);
+        rounds += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    replica.catch_up().unwrap();
+    assert_eq!(replica.stats().lag_bytes(), 0, "post-load catch-up must drain the lag");
+
+    lags.sort_unstable();
+    let run = LagRun {
+        samples: lags.len(),
+        p50_bytes: pct(&lags, 50.0),
+        p99_bytes: pct(&lags, 99.0),
+        max_bytes: *lags.last().unwrap_or(&0),
+        writes: writes.load(Ordering::Relaxed),
+        rounds,
+    };
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    run
+}
+
+// ---------------------------------------------------------------------
+// Scenario 2: read throughput, primary vs replica, over the wire.
+// ---------------------------------------------------------------------
+
+fn read_load(addr: &str, keys: u64, threads: usize, secs: u64) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let (stop, total) = (Arc::clone(&stop), Arc::clone(&total));
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr.as_str()).unwrap();
+                let t = c.open_table("kv").unwrap();
+                let mut i = w as u64;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = (i % keys).to_be_bytes();
+                    c.get(t, &key).unwrap().expect("populated key must be readable");
+                    i += 1;
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs(secs));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    total.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------
+// Scenario 3: fork latency + allocation vs table size.
+// ---------------------------------------------------------------------
+
+struct ForkSample {
+    rows: u64,
+    micros: f64,
+    alloc_bytes: u64,
+}
+
+fn fork_cost(rows: u64) -> ForkSample {
+    let db = Database::open(DbConfig::in_memory()).unwrap();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+    for i in 0..rows {
+        let mut tx = w.begin(ermia::IsolationLevel::Snapshot);
+        tx.insert(t, &i.to_be_bytes(), &[0x51; 64]).unwrap();
+        tx.commit().unwrap();
+    }
+    // Several forks; keep the cheapest sample so background threads'
+    // allocations (GC ticker, epoch) don't pollute the accounting.
+    let mut best: Option<ForkSample> = None;
+    for _ in 0..5 {
+        let a0 = ALLOCATED.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let fork = db.fork();
+        let micros = t0.elapsed().as_secs_f64() * 1e6;
+        let alloc_bytes = ALLOCATED.load(Ordering::Relaxed) - a0;
+        drop(fork);
+        if best.as_ref().is_none_or(|b| alloc_bytes < b.alloc_bytes) {
+            best = Some(ForkSample { rows, micros, alloc_bytes });
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let secs = if quick { 2 } else { 8 };
+    let read_keys: u64 = if quick { 5_000 } else { 50_000 };
+    let fork_sizes: &[u64] =
+        if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+
+    // Primary under a real server.
+    let primary_dir = tmpdir("primary");
+    let mut cfg = DbConfig::durable(&primary_dir);
+    cfg.log.segment_size = 1 << 20;
+    let db = Database::open(cfg).unwrap();
+    let srv = Server::start(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr().to_string();
+
+    // Populate the read working set.
+    {
+        let mut c = Client::connect(addr.as_str()).unwrap();
+        let t = c.open_table("kv").unwrap();
+        for i in 0..read_keys {
+            c.begin(WireIsolation::Snapshot).unwrap();
+            c.put(t, &i.to_be_bytes(), &[0x33; 100]).unwrap();
+            c.commit(i + 1 == read_keys).unwrap(); // one sync commit seals durability
+        }
+    }
+
+    // Lag under sync write load.
+    let lag = lag_under_write_load(&addr, secs);
+    eprintln!(
+        "lag: {} samples over {} rounds, p50={}B p99={}B max={}B ({} sync writes)",
+        lag.samples, lag.rounds, lag.p50_bytes, lag.p99_bytes, lag.max_bytes, lag.writes
+    );
+
+    // Read throughput: primary vs a caught-up replica, same wire path.
+    let replica_dir = tmpdir("read-replica");
+    let mut replica = Replica::bootstrap(ReplicaConfig::new(addr.clone(), &replica_dir)).unwrap();
+    replica.catch_up().unwrap();
+    let rsrv = replica.serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let raddr = rsrv.local_addr().to_string();
+    let primary_ops = read_load(&addr, read_keys, 4, secs);
+    let replica_ops = read_load(&raddr, read_keys, 4, secs);
+    eprintln!("reads: primary {primary_ops:.0} ops/s, replica {replica_ops:.0} ops/s");
+
+    // Fork latency / allocation vs table size.
+    let forks: Vec<ForkSample> = fork_sizes.iter().map(|&n| fork_cost(n)).collect();
+    for f in &forks {
+        eprintln!("fork @ {} rows: {:.1} us, {} bytes allocated", f.rows, f.micros, f.alloc_bytes);
+    }
+    // O(metadata): the fork's allocation footprint must not scale with
+    // the table — versions and indirection arrays are shared, not
+    // copied. 64 KiB is orders of magnitude below any copied table.
+    for f in &forks {
+        assert!(
+            f.alloc_bytes < 64 << 10,
+            "fork of {} rows allocated {} bytes — data is being copied",
+            f.rows,
+            f.alloc_bytes
+        );
+    }
+
+    rsrv.shutdown();
+    drop(replica);
+    srv.shutdown();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"repl\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"lag\": {\n");
+    let _ = writeln!(json, "    \"samples\": {},", lag.samples);
+    let _ = writeln!(json, "    \"rounds\": {},", lag.rounds);
+    let _ = writeln!(json, "    \"sync_writes\": {},", lag.writes);
+    let _ = writeln!(json, "    \"p50_bytes\": {},", lag.p50_bytes);
+    let _ = writeln!(json, "    \"p99_bytes\": {},", lag.p99_bytes);
+    let _ = writeln!(json, "    \"max_bytes\": {}", lag.max_bytes);
+    json.push_str("  },\n");
+    json.push_str("  \"reads\": {\n");
+    let _ = writeln!(json, "    \"keys\": {read_keys},");
+    let _ = writeln!(json, "    \"threads\": 4,");
+    let _ = writeln!(json, "    \"primary_ops_per_sec\": {primary_ops:.0},");
+    let _ = writeln!(json, "    \"replica_ops_per_sec\": {replica_ops:.0},");
+    let _ = writeln!(json, "    \"replica_over_primary\": {:.3}", replica_ops / primary_ops);
+    json.push_str("  },\n");
+    json.push_str("  \"fork\": [\n");
+    for (i, f) in forks.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"rows\": {}, \"micros\": {:.1}, \"alloc_bytes\": {}}}{}",
+            f.rows,
+            f.micros,
+            f.alloc_bytes,
+            if i + 1 == forks.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_repl.json".into());
+    std::fs::write(&out, json).expect("write bench json");
+    eprintln!("wrote {out}");
+}

@@ -12,7 +12,7 @@ use ermia_index::BTree;
 use ermia_log::{CheckpointStore, LogManager};
 use ermia_storage::{GarbageCollector, GcPassHook, GcStats, OidArray, TidManager, VersionPool};
 use ermia_telemetry::{EventKind, EventRing, Telemetry};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::config::DbConfig;
 use crate::worker::Worker;
@@ -40,6 +40,125 @@ impl DbState {
         match v {
             0 => DbState::Active,
             _ => DbState::Degraded,
+        }
+    }
+}
+
+/// Replication role of a database node.
+///
+/// A database opens as `Primary`. A log-shipping replica (see the
+/// `ermia-repl` crate) marks its local database `Replica` so health
+/// reporting and load balancers can tell the nodes apart; the role does
+/// not by itself change engine behavior — read-only enforcement comes
+/// from serving through snapshot views ([`Database::fork`] /
+/// [`Database::replica_view`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum NodeRole {
+    /// Accepts writes; the source of the log.
+    Primary = 0,
+    /// Applies a shipped log; serves read-only snapshots.
+    Replica = 1,
+}
+
+impl NodeRole {
+    pub fn from_u8(v: u8) -> NodeRole {
+        match v {
+            0 => NodeRole::Primary,
+            _ => NodeRole::Replica,
+        }
+    }
+}
+
+/// One schema-reproducing DDL statement (see [`Database::schema_ddl`]).
+/// `secondary: None` declares a table (with its primary index);
+/// `Some(name)` declares a secondary index on `table`. Replaying entries
+/// in order reproduces identical dense table/index ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DdlEntry {
+    pub table: String,
+    pub secondary: Option<String>,
+}
+
+/// A set of (id, offset) pins with O(n) minimum — n is the handful of
+/// live forks/shippers, never the transaction path.
+pub(crate) struct PinSet {
+    next: AtomicU64,
+    pins: Mutex<Vec<(u64, u64)>>,
+}
+
+impl PinSet {
+    fn new() -> PinSet {
+        PinSet { next: AtomicU64::new(1), pins: Mutex::new(Vec::new()) }
+    }
+
+    fn pin(&self, offset: u64) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.pins.lock().push((id, offset));
+        id
+    }
+
+    fn update(&self, id: u64, offset: u64) {
+        let mut pins = self.pins.lock();
+        if let Some(p) = pins.iter_mut().find(|(i, _)| *i == id) {
+            p.1 = offset;
+        }
+    }
+
+    fn release(&self, id: u64) {
+        self.pins.lock().retain(|(i, _)| *i != id);
+    }
+
+    fn min(&self) -> Option<u64> {
+        self.pins.lock().iter().map(|&(_, o)| o).min()
+    }
+}
+
+/// A retention handle pinning the log against [`Database::truncate_log`].
+///
+/// While alive, no segment at or above the pinned offset is retired, so
+/// a backup shipper or replica subscriber can keep reading sealed
+/// segments without racing truncation. Dropping the handle releases the
+/// pin; the next `truncate_log` resumes retiring normally.
+pub struct LogRetention {
+    inner: Arc<DbInner>,
+    id: u64,
+}
+
+impl LogRetention {
+    /// Move the pin forward (typically to the subscriber's applied
+    /// offset) so truncation can reclaim everything already shipped.
+    pub fn advance(&self, offset: u64) {
+        self.inner.log_pins.update(self.id, offset);
+    }
+}
+
+impl Drop for LogRetention {
+    fn drop(&mut self) {
+        self.inner.log_pins.release(self.id);
+    }
+}
+
+/// Shared state of a snapshot view handle ([`Database::fork`] /
+/// [`Database::replica_view`]): the visibility cut, plus a GC pin that
+/// keeps version chains below the cut reachable for as long as any
+/// handle clone is alive.
+pub(crate) struct ViewState {
+    /// Raw LSN used as the begin timestamp of every transaction started
+    /// through this handle. Frozen for forks; advanced by a replica as
+    /// it applies shipped log.
+    pub(crate) cut: AtomicU64,
+    inner: Arc<DbInner>,
+    gc_pin: u64,
+    /// True for user-visible forks (counted in `ermia_fork_count`).
+    counted: bool,
+}
+
+impl Drop for ViewState {
+    fn drop(&mut self) {
+        self.inner.gc_pins.release(self.gc_pin);
+        if self.counted {
+            self.inner.fork_count.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -148,6 +267,18 @@ pub(crate) struct DbInner {
     /// log's poison hook, back to `Active` by [`Database::resume`]. Read
     /// with a relaxed load on every write operation's admission check.
     pub state: AtomicU8,
+    /// Replication role ([`NodeRole`] as u8); set once by the replica
+    /// process, read by health reporting.
+    pub role: AtomicU8,
+    /// Log offset a replica has applied through (0 on a primary).
+    pub applied: AtomicU64,
+    /// Snapshot-view pins (raw LSNs) clamping the GC horizon: versions
+    /// a live fork can still read are not reclaimable.
+    pub gc_pins: PinSet,
+    /// Retention pins (log offsets) clamping [`Database::truncate_log`].
+    pub log_pins: PinSet,
+    /// Live fork handles (gauge `ermia_fork_count`).
+    pub fork_count: AtomicU64,
     /// Pid lockfile on the data directory (`None` for in-memory
     /// databases); held only for its Drop, which removes the file.
     pub _dir_lock: Option<DirLock>,
@@ -163,6 +294,10 @@ pub struct Database {
     pub(crate) inner: Arc<DbInner>,
     // Background services; dropped (stopped) with the last Database clone.
     _services: Arc<Services>,
+    /// When set, this handle is a read-only snapshot view: transactions
+    /// begin at the view's cut instead of the log tail, and every write
+    /// operation aborts with `ReadOnlyMode`.
+    pub(crate) view: Option<Arc<ViewState>>,
 }
 
 struct Services {
@@ -211,6 +346,11 @@ impl Database {
             gc_stats: Arc::new(GcStats::default()),
             svc_ring,
             state: AtomicU8::new(DbState::Active as u8),
+            role: AtomicU8::new(NodeRole::Primary as u8),
+            applied: AtomicU64::new(0),
+            gc_pins: PinSet::new(),
+            log_pins: PinSet::new(),
+            fork_count: AtomicU64::new(0),
             _dir_lock: dir_lock,
             cfg,
         });
@@ -250,7 +390,7 @@ impl Database {
         let mut tickers = vec![Ticker::start(inner.epoch.clone(), tick)];
         tickers.shrink_to_fit();
         let services = Arc::new(Services { _tickers: tickers, _gc: parking_lot::Mutex::new(None) });
-        let db = Database { inner, _services: services };
+        let db = Database { inner, _services: services, view: None };
         if db.inner.cfg.enable_gc {
             db.start_gc();
         }
@@ -261,9 +401,16 @@ impl Database {
         let inner = Arc::clone(&self.inner);
         let horizon = move || {
             // Versions below every active transaction's begin stamp are
-            // reclaimable; fall back to the log tail when idle.
+            // reclaimable; fall back to the log tail when idle. Live
+            // snapshot views (forks, replica serving handles) clamp the
+            // horizon so versions their cut can still read stay linked
+            // even while no view transaction is in flight.
             let tail = inner.log.tail_lsn();
-            inner.tid.min_active_begin(tail)
+            let mut h = inner.tid.min_active_begin(tail);
+            if let Some(pin) = inner.gc_pins.min() {
+                h = h.min(Lsn::from_raw(pin));
+            }
+            h
         };
         // The GC sweeps whatever tables exist at each pass; re-arm when
         // tables are created (cheap: GC restart on DDL).
@@ -443,16 +590,199 @@ impl Database {
 
     /// Retire log segments made obsolete by the most recent checkpoint
     /// and prune superseded checkpoints. Returns the number of segments
-    /// removed.
+    /// removed. Live [`LogRetention`] handles clamp the truncation
+    /// point, so a backup shipper's unshipped segments survive; once the
+    /// handles drop, the next call resumes retiring from the checkpoint.
     pub fn truncate_log(&self) -> std::io::Result<usize> {
         let Some(store) = &self.inner.checkpoints else { return Ok(0) };
         let Some((meta, _)) = store.latest()? else { return Ok(0) };
         store.prune()?;
-        let removed = self.inner.log.truncate_before(meta.begin.offset())?;
+        let mut cut = meta.begin.offset();
+        if let Some(pin) = self.inner.log_pins.min() {
+            cut = cut.min(pin);
+        }
+        let removed = self.inner.log.truncate_before(cut)?;
         if self.inner.cfg.telemetry {
-            self.inner.svc_ring.record(EventKind::Checkpoint, meta.begin.offset(), removed as u64);
+            self.inner.svc_ring.record(EventKind::Checkpoint, cut, removed as u64);
         }
         Ok(removed)
+    }
+
+    /// Pin the log against truncation from `offset` upward. See
+    /// [`LogRetention`].
+    pub fn pin_log(&self, offset: u64) -> LogRetention {
+        LogRetention { inner: Arc::clone(&self.inner), id: self.inner.log_pins.pin(offset) }
+    }
+
+    // ------------------------------------------------------------------
+    // Consistent cuts and snapshot views
+    // ------------------------------------------------------------------
+
+    /// An epoch-aligned, durable consistent cut: the returned LSN `c`
+    /// satisfies (a) every transaction with commit stamp `< c` has
+    /// finished post-commit (its versions carry LSN stamps), because `c`
+    /// is the in-flight commit low-water frontier, and (b) the log is
+    /// durable through `c`, so the cut names a crash-survivable prefix.
+    /// A snapshot read at begin `c` therefore observes a
+    /// transaction-consistent, durable prefix of history.
+    pub fn snapshot_cut(&self) -> std::io::Result<Lsn> {
+        let cut = self.inner.tid.min_commit_low_water(self.inner.log.tail_lsn());
+        if cut.offset() > 0 {
+            // Same barrier as the checkpoint: durable advances in block
+            // units, so reaching any offset >= every stamp < cut means
+            // all those commit blocks are fully on disk.
+            self.inner.log.wait_durable(cut.offset()).map_err(std::io::Error::other)?;
+        }
+        Ok(cut)
+    }
+
+    /// Fork: an instant, read-only clone of this database at a
+    /// transaction-consistent cut. No version data is copied — the fork
+    /// shares the indirection arrays and version chains copy-on-write
+    /// (the primary keeps prepending new versions; the fork's frozen cut
+    /// simply never sees them), so the cost is O(metadata): one pin and
+    /// one handle. Transactions begun through the returned handle read
+    /// the cut's snapshot; writes abort with `ReadOnlyMode`. The fork
+    /// pins the GC horizon at its cut until dropped.
+    ///
+    /// Unlike [`Database::snapshot_cut`] there is no durability barrier:
+    /// forks are in-memory artifacts (what-if analysis, tests) and take
+    /// the current commit frontier as-is.
+    pub fn fork(&self) -> Database {
+        let cut = self.inner.tid.min_commit_low_water(self.inner.log.tail_lsn());
+        self.view_at(cut, true)
+    }
+
+    /// A view handle for replica serving: starts at cut 0 (empty but
+    /// consistent) and is advanced with [`Database::advance_view`] as
+    /// shipped log gets applied. Not counted as a fork.
+    pub fn replica_view(&self) -> Database {
+        self.view_at(Lsn::NULL, false)
+    }
+
+    fn view_at(&self, cut: Lsn, counted: bool) -> Database {
+        let gc_pin = self.inner.gc_pins.pin(cut.raw());
+        if counted {
+            self.inner.fork_count.fetch_add(1, Ordering::Relaxed);
+        }
+        let view = Arc::new(ViewState {
+            cut: AtomicU64::new(cut.raw()),
+            inner: Arc::clone(&self.inner),
+            gc_pin,
+            counted,
+        });
+        Database {
+            inner: Arc::clone(&self.inner),
+            _services: Arc::clone(&self._services),
+            view: Some(view),
+        }
+    }
+
+    /// Advance a view handle's cut (replica catch-up). Monotonic: an
+    /// older cut than the current one is ignored. Panics if this handle
+    /// is not a view.
+    pub fn advance_view(&self, cut: Lsn) {
+        let view = self.view.as_ref().expect("advance_view requires a view handle");
+        view.cut.fetch_max(cut.raw(), Ordering::Release);
+        view.inner.gc_pins.update(view.gc_pin, cut.raw());
+    }
+
+    /// The cut this handle serves, if it is a snapshot view.
+    pub fn view_cut(&self) -> Option<Lsn> {
+        self.view.as_ref().map(|v| Lsn::from_raw(v.cut.load(Ordering::Acquire)))
+    }
+
+    /// Live fork handles.
+    pub fn fork_count(&self) -> u64 {
+        self.inner.fork_count.load(Ordering::Relaxed)
+    }
+
+    /// This node's replication role.
+    pub fn role(&self) -> NodeRole {
+        NodeRole::from_u8(self.inner.role.load(Ordering::Relaxed))
+    }
+
+    /// Mark this database as a log-shipping replica (health reporting).
+    pub fn set_role_replica(&self) {
+        self.inner.role.store(NodeRole::Replica as u8, Ordering::Relaxed);
+    }
+
+    /// Log offset a replica has applied through (0 on a primary).
+    pub fn applied_lsn(&self) -> u64 {
+        self.inner.applied.load(Ordering::Acquire)
+    }
+
+    /// Record the replica's applied offset (set by the repl crate).
+    pub fn set_applied_lsn(&self, offset: u64) {
+        self.inner.applied.fetch_max(offset, Ordering::Release);
+    }
+
+    /// The most recent verified checkpoint, as (begin LSN, raw payload).
+    /// `None` without a durable configuration or before any checkpoint.
+    /// Used by the backup shipper to stream the snapshot to a replica.
+    pub fn latest_checkpoint(&self) -> std::io::Result<Option<(Lsn, Vec<u8>)>> {
+        let Some(store) = &self.inner.checkpoints else { return Ok(None) };
+        Ok(store.latest()?.map(|(meta, payload)| (meta.begin, payload)))
+    }
+
+    /// Persist a checkpoint payload received from a primary into this
+    /// database's own checkpoint store, making the local data directory
+    /// a restartable backup. The payload is stored verbatim under the
+    /// shipped begin LSN.
+    pub fn store_checkpoint(&self, begin: Lsn, payload: &[u8]) -> std::io::Result<()> {
+        let store = self
+            .inner
+            .checkpoints
+            .as_ref()
+            .expect("storing a shipped checkpoint requires a durable configuration");
+        store.write(ermia_log::CheckpointMeta { begin }, payload)
+    }
+
+    /// Raw blob-store bytes `[offset, offset + max_len)`, clamped to the
+    /// current end of `blobs.dat` (empty when `offset` is at or past
+    /// it). Large-object writes divert their payload here and log only a
+    /// fixed-size indirection, so a backup shipper must stream this file
+    /// alongside the segments for indirect records to resolve during
+    /// replica replay.
+    pub fn blob_bytes(&self, offset: u64, max_len: u32) -> std::io::Result<Vec<u8>> {
+        let end = self.inner.blobs.size().min(offset.saturating_add(max_len as u64));
+        if end <= offset {
+            return Ok(Vec::new());
+        }
+        self.inner.blobs.read(ermia_log::BlobRef { offset, len: (end - offset) as u32 })
+    }
+
+    /// The DDL statements (in creation order) that reproduce this
+    /// database's schema with identical dense table/index ids. A replica
+    /// replays these through [`Database::create_table`] /
+    /// [`Database::create_secondary_index`] (both idempotent by name)
+    /// before applying shipped log.
+    pub fn schema_ddl(&self) -> Vec<DdlEntry> {
+        let catalog = self.inner.catalog.read();
+        catalog
+            .indexes
+            .iter()
+            .map(|idx| {
+                let table = catalog.tables[idx.table.0 as usize].name.clone();
+                DdlEntry {
+                    table,
+                    secondary: (!idx.is_primary).then(|| idx.name.clone()),
+                }
+            })
+            .collect()
+    }
+
+    /// Apply one [`DdlEntry`] (idempotent; used by replicas).
+    pub fn apply_ddl(&self, entry: &DdlEntry) {
+        match &entry.secondary {
+            None => {
+                self.create_table(&entry.table);
+            }
+            Some(name) => {
+                let table = self.create_table(&entry.table);
+                self.create_secondary_index(table, name);
+            }
+        }
     }
 
     /// Aggregate per-component time breakdown, merged on read across

@@ -61,10 +61,10 @@ mod transaction;
 mod worker;
 
 pub use config::{DbConfig, IsolationLevel};
-pub use database::{Database, DbState, IndexInfo, Table};
+pub use database::{Database, DbState, DdlEntry, IndexInfo, LogRetention, NodeRole, Table};
 pub use pool::{PooledWorker, WorkerPool};
 pub use profile::Breakdown;
-pub use recovery::{InDoubtTxn, RecoveryOutcome, RecoveryStats};
+pub use recovery::{InDoubtTxn, LogApplier, RecoveryOutcome, RecoveryStats};
 pub use shard::{
     shard_of_key, IndexRouting, PooledShardedWorker, ShardPolicy, ShardRecoveryStats,
     ShardedCommitToken, ShardedDb, ShardedTransaction, ShardedWorker, ShardedWorkerPool,

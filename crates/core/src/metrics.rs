@@ -219,6 +219,11 @@ fn collect_db(db: &DbInner, out: &mut Vec<Sample>) {
         db.state.load(Relaxed) as f64,
     ));
     out.push(Sample::gauge(
+        "ermia_fork_count",
+        "Live copy-on-write snapshot forks pinning the GC horizon",
+        db.fork_count.load(Relaxed) as f64,
+    ));
+    out.push(Sample::gauge(
         "ermia_log_durable_lag_bytes",
         "Allocated-but-not-yet-durable log bytes (next - durable)",
         log.next_offset().saturating_sub(log.durable_offset()) as f64,

@@ -68,6 +68,138 @@ pub struct RecoveryOutcome {
     pub decides: HashMap<(u32, u64), bool>,
 }
 
+/// Incremental log replay: the one-shot recovery scan generalized so a
+/// replica can tail a growing log. Each [`LogApplier::apply_available`]
+/// round replays every complete block past the applied frontier;
+/// prepared-but-undecided 2PC transactions and the verdicts seen so far
+/// carry over between rounds (a prepare and its decide may arrive in
+/// different shipments).
+///
+/// The frontier only advances to positions just past a successfully
+/// decoded block — a scan that stops at a hole (torn or not-yet-shipped
+/// bytes) does *not* move it, so the next round rescans from the last
+/// good block and replay stays gap-free no matter where a shipment ends.
+pub struct LogApplier {
+    applied: u64,
+    pending: HashMap<(u32, u64), InDoubtTxn>,
+    decides: HashMap<(u32, u64), bool>,
+    stats: RecoveryStats,
+}
+
+impl LogApplier {
+    /// Start applying from logical log offset `from` (the checkpoint
+    /// begin, or 0 for a from-scratch replay).
+    pub fn new(from: u64) -> LogApplier {
+        LogApplier {
+            applied: from,
+            pending: HashMap::new(),
+            decides: HashMap::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// The offset replay has consumed through: every byte below it has
+    /// been applied (or was a skip/dead zone), and it is a sound resume
+    /// point for both this applier and a resubscribing shipper.
+    pub fn applied_offset(&self) -> u64 {
+        self.applied
+    }
+
+    /// Replay counters accumulated so far.
+    pub fn stats(&self) -> RecoveryStats {
+        let mut stats = self.stats;
+        stats.in_doubt = self.pending.len() as u64;
+        stats
+    }
+
+    /// Replay every complete block currently in `db`'s log past the
+    /// applied frontier. Returns the number of blocks replayed this
+    /// round. Prepared-but-undecided transactions are buffered across
+    /// rounds: first-updater-wins guarantees no conflicting commit
+    /// interleaves with a prepared transaction on the same record, and
+    /// replay is stamp-idempotent, so applying a decided prepare after
+    /// later Txn blocks is order-safe.
+    pub fn apply_available(&mut self, db: &Database) -> std::io::Result<u64> {
+        let mut rounds = 0u64;
+        let mut scanner = LogScanner::new(db.inner.log.segments(), self.applied);
+        while let Some(block) = scanner.next_block()? {
+            // Only a decoded block certifies the bytes behind it; after
+            // `Ok(None)` the scanner's position may sit past a hole.
+            self.applied = scanner.offset();
+            match block.header.kind {
+                ermia_log::BlockKind::Txn => {
+                    rounds += 1;
+                    self.stats.replayed_blocks += 1;
+                    db.replay_records(&block.records(), block.header.cstamp, &mut self.stats)?;
+                }
+                ermia_log::BlockKind::TxnPrepare => {
+                    let Some(marker) = block.prepare_marker() else { continue };
+                    let cstamp = block.header.cstamp;
+                    let gtid_lsn = if marker.coord_lsn == PrepareMarker::COORD_SELF {
+                        cstamp.raw()
+                    } else {
+                        marker.coord_lsn
+                    };
+                    let txn = InDoubtTxn {
+                        coord_shard: marker.coord_shard,
+                        gtid_lsn,
+                        cstamp,
+                        records: block.records(),
+                    };
+                    self.pending.insert((marker.coord_shard, gtid_lsn), txn);
+                }
+                ermia_log::BlockKind::TxnDecide => {
+                    let Some(d) = DecideRecord::decode(&block.payload) else { continue };
+                    self.decides.insert((d.coord_shard, d.gtid_lsn), d.commit);
+                    if let Some(txn) = self.pending.remove(&(d.coord_shard, d.gtid_lsn)) {
+                        if d.commit {
+                            rounds += 1;
+                            self.stats.replayed_blocks += 1;
+                            db.replay_records(&txn.records, txn.cstamp, &mut self.stats)?;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(rounds)
+    }
+
+    /// Every 2PC verdict seen so far, keyed by global transaction id.
+    /// A multi-shard replica resolves other shards' pending prepares
+    /// against these (the coordinator's log is authoritative).
+    pub fn decides(&self) -> &HashMap<(u32, u64), bool> {
+        &self.decides
+    }
+
+    /// Keys of prepares still awaiting a verdict.
+    pub fn pending_keys(&self) -> Vec<(u32, u64)> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// Resolve one pending prepare with an externally obtained verdict
+    /// (from another shard's [`LogApplier::decides`]). Applies the
+    /// transaction when the verdict is commit; drops it otherwise.
+    /// Returns false if the key was not pending.
+    pub fn resolve(&mut self, db: &Database, key: (u32, u64), commit: bool) -> std::io::Result<bool> {
+        let Some(txn) = self.pending.remove(&key) else { return Ok(false) };
+        if commit {
+            self.stats.replayed_blocks += 1;
+            db.replay_records(&txn.records, txn.cstamp, &mut self.stats)?;
+        }
+        Ok(true)
+    }
+
+    /// Finish a one-shot recovery: whatever is still pending becomes the
+    /// in-doubt set for the sharded resolution pass.
+    pub fn into_outcome(self) -> RecoveryOutcome {
+        let mut stats = self.stats;
+        let in_doubt: Vec<InDoubtTxn> = self.pending.into_values().collect();
+        stats.in_doubt = in_doubt.len() as u64;
+        RecoveryOutcome { stats, in_doubt, decides: self.decides }
+    }
+}
+
 // Checkpoint payload format (little-endian):
 //   u32 ntables
 //   per table: u32 table_id, u32 nrecords
@@ -214,60 +346,19 @@ impl Database {
     /// resolution pass needs: this shard's unresolved prepares and every
     /// 2PC verdict its log contains.
     pub fn recover_outcome(&self) -> std::io::Result<RecoveryOutcome> {
-        let mut stats = RecoveryStats::default();
+        let mut checkpoint_records = 0u64;
         let mut from = 0u64;
         if let Some(store) = &self.inner.checkpoints {
             if let Some((meta, payload)) = store.latest()? {
-                stats.checkpoint_records = self.restore_checkpoint(&payload)?;
+                (checkpoint_records, _) = self.install_checkpoint(&payload)?;
                 from = meta.begin.offset();
             }
         }
-        // Roll forward from the checkpoint. Prepared-but-undecided
-        // transactions are buffered: first-updater-wins guarantees no
-        // conflicting commit interleaves with a prepared transaction on
-        // the same record, and replay is stamp-idempotent, so applying a
-        // decided prepare after later Txn blocks is order-safe.
-        let mut pending: HashMap<(u32, u64), InDoubtTxn> = HashMap::new();
-        let mut decides: HashMap<(u32, u64), bool> = HashMap::new();
-        let mut scanner = LogScanner::new(self.inner.log.segments(), from);
-        while let Some(block) = scanner.next_block()? {
-            match block.header.kind {
-                ermia_log::BlockKind::Txn => {
-                    stats.replayed_blocks += 1;
-                    self.replay_records(&block.records(), block.header.cstamp, &mut stats)?;
-                }
-                ermia_log::BlockKind::TxnPrepare => {
-                    let Some(marker) = block.prepare_marker() else { continue };
-                    let cstamp = block.header.cstamp;
-                    let gtid_lsn = if marker.coord_lsn == PrepareMarker::COORD_SELF {
-                        cstamp.raw()
-                    } else {
-                        marker.coord_lsn
-                    };
-                    let txn = InDoubtTxn {
-                        coord_shard: marker.coord_shard,
-                        gtid_lsn,
-                        cstamp,
-                        records: block.records(),
-                    };
-                    pending.insert((marker.coord_shard, gtid_lsn), txn);
-                }
-                ermia_log::BlockKind::TxnDecide => {
-                    let Some(d) = DecideRecord::decode(&block.payload) else { continue };
-                    decides.insert((d.coord_shard, d.gtid_lsn), d.commit);
-                    if let Some(txn) = pending.remove(&(d.coord_shard, d.gtid_lsn)) {
-                        if d.commit {
-                            stats.replayed_blocks += 1;
-                            self.replay_records(&txn.records, txn.cstamp, &mut stats)?;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        let in_doubt: Vec<InDoubtTxn> = pending.into_values().collect();
-        stats.in_doubt = in_doubt.len() as u64;
-        Ok(RecoveryOutcome { stats, in_doubt, decides })
+        let mut applier = LogApplier::new(from);
+        applier.apply_available(self)?;
+        let mut outcome = applier.into_outcome();
+        outcome.stats.checkpoint_records = checkpoint_records;
+        Ok(outcome)
     }
 
     /// Apply a resolved in-doubt prepare (verdict: commit) produced by
@@ -336,9 +427,21 @@ impl Database {
         Ok(())
     }
 
-    fn restore_checkpoint(&self, payload: &[u8]) -> std::io::Result<u64> {
+    /// Install a checkpoint payload into this database's (empty or
+    /// stale) in-memory state. Returns `(records installed, publish
+    /// floor)` — the floor is the maximum commit stamp the fuzzy walk
+    /// captured. A fuzzy checkpoint stores only the newest committed
+    /// version per record at walk time, so a version overwritten before
+    /// the walk (stamp below `begin`) whose overwriter landed after
+    /// `begin` exists in *neither* the payload *nor* replay-below-floor:
+    /// snapshots cut between `begin` and the floor could see the
+    /// overwriter's key but miss siblings the walk captured later. A
+    /// replica therefore must not serve a cut until replay has passed
+    /// the floor; from there on every cut is transaction-consistent.
+    pub fn install_checkpoint(&self, payload: &[u8]) -> std::io::Result<(u64, Lsn)> {
         let mut pos = 0usize;
         let mut restored = 0u64;
+        let mut floor = Lsn::NULL;
         let rd_u16 = |p: &mut usize| {
             let v = u16::from_le_bytes(payload[*p..*p + 2].try_into().unwrap());
             *p += 2;
@@ -369,6 +472,7 @@ impl Database {
                 pos += key_len;
                 let val = &payload[pos..pos + val_len];
                 pos += val_len;
+                floor = floor.max(Lsn::from_raw(clsn));
                 self.apply_record(table_id, Oid(oid), key, val, Lsn::from_raw(clsn), tombstone);
                 restored += 1;
             }
@@ -385,7 +489,7 @@ impl Database {
                 self.apply_secondary(index_raw, key, Oid(oid));
             }
         }
-        Ok(restored)
+        Ok((restored, floor))
     }
 
     /// Idempotently apply one record image: install iff newer than the

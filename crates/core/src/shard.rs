@@ -66,7 +66,7 @@ use ermia_log::{
 use ermia_telemetry::{EventKind, EventRing, FamilyDef, MetricDesc, MetricKind, Sample, Slab};
 
 use crate::config::{DbConfig, IsolationLevel};
-use crate::database::{Database, DbState};
+use crate::database::{Database, DbState, NodeRole};
 use crate::recovery::RecoveryStats;
 use crate::transaction::{CommitToken, PreparedTransaction, Transaction};
 use crate::worker::Worker;
@@ -261,6 +261,27 @@ impl ShardedDb {
         ShardedDb::from_dbs(vec![db])
     }
 
+    /// Wrap already-open per-shard handles (e.g. a replica's snapshot
+    /// views) as one `ShardedDb`. Shard catalogs must be identical, as
+    /// they are when every shard replayed the same DDL. Tables get the
+    /// default hash policy — a replica only routes reads, and shipped
+    /// keys landed on the shard whose log shipped them, so default
+    /// routing matches any primary that also used the default.
+    pub fn from_shards(dbs: Vec<Database>) -> ShardedDb {
+        assert!(!dbs.is_empty(), "need at least one shard");
+        ShardedDb::from_dbs(dbs)
+    }
+
+    /// Rebuild the routing snapshot from shard 0's current catalog (all
+    /// tables on the default hash policy) and force workers to re-read
+    /// it. A replica calls this after replaying newly shipped DDL so
+    /// reads route to tables created since the wrapper was built.
+    pub fn refresh_routing(&self) {
+        let routing = Routing::from_catalog(&self.inner.dbs[0]);
+        *self.inner.routing.write() = Arc::new(routing);
+        self.inner.routing_version.fetch_add(1, Relaxed);
+    }
+
     fn from_dbs(dbs: Vec<Database>) -> ShardedDb {
         let routing = Routing::from_catalog(&dbs[0]);
         let inner = Arc::new(ShardedInner {
@@ -448,6 +469,18 @@ impl ShardedDb {
     /// that only track one number.
     pub fn log_durable_offset(&self) -> u64 {
         self.inner.dbs.iter().map(|d| d.log().durable_offset()).min().unwrap_or(0)
+    }
+
+    /// This node's replication role (shard 0 speaks for all: a replica
+    /// marks every shard).
+    pub fn role(&self) -> NodeRole {
+        self.inner.dbs[0].role()
+    }
+
+    /// The *minimum* applied offset across shards (0 on a primary) —
+    /// the conservative catch-up point for lag reporting.
+    pub fn applied_lsn(&self) -> u64 {
+        self.inner.dbs.iter().map(|d| d.applied_lsn()).min().unwrap_or(0)
     }
 
     /// Checkpoint every shard; returns the per-shard begin LSNs.

@@ -992,3 +992,134 @@ fn breakdown_survives_worker_churn_without_growing_registry() {
         "profiling off: never registered"
     );
 }
+
+#[test]
+fn log_retention_handle_clamps_truncation_until_dropped() {
+    // A backup shipper pins the log; truncation must stall behind the
+    // pin and resume — retiring the same segments — once it drops.
+    let dir = std::env::temp_dir().join(format!("ermia-retention-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = DbConfig::durable(&dir);
+    cfg.log.segment_size = 8192;
+    let db = Database::open(cfg).unwrap();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+    for i in 0..200u32 {
+        let mut tx = w.begin(SI);
+        tx.insert(t, &i.to_be_bytes(), &[0xCD; 128]).unwrap();
+        tx.commit().unwrap();
+    }
+    db.log().sync().unwrap();
+    let before = db.log().segments().all().len();
+    assert!(before > 2, "need several segments for truncation to bite");
+    let pin = db.pin_log(0);
+    db.checkpoint().unwrap();
+
+    // Pinned at 0: nothing may be retired even though the checkpoint
+    // would allow it.
+    assert_eq!(db.truncate_log().unwrap(), 0, "retention pin must clamp truncation");
+    assert_eq!(db.log().segments().all().len(), before);
+
+    // Advancing the pin releases the prefix below it.
+    let mid = db.log().segments().all()[1].start;
+    pin.advance(mid);
+    let partial = db.truncate_log().unwrap();
+    assert!(partial >= 1, "advancing the pin must release the shipped prefix");
+    assert!(db.log().segments().all().len() < before);
+
+    // Dropping the handle resumes full truncation up to the checkpoint.
+    let left = db.log().segments().all().len();
+    drop(pin);
+    let resumed = db.truncate_log().unwrap();
+    assert!(resumed >= 1, "truncation must resume after the handle drops");
+    assert!(db.log().segments().all().len() < left);
+
+    // Data is intact throughout.
+    let mut tx = w.begin(SI);
+    assert_eq!(get(&mut tx, t, &0u32.to_be_bytes()).as_deref(), Some(&[0xCD_u8; 128][..]));
+    tx.commit().unwrap();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fork_is_a_frozen_consistent_cut() {
+    // A fork shares version chains with the primary: it must keep
+    // serving the cut-time values while the primary overwrites them,
+    // and it must refuse writes.
+    let cfg = DbConfig { gc_interval: std::time::Duration::from_millis(1), ..DbConfig::in_memory() };
+    let db = Database::open(cfg).unwrap();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+    for i in 0..50u32 {
+        let mut tx = w.begin(SI);
+        tx.insert(t, &i.to_be_bytes(), b"v1").unwrap();
+        tx.commit().unwrap();
+    }
+
+    let fork = db.fork();
+    assert_eq!(db.fork_count(), 1, "live forks are counted");
+
+    // The primary keeps committing: overwrites and fresh keys, enough
+    // churn that GC would reclaim the old versions were they unpinned.
+    for round in 0..6u32 {
+        for i in 0..50u32 {
+            let mut tx = w.begin(SI);
+            tx.update(t, &i.to_be_bytes(), b"v2").unwrap();
+            tx.commit().unwrap();
+        }
+        let mut tx = w.begin(SI);
+        tx.insert(t, &(1000 + round).to_be_bytes(), b"new").unwrap();
+        tx.commit().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(3));
+    }
+
+    // The fork still reads the cut: old values present, new keys absent.
+    let mut fw = fork.register_worker();
+    let mut tx = fw.begin(SI);
+    for i in 0..50u32 {
+        assert_eq!(get(&mut tx, t, &i.to_be_bytes()).as_deref(), Some(&b"v1"[..]), "key {i}");
+    }
+    assert_eq!(get(&mut tx, t, &1000u32.to_be_bytes()), None, "post-fork keys are invisible");
+    tx.commit().unwrap();
+
+    // Writes through the fork abort with the read-only reason.
+    let mut tx = fw.begin(SI);
+    match tx.update(t, &0u32.to_be_bytes(), b"nope") {
+        Err(e) => assert_eq!(e, AbortReason::ReadOnlyMode),
+        Ok(_) => panic!("fork writes must bounce"),
+    }
+    tx.abort();
+
+    // The primary sees its own latest state, unaffected.
+    let mut tx = w.begin(SI);
+    assert_eq!(get(&mut tx, t, &0u32.to_be_bytes()).as_deref(), Some(&b"v2"[..]));
+    tx.commit().unwrap();
+
+    drop(fw);
+    drop(fork);
+    assert_eq!(db.fork_count(), 0, "dropping the fork releases its count and GC pin");
+}
+
+#[test]
+fn snapshot_cut_is_durable_and_transaction_consistent() {
+    let dir = std::env::temp_dir().join(format!("ermia-cut-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(DbConfig::durable(&dir)).unwrap();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+    let mut last = crate::Lsn::NULL;
+    for i in 0..32u32 {
+        let mut tx = w.begin(SI);
+        tx.insert(t, &i.to_be_bytes(), b"x").unwrap();
+        last = tx.commit().unwrap();
+    }
+    let cut = db.snapshot_cut().unwrap();
+    assert!(cut.raw() > last.raw(), "the cut covers every finished commit");
+    assert!(
+        db.log().durable_offset() >= cut.offset(),
+        "the log must be durable through the cut"
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

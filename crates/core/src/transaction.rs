@@ -123,7 +123,9 @@ impl<'w> Transaction<'w> {
         // Conditional quiescent point: transaction boundaries are where
         // workers hold no epoch-protected references.
         let guard = epoch_handle.pin();
-        let begin = db.inner.log.tail_lsn();
+        // Snapshot views (forks, replica serving handles) pin their own
+        // consistent cut; everything else reads at the live log tail.
+        let begin = db.view_cut().unwrap_or_else(|| db.inner.log.tail_lsn());
         let (tid, _ctx) = db.inner.tid.acquire(begin, &mut scratch.tid_hint);
         if let Some(t) = &scratch.telemetry {
             t.ring.record(EventKind::TxnBegin, tid.raw(), 0);
@@ -194,6 +196,7 @@ impl<'w> Transaction<'w> {
     #[inline]
     fn check_writable(&mut self) -> OpResult<()> {
         if self.db.inner.state.load(Ordering::Relaxed) == crate::database::DbState::Degraded as u8
+            || self.db.view.is_some()
         {
             return Err(self.doom(AbortReason::ReadOnlyMode));
         }

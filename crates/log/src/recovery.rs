@@ -65,6 +65,13 @@ impl LogScanner {
         LogScanner { segments: table.all(), offset: from }
     }
 
+    /// Current scan position. Only trustworthy as a resume point right
+    /// after [`LogScanner::next_block`] returned `Some` — on `Ok(None)`
+    /// the offset may already have advanced past a torn block.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
     fn segment_for(&self, offset: u64) -> Option<&Arc<Segment>> {
         let idx = self.segments.partition_point(|s| s.start <= offset);
         if idx == 0 {

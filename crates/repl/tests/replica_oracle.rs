@@ -1,0 +1,224 @@
+//! Replica-correctness oracle, end to end over the wire.
+//!
+//! A journal records every write the primary acked durable (sync
+//! commit). After the replica catches up, the oracle demands exact
+//! agreement: every journaled key is visible on the replica with its
+//! journaled value, and a full scan surfaces *only* journaled pairs —
+//! no unissued values, no duplicates, no resurrections. A mid-stream
+//! disconnect + resubscribe must resume from the applied offset without
+//! gaps or repeats.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ermia::{Database, DbConfig, IsolationLevel};
+use ermia_repl::{Replica, ReplicaConfig};
+use ermia_server::{Client, ClientError, ErrorCode, Server, ServerConfig, WireIsolation};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ermia-repl-oracle-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sync-committed write: the ack means the commit block is durable on
+/// the primary, which is exactly the contract the replica must honor.
+fn sync_put(c: &mut Client, t: u32, key: &[u8], value: &[u8]) -> u64 {
+    c.begin(WireIsolation::Snapshot).unwrap();
+    c.put(t, key, value).unwrap();
+    c.commit(true).unwrap()
+}
+
+fn key(i: u32) -> Vec<u8> {
+    format!("key-{i:06}").into_bytes()
+}
+
+#[test]
+fn replica_oracle_exact_agreement_with_acked_writes() {
+    let primary_dir = tmpdir("primary");
+    let mut cfg = DbConfig::durable(&primary_dir);
+    cfg.log.segment_size = 8192; // force rotations while shipping
+    cfg.large_value_threshold = 4096; // exercise the blob side file
+    let db = Database::open(cfg).unwrap();
+    let srv = Server::start(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr().to_string();
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    let t = c.open_table("kv").unwrap();
+
+    let mut journal: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+    // Phase 1: writes that will only reach the replica via the
+    // checkpoint image — the log below it gets truncated away.
+    for i in 0..150u32 {
+        let v = format!("v1-{i}").into_bytes();
+        sync_put(&mut c, t, &key(i), &v);
+        journal.insert(key(i), v);
+    }
+    // One large value: diverted to the blob store, so the replica must
+    // ship blobs.dat for the indirect record to resolve.
+    let big = vec![0xB5u8; 16 << 10];
+    sync_put(&mut c, t, b"big-ckpt", &big);
+    journal.insert(b"big-ckpt".to_vec(), big);
+
+    db.checkpoint().unwrap();
+    let removed = db.truncate_log().unwrap();
+    assert!(removed > 0, "truncation must bite so bootstrap needs the checkpoint");
+
+    // Phase 2: post-checkpoint writes, shipped as raw log. Overwrites
+    // prove the replica applies in order (latest value wins).
+    for i in 100..250u32 {
+        let v = format!("v2-{i}").into_bytes();
+        sync_put(&mut c, t, &key(i), &v);
+        journal.insert(key(i), v);
+    }
+    let big2 = vec![0x5Bu8; 20 << 10];
+    sync_put(&mut c, t, b"big-log", &big2);
+    journal.insert(b"big-log".to_vec(), big2);
+
+    // Bootstrap the replica: checkpoint + segments + blobs over the wire.
+    let replica_dir = tmpdir("replica");
+    let mut replica = Replica::bootstrap(ReplicaConfig::new(addr.clone(), &replica_dir)).unwrap();
+    replica.catch_up().unwrap();
+    assert!(replica.applied_lsn() > 0);
+
+    // Mid-stream disconnect: sever every shipping connection (the
+    // primary drops the old retention pins), write more on the primary,
+    // then resubscribe — resumption is from the applied offset, so the
+    // new writes and only the new writes arrive.
+    let applied_before = replica.applied_lsn();
+    replica.reconnect().unwrap();
+    for i in 200..300u32 {
+        let v = format!("v3-{i}").into_bytes();
+        sync_put(&mut c, t, &key(i), &v);
+        journal.insert(key(i), v);
+    }
+    replica.catch_up().unwrap();
+    assert!(
+        replica.applied_lsn() > applied_before,
+        "resubscribe must resume applying past the disconnect point"
+    );
+
+    // Serve the replica and interrogate it over the unchanged protocol.
+    let rsrv = replica.serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut rc = Client::connect(rsrv.local_addr()).unwrap();
+    let rt = rc.open_table("kv").unwrap();
+    assert_eq!(rt, t, "replayed DDL must reproduce dense table ids");
+
+    // Health: replica role, applied frontier visible.
+    let health = rc.health().unwrap();
+    assert_eq!(health.role, 1, "the replica must report the replica role");
+    assert!(health.applied_lsn > 0, "the applied LSN must be on the Health frame");
+
+    // Oracle check 1: every acked-durable write is visible with its
+    // exact journaled value.
+    for (k, v) in &journal {
+        let got = rc.get(rt, k).unwrap();
+        assert_eq!(
+            got.as_deref(),
+            Some(&v[..]),
+            "journaled key {:?} wrong on replica",
+            String::from_utf8_lossy(k)
+        );
+    }
+    // Keys never issued are absent.
+    assert_eq!(rc.get(rt, b"never-written").unwrap(), None);
+
+    // Oracle check 2: a full scan of the replica surfaces exactly the
+    // journal — nothing unissued, nothing duplicated, nothing lost.
+    let serving = replica.serving();
+    let idx = serving.primary_index(ermia_common::TableId(t));
+    let mut w = serving.register_worker();
+    let mut tx = w.begin(IsolationLevel::Snapshot);
+    let mut scanned: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    tx.scan(idx, &[], &[0xFF; 12], None, |k, v| {
+        assert!(
+            scanned.insert(k.to_vec(), v.to_vec()).is_none(),
+            "duplicate key {:?} in replica scan",
+            String::from_utf8_lossy(k)
+        );
+        true
+    })
+    .unwrap();
+    tx.commit().unwrap();
+    assert_eq!(scanned, journal, "replica scan must be exactly the acked journal");
+
+    // Writes bounce with the read-only service code.
+    rc.begin(WireIsolation::Snapshot).unwrap();
+    match rc.put(rt, b"nope", b"x") {
+        Err(ClientError::Server { code: ErrorCode::DegradedReadOnly, .. }) => {}
+        other => panic!("replica writes must bounce read-only, got {other:?}"),
+    }
+    rc.abort().unwrap();
+
+    // The shipper's retention pin kept the primary writable + truncatable
+    // underneath: primary service is unaffected.
+    sync_put(&mut c, t, b"post", b"x");
+
+    rsrv.shutdown();
+    srv.shutdown();
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+/// Same oracle against a 2-shard primary: per-shard shipping, replayed
+/// routing, and cross-shard 2PC outcomes (a replica only shows a
+/// cross-shard write once the decide record shipped).
+#[test]
+fn sharded_replica_replicates_cross_shard_commits() {
+    let primary_dir = tmpdir("sharded-primary");
+    let mut cfg = DbConfig::durable(&primary_dir);
+    cfg.log.segment_size = 16 << 10;
+    let db = ermia::ShardedDb::open(cfg, 2).unwrap();
+    let srv = Server::start_sharded(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr().to_string();
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    let t = c.open_table("kv").unwrap();
+
+    let mut journal: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    // Multi-key transactions: most straddle both shards, so commits go
+    // through 2PC and ship as prepare + decide records.
+    for i in 0..120u32 {
+        c.begin(WireIsolation::Snapshot).unwrap();
+        for j in 0..3u32 {
+            let k = format!("x-{i:04}-{j}").into_bytes();
+            let v = format!("v-{i}-{j}").into_bytes();
+            c.put(t, &k, &v).unwrap();
+            journal.insert(k, v);
+        }
+        c.commit(true).unwrap();
+    }
+
+    let replica_dir = tmpdir("sharded-replica");
+    let mut rcfg = ReplicaConfig::new(addr, &replica_dir);
+    rcfg.shards = 2;
+    let mut replica = Replica::bootstrap(rcfg).unwrap();
+    replica.catch_up().unwrap();
+
+    let rsrv = replica.serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut rc = Client::connect(rsrv.local_addr()).unwrap();
+    let rt = rc.open_table("kv").unwrap();
+    for (k, v) in &journal {
+        assert_eq!(
+            rc.get(rt, k).unwrap().as_deref(),
+            Some(&v[..]),
+            "cross-shard key {:?} wrong on replica",
+            String::from_utf8_lossy(k)
+        );
+    }
+    let health = rc.health().unwrap();
+    assert_eq!(health.role, 1);
+
+    rsrv.shutdown();
+    srv.shutdown();
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}

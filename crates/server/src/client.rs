@@ -25,9 +25,22 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation,
-    MAX_FRAME_LEN,
+    read_frame, write_frame, BatchOp, ErrorCode, FrameError, ReplStatus, Request, Response,
+    WireIsolation, MAX_FRAME_LEN,
 };
+
+/// Decoded [`Response::Health`] frame.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthInfo {
+    /// The write path is down; the database serves reads only.
+    pub degraded: bool,
+    /// Node role: 0 = primary, 1 = replica.
+    pub role: u8,
+    /// Durable log frontier (byte offset).
+    pub durable_lsn: u64,
+    /// Replica applied log offset (0 on a primary).
+    pub applied_lsn: u64,
+}
 
 /// What can go wrong talking to the server.
 #[derive(Debug)]
@@ -382,12 +395,13 @@ impl Client {
         }
     }
 
-    /// Probe the database service state. Returns `(degraded, durable_lsn)`:
-    /// `degraded` is `true` when the write path is down and the database
-    /// is serving reads only.
-    pub fn health(&mut self) -> ClientResult<(bool, u64)> {
+    /// Probe the database service state: degraded flag, node role, the
+    /// durable log frontier, and (on a replica) the applied offset.
+    pub fn health(&mut self) -> ClientResult<HealthInfo> {
         match Self::expect_ok(self.call(&Request::Health)?)? {
-            Response::Health { state, durable_lsn } => Ok((state != 0, durable_lsn)),
+            Response::Health { state, role, durable_lsn, applied_lsn } => {
+                Ok(HealthInfo { degraded: state != 0, role, durable_lsn, applied_lsn })
+            }
             other => Err(ClientError::Unexpected(other)),
         }
     }
@@ -396,9 +410,36 @@ impl Client {
     /// operator repaired the storage). Returns the post-resume health.
     /// Fails with [`ErrorCode::DegradedReadOnly`] if the backend re-probe
     /// still fails.
-    pub fn resume(&mut self) -> ClientResult<(bool, u64)> {
+    pub fn resume(&mut self) -> ClientResult<HealthInfo> {
         match Self::expect_ok(self.call(&Request::Resume)?)? {
-            Response::Health { state, durable_lsn } => Ok((state != 0, durable_lsn)),
+            Response::Health { state, role, durable_lsn, applied_lsn } => {
+                Ok(HealthInfo { degraded: state != 0, role, durable_lsn, applied_lsn })
+            }
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Subscribe to (or refresh) log shipping on `shard`, pinning the
+    /// primary's log from `from` onward. Returns the shipping status.
+    pub fn subscribe(&mut self, shard: u32, from: u64) -> ClientResult<ReplStatus> {
+        match Self::expect_ok(self.call(&Request::Subscribe { shard, from })?)? {
+            Response::ReplStatus(s) => Ok(s),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fetch up to `len` shipped bytes at `offset` from the subscribed
+    /// shard (`source` 0 = checkpoint payload, 1 = log). An empty reply
+    /// means nothing is available there yet.
+    pub fn fetch_chunk(
+        &mut self,
+        shard: u32,
+        source: u8,
+        offset: u64,
+        len: u32,
+    ) -> ClientResult<Vec<u8>> {
+        match Self::expect_ok(self.call(&Request::FetchChunk { shard, source, offset, len })?)? {
+            Response::SegmentChunk { data, .. } => Ok(data),
             other => Err(ClientError::Unexpected(other)),
         }
     }

@@ -57,6 +57,19 @@ pub(crate) struct Waiting {
     pub work: PendingWork,
 }
 
+/// Log-shipping state for a subscribed connection. Holding the
+/// [`LogRetention`] pins the shard's log against truncation from the
+/// subscriber's resume point; dropping the connection drops the pin, so
+/// a dead replica can never wedge the primary's log reclamation.
+pub(crate) struct ReplConnState {
+    pub shard: usize,
+    pub retention: ermia::LogRetention,
+    /// The checkpoint pinned for this subscription: `(begin raw LSN,
+    /// payload)`. Stashed at subscribe time so every `FetchChunk`
+    /// against source 0 reads one immutable byte image.
+    pub checkpoint: Option<(u64, std::sync::Arc<Vec<u8>>)>,
+}
+
 /// An open interactive transaction spanning readiness events.
 ///
 /// `ShardedTransaction<'w>` borrows its worker, so carrying one across
@@ -114,6 +127,8 @@ pub(crate) struct Conn {
     pub head_written: usize,
     pub txn: Option<OpenTxn>,
     pub waiting: Option<Waiting>,
+    /// Active log-shipping subscription, if this peer is a replica.
+    pub repl: Option<ReplConnState>,
     /// No further reads; flush `out`, then close.
     pub draining: bool,
     /// Peer sent EOF; buffered frames still get processed and replied.
@@ -148,6 +163,7 @@ impl Conn {
             head_written: 0,
             txn: None,
             waiting: None,
+            repl: None,
             draining: false,
             read_shut: false,
             interest: Interest::READ,

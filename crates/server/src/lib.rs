@@ -33,6 +33,8 @@ mod server;
 mod session;
 mod sys;
 
-pub use client::{Client, ClientError, ClientResult, RetryPolicy};
-pub use protocol::{BatchOp, ErrorCode, FrameError, Request, Response, WireIsolation};
+pub use client::{Client, ClientError, ClientResult, HealthInfo, RetryPolicy};
+pub use protocol::{
+    BatchOp, ErrorCode, FrameError, ReplStatus, Request, Response, WireDdl, WireIsolation,
+};
 pub use server::{Server, ServerConfig, StatsSnapshot};

@@ -35,6 +35,12 @@
 //!                                                    max 0 = server default
 //! Health                                      0x0E   service-state probe
 //! Resume                                      0x0F   leave degraded mode
+//! Subscribe  shard:u32 from:u64               0x10   pin the log for
+//!                                                    shipping from `from`
+//! FetchChunk shard:u32 source:u8 offset:u64   0x11   read shipped bytes;
+//!            len:u32                                 source 0 = checkpoint
+//!                                                    payload, 1 = log,
+//!                                                    2 = blob store
 //! ```
 //!
 //! A batch `op` is `kind:u8` (the request opcode of Get/Put/Delete/
@@ -60,8 +66,13 @@
 //!            outcome:(len:u32 resp)                  Committed/Error
 //! Metrics    text:bytes                       0x8D   Prometheus 0.0.4 text
 //! Events     text:bytes                       0x8E   flight-recorder dump
-//! Health     state:u8 durable_lsn:u64         0x8F   0 = active, 1 =
-//!                                                    degraded read-only
+//! Health     state:u8 role:u8 durable:u64     0x8F   state 0 = active, 1 =
+//!            applied:u64                             degraded; role 0 =
+//!                                                    primary, 1 = replica
+//! ReplStatus role:u8 state:u8 durable:u64     0x90   shipping status +
+//!            earliest:u64 segsize:u64                checkpoint/segment
+//!            ckpt? segs* schema*                     catalog + schema DDL
+//! SegChunk   offset:u64 data:bytes            0x91   raw shipped bytes
 //! ```
 
 use std::io::{self, Read, Write};
@@ -400,6 +411,18 @@ pub enum Request {
     /// storage backend and re-arming the flusher. Replies with a fresh
     /// `Health` frame on success, `DegradedReadOnly` on failure.
     Resume,
+    /// Start (or refresh) a log-shipping subscription on `shard`. Pins
+    /// the primary's log against truncation from `from` onward and
+    /// replies with a [`Response::ReplStatus`] describing what can be
+    /// fetched. Doubles as the per-round status poll: re-sending with a
+    /// higher `from` advances the retention pin.
+    Subscribe { shard: u32, from: u64 },
+    /// Read `len` bytes at `offset` from the subscribed shard's shipped
+    /// store: `source` 0 = the pinned checkpoint payload, 1 = the log,
+    /// 2 = the blob store (large-object side file — shipped so indirect
+    /// records resolve during replica replay).
+    /// Replies with a [`Response::SegmentChunk`].
+    FetchChunk { shard: u32, source: u8, offset: u64, len: u32 },
 }
 
 const OP_PING: u8 = 0x01;
@@ -417,6 +440,8 @@ const OP_METRICS: u8 = 0x0C;
 const OP_DUMP_EVENTS: u8 = 0x0D;
 const OP_HEALTH: u8 = 0x0E;
 const OP_RESUME: u8 = 0x0F;
+const OP_SUBSCRIBE: u8 = 0x10;
+const OP_FETCH_CHUNK: u8 = 0x11;
 
 ///// Cap on ops per batch frame: a bound the session enforces before doing
 /// any work, so a hostile frame cannot make one transaction arbitrarily
@@ -556,6 +581,20 @@ impl Request {
             }
             Request::Health => Enc::new(OP_HEALTH).buf,
             Request::Resume => Enc::new(OP_RESUME).buf,
+            Request::Subscribe { shard, from } => {
+                let mut e = Enc::new(OP_SUBSCRIBE);
+                e.u32(*shard);
+                e.u64(*from);
+                e.buf
+            }
+            Request::FetchChunk { shard, source, offset, len } => {
+                let mut e = Enc::new(OP_FETCH_CHUNK);
+                e.u32(*shard);
+                e.u8(*source);
+                e.u64(*offset);
+                e.u32(*len);
+                e.buf
+            }
         }
     }
 
@@ -604,6 +643,13 @@ impl Request {
             OP_DUMP_EVENTS => Request::DumpEvents { max: d.u32()? },
             OP_HEALTH => Request::Health,
             OP_RESUME => Request::Resume,
+            OP_SUBSCRIBE => Request::Subscribe { shard: d.u32()?, from: d.u64()? },
+            OP_FETCH_CHUNK => Request::FetchChunk {
+                shard: d.u32()?,
+                source: d.u8()?,
+                offset: d.u64()?,
+                len: d.u32()?,
+            },
             _ => return Err(FrameError::Malformed("unknown request opcode")),
         };
         d.finish()?;
@@ -689,6 +735,47 @@ impl ErrorCode {
     }
 }
 
+/// One schema entry shipped to a replica: a table plus, when the entry
+/// describes a secondary index, that index's name. Replaying the
+/// entries in order reproduces the primary's dense table/index ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDdl {
+    pub table: String,
+    pub secondary: Option<String>,
+}
+
+/// One sealed-or-open log segment visible to a subscriber:
+/// `(index, start, end)` where `end` is exclusive and clamped to the
+/// durable frontier on the open segment.
+pub type WireSegment = (u64, u64, u64);
+
+/// The reply to [`Request::Subscribe`]: everything a replica needs to
+/// plan its next fetch round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplStatus {
+    /// Node role: 0 = primary, 1 = replica.
+    pub role: u8,
+    /// Service state: 0 = active, 1 = degraded read-only.
+    pub state: u8,
+    /// The shard's durable log frontier (byte offset). Only bytes below
+    /// this are shipped; allocated-but-unflushed bytes never leave the
+    /// primary.
+    pub durable_lsn: u64,
+    /// Earliest retained log offset. A subscriber whose resume point
+    /// fell below this must bootstrap from the checkpoint instead.
+    pub earliest: u64,
+    /// The shard's log segment size; a replica can only apply segments
+    /// written with the same geometry, so it must match.
+    pub segment_size: u64,
+    /// Pinned checkpoint, when the subscription needs one:
+    /// `(begin raw LSN, payload length)`. Fetch with `source` 0.
+    pub checkpoint: Option<(u64, u64)>,
+    /// Segments holding `[earliest, durable_lsn)`, oldest first.
+    pub segments: Vec<WireSegment>,
+    /// The shard's schema, in creation order.
+    pub schema: Vec<WireDdl>,
+}
+
 /// A server → client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -709,8 +796,16 @@ pub enum Response {
     /// Human-readable flight-recorder dump.
     Events { text: String },
     /// Service-state probe reply: `state` 0 = active, 1 = degraded
-    /// read-only; `durable_lsn` is the durable log frontier.
-    Health { state: u8, durable_lsn: u64 },
+    /// read-only; `role` 0 = primary, 1 = replica; `durable_lsn` is the
+    /// durable log frontier; `applied_lsn` is the replica's applied log
+    /// offset (0 on a primary).
+    Health { state: u8, role: u8, durable_lsn: u64, applied_lsn: u64 },
+    /// Subscription status (reply to [`Request::Subscribe`]).
+    ReplStatus(ReplStatus),
+    /// Raw shipped bytes (reply to [`Request::FetchChunk`]). `data` may
+    /// be shorter than the requested length at the durable frontier or
+    /// a segment/payload boundary; empty means nothing available there.
+    SegmentChunk { offset: u64, data: Vec<u8> },
 }
 
 const RE_PONG: u8 = 0x81;
@@ -728,6 +823,12 @@ const RE_BATCH_DONE: u8 = 0x8C;
 const RE_METRICS: u8 = 0x8D;
 const RE_EVENTS: u8 = 0x8E;
 const RE_HEALTH: u8 = 0x8F;
+const RE_REPL_STATUS: u8 = 0x90;
+const RE_SEGMENT_CHUNK: u8 = 0x91;
+
+/// Cap on segment entries in one `ReplStatus` frame, enforced before
+/// the decoder allocates for them.
+const MAX_REPL_SEGMENTS: u32 = 1 << 20;
 
 impl Response {
     /// Serialize into a frame payload.
@@ -803,10 +904,52 @@ impl Response {
                 e.bytes(text.as_bytes());
                 e.buf
             }
-            Response::Health { state, durable_lsn } => {
+            Response::Health { state, role, durable_lsn, applied_lsn } => {
                 let mut e = Enc::new(RE_HEALTH);
                 e.u8(*state);
+                e.u8(*role);
                 e.u64(*durable_lsn);
+                e.u64(*applied_lsn);
+                e.buf
+            }
+            Response::ReplStatus(s) => {
+                let mut e = Enc::new(RE_REPL_STATUS);
+                e.u8(s.role);
+                e.u8(s.state);
+                e.u64(s.durable_lsn);
+                e.u64(s.earliest);
+                e.u64(s.segment_size);
+                match s.checkpoint {
+                    Some((begin, len)) => {
+                        e.u8(1);
+                        e.u64(begin);
+                        e.u64(len);
+                    }
+                    None => e.u8(0),
+                }
+                e.u32(s.segments.len() as u32);
+                for (index, start, end) in &s.segments {
+                    e.u64(*index);
+                    e.u64(*start);
+                    e.u64(*end);
+                }
+                e.u32(s.schema.len() as u32);
+                for ddl in &s.schema {
+                    e.bytes(ddl.table.as_bytes());
+                    match &ddl.secondary {
+                        Some(name) => {
+                            e.u8(1);
+                            e.bytes(name.as_bytes());
+                        }
+                        None => e.u8(0),
+                    }
+                }
+                e.buf
+            }
+            Response::SegmentChunk { offset, data } => {
+                let mut e = Enc::new(RE_SEGMENT_CHUNK);
+                e.u64(*offset);
+                e.bytes(data);
                 e.buf
             }
         }
@@ -868,7 +1011,56 @@ impl Response {
             RE_EVENTS => {
                 Response::Events { text: String::from_utf8_lossy(d.bytes()?).into_owned() }
             }
-            RE_HEALTH => Response::Health { state: d.u8()?, durable_lsn: d.u64()? },
+            RE_HEALTH => Response::Health {
+                state: d.u8()?,
+                role: d.u8()?,
+                durable_lsn: d.u64()?,
+                applied_lsn: d.u64()?,
+            },
+            RE_REPL_STATUS => {
+                let role = d.u8()?;
+                let state = d.u8()?;
+                let durable_lsn = d.u64()?;
+                let earliest = d.u64()?;
+                let segment_size = d.u64()?;
+                let checkpoint =
+                    if d.u8()? != 0 { Some((d.u64()?, d.u64()?)) } else { None };
+                let nseg = d.u32()?;
+                if nseg > MAX_REPL_SEGMENTS {
+                    return Err(FrameError::Malformed("segment count"));
+                }
+                let mut segments = Vec::with_capacity(nseg.min(1024) as usize);
+                for _ in 0..nseg {
+                    segments.push((d.u64()?, d.u64()?, d.u64()?));
+                }
+                let nddl = d.u32()?;
+                if nddl > MAX_REPL_SEGMENTS {
+                    return Err(FrameError::Malformed("schema count"));
+                }
+                let mut schema = Vec::with_capacity(nddl.min(1024) as usize);
+                for _ in 0..nddl {
+                    let table = String::from_utf8_lossy(d.bytes()?).into_owned();
+                    let secondary = if d.u8()? != 0 {
+                        Some(String::from_utf8_lossy(d.bytes()?).into_owned())
+                    } else {
+                        None
+                    };
+                    schema.push(WireDdl { table, secondary });
+                }
+                Response::ReplStatus(ReplStatus {
+                    role,
+                    state,
+                    durable_lsn,
+                    earliest,
+                    segment_size,
+                    checkpoint,
+                    segments,
+                    schema,
+                })
+            }
+            RE_SEGMENT_CHUNK => {
+                Response::SegmentChunk { offset: d.u64()?, data: d.bytes()?.to_vec() }
+            }
             _ => return Err(FrameError::Malformed("unknown response opcode")),
         })
     }
@@ -917,6 +1109,8 @@ mod tests {
         roundtrip_req(Request::DumpEvents { max: 256 });
         roundtrip_req(Request::Health);
         roundtrip_req(Request::Resume);
+        roundtrip_req(Request::Subscribe { shard: 3, from: 0xDEAD_BEEF });
+        roundtrip_req(Request::FetchChunk { shard: 0, source: 1, offset: 1 << 40, len: 65536 });
         roundtrip_req(Request::Insert { table: 2, key: b"k".to_vec(), value: b"v".to_vec() });
         roundtrip_req(Request::Batch {
             isolation: WireIsolation::Snapshot,
@@ -974,8 +1168,38 @@ mod tests {
             text: "# HELP ermia_x x\n# TYPE ermia_x counter\nermia_x 1\n".into(),
         });
         roundtrip_resp(Response::Events { text: "flight-recorder dump: 0 event(s)".into() });
-        roundtrip_resp(Response::Health { state: 0, durable_lsn: 0 });
-        roundtrip_resp(Response::Health { state: 1, durable_lsn: u64::MAX >> 8 });
+        roundtrip_resp(Response::Health { state: 0, role: 0, durable_lsn: 0, applied_lsn: 0 });
+        roundtrip_resp(Response::Health {
+            state: 1,
+            role: 1,
+            durable_lsn: u64::MAX >> 8,
+            applied_lsn: u64::MAX >> 9,
+        });
+        roundtrip_resp(Response::ReplStatus(ReplStatus {
+            role: 0,
+            state: 0,
+            durable_lsn: 1 << 30,
+            earliest: 4096,
+            segment_size: 1 << 26,
+            checkpoint: Some((0x1234_5670, 8888)),
+            segments: vec![(0, 0, 1 << 26), (1, 1 << 26, (1 << 26) + 512)],
+            schema: vec![
+                WireDdl { table: "accounts".into(), secondary: None },
+                WireDdl { table: "accounts".into(), secondary: Some("by_owner".into()) },
+            ],
+        }));
+        roundtrip_resp(Response::ReplStatus(ReplStatus {
+            role: 1,
+            state: 1,
+            durable_lsn: 0,
+            earliest: 0,
+            segment_size: 1 << 20,
+            checkpoint: None,
+            segments: vec![],
+            schema: vec![],
+        }));
+        roundtrip_resp(Response::SegmentChunk { offset: 0, data: vec![] });
+        roundtrip_resp(Response::SegmentChunk { offset: 77, data: vec![0xA5; 300] });
     }
 
     #[test]

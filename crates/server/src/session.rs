@@ -64,10 +64,12 @@ use ermia_telemetry::EventKind;
 
 use crate::conn::{
     aborted, engine_isolation, exec_batch_op, exec_request_op, frame_bytes, Conn, FlushState,
-    Mode, OpenTxn, Out, PendingWork, Waiting, MAX_HTTP_HEAD,
+    Mode, OpenTxn, Out, PendingWork, ReplConnState, Waiting, MAX_HTTP_HEAD,
 };
 use crate::poll::{Event, Interest, Poller};
-use crate::protocol::{write_frame, BatchOp, ErrorCode, Request, Response};
+use crate::protocol::{
+    write_frame, BatchOp, ErrorCode, ReplStatus, Request, Response, WireDdl,
+};
 use crate::server::{ServerState, ShardHandle};
 
 /// Events returned by a `DumpEvents` frame that asks for the server
@@ -613,6 +615,10 @@ fn dispatch_top(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn,
         Request::Health => push_health(state, conn),
         Request::Resume => do_resume(state, conn),
         Request::OpenTable { name } => open_table(state, conn, &name),
+        Request::Subscribe { shard, from } => do_subscribe(state, conn, shard, from),
+        Request::FetchChunk { shard, source, offset, len } => {
+            do_fetch_chunk(state, conn, shard, source, offset, len)
+        }
         Request::Commit { .. } | Request::Abort => {
             conn.push_err(state, ErrorCode::BadState, "no open txn")
         }
@@ -655,6 +661,9 @@ fn dispatch_in_txn(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Co
         Request::Begin { .. } => conn.push_err(state, ErrorCode::BadState, "nested begin"),
         Request::Batch { .. } => {
             conn.push_err(state, ErrorCode::BadState, "batch inside open txn")
+        }
+        Request::Subscribe { .. } | Request::FetchChunk { .. } => {
+            conn.push_err(state, ErrorCode::BadState, "log shipping inside open txn")
         }
         Request::Abort => {
             let open = conn.txn.take().expect("open txn");
@@ -916,15 +925,159 @@ fn push_events(state: &Arc<ServerState>, conn: &mut Conn, max: u32) {
     conn.push(state, Response::Events { text: state.db.telemetry().dump_events(max) });
 }
 
-/// Service-state probe: the database state plus the durable frontier.
+/// Service-state probe: the database state, the node's replication
+/// role, the durable frontier, and (on a replica) the applied offset.
 fn push_health(state: &Arc<ServerState>, conn: &mut Conn) {
     conn.push(
         state,
         Response::Health {
             state: state.db.state() as u8,
+            role: state.db.role() as u8,
             durable_lsn: state.db.log_durable_offset(),
+            applied_lsn: state.db.applied_lsn(),
         },
     );
+}
+
+// ---------------------------------------------------------------------
+// Log shipping (primary side)
+// ---------------------------------------------------------------------
+
+/// Start or refresh a log-shipping subscription: pin the shard's log
+/// from the subscriber's resume point and report what can be fetched.
+/// Re-subscribing with a higher `from` advances the retention pin, so
+/// the primary reclaims segments as the replica confirms application.
+fn do_subscribe(state: &Arc<ServerState>, conn: &mut Conn, shard: u32, from: u64) {
+    let idx = shard as usize;
+    if idx >= state.db.shards() {
+        return conn.push_err(state, ErrorCode::BadState, &format!("no shard {shard}"));
+    }
+    let db = state.db.shard(idx);
+    // Pin before reading the segment list so a concurrent truncation
+    // cannot retire anything at or above `from` once the status is
+    // composed.
+    match &mut conn.repl {
+        Some(r) if r.shard == idx => r.retention.advance(from),
+        slot => *slot = Some(ReplConnState { shard: idx, retention: db.pin_log(from), checkpoint: None }),
+    }
+    let log = db.log();
+    let durable = log.durable_offset();
+    let segs = log.segments().all();
+    let earliest = segs.first().map_or(0, |s| s.start);
+    let repl = conn.repl.as_mut().expect("subscription just installed");
+    if from < earliest {
+        // The resume point was truncated away: the subscriber must
+        // bootstrap from the checkpoint. Stash one immutable image so
+        // chunk fetches stay coherent across rounds.
+        if repl.checkpoint.is_none() {
+            match db.latest_checkpoint() {
+                Ok(Some((begin, payload))) => {
+                    repl.checkpoint = Some((begin.raw(), std::sync::Arc::new(payload)));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return conn.push_err(
+                        state,
+                        ErrorCode::LogFailed,
+                        &format!("checkpoint read failed: {e}"),
+                    )
+                }
+            }
+        }
+    } else {
+        repl.checkpoint = None;
+    }
+    let status = ReplStatus {
+        role: db.role() as u8,
+        state: db.state() as u8,
+        durable_lsn: durable,
+        earliest,
+        segment_size: log.segments().segment_size(),
+        checkpoint: repl
+            .checkpoint
+            .as_ref()
+            .map(|(begin, payload)| (*begin, payload.len() as u64)),
+        segments: segs
+            .iter()
+            .filter(|s| s.start < durable)
+            .map(|s| (s.index, s.start, s.end.min(durable)))
+            .collect(),
+        schema: db
+            .schema_ddl()
+            .into_iter()
+            .map(|d| WireDdl { table: d.table, secondary: d.secondary })
+            .collect(),
+    };
+    conn.push(state, Response::ReplStatus(status));
+}
+
+/// Serve one chunk of shipped bytes: `source` 0 reads the pinned
+/// checkpoint payload, 1 reads durable log bytes straight from the
+/// segment file. Short (or empty) replies mark the durable frontier or
+/// a segment/payload boundary; the subscriber plans the next offset
+/// from its `Subscribe` status, never from chunk shape.
+fn do_fetch_chunk(
+    state: &Arc<ServerState>,
+    conn: &mut Conn,
+    shard: u32,
+    source: u8,
+    offset: u64,
+    len: u32,
+) {
+    let idx = shard as usize;
+    let Some(repl) = conn.repl.as_ref() else {
+        return conn.push_err(state, ErrorCode::BadState, "fetch without subscription");
+    };
+    if repl.shard != idx {
+        return conn.push_err(state, ErrorCode::BadState, "fetch on unsubscribed shard");
+    }
+    // Keep the reply comfortably inside one frame.
+    let len = (len as u64).min(state.cfg.max_frame_len as u64 - 4096);
+    let data = match source {
+        0 => match &repl.checkpoint {
+            Some((_, payload)) => {
+                let lo = (offset as usize).min(payload.len());
+                let hi = (offset as usize).saturating_add(len as usize).min(payload.len());
+                payload[lo..hi].to_vec()
+            }
+            None => {
+                return conn.push_err(state, ErrorCode::BadState, "no checkpoint pinned")
+            }
+        },
+        1 => {
+            let log = state.db.shard(idx).log();
+            let durable = log.durable_offset();
+            let Some(seg) = log.segments().lookup(offset) else {
+                // Dead zone or past the tail: nothing to read here.
+                return conn.push(state, Response::SegmentChunk { offset, data: Vec::new() });
+            };
+            let end = (offset + len).min(seg.end).min(durable);
+            if end <= offset {
+                return conn.push(state, Response::SegmentChunk { offset, data: Vec::new() });
+            }
+            let Some(io) = &seg.io else {
+                return conn.push_err(
+                    state,
+                    ErrorCode::BadState,
+                    "in-memory log cannot be shipped",
+                );
+            };
+            let mut buf = vec![0u8; (end - offset) as usize];
+            if let Err(e) = io.read_exact_at(&mut buf, seg.file_pos(offset)) {
+                return conn.push_err(state, ErrorCode::LogFailed, &format!("segment read: {e}"));
+            }
+            buf
+        }
+        2 => match state.db.shard(idx).blob_bytes(offset, len as u32) {
+            Ok(buf) => buf,
+            Err(e) => {
+                return conn.push_err(state, ErrorCode::LogFailed, &format!("blob read: {e}"))
+            }
+        },
+        _ => return conn.push_err(state, ErrorCode::BadState, "unknown chunk source"),
+    };
+    state.svc_ring.record(EventKind::ReplSegmentShipped, offset, data.len() as u64);
+    conn.push(state, Response::SegmentChunk { offset, data });
 }
 
 /// Operator-triggered exit from degraded read-only mode. Success is

@@ -330,6 +330,42 @@ fn resolve(journal: &mut Journal, sent: InFlight, resp: Response) {
     }
 }
 
+/// Background hot-backup shipper riding along with the chaos traffic:
+/// subscribe (pinning the log against the child's checkpointer
+/// truncating it), then tail durable chunks until the kill. Every error
+/// is tolerated — the server is being SIGKILLed underneath — but the
+/// pin and the fetch load must never wedge the server or dent the
+/// durability oracle. Returns bytes shipped, purely informational.
+fn shipper_traffic(port: u16, stop: &AtomicBool) -> u64 {
+    let mut shipped = 0u64;
+    let Ok(mut c) = Client::connect(("127.0.0.1", port)) else { return 0 };
+    let _ = c.set_reply_timeout(Some(Duration::from_secs(3)));
+    let mut cursor = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let Ok(status) = c.subscribe(0, cursor) else { break };
+        cursor = cursor.max(status.earliest);
+        let mut moved = false;
+        for &(_, start, end) in &status.segments {
+            cursor = cursor.max(start);
+            while cursor < end {
+                match c.fetch_chunk(0, 1, cursor, 16 << 10) {
+                    Ok(data) if !data.is_empty() => {
+                        cursor += data.len() as u64;
+                        shipped += data.len() as u64;
+                        moved = true;
+                    }
+                    Ok(_) => break,
+                    Err(_) => return shipped,
+                }
+            }
+        }
+        if !moved {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    shipped
+}
+
 /// Restart the server cleanly on `dir` and check every key against the
 /// journal. Panics with a written report on any violation.
 fn verify_recovery(dir: &Path, journal: &Journal, cycle: usize) {
@@ -451,6 +487,12 @@ fn chaos_seeded_kill_restart_cycles() {
                 std::thread::spawn(move || client_traffic(port, cid, &seq, &stop, history))
             })
             .collect();
+        // A hot-backup shipper rides along, pinning and tailing the log
+        // while the server dies under it.
+        let shipper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || shipper_traffic(port, &stop))
+        };
 
         std::thread::sleep(kill_after);
         sigkill(child); // the crash: no warning, no flush, no goodbye
@@ -458,12 +500,13 @@ fn chaos_seeded_kill_restart_cycles() {
         for w in workers {
             merge(&mut journal, w.join().expect("client worker"));
         }
+        let shipped = shipper.join().expect("shipper thread");
 
         // Stats before the oracle: a violation panic must not eat the
         // failing cycle's kill-point profile.
         eprintln!(
             "chaos cycle {cycle}: fault={fault} ckpt={ckpt_ms}ms kill_after={kill_after:?} \
-             keys={} acked_keys={}",
+             keys={} acked_keys={} shipped={shipped}B",
             journal.len(),
             journal.values().filter(|l| l.acked.is_some()).count()
         );

@@ -58,8 +58,9 @@ fn degraded_service_keeps_reads_alive_and_resume_restores_writes() {
     let t = c.open_table("kv").unwrap();
 
     // Healthy at birth.
-    let (degraded, _) = c.health().unwrap();
-    assert!(!degraded, "fresh database must report active");
+    let health = c.health().unwrap();
+    assert!(!health.degraded, "fresh database must report active");
+    assert_eq!(health.role, 0, "a standalone server is a primary");
 
     // Load sync commits until the ENOSPC budget poisons the log. Every
     // key acked durable before the poison goes on the oracle list.
@@ -88,13 +89,13 @@ fn degraded_service_keeps_reads_alive_and_resume_restores_writes() {
     // The state flip happens on the flusher thread; poll briefly.
     let mut health = c.health().unwrap();
     for _ in 0..200 {
-        if health.0 {
+        if health.degraded {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
         health = c.health().unwrap();
     }
-    assert!(health.0, "poisoned log must surface degraded on the Health frame");
+    assert!(health.degraded, "poisoned log must surface degraded on the Health frame");
 
     // If the load loop died at the `put` (op-level bounce) rather than
     // at the commit, a doomed transaction is still open on this
@@ -130,12 +131,12 @@ fn degraded_service_keeps_reads_alive_and_resume_restores_writes() {
         Err(ClientError::Server { code: ErrorCode::DegradedReadOnly, .. }) => {}
         other => panic!("resume against a broken backend must fail typed, got {other:?}"),
     }
-    assert!(c.health().unwrap().0, "failed resume must leave the database degraded");
+    assert!(c.health().unwrap().degraded, "failed resume must leave the database degraded");
 
     // Repair the storage, resume, and write again — durably.
     injector.repair();
-    let (degraded, _) = c.resume().expect("resume after repair");
-    assert!(!degraded, "resume must report active");
+    let health = c.resume().expect("resume after repair");
+    assert!(!health.degraded, "resume must report active");
     let text = c.metrics().unwrap();
     assert!(text.contains("ermia_db_state 0"), "metrics must report active:\n{text}");
     for i in 0..16u32 {

@@ -79,6 +79,7 @@ fn metrics_frame_and_http_scrape_expose_the_full_surface() {
         "ermia_db_commits_total",
         "ermia_db_aborts_total",
         "ermia_db_state",
+        "ermia_fork_count",
         // server + pool
         "ermia_server_sessions_opened_total",
         "ermia_server_active_sessions",

@@ -60,6 +60,12 @@ pub enum EventKind {
     /// Recovery resolved an in-doubt prepared transaction (`a` = gtid
     /// lsn, `b` = 1 committed / 0 presumed abort).
     TwoPcResolve,
+    /// The backup shipper served a log chunk to a subscriber (`a` =
+    /// chunk start offset, `b` = bytes shipped).
+    ReplSegmentShipped,
+    /// A replica finished an apply round (`a` = applied-through offset,
+    /// `b` = blocks replayed this round).
+    ReplApplied,
 }
 
 impl EventKind {
@@ -80,6 +86,8 @@ impl EventKind {
             EventKind::TwoPcPrepare => 13,
             EventKind::TwoPcDecide => 14,
             EventKind::TwoPcResolve => 15,
+            EventKind::ReplSegmentShipped => 16,
+            EventKind::ReplApplied => 17,
         }
     }
 
@@ -100,6 +108,8 @@ impl EventKind {
             13 => EventKind::TwoPcPrepare,
             14 => EventKind::TwoPcDecide,
             15 => EventKind::TwoPcResolve,
+            16 => EventKind::ReplSegmentShipped,
+            17 => EventKind::ReplApplied,
             _ => return None,
         })
     }
@@ -121,6 +131,8 @@ impl EventKind {
             EventKind::TwoPcPrepare => "2pc-prepare",
             EventKind::TwoPcDecide => "2pc-decide",
             EventKind::TwoPcResolve => "2pc-resolve",
+            EventKind::ReplSegmentShipped => "repl-segment-shipped",
+            EventKind::ReplApplied => "repl-applied",
         }
     }
 }
@@ -327,6 +339,8 @@ fn describe(e: &Event) -> String {
         EventKind::TwoPcResolve => {
             format!("gtid={:#x} {}", e.a, if e.b == 1 { "committed" } else { "presumed-abort" })
         }
+        EventKind::ReplSegmentShipped => format!("offset={:#x} bytes={}", e.a, e.b),
+        EventKind::ReplApplied => format!("applied={:#x} blocks={}", e.a, e.b),
     }
 }
 
