@@ -112,6 +112,19 @@ impl PinSet {
     fn min(&self) -> Option<u64> {
         self.pins.lock().iter().map(|&(_, o)| o).min()
     }
+
+    /// Fold the minimum pinned offset into `h` and record the result in
+    /// `used` before releasing the pin-table lock. Because [`PinSet::pin`]
+    /// takes the same lock, once `pin` returns every horizon a concurrent
+    /// GC pass could still be sweeping with is already visible in `used`;
+    /// later horizon reads see the new pin. [`Database::fork`] relies on
+    /// both halves of this ordering.
+    fn fold_and_publish(&self, h: u64, used: &AtomicU64) -> u64 {
+        let pins = self.pins.lock();
+        let h = pins.iter().map(|&(_, o)| o).min().map_or(h, |m| h.min(m));
+        used.fetch_max(h, Ordering::AcqRel);
+        h
+    }
 }
 
 /// A retention handle pinning the log against [`Database::truncate_log`].
@@ -275,6 +288,12 @@ pub(crate) struct DbInner {
     /// Snapshot-view pins (raw LSNs) clamping the GC horizon: versions
     /// a live fork can still read are not reclaimable.
     pub gc_pins: PinSet,
+    /// Highest horizon (raw LSN) any GC pass has swept with, published
+    /// inside the pin-table critical section (see
+    /// [`PinSet::fold_and_publish`]). [`Database::fork`] refuses to pick
+    /// a cut below it: a pass that already read its horizon may still be
+    /// unlinking versions a lower cut would need.
+    pub gc_horizon_used: AtomicU64,
     /// Retention pins (log offsets) clamping [`Database::truncate_log`].
     pub log_pins: PinSet,
     /// Live fork handles (gauge `ermia_fork_count`).
@@ -349,6 +368,7 @@ impl Database {
             role: AtomicU8::new(NodeRole::Primary as u8),
             applied: AtomicU64::new(0),
             gc_pins: PinSet::new(),
+            gc_horizon_used: AtomicU64::new(0),
             log_pins: PinSet::new(),
             fork_count: AtomicU64::new(0),
             _dir_lock: dir_lock,
@@ -406,11 +426,11 @@ impl Database {
             // horizon so versions their cut can still read stay linked
             // even while no view transaction is in flight.
             let tail = inner.log.tail_lsn();
-            let mut h = inner.tid.min_active_begin(tail);
-            if let Some(pin) = inner.gc_pins.min() {
-                h = h.min(Lsn::from_raw(pin));
-            }
-            h
+            let h = inner.tid.min_active_begin(tail);
+            // Clamp by live pins and publish the result under the
+            // pin-table lock, so fork() can bound what any in-flight
+            // pass might still be sweeping with.
+            Lsn::from_raw(inner.gc_pins.fold_and_publish(h.raw(), &inner.gc_horizon_used))
         };
         // The GC sweeps whatever tables exist at each pass; re-arm when
         // tables are created (cheap: GC restart on DDL).
@@ -649,8 +669,28 @@ impl Database {
     /// forks are in-memory artifacts (what-if analysis, tests) and take
     /// the current commit frontier as-is.
     pub fn fork(&self) -> Database {
-        let cut = self.inner.tid.min_commit_low_water(self.inner.log.tail_lsn());
-        self.view_at(cut, true)
+        let inner = &self.inner;
+        // Pin *before* choosing the cut: from here on no new GC pass can
+        // reclaim anything (its horizon folds in this floor pin). A pass
+        // already in flight read its horizon earlier, but published it
+        // to `gc_horizon_used` inside the same lock `pin` just went
+        // through — so refusing any cut below that bound guarantees
+        // nothing such a pass unlinks (overwriter below its horizon) is
+        // needed at the cut we return.
+        let gc_pin = inner.gc_pins.pin(Lsn::NULL.raw());
+        let cut = loop {
+            let c = inner.tid.min_commit_low_water(inner.log.tail_lsn());
+            if c.raw() >= inner.gc_horizon_used.load(Ordering::Acquire) {
+                break c;
+            }
+            // The low water sits below a horizon some pass already used:
+            // an in-flight commit predating the pin is mid post-commit.
+            // The frontier is monotonic and post-commit is short, so
+            // spin until it passes the bound.
+            std::thread::yield_now();
+        };
+        inner.gc_pins.update(gc_pin, cut.raw());
+        self.view_from_pin(cut, gc_pin, true)
     }
 
     /// A view handle for replica serving: starts at cut 0 (empty but
@@ -662,6 +702,10 @@ impl Database {
 
     fn view_at(&self, cut: Lsn, counted: bool) -> Database {
         let gc_pin = self.inner.gc_pins.pin(cut.raw());
+        self.view_from_pin(cut, gc_pin, counted)
+    }
+
+    fn view_from_pin(&self, cut: Lsn, gc_pin: u64, counted: bool) -> Database {
         if counted {
             self.inner.fork_count.fetch_add(1, Ordering::Relaxed);
         }

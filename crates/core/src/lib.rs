@@ -66,7 +66,7 @@ pub use pool::{PooledWorker, WorkerPool};
 pub use profile::Breakdown;
 pub use recovery::{InDoubtTxn, LogApplier, RecoveryOutcome, RecoveryStats};
 pub use shard::{
-    shard_of_key, IndexRouting, PooledShardedWorker, ShardPolicy, ShardRecoveryStats,
+    shard_of_key, IndexRouting, PooledShardedWorker, RoutedDdl, ShardPolicy, ShardRecoveryStats,
     ShardedCommitToken, ShardedDb, ShardedTransaction, ShardedWorker, ShardedWorkerPool,
 };
 pub use transaction::{CommitToken, Transaction};

@@ -66,7 +66,7 @@ use ermia_log::{
 use ermia_telemetry::{EventKind, EventRing, FamilyDef, MetricDesc, MetricKind, Sample, Slab};
 
 use crate::config::{DbConfig, IsolationLevel};
-use crate::database::{Database, DbState, NodeRole};
+use crate::database::{Database, DbState, DdlEntry, NodeRole};
 use crate::recovery::RecoveryStats;
 use crate::transaction::{CommitToken, PreparedTransaction, Transaction};
 use crate::worker::Worker;
@@ -107,6 +107,29 @@ impl Default for ShardPolicy {
     }
 }
 
+impl ShardPolicy {
+    /// Compact `(tag, arg)` form for the replication protocol: a replica
+    /// must route reads exactly like its primary, so table policies ship
+    /// with the schema DDL.
+    pub fn to_wire(self) -> (u8, u64) {
+        match self {
+            ShardPolicy::Hash { prefix: None } => (0, 0),
+            ShardPolicy::Hash { prefix: Some(p) } => (1, p as u64),
+            ShardPolicy::Replicated => (2, 0),
+        }
+    }
+
+    /// Inverse of [`ShardPolicy::to_wire`]; unknown tags fall back to
+    /// the default policy.
+    pub fn from_wire(tag: u8, arg: u64) -> ShardPolicy {
+        match tag {
+            1 => ShardPolicy::Hash { prefix: Some(arg as usize) },
+            2 => ShardPolicy::Replicated,
+            _ => ShardPolicy::default(),
+        }
+    }
+}
+
 /// How a *secondary* index key routes to the owning shard. (Primary
 /// indexes always route by the table's [`ShardPolicy`].)
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +139,36 @@ pub enum IndexRouting {
     OwnerPrefix(usize),
     /// No shard information in the key: lookups probe every shard.
     Probe,
+}
+
+impl IndexRouting {
+    /// Compact `(tag, arg)` form for the replication protocol (see
+    /// [`ShardPolicy::to_wire`]).
+    pub fn to_wire(self) -> (u8, u64) {
+        match self {
+            IndexRouting::Probe => (0, 0),
+            IndexRouting::OwnerPrefix(len) => (1, len as u64),
+        }
+    }
+
+    /// Inverse of [`IndexRouting::to_wire`]; unknown tags fall back to
+    /// the always-correct `Probe`.
+    pub fn from_wire(tag: u8, arg: u64) -> IndexRouting {
+        match tag {
+            1 => IndexRouting::OwnerPrefix(arg as usize),
+            _ => IndexRouting::Probe,
+        }
+    }
+}
+
+/// One schema entry with its routing, as shipped to a replica: the
+/// [`DdlEntry`] plus the wire form of the table's [`ShardPolicy`]
+/// (table entries) or the index's [`IndexRouting`] (secondary entries).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutedDdl {
+    pub entry: DdlEntry,
+    pub route_tag: u8,
+    pub route_arg: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -263,10 +316,12 @@ impl ShardedDb {
 
     /// Wrap already-open per-shard handles (e.g. a replica's snapshot
     /// views) as one `ShardedDb`. Shard catalogs must be identical, as
-    /// they are when every shard replayed the same DDL. Tables get the
-    /// default hash policy — a replica only routes reads, and shipped
-    /// keys landed on the shard whose log shipped them, so default
-    /// routing matches any primary that also used the default.
+    /// they are when every shard replayed the same DDL. Routing starts
+    /// on the default hash policy; a replica of a primary with explicit
+    /// policies must install them with
+    /// [`ShardedDb::refresh_routing_with`] (the shipped schema carries
+    /// them), or reads of co-located keys would route to the wrong
+    /// shard.
     pub fn from_shards(dbs: Vec<Database>) -> ShardedDb {
         assert!(!dbs.is_empty(), "need at least one shard");
         ShardedDb::from_dbs(dbs)
@@ -277,9 +332,70 @@ impl ShardedDb {
     /// it. A replica calls this after replaying newly shipped DDL so
     /// reads route to tables created since the wrapper was built.
     pub fn refresh_routing(&self) {
-        let routing = Routing::from_catalog(&self.inner.dbs[0]);
+        self.refresh_routing_with(&[], &[]);
+    }
+
+    /// [`ShardedDb::refresh_routing`] with explicit per-table policies
+    /// and per-secondary-index routing rules layered on top of the
+    /// catalog defaults. A replica passes the policies shipped with the
+    /// primary's schema so its reads route exactly like the primary's.
+    /// Out-of-range ids are ignored (a policy for a table whose DDL has
+    /// not replayed yet applies on the next refresh).
+    pub fn refresh_routing_with(
+        &self,
+        policies: &[(TableId, ShardPolicy)],
+        secondaries: &[(IndexId, IndexRouting)],
+    ) {
+        let mut routing = Routing::from_catalog(&self.inner.dbs[0]);
+        for &(table, policy) in policies {
+            if let Some(slot) = routing.tables.get_mut(table.0 as usize) {
+                *slot = policy;
+            }
+        }
+        for &(index, rule) in secondaries {
+            if let Some(slot @ IndexRoute::Secondary { .. }) =
+                routing.indexes.get_mut(index.0 as usize)
+            {
+                *slot = IndexRoute::Secondary { routing: rule };
+            }
+        }
         *self.inner.routing.write() = Arc::new(routing);
         self.inner.routing_version.fetch_add(1, Relaxed);
+    }
+
+    /// The schema DDL (creation order, as [`Database::schema_ddl`]) with
+    /// each entry's routing attached: the table's [`ShardPolicy`] for
+    /// table entries, the [`IndexRouting`] for secondary entries. This
+    /// is what ships to a replica, which must reproduce not only the
+    /// dense ids but the routing that placed every key.
+    pub fn schema_ddl_routed(&self) -> Vec<RoutedDdl> {
+        let routing = self.inner.routing.read().clone();
+        let db = &self.inner.dbs[0];
+        let cat = db.inner.catalog.read();
+        cat.indexes
+            .iter()
+            .enumerate()
+            .map(|(i, ix)| {
+                let entry = DdlEntry {
+                    table: cat.tables[ix.table.0 as usize].name.clone(),
+                    secondary: (!ix.is_primary).then(|| ix.name.clone()),
+                };
+                let route = if ix.is_primary {
+                    routing
+                        .tables
+                        .get(ix.table.0 as usize)
+                        .copied()
+                        .unwrap_or_default()
+                        .to_wire()
+                } else {
+                    match routing.indexes.get(i) {
+                        Some(&IndexRoute::Secondary { routing }) => routing.to_wire(),
+                        _ => IndexRouting::Probe.to_wire(),
+                    }
+                };
+                RoutedDdl { entry, route_tag: route.0, route_arg: route.1 }
+            })
+            .collect()
     }
 
     fn from_dbs(dbs: Vec<Database>) -> ShardedDb {

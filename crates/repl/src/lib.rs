@@ -38,7 +38,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ermia::{Database, DbConfig, DdlEntry, LogApplier, ShardedDb};
+use ermia::{Database, DbConfig, DdlEntry, IndexRouting, LogApplier, ShardPolicy, ShardedDb};
 use ermia_common::lsn::NUM_SEGMENTS;
 use ermia_common::Lsn;
 use ermia_server::{Client, ClientError, ReplStatus, Server, ServerConfig, WireDdl};
@@ -209,8 +209,10 @@ struct ShardState {
     blob_shipped: u64,
     blob_file: fs::File,
     segment_size: u64,
-    /// DDL entries replayed from the primary's schema listing.
-    schema_applied: usize,
+    /// The primary's schema listing as of the last status, DDL applied.
+    /// Routing (shard policies, secondary-index rules) rides along on
+    /// each entry and is re-installed whenever this changes.
+    schema: Vec<WireDdl>,
     ring: Arc<EventRing>,
 }
 
@@ -322,7 +324,7 @@ impl ShardState {
             blob_shipped,
             blob_file,
             segment_size: status.segment_size,
-            schema_applied: status.schema.len(),
+            schema: status.schema,
             ring,
         })
     }
@@ -365,7 +367,7 @@ impl ShardState {
         for ddl in &status.schema {
             self.db.apply_ddl(&to_ddl(ddl));
         }
-        self.schema_applied = status.schema.len();
+        self.schema = status.schema.clone();
 
         let mut shipped_bytes = self.ship_blobs(chunk_len)?;
         shipped_bytes += self.ship_log(&status, chunk_len, stats)?;
@@ -437,6 +439,17 @@ impl ShardState {
             if data.is_empty() {
                 break;
             }
+            // Crossing a rotation: sync the finished segment before
+            // writing on, so a crash after later syncs cannot leave a
+            // hole behind them. The cursor never revisits a segment
+            // within a round.
+            if let Some(prev) = &touched {
+                if prev.index != local.index {
+                    if let Some(io) = &prev.io {
+                        io.sync_data()?;
+                    }
+                }
+            }
             let io = local.io.as_ref().expect("durable replica segments are file-backed");
             io.write_all_at(&data, local.file_pos(cursor))?;
             cursor += data.len() as u64;
@@ -494,7 +507,6 @@ impl Replica {
             shards.push(ShardState::bootstrap(&cfg, &stats, shard)?);
         }
         let serving = ShardedDb::from_shards(shards.iter().map(|s| s.view.clone()).collect());
-        serving.refresh_routing();
 
         // Export the shipping counters on the serving database's metric
         // registry, where a replica-side server (`Replica::serve`) and
@@ -522,6 +534,7 @@ impl Replica {
 
         let mut replica =
             Replica { shards, serving, stats, chunk_len: cfg.chunk_len, telemetry_group };
+        replica.refresh_serving_routing();
         replica.resolve_cross_shard()?;
         replica.publish();
         Ok(replica)
@@ -532,7 +545,9 @@ impl Replica {
     /// advances atomically.
     pub fn poll(&mut self) -> ReplResult<ReplProgress> {
         let mut progress = ReplProgress::default();
-        let before_schema: usize = self.shards.iter().map(|s| s.schema_applied).sum();
+        // Full comparison, not a count: `create_table_with_policy` on an
+        // existing table changes routing without adding an entry.
+        let before_schema = self.shards.first().map(|s| s.schema.clone()).unwrap_or_default();
         for sh in &mut self.shards {
             let (shipped, blocks, lag) = sh.poll(self.chunk_len, &self.stats)?;
             progress.shipped_bytes += shipped;
@@ -541,8 +556,8 @@ impl Replica {
         }
         progress.resolved = self.resolve_cross_shard()?;
         self.publish();
-        if self.shards.iter().map(|s| s.schema_applied).sum::<usize>() != before_schema {
-            self.serving.refresh_routing();
+        if self.shards.first().map(|s| &s.schema) != Some(&before_schema) {
+            self.refresh_serving_routing();
         }
         self.stats.lag_bytes.store(progress.lag_bytes, Ordering::Relaxed);
         self.stats.rounds.fetch_add(1, Ordering::Relaxed);
@@ -593,6 +608,34 @@ impl Replica {
         }
         let applied = self.applied_lsn();
         self.stats.applied_lsn.store(applied, Ordering::Relaxed);
+    }
+
+    /// Rebuild the serving routing snapshot from the replayed catalog
+    /// plus the routing shipped with the schema, so reads route exactly
+    /// like the primary placed the keys (non-default policies included).
+    /// Schemas are identical across shards; shard 0's listing is used.
+    fn refresh_serving_routing(&self) {
+        let mut policies = Vec::new();
+        let mut secondaries = Vec::new();
+        if let Some(sh) = self.shards.first() {
+            for ddl in &sh.schema {
+                match &ddl.secondary {
+                    None => {
+                        if let Some(id) = self.serving.table_id(&ddl.table) {
+                            policies
+                                .push((id, ShardPolicy::from_wire(ddl.route_tag, ddl.route_arg)));
+                        }
+                    }
+                    Some(name) => {
+                        if let Some(id) = self.serving.index_id(name) {
+                            secondaries
+                                .push((id, IndexRouting::from_wire(ddl.route_tag, ddl.route_arg)));
+                        }
+                    }
+                }
+            }
+        }
+        self.serving.refresh_routing_with(&policies, &secondaries);
     }
 
     /// The read-only serving handle: snapshot views over every shard,

@@ -222,3 +222,145 @@ fn sharded_replica_replicates_cross_shard_commits() {
     let _ = std::fs::remove_dir_all(&primary_dir);
     let _ = std::fs::remove_dir_all(&replica_dir);
 }
+
+#[test]
+fn replica_routes_with_shipped_shard_policies() {
+    // A prefix-hash table colocates every key sharing a 4-byte prefix
+    // on one shard. The full-key default would scatter the same keys,
+    // so a replica that fell back to the default policy would look on
+    // the wrong shard and return not-found for most of them.
+    let primary_dir = tmpdir("policy-primary");
+    let mut cfg = DbConfig::durable(&primary_dir);
+    cfg.log.segment_size = 16 << 10;
+    let db = ermia::ShardedDb::open(cfg, 2).unwrap();
+    let t = db.create_table_with_policy("orders", ermia::ShardPolicy::Hash { prefix: Some(4) });
+    db.create_secondary_index(t, "orders-by-owner", ermia::IndexRouting::OwnerPrefix(4));
+    let srv = Server::start_sharded(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr().to_string();
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    let t_wire = c.open_table("orders").unwrap();
+    assert_eq!(t_wire, t.0);
+
+    let mut journal: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for group in 0..8u32 {
+        for item in 0..6u32 {
+            let k = format!("{group:04}-item-{item:02}").into_bytes();
+            let v = format!("val-{group}-{item}").into_bytes();
+            sync_put(&mut c, t_wire, &k, &v);
+            journal.insert(k, v);
+        }
+    }
+
+    // The shipped schema carries the routing descriptors on the wire.
+    let mut probe = Client::connect(addr.as_str()).unwrap();
+    let status = probe.subscribe(0, 0).unwrap();
+    let table_entry = status.schema.iter().find(|d| d.secondary.is_none()).unwrap();
+    assert_eq!(
+        (table_entry.route_tag, table_entry.route_arg),
+        (1, 4),
+        "table entry must ship Hash{{prefix: Some(4)}}"
+    );
+    let index_entry = status.schema.iter().find(|d| d.secondary.is_some()).unwrap();
+    assert_eq!(
+        (index_entry.route_tag, index_entry.route_arg),
+        (1, 4),
+        "secondary entry must ship OwnerPrefix(4)"
+    );
+    drop(probe);
+
+    let replica_dir = tmpdir("policy-replica");
+    let mut rcfg = ReplicaConfig::new(addr, &replica_dir);
+    rcfg.shards = 2;
+    let mut replica = Replica::bootstrap(rcfg).unwrap();
+    replica.catch_up().unwrap();
+
+    let rsrv = replica.serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut rc = Client::connect(rsrv.local_addr()).unwrap();
+    let rt = rc.open_table("orders").unwrap();
+    assert_eq!(rt, t_wire);
+    for (k, v) in &journal {
+        assert_eq!(
+            rc.get(rt, k).unwrap().as_deref(),
+            Some(&v[..]),
+            "prefix-routed key {:?} wrong or missing on replica",
+            String::from_utf8_lossy(k)
+        );
+    }
+
+    rsrv.shutdown();
+    srv.shutdown();
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+#[test]
+fn replica_open_table_is_lookup_only() {
+    // OpenTable on a replica must never allocate: a locally created
+    // table would take a dense id the primary later assigns to a
+    // different table, silently corrupting log replay.
+    let primary_dir = tmpdir("roddl-primary");
+    let db = Database::open(DbConfig::durable(&primary_dir)).unwrap();
+    let srv = Server::start(&db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = srv.local_addr().to_string();
+    let mut c = Client::connect(addr.as_str()).unwrap();
+    let t = c.open_table("kv").unwrap();
+    sync_put(&mut c, t, b"k", b"v");
+
+    let replica_dir = tmpdir("roddl-replica");
+    let mut replica = Replica::bootstrap(ReplicaConfig::new(addr.clone(), &replica_dir)).unwrap();
+    replica.catch_up().unwrap();
+    let rsrv = replica.serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut rc = Client::connect(rsrv.local_addr()).unwrap();
+
+    // Existing tables resolve by name; unknown names bounce instead of
+    // allocating an id the primary never issued.
+    assert_eq!(rc.open_table("kv").unwrap(), t);
+    match rc.open_table("typo") {
+        Err(ClientError::Server { code: ErrorCode::UnknownTable, .. }) => {}
+        other => panic!("replica OpenTable must refuse local DDL, got {other:?}"),
+    }
+    assert_eq!(replica.serving().table_count(), 1, "the refused open must not grow the catalog");
+
+    // The name the replica refused stays available to the primary: the
+    // id it assigns replicates over and resolves identically.
+    let t2 = c.open_table("typo").unwrap();
+    sync_put(&mut c, t2, b"k2", b"v2");
+    replica.catch_up().unwrap();
+    assert_eq!(rc.open_table("typo").unwrap(), t2);
+    assert_eq!(rc.get(t2, b"k2").unwrap().as_deref(), Some(&b"v2"[..]));
+
+    rsrv.shutdown();
+    srv.shutdown();
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+#[test]
+fn fetch_chunk_edge_offsets_and_tiny_frames_do_not_panic() {
+    // Offsets near u64::MAX exercised the `offset + len` sum; a frame
+    // limit below the 4 KiB reply headroom exercised the
+    // `max_frame_len - 4096` clamp. Both used to overflow in debug.
+    let dir = tmpdir("fetch-edge");
+    let db = Database::open(DbConfig::durable(&dir)).unwrap();
+    let tiny = ServerConfig { max_frame_len: 2048, ..ServerConfig::default() };
+    let srv = Server::start(&db, "127.0.0.1:0", tiny).unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let t = c.open_table("kv").unwrap();
+    sync_put(&mut c, t, b"k", b"v");
+    let status = c.subscribe(0, 0).unwrap();
+    assert!(status.durable_lsn > 0);
+
+    for offset in [u64::MAX, u64::MAX - 8, u64::MAX / 2] {
+        let data = c.fetch_chunk(0, 1, offset, u32::MAX).unwrap();
+        assert!(data.is_empty(), "no log data lives at offset {offset:#x}");
+    }
+    // A sane fetch still makes progress under the tiny frame limit.
+    let data = c.fetch_chunk(0, 1, 0, u32::MAX).unwrap();
+    assert!(!data.is_empty(), "log bytes below the durable frontier must ship");
+
+    srv.shutdown();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

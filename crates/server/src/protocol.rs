@@ -738,10 +738,18 @@ impl ErrorCode {
 /// One schema entry shipped to a replica: a table plus, when the entry
 /// describes a secondary index, that index's name. Replaying the
 /// entries in order reproduces the primary's dense table/index ids.
+///
+/// `route_tag`/`route_arg` carry the entry's shard routing (the wire
+/// form of `ShardPolicy::to_wire` for table entries,
+/// `IndexRouting::to_wire` for secondary entries), so a replica of a
+/// sharded primary routes reads exactly like the primary placed the
+/// keys. `(0, 0)` is the default policy for both kinds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireDdl {
     pub table: String,
     pub secondary: Option<String>,
+    pub route_tag: u8,
+    pub route_arg: u64,
 }
 
 /// One sealed-or-open log segment visible to a subscriber:
@@ -943,6 +951,8 @@ impl Response {
                         }
                         None => e.u8(0),
                     }
+                    e.u8(ddl.route_tag);
+                    e.u64(ddl.route_arg);
                 }
                 e.buf
             }
@@ -1045,7 +1055,9 @@ impl Response {
                     } else {
                         None
                     };
-                    schema.push(WireDdl { table, secondary });
+                    let route_tag = d.u8()?;
+                    let route_arg = d.u64()?;
+                    schema.push(WireDdl { table, secondary, route_tag, route_arg });
                 }
                 Response::ReplStatus(ReplStatus {
                     role,
@@ -1184,8 +1196,13 @@ mod tests {
             checkpoint: Some((0x1234_5670, 8888)),
             segments: vec![(0, 0, 1 << 26), (1, 1 << 26, (1 << 26) + 512)],
             schema: vec![
-                WireDdl { table: "accounts".into(), secondary: None },
-                WireDdl { table: "accounts".into(), secondary: Some("by_owner".into()) },
+                WireDdl { table: "accounts".into(), secondary: None, route_tag: 1, route_arg: 4 },
+                WireDdl {
+                    table: "accounts".into(),
+                    secondary: Some("by_owner".into()),
+                    route_tag: 1,
+                    route_arg: 8,
+                },
             ],
         }));
         roundtrip_resp(Response::ReplStatus(ReplStatus {

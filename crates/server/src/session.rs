@@ -58,7 +58,7 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ermia::{IsolationLevel, PooledShardedWorker, ShardedCommitToken};
+use ermia::{IsolationLevel, NodeRole, PooledShardedWorker, ShardedCommitToken};
 use ermia_common::LogError;
 use ermia_telemetry::EventKind;
 
@@ -1002,10 +1002,16 @@ fn do_subscribe(state: &Arc<ServerState>, conn: &mut Conn, shard: u32, from: u64
             .filter(|s| s.start < durable)
             .map(|s| (s.index, s.start, s.end.min(durable)))
             .collect(),
-        schema: db
-            .schema_ddl()
+        schema: state
+            .db
+            .schema_ddl_routed()
             .into_iter()
-            .map(|d| WireDdl { table: d.table, secondary: d.secondary })
+            .map(|d| WireDdl {
+                table: d.entry.table,
+                secondary: d.entry.secondary,
+                route_tag: d.route_tag,
+                route_arg: d.route_arg,
+            })
             .collect(),
     };
     conn.push(state, Response::ReplStatus(status));
@@ -1031,8 +1037,10 @@ fn do_fetch_chunk(
     if repl.shard != idx {
         return conn.push_err(state, ErrorCode::BadState, "fetch on unsubscribed shard");
     }
-    // Keep the reply comfortably inside one frame.
-    let len = (len as u64).min(state.cfg.max_frame_len as u64 - 4096);
+    // Keep the reply comfortably inside one frame. Saturate: a config
+    // with a tiny frame limit must not underflow (serve at least one
+    // byte per chunk and let the subscriber crawl).
+    let len = (len as u64).min((state.cfg.max_frame_len as u64).saturating_sub(4096).max(1));
     let data = match source {
         0 => match &repl.checkpoint {
             Some((_, payload)) => {
@@ -1051,7 +1059,9 @@ fn do_fetch_chunk(
                 // Dead zone or past the tail: nothing to read here.
                 return conn.push(state, Response::SegmentChunk { offset, data: Vec::new() });
             };
-            let end = (offset + len).min(seg.end).min(durable);
+            // `offset` is client-controlled: saturate instead of
+            // overflowing near u64::MAX.
+            let end = offset.saturating_add(len).min(seg.end).min(durable);
             if end <= offset {
                 return conn.push(state, Response::SegmentChunk { offset, data: Vec::new() });
             }
@@ -1098,6 +1108,21 @@ fn open_table(state: &Arc<ServerState>, conn: &mut Conn, name: &[u8]) {
     let Ok(name) = std::str::from_utf8(name) else {
         return conn.push_err(state, ErrorCode::BadState, "table name must be utf-8");
     };
+    // A replica's catalog is owned by shipped DDL replay: dense ids must
+    // come out identical to the primary's, and a locally allocated id
+    // would silently divert later log replay onto the wrong table. The
+    // same holds for any read-only snapshot view. Look up by name only.
+    let db0 = state.db.shard(0);
+    if db0.role() == NodeRole::Replica || db0.view_cut().is_some() {
+        return match state.db.table_id(name) {
+            Some(id) => conn.push(state, Response::TableId { id: id.0 }),
+            None => conn.push_err(
+                state,
+                ErrorCode::UnknownTable,
+                &format!("table {name:?} does not exist on this read-only replica"),
+            ),
+        };
+    }
     let id = state.db.create_table(name);
     conn.push(state, Response::TableId { id: id.0 });
 }
