@@ -408,7 +408,38 @@ fn telemetry_overhead(secs: f64, rows: u64, json: &mut String) {
         let workload = MicroWorkload::new(micro.clone());
         run_cpu_tps(&engine, &workload, secs)
     };
-    ab_gate("telemetry overhead", "telemetry_overhead", one, json);
+    ab_gate("telemetry overhead", "telemetry_overhead", one, 0.98, json);
+}
+
+/// A/B the tracing layer, same CPU-tick methodology, two gates:
+///
+/// * **armed-but-cold** — `trace_sample_n = 1_000_000` (the sampling
+///   counter runs every `begin` but a trace effectively never fires) vs
+///   sampling off (`trace_sample_n = 0`, the default short-circuit).
+///   Arming sampling must cost ≤ 1%: the disabled hot path is one
+///   load-and-branch, the armed one adds a counter and modulo.
+/// * **sampled 1/64** — `trace_sample_n = 64` vs off: every 64th
+///   transaction records its full span tree into the per-worker ring.
+///   Gated at ≤ 3%.
+fn tracing_overhead(secs: f64, rows: u64, json: &mut String) {
+    let micro = MicroConfig { rows, reads: 100, write_ratio: 0.01 };
+    let one = |micro: &MicroConfig, sample_n: u32| -> f64 {
+        let db = Database::open(DbConfig { trace_sample_n: sample_n, ..DbConfig::default() })
+            .expect("open ermia");
+        let engine = ErmiaEngine::si(db);
+        let workload = MicroWorkload::new(micro.clone());
+        run_cpu_tps(&engine, &workload, secs)
+    };
+    let cold = {
+        let micro = micro.clone();
+        move |armed: bool| one(&micro, if armed { 1_000_000 } else { 0 })
+    };
+    ab_gate("tracing overhead (armed, cold)", "tracing_overhead_cold", cold, 0.99, json);
+    let sampled = {
+        let micro = micro.clone();
+        move |armed: bool| one(&micro, if armed { 64 } else { 0 })
+    };
+    ab_gate("tracing overhead (1/64 sampled)", "tracing_overhead_sampled", sampled, 0.97, json);
 }
 
 /// Single-threaded committed throughput per process-CPU-tick (falls back
@@ -425,10 +456,17 @@ fn run_cpu_tps<E: Engine, W: Workload<E>>(engine: &E, workload: &W, secs: f64) -
     }
 }
 
-/// The interleaved-pairs A/B harness shared by the telemetry gate and
-/// the shard-routing gate: `one(false)` is the baseline, `one(true)` the
-/// candidate, and the candidate must stay within 2% of the baseline.
-fn ab_gate(label: &str, json_key: &str, one: impl Fn(bool) -> f64, json: &mut String) {
+/// The interleaved-pairs A/B harness shared by the telemetry, tracing,
+/// and shard-routing gates: `one(false)` is the baseline, `one(true)`
+/// the candidate, and the candidate's throughput ratio must stay at or
+/// above `min_ratio` (0.98 = within 2% of the baseline).
+fn ab_gate(
+    label: &str,
+    json_key: &str,
+    one: impl Fn(bool) -> f64,
+    min_ratio: f64,
+    json: &mut String,
+) {
     // One discarded warmup pair (allocator, page cache, frequency
     // governor), then five measured pairs, best-of each side.
     // Interference (a neighbor stealing the core, a frequency dip) can
@@ -471,7 +509,7 @@ fn ab_gate(label: &str, json_key: &str, one: impl Fn(bool) -> f64, json: &mut St
     // attempt. A real regression fails every attempt alike.
     let (mut off, mut on, mut ratio, mut gate) = measure();
     for _ in 0..2 {
-        if gate >= 0.98 {
+        if gate >= min_ratio {
             break;
         }
         let next = measure();
@@ -489,8 +527,10 @@ fn ab_gate(label: &str, json_key: &str, one: impl Fn(bool) -> f64, json: &mut St
          \"on_txn_per_cpu_tick\": {on:.2}, \"ratio\": {ratio:.4}, \"gate_ratio\": {gate:.4}}},"
     );
     assert!(
-        gate >= 0.98,
-        "{label}: candidate throughput {on:.1} txn/tick fell more than 2% below baseline {off:.1}"
+        gate >= min_ratio,
+        "{label}: candidate throughput {on:.1} txn/tick fell more than {:.0}% below \
+         baseline {off:.1}",
+        (1.0 - min_ratio) * 100.0
     );
 }
 
@@ -511,7 +551,7 @@ fn sharded_routing_overhead(secs: f64, rows: u64, json: &mut String) {
             run_cpu_tps(&ErmiaEngine::si(db), &workload, secs)
         }
     };
-    ab_gate("shard routing overhead", "sharded_routing_overhead", one, json);
+    ab_gate("shard routing overhead", "sharded_routing_overhead", one, 0.98, json);
 }
 
 fn cleanup_scaling_dirs() {
@@ -600,6 +640,9 @@ fn main() {
 
     // -- shard-routing A/B (one-shard ShardedDb vs plain Database) --------
     sharded_routing_overhead(secs.max(1.0), micro_rows, &mut json);
+
+    // -- tracing A/B (armed-but-cold and 1/64-sampled vs off) -------------
+    tracing_overhead(secs.max(1.0), micro_rows, &mut json);
 
     json.push_str("  \"workloads\": [\n");
 

@@ -44,6 +44,18 @@ pub struct DbConfig {
     /// (blob) store at commit; the log carries only an indirect pointer
     /// (§3.3, log feature 4). `usize::MAX` disables diversion.
     pub large_value_threshold: usize,
+    /// Head-based trace sampling: a sharded worker traces every Nth
+    /// transaction it begins without wire-supplied context (0 = off,
+    /// the default — an untraced transaction's whole tracing cost is
+    /// one branch). Wire-propagated `TraceContext` is honored
+    /// regardless of this knob.
+    pub trace_sample_n: u32,
+    /// Tail-based slow-op capture: a *traced* operation slower than
+    /// this many microseconds has its span buffer retained in the
+    /// worst-K slow-op log (`ermia_slow_ops`). 0 disables retention.
+    /// Untraced operations are never affected, so a nonzero default is
+    /// free while tracing is off.
+    pub trace_slow_us: u64,
 }
 
 impl Default for DbConfig {
@@ -58,6 +70,8 @@ impl Default for DbConfig {
             profile: false,
             telemetry: true,
             large_value_threshold: usize::MAX,
+            trace_sample_n: 0,
+            trace_slow_us: 10_000,
         }
     }
 }

@@ -345,6 +345,7 @@ impl Database {
             None => ermia_log::BlobStore::in_memory(),
         };
         let telemetry = Arc::new(Telemetry::new());
+        telemetry.tracer().set_slow_threshold_ns(cfg.trace_slow_us.saturating_mul(1_000));
         let svc_ring = telemetry.flight().ring();
         let inner = Arc::new(DbInner {
             log,

@@ -21,8 +21,37 @@ use std::sync::atomic::Ordering;
 use ermia_common::{Lsn, Oid, Stamp};
 use ermia_log::{CheckpointMeta, DecideRecord, LogRecord, LogRecordKind, LogScanner, PrepareMarker};
 use ermia_storage::Version;
+use ermia_telemetry::{SpanKind, TraceContext};
 
 use crate::database::Database;
+
+/// Replay one resolved 2PC prepare, stitching a `ReplApply` span onto
+/// the originating transaction's trace when the durable prepare marker
+/// carried a trace id. This is how a replica tailing the shipped log
+/// (and crash recovery) appears on the same timeline as the coordinator
+/// that ran the transaction; an untraced marker costs one comparison.
+fn apply_traced(
+    db: &Database,
+    txn: &InDoubtTxn,
+    stats: &mut RecoveryStats,
+) -> std::io::Result<()> {
+    if txn.trace_hi == 0 && txn.trace_lo == 0 {
+        return db.replay_records(&txn.records, txn.cstamp, stats);
+    }
+    let ring = db.telemetry().tracer().svc_ring().clone();
+    let t0 = ring.now_ns();
+    let r = db.replay_records(&txn.records, txn.cstamp, stats);
+    let ctx = TraceContext { trace_hi: txn.trace_hi, trace_lo: txn.trace_lo, parent: 0 };
+    ring.record(
+        &ctx,
+        SpanKind::ReplApply,
+        t0,
+        ring.now_ns(),
+        txn.cstamp.raw(),
+        txn.coord_shard as u64,
+    );
+    r
+}
 
 /// Counters reported by [`Database::recover`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -56,6 +85,11 @@ pub struct InDoubtTxn {
     /// This participant's prepare cstamp — the commit LSN the records
     /// take if the verdict is commit.
     pub cstamp: Lsn,
+    /// Trace id the coordinator stamped into the prepare marker
+    /// ((0, 0) = untraced): applying this prepare records a `ReplApply`
+    /// span under the originating transaction's trace.
+    pub trace_hi: u64,
+    pub trace_lo: u64,
     records: Vec<LogRecord>,
 }
 
@@ -144,6 +178,8 @@ impl LogApplier {
                         coord_shard: marker.coord_shard,
                         gtid_lsn,
                         cstamp,
+                        trace_hi: marker.trace_hi,
+                        trace_lo: marker.trace_lo,
                         records: block.records(),
                     };
                     self.pending.insert((marker.coord_shard, gtid_lsn), txn);
@@ -155,7 +191,7 @@ impl LogApplier {
                         if d.commit {
                             rounds += 1;
                             self.stats.replayed_blocks += 1;
-                            db.replay_records(&txn.records, txn.cstamp, &mut self.stats)?;
+                            apply_traced(db, &txn, &mut self.stats)?;
                         }
                     }
                 }
@@ -185,7 +221,7 @@ impl LogApplier {
         let Some(txn) = self.pending.remove(&key) else { return Ok(false) };
         if commit {
             self.stats.replayed_blocks += 1;
-            db.replay_records(&txn.records, txn.cstamp, &mut self.stats)?;
+            apply_traced(db, &txn, &mut self.stats)?;
         }
         Ok(true)
     }

@@ -63,7 +63,10 @@ use ermia_log::{
     checksum32, BlockKind, DecideRecord, LogBlockHeader, PrepareMarker, BLOCK_HEADER_LEN,
     DECIDE_RECORD_LEN, MIN_BLOCK_LEN,
 };
-use ermia_telemetry::{EventKind, EventRing, FamilyDef, MetricDesc, MetricKind, Sample, Slab};
+use ermia_telemetry::{
+    EventKind, EventRing, FamilyDef, MetricDesc, MetricKind, Sample, Slab, SpanKind, SpanRing,
+    TraceContext,
+};
 
 use crate::config::{DbConfig, IsolationLevel};
 use crate::database::{Database, DbState, DdlEntry, NodeRole};
@@ -253,6 +256,16 @@ static TWOPC_FAMILY: FamilyDef = FamilyDef {
 pub(crate) struct TwoPcTelemetry {
     slab: Arc<Slab>,
     ring: Arc<EventRing>,
+}
+
+/// Per-worker tracing state: a span ring (this worker is its single
+/// writer) plus the head-sampling countdown. Created whenever telemetry
+/// is on so wire-traced requests always have a ring to land in;
+/// `sample_n` only governs engine-initiated traces.
+pub(crate) struct WorkerTrace {
+    ring: Arc<SpanRing>,
+    sample_n: u32,
+    count: u32,
 }
 
 // --- ShardedDb ----------------------------------------------------------
@@ -508,12 +521,18 @@ impl ShardedDb {
             slab: db0.telemetry().registry().register_slab(&TWOPC_FAMILY),
             ring: db0.telemetry().flight().ring(),
         });
+        let trace = db0.inner.cfg.telemetry.then(|| WorkerTrace {
+            ring: db0.telemetry().tracer().ring(),
+            sample_n: db0.inner.cfg.trace_sample_n,
+            count: 0,
+        });
         ShardedWorker {
             db: self.clone(),
             workers,
             routing: inner.routing.read().clone(),
             routing_version: inner.routing_version.load(Relaxed),
             twopc,
+            trace,
         }
     }
 
@@ -745,6 +764,7 @@ pub struct ShardedWorker {
     routing: Arc<Routing>,
     routing_version: u64,
     twopc: Option<TwoPcTelemetry>,
+    trace: Option<WorkerTrace>,
 }
 
 impl ShardedWorker {
@@ -752,12 +772,52 @@ impl ShardedWorker {
     /// on first touch, so a transaction that stays on one shard costs
     /// exactly one engine begin.
     pub fn begin(&mut self, isolation: IsolationLevel) -> ShardedTransaction<'_> {
+        self.begin_traced(isolation, None)
+    }
+
+    /// [`ShardedWorker::begin`] with an explicit wire-propagated trace
+    /// context. `None` (or an untraced context) falls back to head
+    /// sampling: with `DbConfig::trace_sample_n = N`, every Nth begin
+    /// on this worker mints a fresh trace id. An untraced transaction's
+    /// whole tracing cost is the `Option` branch per operation.
+    pub fn begin_traced(
+        &mut self,
+        isolation: IsolationLevel,
+        ctx: Option<TraceContext>,
+    ) -> ShardedTransaction<'_> {
         let v = self.db.inner.routing_version.load(Relaxed);
         if v != self.routing_version {
             self.routing = self.db.inner.routing.read().clone();
             self.routing_version = v;
         }
-        let ShardedWorker { db, workers, routing, twopc, .. } = self;
+        // Resolve the active context before splitting the borrows: wire
+        // context wins; otherwise head sampling every Nth begin.
+        let active = match &mut self.trace {
+            Some(t) => match ctx {
+                Some(c) if c.is_traced() => Some((c, false)),
+                _ if t.sample_n != 0 => {
+                    t.count += 1;
+                    if t.count >= t.sample_n {
+                        t.count = 0;
+                        let (hi, lo) = self.db.inner.dbs[0].telemetry().tracer().new_trace_id();
+                        Some((TraceContext { trace_hi: hi, trace_lo: lo, parent: 0 }, true))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+            None => None,
+        };
+        let ShardedWorker { db, workers, routing, twopc, trace, .. } = self;
+        let trace = active.and_then(|(ctx, sampled)| {
+            trace.as_ref().map(|t| ActiveTrace {
+                ctx,
+                ring: &t.ring,
+                start_ns: t.ring.now_ns(),
+                sampled,
+            })
+        });
         let slots = if workers.len() == 1 {
             Slots::One(TxSlot::Idle(&mut workers[0]))
         } else {
@@ -769,16 +829,27 @@ impl ShardedWorker {
             twopc: twopc.as_ref(),
             isolation,
             slots,
+            trace,
         }
+    }
+
+    /// This worker's span ring, if telemetry is on. The server threads
+    /// wire-traced request spans through here so they land next to the
+    /// engine spans of the same worker.
+    pub fn span_ring(&self) -> Option<&Arc<SpanRing>> {
+        self.trace.as_ref().map(|t| &t.ring)
     }
 }
 
 impl Drop for ShardedWorker {
     fn drop(&mut self) {
+        let tel = self.db.inner.dbs[0].telemetry();
         if let Some(t) = self.twopc.take() {
-            let tel = self.db.inner.dbs[0].telemetry();
             tel.registry().retire_slab(&TWOPC_FAMILY, &t.slab);
             tel.flight().retire(&t.ring);
+        }
+        if let Some(t) = self.trace.take() {
+            tel.tracer().retire(&t.ring);
         }
     }
 }
@@ -826,7 +897,33 @@ pub struct ShardedTransaction<'w> {
     twopc: Option<&'w TwoPcTelemetry>,
     isolation: IsolationLevel,
     slots: Slots<'w>,
+    trace: Option<ActiveTrace<'w>>,
 }
+
+/// Tracing state of one *traced* transaction: the propagated context,
+/// the owning worker's span ring, and the begin timestamp the tail-based
+/// slow-op check measures against.
+#[derive(Clone, Copy)]
+struct ActiveTrace<'w> {
+    ctx: TraceContext,
+    ring: &'w SpanRing,
+    start_ns: u64,
+    /// Engine-sampled (head sampling) rather than wire-propagated: the
+    /// engine owns slow-op capture at commit. Wire-traced ops are
+    /// captured by the server at request completion instead, with the
+    /// opcode/table/key attribution only that layer has.
+    sampled: bool,
+}
+
+/// What [`ShardedTransaction::into_active`] destructures into: the
+/// engine, the optional 2PC telemetry and trace, and the live
+/// participants as (shard, transaction) pairs.
+type ActiveParts<'w> = (
+    &'w ShardedDb,
+    Option<&'w TwoPcTelemetry>,
+    Option<ActiveTrace<'w>>,
+    Vec<(usize, Transaction<'w>)>,
+);
 
 /// Pack a (shard, oid) pair into the opaque row handle inserts return.
 fn pack_handle(shard: usize, oid: Oid) -> u64 {
@@ -842,15 +939,33 @@ impl<'w> ShardedTransaction<'w> {
         self.db.inner.dbs.len()
     }
 
+    /// The wire context this transaction runs under, if traced.
+    pub fn trace_ctx(&self) -> Option<TraceContext> {
+        self.trace.as_ref().map(|t| t.ctx)
+    }
+
+    /// Tracing hook: `(ring, ctx, now_ns)` for a traced transaction,
+    /// `None` (one branch, nothing else) otherwise. The returned
+    /// borrows are free of `self`, so callers can record after a
+    /// `&mut self` operation.
+    #[inline]
+    fn span_start(&self) -> Option<(&'w SpanRing, TraceContext, u64)> {
+        self.trace.as_ref().map(|t| (t.ring, t.ctx, t.ring.now_ns()))
+    }
+
     /// The inner transaction on `shard`, started on first touch.
     fn txn_at(&mut self, shard: usize) -> &mut Transaction<'w> {
         let iso = self.isolation;
+        let sp = self.span_start();
         let slot = self.slots.get_mut(shard);
         if matches!(slot, TxSlot::Idle(_)) {
             let TxSlot::Idle(w) = std::mem::replace(slot, TxSlot::Busy) else {
                 unreachable!()
             };
             *slot = TxSlot::Active(Transaction::begin(w, iso));
+            if let Some((ring, ctx, t0)) = sp {
+                ring.record(&ctx, SpanKind::TxnBegin, t0, ring.now_ns(), shard as u64, 0);
+            }
         }
         match slot {
             TxSlot::Active(t) => t,
@@ -880,12 +995,33 @@ impl<'w> ShardedTransaction<'w> {
     ) -> OpResult<Option<R>> {
         // Replicated reads anchor on shard 0.
         let shard = self.home_shard(table, key).unwrap_or(0);
-        self.txn_at(shard).read(table, key, f)
+        let sp = self.span_start();
+        let r = self.txn_at(shard).read(table, key, f);
+        if let Some((ring, ctx, t0)) = sp {
+            ring.record(&ctx, SpanKind::TxnRead, t0, ring.now_ns(), table.0 as u64, shard as u64);
+        }
+        r
+    }
+
+    /// Tracing hook for write-path ops: one `TxnWrite` span per call.
+    #[inline]
+    fn record_write_span(
+        &self,
+        sp: Option<(&'w SpanRing, TraceContext, u64)>,
+        table: TableId,
+        shard: Option<usize>,
+    ) {
+        if let Some((ring, ctx, t0)) = sp {
+            let b = shard.map(|s| s as u64).unwrap_or(u64::MAX);
+            ring.record(&ctx, SpanKind::TxnWrite, t0, ring.now_ns(), table.0 as u64, b);
+        }
     }
 
     /// Update a record; fans out on replicated tables.
     pub fn update(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<bool> {
-        match self.home_shard(table, key) {
+        let sp = self.span_start();
+        let home = self.home_shard(table, key);
+        let r = match home {
             Some(s) => self.txn_at(s).update(table, key, value),
             None => {
                 let mut hit = false;
@@ -897,12 +1033,16 @@ impl<'w> ShardedTransaction<'w> {
                 }
                 Ok(hit)
             }
-        }
+        };
+        self.record_write_span(sp, table, home);
+        r
     }
 
     /// Delete a record; fans out on replicated tables.
     pub fn delete(&mut self, table: TableId, key: &[u8]) -> OpResult<bool> {
-        match self.home_shard(table, key) {
+        let sp = self.span_start();
+        let home = self.home_shard(table, key);
+        let r = match home {
             Some(s) => self.txn_at(s).delete(table, key),
             None => {
                 let mut hit = false;
@@ -914,13 +1054,17 @@ impl<'w> ShardedTransaction<'w> {
                 }
                 Ok(hit)
             }
-        }
+        };
+        self.record_write_span(sp, table, home);
+        r
     }
 
     /// Insert a record. Returns an opaque handle (shard + OID) for
     /// [`ShardedTransaction::insert_secondary`].
     pub fn insert(&mut self, table: TableId, key: &[u8], value: &[u8]) -> OpResult<u64> {
-        match self.home_shard(table, key) {
+        let sp = self.span_start();
+        let home = self.home_shard(table, key);
+        let r = match home {
             Some(s) => {
                 let oid = self.txn_at(s).insert(table, key, value)?;
                 Ok(pack_handle(s, oid))
@@ -935,7 +1079,9 @@ impl<'w> ShardedTransaction<'w> {
                 }
                 Ok(handle)
             }
-        }
+        };
+        self.record_write_span(sp, table, home);
+        r
     }
 
     /// Register a secondary-index entry for a row inserted in this
@@ -1019,8 +1165,13 @@ impl<'w> ShardedTransaction<'w> {
         limit: Option<usize>,
         mut f: impl FnMut(&[u8], &[u8]) -> bool,
     ) -> OpResult<usize> {
+        let sp = self.span_start();
         if let Some(s) = self.scan_shard(index, low, high) {
-            return self.txn_at(s).scan(index, low, high, limit, f);
+            let r = self.txn_at(s).scan(index, low, high, limit, f);
+            if let (Some((ring, ctx, t0)), Ok(n)) = (sp, &r) {
+                ring.record(&ctx, SpanKind::TxnScan, t0, ring.now_ns(), index.0 as u64, *n as u64);
+            }
+            return r;
         }
         let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         for s in 0..self.nshards() {
@@ -1039,6 +1190,16 @@ impl<'w> ShardedTransaction<'w> {
             if !f(k, v) {
                 break;
             }
+        }
+        if let Some((ring, ctx, t0)) = sp {
+            ring.record(
+                &ctx,
+                SpanKind::TxnScan,
+                t0,
+                ring.now_ns(),
+                index.0 as u64,
+                delivered as u64,
+            );
         }
         Ok(delivered)
     }
@@ -1061,15 +1222,15 @@ impl<'w> ShardedTransaction<'w> {
         }
     }
 
-    fn into_active(self) -> (&'w ShardedDb, Option<&'w TwoPcTelemetry>, Vec<(usize, Transaction<'w>)>) {
-        let ShardedTransaction { db, twopc, slots, .. } = self;
+    fn into_active(self) -> ActiveParts<'w> {
+        let ShardedTransaction { db, twopc, trace, slots, .. } = self;
         let mut active = Vec::new();
         for (i, slot) in slots.into_vec().into_iter().enumerate() {
             if let TxSlot::Active(t) = slot {
                 active.push((i, t));
             }
         }
-        (db, twopc, active)
+        (db, twopc, trace, active)
     }
 
     /// Commit and wait for durability (on a synchronous-commit
@@ -1077,14 +1238,19 @@ impl<'w> ShardedTransaction<'w> {
     /// a cross-shard transaction.
     pub fn commit(self) -> TxResult<Lsn> {
         // Fast path: one shard, one active transaction — the inner
-        // commit verbatim, including rollback on durability failure.
+        // commit verbatim (plus span recording when traced), with no
+        // slot Vec materialized. Sampled commits must stay on the
+        // allocation-free path (see tests/alloc_free.rs).
         if let ShardedTransaction { slots: Slots::One(TxSlot::Active(_)), .. } = &self {
-            let (_, _, mut active) = self.into_active();
-            let (_, t) = active.pop().expect("matched active");
-            return t.commit();
+            let ShardedTransaction { db, trace, slots, .. } = self;
+            let Slots::One(TxSlot::Active(t)) = slots else { unreachable!("matched above") };
+            if trace.is_none() {
+                return t.commit();
+            }
+            return commit_one(db, trace, 0, t, true).map(|tok| tok.lsn());
         }
-        let (db, twopc, active) = self.into_active();
-        commit_active(db, twopc, active, true).map(|tok| tok.lsn())
+        let (db, twopc, trace, active) = self.into_active();
+        commit_active(db, twopc, trace, active, true).map(|tok| tok.lsn())
     }
 
     /// Commit without waiting for durability; the returned token names
@@ -1093,8 +1259,14 @@ impl<'w> ShardedTransaction<'w> {
     /// decide record *is* the commit), so their token is trivially
     /// durable.
     pub fn commit_deferred(self) -> TxResult<ShardedCommitToken> {
-        let (db, twopc, active) = self.into_active();
-        commit_active(db, twopc, active, false)
+        // Same Vec-free fast path as `commit` for the one-shard case.
+        if let ShardedTransaction { slots: Slots::One(TxSlot::Active(_)), .. } = &self {
+            let ShardedTransaction { db, trace, slots, .. } = self;
+            let Slots::One(TxSlot::Active(t)) = slots else { unreachable!("matched above") };
+            return commit_one(db, trace, 0, t, false);
+        }
+        let (db, twopc, trace, active) = self.into_active();
+        commit_active(db, twopc, trace, active, false)
     }
 }
 
@@ -1137,6 +1309,7 @@ impl ShardedCommitToken {
 fn commit_active<'w>(
     db: &ShardedDb,
     twopc: Option<&TwoPcTelemetry>,
+    trace: Option<ActiveTrace<'_>>,
     active: Vec<(usize, Transaction<'w>)>,
     sync: bool,
 ) -> TxResult<ShardedCommitToken> {
@@ -1167,22 +1340,67 @@ fn commit_active<'w>(
             }
         }
     }
-    match writers.len() {
+    let result = match writers.len() {
         0 => Ok(ro_token.unwrap_or(ShardedCommitToken {
             shard: 0,
             token: CommitToken::readonly_at(db.inner.dbs[0].now_lsn()),
         })),
         1 => {
             let (i, t) = writers.pop().expect("len checked");
-            let token = if sync {
-                CommitToken::readonly_at(t.commit()?)
-            } else {
-                t.commit_deferred()?
-            };
-            Ok(ShardedCommitToken { shard: i as u32, token })
+            // `commit_one` records the span and runs tail capture
+            // itself; return directly so the capture below cannot
+            // double-fire.
+            return commit_one(db, trace, i, t, sync);
         }
-        _ => two_pc(db, twopc, writers),
+        _ => two_pc(db, twopc, trace, writers),
+    };
+    // Tail-based capture for engine-sampled traces: the server owns it
+    // for wire-traced requests (it knows the opcode and key).
+    if let Some(tr) = trace {
+        if tr.sampled {
+            let total = tr.ring.now_ns().saturating_sub(tr.start_ns);
+            db.telemetry().tracer().maybe_capture_slow(&tr.ctx, "txn", 0, &[], total);
+        }
     }
+    result
+}
+
+/// Commit a single participant `t` on shard `i`: the inner commit plus
+/// the durability/commit span and the engine-sampled tail capture.
+/// Deliberately Vec-free — sampled single-shard commits ride the
+/// allocation-free hot path (tests/alloc_free.rs asserts this).
+fn commit_one(
+    db: &ShardedDb,
+    trace: Option<ActiveTrace<'_>>,
+    i: usize,
+    t: Transaction<'_>,
+    sync: bool,
+) -> TxResult<ShardedCommitToken> {
+    let sp = trace.map(|tr| (tr, tr.ring.now_ns()));
+    let token = if sync {
+        // For a sync commit the inner call is dominated by the
+        // group-commit wait, which is what the span names.
+        let lsn = t.commit()?;
+        if let Some((tr, t0)) = sp {
+            tr.ring.record(&tr.ctx, SpanKind::DurabilityWait, t0, tr.ring.now_ns(), i as u64, 0);
+        }
+        CommitToken::readonly_at(lsn)
+    } else {
+        let tok = t.commit_deferred()?;
+        if let Some((tr, t0)) = sp {
+            tr.ring.record(&tr.ctx, SpanKind::CommitDeferred, t0, tr.ring.now_ns(), i as u64, 0);
+        }
+        tok
+    };
+    // Tail-based capture for engine-sampled traces: the server owns it
+    // for wire-traced requests (it knows the opcode and key).
+    if let Some(tr) = trace {
+        if tr.sampled {
+            let total = tr.ring.now_ns().saturating_sub(tr.start_ns);
+            db.telemetry().tracer().maybe_capture_slow(&tr.ctx, "txn", 0, &[], total);
+        }
+    }
+    Ok(ShardedCommitToken { shard: i as u32, token })
 }
 
 /// Decrements the in-doubt gauge when the 2PC window closes, on every
@@ -1201,20 +1419,35 @@ impl Drop for InDoubtGuard<'_> {
 fn two_pc<'w>(
     db: &ShardedDb,
     twopc: Option<&TwoPcTelemetry>,
+    trace: Option<ActiveTrace<'_>>,
     writers: Vec<(usize, Transaction<'w>)>,
 ) -> TxResult<ShardedCommitToken> {
     let inner = &*db.inner;
     inner.in_doubt.fetch_add(1, Relaxed);
     let _guard = InDoubtGuard(&inner.in_doubt);
     let prepare_start = Instant::now();
+    // The trace id rides inside each participant's durable prepare
+    // marker, so a replica (or recovery) applying the shipped log can
+    // stitch its apply spans to this transaction.
+    let (trace_hi, trace_lo) =
+        trace.map(|t| (t.ctx.trace_hi, t.ctx.trace_lo)).unwrap_or((0, 0));
+    let span = |kind: SpanKind, t0: u64, a: u64, b: u64| {
+        if let Some(tr) = trace {
+            tr.ring.record(&tr.ctx, kind, t0, tr.ring.now_ns(), a, b);
+        }
+    };
+    let now = || trace.map(|tr| tr.ring.now_ns()).unwrap_or(0);
 
     // Phase 1: prepare, coordinator (lowest writer shard) first — its
     // prepare cstamp is the global transaction id.
     let mut rest = writers.into_iter();
     let (coord, ct) = rest.next().expect("two_pc needs writers");
+    let t0 = now();
     let cp = match ct.prepare(PrepareMarker {
         coord_shard: coord as u32,
         coord_lsn: PrepareMarker::COORD_SELF,
+        trace_hi,
+        trace_lo,
     }) {
         Ok(p) => p,
         Err(r) => {
@@ -1225,11 +1458,21 @@ fn two_pc<'w>(
         }
     };
     let gtid_lsn = cp.cstamp().raw();
+    span(SpanKind::TwoPcPrepare, t0, coord as u64, gtid_lsn);
     let mut prepared: Vec<(usize, PreparedTransaction<'w>)> = vec![(coord, cp)];
     loop {
         let Some((i, t)) = rest.next() else { break };
-        match t.prepare(PrepareMarker { coord_shard: coord as u32, coord_lsn: gtid_lsn }) {
-            Ok(p) => prepared.push((i, p)),
+        let t0 = now();
+        match t.prepare(PrepareMarker {
+            coord_shard: coord as u32,
+            coord_lsn: gtid_lsn,
+            trace_hi,
+            trace_lo,
+        }) {
+            Ok(p) => {
+                span(SpanKind::TwoPcPrepare, t0, i as u64, p.cstamp().raw());
+                prepared.push((i, p));
+            }
             Err(r) => {
                 for (_, p) in prepared {
                     p.abort();
@@ -1251,12 +1494,14 @@ fn two_pc<'w>(
     // durable decide with a lost prepare would commit a partial
     // transaction at recovery.
     for (i, p) in &prepared {
+        let t0 = now();
         if inner.dbs[*i].inner.log.wait_durable(p.end_offset()).is_err() {
             for (_, p) in prepared {
                 p.abort();
             }
             return Err(AbortReason::LogFailure);
         }
+        span(SpanKind::DurabilityWait, t0, *i as u64, 0);
     }
     if let Some(t) = twopc {
         t.slab.hist(TWOPC_PREPARE_HIST).record(prepare_start.elapsed().as_nanos() as u64);
@@ -1268,6 +1513,7 @@ fn two_pc<'w>(
     // Phase 2: the decide record on the coordinator's log is the commit
     // point.
     let decide_start = Instant::now();
+    let decide_t0 = now();
     let rec = DecideRecord { gtid_lsn, coord_shard: coord as u32, commit: true };
     let decide_ok = match write_decide(&inner.dbs[coord], rec) {
         Ok(end) => inner.dbs[coord].inner.log.wait_durable(end).is_ok(),
@@ -1283,6 +1529,7 @@ fn two_pc<'w>(
         }
         return Err(AbortReason::LogFailure);
     }
+    span(SpanKind::TwoPcDecide, decide_t0, gtid_lsn, 0);
     if let Some(t) = twopc {
         t.slab.hist(TWOPC_DECIDE_HIST).record(decide_start.elapsed().as_nanos() as u64);
         t.slab.add(TWOPC_CROSS, 1);
@@ -1292,6 +1539,8 @@ fn two_pc<'w>(
     // Finalize: publish every participant in memory, then drop
     // best-effort decide copies on the other writers' logs so their
     // standalone recovery resolves without consulting the coordinator.
+    let fin_t0 = now();
+    let nparticipants = prepared.len() as u64;
     let mut coord_token = None;
     let mut others: Vec<usize> = Vec::with_capacity(prepared.len() - 1);
     for (i, p) in prepared {
@@ -1305,6 +1554,7 @@ fn two_pc<'w>(
     for i in others {
         let _ = write_decide(&inner.dbs[i], rec);
     }
+    span(SpanKind::TwoPcFinalize, fin_t0, nparticipants, 0);
     Ok(ShardedCommitToken {
         shard: coord as u32,
         token: coord_token.expect("coordinator is in prepared"),
@@ -1663,12 +1913,16 @@ mod tests {
                 .prepare(PrepareMarker {
                     coord_shard: sa as u32,
                     coord_lsn: PrepareMarker::COORD_SELF,
+                    trace_hi: 0,
+                    trace_lo: 0,
                 })
                 .unwrap();
             let pb = tb
                 .prepare(PrepareMarker {
                     coord_shard: sa as u32,
                     coord_lsn: pa.cstamp().raw(),
+                    trace_hi: 0,
+                    trace_lo: 0,
                 })
                 .unwrap();
             db.shard(sa).log().wait_durable(pa.end_offset()).unwrap();
@@ -1709,11 +1963,18 @@ mod tests {
                 .prepare(PrepareMarker {
                     coord_shard: sa as u32,
                     coord_lsn: PrepareMarker::COORD_SELF,
+                    trace_hi: 0,
+                    trace_lo: 0,
                 })
                 .unwrap();
             let gtid = pa.cstamp().raw();
             let pb = tb
-                .prepare(PrepareMarker { coord_shard: sa as u32, coord_lsn: gtid })
+                .prepare(PrepareMarker {
+                    coord_shard: sa as u32,
+                    coord_lsn: gtid,
+                    trace_hi: 0,
+                    trace_lo: 0,
+                })
                 .unwrap();
             db.shard(sa).log().wait_durable(pa.end_offset()).unwrap();
             db.shard(sb).log().wait_durable(pb.end_offset()).unwrap();
@@ -1760,11 +2021,18 @@ mod tests {
                     .prepare(PrepareMarker {
                         coord_shard: sa as u32,
                         coord_lsn: PrepareMarker::COORD_SELF,
+                        trace_hi: 0,
+                        trace_lo: 0,
                     })
                     .unwrap();
                 let gtid = pa.cstamp().raw();
                 let pb = tb
-                    .prepare(PrepareMarker { coord_shard: sa as u32, coord_lsn: gtid })
+                    .prepare(PrepareMarker {
+                        coord_shard: sa as u32,
+                        coord_lsn: gtid,
+                        trace_hi: 0,
+                        trace_lo: 0,
+                    })
                     .unwrap();
                 db.shard(sa).log().wait_durable(pa.end_offset()).unwrap();
                 db.shard(sb).log().wait_durable(pb.end_offset()).unwrap();

@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use ermia::{Database, DbConfig, IsolationLevel};
+use ermia::{Database, DbConfig, IsolationLevel, ShardedDb};
 
 struct CountingAlloc;
 
@@ -125,4 +125,77 @@ fn steady_state_transactions_do_not_allocate() {
         w.versions_reused() > reused_before,
         "measured transactions were not on the reuse path"
     );
+}
+
+/// The same steady-state claim with tracing armed to sample **every**
+/// transaction: begin mints a trace id, each read/update records a span,
+/// and commit records the commit spans — all into preallocated seqlock
+/// ring slots, so the hot path must still be allocation-free. (With
+/// tracing *off* — `trace_sample_n: 0`, the default — the test above
+/// already covers the disabled branch.) The slow-op threshold is pushed
+/// out of reach because worst-K retention intentionally allocates; it
+/// runs at most K times per threshold-crossing op, never per txn.
+#[test]
+fn fully_sampled_tracing_stays_alloc_free() {
+    let cfg = DbConfig {
+        telemetry: true,
+        trace_sample_n: 1,
+        trace_slow_us: u64::MAX,
+        ..DbConfig::in_memory()
+    };
+    let db = ShardedDb::open(cfg, 1).unwrap();
+    let t = db.create_table("t");
+    let mut w = db.register_worker();
+
+    let mut tx = w.begin(IsolationLevel::Snapshot);
+    tx.insert(t, b"read-target", b"some reasonably sized payload").unwrap();
+    tx.insert(t, b"write-target", b"initial").unwrap();
+    tx.commit().unwrap();
+
+    const MEASURED_TXNS: usize = 16;
+
+    // Same three warmup phases as above: grow scratch capacities, let
+    // the GC stock the version pool, then one refill transaction.
+    for i in 0..300u32 {
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        let _ = tx.read(t, b"read-target", |v| v.len()).unwrap();
+        assert!(tx.update(t, b"write-target", &[i as u8; 24]).unwrap());
+        tx.commit().unwrap();
+    }
+    let mut stocked = false;
+    for _ in 0..200 {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        if db.shard(0).version_pool_size() >= 4 * MEASURED_TXNS {
+            stocked = true;
+            break;
+        }
+    }
+    assert!(
+        stocked,
+        "GC never stocked the version pool (pooled: {})",
+        db.shard(0).version_pool_size()
+    );
+    let mut tx = w.begin(IsolationLevel::Snapshot);
+    assert!(tx.update(t, b"write-target", b"refill").unwrap());
+    tx.commit().unwrap();
+
+    let before = alloc_calls();
+    TRAP.with(|t| t.set(true));
+    for i in 0..MEASURED_TXNS {
+        let mut tx = w.begin(IsolationLevel::Snapshot);
+        let _ = tx.read(t, b"read-target", |v| v.len()).unwrap();
+        assert!(tx.update(t, b"write-target", &[i as u8; 24]).unwrap());
+        tx.commit().unwrap();
+    }
+    TRAP.with(|t| t.set(false));
+    let allocs = alloc_calls() - before;
+    assert_eq!(
+        allocs, 0,
+        "fully sampled begin+read+update+commit hit the allocator {allocs} times \
+         over {MEASURED_TXNS} transactions"
+    );
+    // Prove the sampler actually fired: the worker's span ring must hold
+    // spans from the measured window.
+    let spans = db.telemetry().tracer().dump_spans(4096);
+    assert!(!spans.is_empty(), "tracing was armed but recorded no spans");
 }

@@ -61,24 +61,33 @@ impl BlockKind {
 }
 
 /// Serialized size of a [`PrepareMarker`] / [`DecideRecord`].
-pub const PREPARE_MARKER_LEN: usize = 16;
+pub const PREPARE_MARKER_LEN: usize = 32;
 pub const DECIDE_RECORD_LEN: usize = 16;
 
-/// First 16 bytes of a [`BlockKind::TxnPrepare`] payload: which shard
-/// coordinates this global transaction and where the coordinator's own
-/// prepare block lives. The global transaction id is
-/// `(coord_shard, coord_lsn)`; the *coordinator's own* prepare block
-/// stores [`PrepareMarker::COORD_SELF`] (its gtid LSN is its own
-/// `cstamp`, which is not known until the log reservation is made, and
-/// raw 0 is a real LSN — the first block of a fresh log).
+/// First 32 bytes of a [`BlockKind::TxnPrepare`] payload: which shard
+/// coordinates this global transaction, where the coordinator's own
+/// prepare block lives, and the distributed-tracing id of the client
+/// operation that wrote it (zero when untraced). The global
+/// transaction id is `(coord_shard, coord_lsn)`; the *coordinator's
+/// own* prepare block stores [`PrepareMarker::COORD_SELF`] (its gtid
+/// LSN is its own `cstamp`, which is not known until the log
+/// reservation is made, and raw 0 is a real LSN — the first block of a
+/// fresh log).
 ///
-/// Layout (little-endian): `coord_shard u32, pad u32, coord_lsn u64`.
+/// Layout (little-endian): `coord_shard u32, pad u32, coord_lsn u64,
+/// trace_hi u64, trace_lo u64`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PrepareMarker {
     pub coord_shard: u32,
     /// Raw LSN of the coordinator's prepare block;
     /// [`PrepareMarker::COORD_SELF`] on the coordinator's own prepare.
     pub coord_lsn: u64,
+    /// 128-bit trace id of the originating traced operation, split into
+    /// two words; both zero when the transaction was untraced. Carried
+    /// in the log so a replica's apply of this transaction can be
+    /// stitched to the client's trace.
+    pub trace_hi: u64,
+    pub trace_lo: u64,
 }
 
 impl PrepareMarker {
@@ -92,6 +101,8 @@ impl PrepareMarker {
         out[0..4].copy_from_slice(&self.coord_shard.to_le_bytes());
         out[4..8].copy_from_slice(&0u32.to_le_bytes());
         out[8..16].copy_from_slice(&self.coord_lsn.to_le_bytes());
+        out[16..24].copy_from_slice(&self.trace_hi.to_le_bytes());
+        out[24..32].copy_from_slice(&self.trace_lo.to_le_bytes());
     }
 
     pub fn decode(buf: &[u8]) -> Option<PrepareMarker> {
@@ -101,6 +112,8 @@ impl PrepareMarker {
         Some(PrepareMarker {
             coord_shard: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
             coord_lsn: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            trace_hi: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            trace_lo: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
         })
     }
 }

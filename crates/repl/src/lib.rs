@@ -42,7 +42,7 @@ use ermia::{Database, DbConfig, DdlEntry, IndexRouting, LogApplier, ShardPolicy,
 use ermia_common::lsn::NUM_SEGMENTS;
 use ermia_common::Lsn;
 use ermia_server::{Client, ClientError, ReplStatus, Server, ServerConfig, WireDdl};
-use ermia_telemetry::{EventKind, EventRing, Sample};
+use ermia_telemetry::{EventKind, EventRing, Sample, SpanKind, SpanRing, TraceContext};
 
 /// Chunk source tags of the `FetchChunk` frame.
 const SRC_CHECKPOINT: u8 = 0;
@@ -214,6 +214,10 @@ struct ShardState {
     /// each entry and is re-installed whenever this changes.
     schema: Vec<WireDdl>,
     ring: Arc<EventRing>,
+    /// Service span ring of the applying database's tracer: shipping
+    /// rounds record infra `repl-ship` spans here, alongside the
+    /// `repl-apply` spans the engine stitches to shipped trace ids.
+    span_ring: Arc<SpanRing>,
 }
 
 impl ShardState {
@@ -310,6 +314,7 @@ impl ShardState {
 
         let view = db.replica_view();
         let ring = db.telemetry().flight().ring();
+        let span_ring = Arc::clone(db.telemetry().tracer().svc_ring());
         if blocks > 0 {
             ring.record(EventKind::ReplApplied, applier.applied_offset(), blocks);
         }
@@ -326,6 +331,7 @@ impl ShardState {
             segment_size: status.segment_size,
             schema: status.schema,
             ring,
+            span_ring,
         })
     }
 
@@ -369,8 +375,21 @@ impl ShardState {
         }
         self.schema = status.schema.clone();
 
+        let t0 = self.span_ring.now_ns();
         let mut shipped_bytes = self.ship_blobs(chunk_len)?;
         shipped_bytes += self.ship_log(&status, chunk_len, stats)?;
+        if shipped_bytes > 0 {
+            // Infra span (no trace id): rounds that moved bytes show up
+            // on the replica's timeline next to the stitched apply spans.
+            self.span_ring.record(
+                &TraceContext::UNTRACED,
+                SpanKind::ReplShip,
+                t0,
+                self.span_ring.now_ns(),
+                shipped_bytes,
+                self.shard as u64,
+            );
+        }
         let blocks = self.applier.apply_available(&self.db)?;
         let applied = self.applier.applied_offset();
         if blocks > 0 {

@@ -24,6 +24,8 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use ermia_telemetry::TraceContext;
+
 use crate::protocol::{
     read_frame, write_frame, BatchOp, ErrorCode, FrameError, ReplStatus, Request, Response,
     WireIsolation, MAX_FRAME_LEN,
@@ -142,6 +144,11 @@ pub struct Client {
     reply_timeout: Option<Duration>,
     /// Requests sent but not yet answered (pipelining depth).
     in_flight: usize,
+    /// While set, every sent request is wrapped in the wire trace
+    /// envelope carrying this context.
+    trace: Option<TraceContext>,
+    /// Client-side trace-id generator state (SplitMix64).
+    trace_seed: u64,
 }
 
 impl Client {
@@ -154,7 +161,19 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: BufWriter::new(stream), addr, reply_timeout: None, in_flight: 0 })
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x5EED, |d| d.as_nanos() as u64)
+            ^ (addr.port() as u64) << 48;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            addr,
+            reply_timeout: None,
+            in_flight: 0,
+            trace: None,
+            trace_seed: seed,
+        })
     }
 
     /// Drop the current connection (if any is still alive) and dial the
@@ -184,13 +203,54 @@ impl Client {
         self.in_flight
     }
 
+    // -- tracing --------------------------------------------------------
+
+    /// Mint a fresh 128-bit trace id and attach it to this connection:
+    /// every request until [`clear_trace`](Client::clear_trace) rides the
+    /// wire trace envelope, so server- and engine-side spans stitch to
+    /// one distributed trace. Returns the context (its hex id keys
+    /// `dump_traces` output).
+    pub fn start_trace(&mut self) -> TraceContext {
+        let mut mix = || {
+            self.trace_seed = self.trace_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.trace_seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let (hi, lo) = (mix(), mix());
+        let ctx = TraceContext { trace_hi: hi.max(1), trace_lo: lo, parent: 0 };
+        self.trace = Some(ctx);
+        ctx
+    }
+
+    /// Attach an existing context (propagating a trace started
+    /// elsewhere), or `None` to stop tracing.
+    pub fn set_trace(&mut self, ctx: Option<TraceContext>) {
+        self.trace = ctx.filter(TraceContext::is_traced);
+    }
+
+    /// Stop wrapping requests in the trace envelope.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The context currently attached to outgoing requests.
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
     // -- pipelined interface -------------------------------------------
 
     /// Queue a request without waiting for its reply. Data is buffered;
     /// call [`flush`](Client::flush) (or [`recv`](Client::recv), which
     /// flushes first) to put it on the wire.
     pub fn send(&mut self, req: &Request) -> ClientResult<()> {
-        write_frame(&mut self.writer, &req.encode())?;
+        let payload = match &self.trace {
+            Some(ctx) => req.encode_traced(ctx),
+            None => req.encode(),
+        };
+        write_frame(&mut self.writer, &payload)?;
         self.in_flight += 1;
         Ok(())
     }
@@ -391,6 +451,17 @@ impl Client {
     pub fn dump_events(&mut self, max: u32) -> ClientResult<String> {
         match Self::expect_ok(self.call(&Request::DumpEvents { max })?)? {
             Response::Events { text } => Ok(text),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fetch the server's span dump: one span per line, parseable with
+    /// [`ermia_telemetry::parse_spans`] and renderable as Chrome
+    /// `trace_event` JSON via [`ermia_telemetry::chrome_trace_json`]
+    /// (`0` = server default span cap).
+    pub fn dump_traces(&mut self, max: u32) -> ClientResult<String> {
+        match Self::expect_ok(self.call(&Request::DumpTraces { max })?)? {
+            Response::Traces { text } => Ok(text),
             other => Err(ClientError::Unexpected(other)),
         }
     }

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use ermia::{IsolationLevel, PooledShardedWorker, ShardedTransaction};
 use ermia_common::{AbortReason, TableId};
+use ermia_telemetry::TraceContext;
 
 use crate::poll::Interest;
 use crate::protocol::{crc32, BatchOp, ErrorCode, FrameAssembler, Request, Response};
@@ -55,6 +56,33 @@ pub(crate) enum PendingWork {
 pub(crate) struct Waiting {
     pub deadline: Instant,
     pub work: PendingWork,
+    /// Trace of the parked request plus the park timestamp (tracer-epoch
+    /// ns), so the resume records a run-queue span covering the wait.
+    pub trace: Option<(TraceReq, u64)>,
+}
+
+/// The server-side trace of one in-flight traced request: the wire
+/// context, a pre-allocated span id for the enclosing `request` span
+/// (children parent under it via [`TraceReq::child`]), the request's
+/// start timestamp, and the attribution carried into slow-op retention.
+pub(crate) struct TraceReq {
+    pub ctx: TraceContext,
+    /// Span id reserved for the `request` span, recorded at completion.
+    pub span_id: u64,
+    /// Request start, tracer-epoch ns (clocked at frame decode).
+    pub t0: u64,
+    /// Wire opcode name ("put", "commit", "batch", …).
+    pub op: &'static str,
+    pub table: u32,
+    pub key: Vec<u8>,
+}
+
+impl TraceReq {
+    /// The context child layers record under: same trace, parented to
+    /// this request's span.
+    pub fn child(&self) -> TraceContext {
+        self.ctx.child(self.span_id)
+    }
 }
 
 /// Log-shipping state for a subscribed connection. Holding the
@@ -83,16 +111,25 @@ pub(crate) struct ReplConnState {
 pub(crate) struct OpenTxn {
     txn: Option<ShardedTransaction<'static>>,
     worker: *mut PooledShardedWorker,
+    /// The begin frame's trace, held open across the whole interactive
+    /// transaction: its `request` span is recorded at commit/abort, so a
+    /// traced `Begin` yields one span covering begin → durable.
+    pub trace: Option<TraceReq>,
 }
 
 impl OpenTxn {
-    pub fn begin(worker: PooledShardedWorker, isolation: IsolationLevel) -> OpenTxn {
+    pub fn begin(
+        worker: PooledShardedWorker,
+        isolation: IsolationLevel,
+        trace: Option<TraceReq>,
+    ) -> OpenTxn {
         let worker = Box::into_raw(Box::new(worker));
+        let ctx = trace.as_ref().map(|t| t.child());
         // SAFETY: the worker lives on the heap until our Drop, and the
         // transaction is dropped (or consumed) strictly before the box;
         // `Conn` never moves the worker while the borrow is live.
-        let txn: ShardedTransaction<'static> = unsafe { (*worker).begin(isolation) };
-        OpenTxn { txn: Some(txn), worker }
+        let txn: ShardedTransaction<'static> = unsafe { (*worker).begin_traced(isolation, ctx) };
+        OpenTxn { txn: Some(txn), worker, trace }
     }
 
     pub fn txn(&mut self) -> &mut ShardedTransaction<'static> {

@@ -38,3 +38,6 @@ pub use protocol::{
     BatchOp, ErrorCode, FrameError, ReplStatus, Request, Response, WireDdl, WireIsolation,
 };
 pub use server::{Server, ServerConfig, StatsSnapshot};
+// Clients mint and install these; re-exported so callers don't need a
+// direct ermia-telemetry dependency to trace a session.
+pub use ermia_telemetry::TraceContext;

@@ -41,7 +41,19 @@
 //!            len:u32                                 source 0 = checkpoint
 //!                                                    payload, 1 = log,
 //!                                                    2 = blob store
+//! Traced     hi:u64 lo:u64 parent:u64 inner   0x12   envelope: `inner` is a
+//!                                                    complete request payload
+//!                                                    to run under the given
+//!                                                    trace context
+//! DumpTraces max:u32                          0x13   span dump, max 0 =
+//!                                                    server default
 //! ```
+//!
+//! The `Traced` envelope is the protocol-versioning seam for trace
+//! context: an old client never sends opcode 0x12 and an old server
+//! rejects it like any unknown opcode, while every un-enveloped request
+//! decodes exactly as before (absent = untraced). The trace id must be
+//! nonzero and the envelope must not nest.
 //!
 //! A batch `op` is `kind:u8` (the request opcode of Get/Put/Delete/
 //! Scan/Insert) followed by that request's body; the whole transaction —
@@ -73,11 +85,14 @@
 //!            earliest:u64 segsize:u64                checkpoint/segment
 //!            ckpt? segs* schema*                     catalog + schema DDL
 //! SegChunk   offset:u64 data:bytes            0x91   raw shipped bytes
+//! Traces     text:bytes                       0x92   span dump (one span
+//!                                                    per line)
 //! ```
 
 use std::io::{self, Read, Write};
 
 use ermia_common::AbortReason;
+use ermia_telemetry::TraceContext;
 
 /// Default cap on payload length; anything larger is rejected before any
 /// allocation happens.
@@ -423,6 +438,10 @@ pub enum Request {
     /// records resolve during replica replay).
     /// Replies with a [`Response::SegmentChunk`].
     FetchChunk { shard: u32, source: u8, offset: u64, len: u32 },
+    /// Dump recent spans from the tracing rings (plus the slow-op
+    /// retention buffers); `max` 0 means the server default cap.
+    /// Replies with a [`Response::Traces`].
+    DumpTraces { max: u32 },
 }
 
 const OP_PING: u8 = 0x01;
@@ -442,6 +461,14 @@ const OP_HEALTH: u8 = 0x0E;
 const OP_RESUME: u8 = 0x0F;
 const OP_SUBSCRIBE: u8 = 0x10;
 const OP_FETCH_CHUNK: u8 = 0x11;
+const OP_TRACED: u8 = 0x12;
+const OP_DUMP_TRACES: u8 = 0x13;
+
+/// Whether a frame payload starts with the trace envelope. A cheap peek
+/// the dispatcher uses to skip the clock read on untraced frames.
+pub(crate) fn is_traced_frame(payload: &[u8]) -> bool {
+    payload.first() == Some(&OP_TRACED)
+}
 
 ///// Cap on ops per batch frame: a bound the session enforces before doing
 /// any work, so a hostile frame cannot make one transaction arbitrarily
@@ -595,7 +622,49 @@ impl Request {
                 e.u32(*len);
                 e.buf
             }
+            Request::DumpTraces { max } => {
+                let mut e = Enc::new(OP_DUMP_TRACES);
+                e.u32(*max);
+                e.buf
+            }
         }
+    }
+
+    /// Serialize with a [`TraceContext`] envelope (opcode `0x12`): the
+    /// context words followed by this request's complete payload. An
+    /// untraced context (zero id) encodes the bare request instead —
+    /// absence is the untraced representation, never a zero-filled
+    /// envelope.
+    pub fn encode_traced(&self, ctx: &TraceContext) -> Vec<u8> {
+        if !ctx.is_traced() {
+            return self.encode();
+        }
+        let mut e = Enc::new(OP_TRACED);
+        e.u64(ctx.trace_hi);
+        e.u64(ctx.trace_lo);
+        e.u64(ctx.parent);
+        e.buf.extend_from_slice(&self.encode());
+        e.buf
+    }
+
+    /// Decode a frame payload that may carry the trace envelope. Bare
+    /// (old-format) payloads decode exactly as [`Request::decode`] with
+    /// no context; an envelope yields the inner request plus its
+    /// context. A zero trace id or a nested envelope is malformed.
+    pub fn decode_traced(payload: &[u8]) -> Result<(Request, Option<TraceContext>), FrameError> {
+        if payload.first() != Some(&OP_TRACED) {
+            return Ok((Request::decode(payload)?, None));
+        }
+        let mut d = Dec::new(&payload[1..]);
+        let ctx = TraceContext { trace_hi: d.u64()?, trace_lo: d.u64()?, parent: d.u64()? };
+        if !ctx.is_traced() {
+            return Err(FrameError::Malformed("zero trace id"));
+        }
+        let inner = &payload[1 + 24..];
+        if inner.first() == Some(&OP_TRACED) {
+            return Err(FrameError::Malformed("nested trace envelope"));
+        }
+        Ok((Request::decode(inner)?, Some(ctx)))
     }
 
     /// Decode a frame payload. Rejects unknown opcodes, truncated bodies,
@@ -650,6 +719,7 @@ impl Request {
                 offset: d.u64()?,
                 len: d.u32()?,
             },
+            OP_DUMP_TRACES => Request::DumpTraces { max: d.u32()? },
             _ => return Err(FrameError::Malformed("unknown request opcode")),
         };
         d.finish()?;
@@ -814,6 +884,9 @@ pub enum Response {
     /// be shorter than the requested length at the durable frontier or
     /// a segment/payload boundary; empty means nothing available there.
     SegmentChunk { offset: u64, data: Vec<u8> },
+    /// Serialized span dump (reply to [`Request::DumpTraces`]); one
+    /// span per line, parseable by `ermia_telemetry::parse_spans`.
+    Traces { text: String },
 }
 
 const RE_PONG: u8 = 0x81;
@@ -833,6 +906,7 @@ const RE_EVENTS: u8 = 0x8E;
 const RE_HEALTH: u8 = 0x8F;
 const RE_REPL_STATUS: u8 = 0x90;
 const RE_SEGMENT_CHUNK: u8 = 0x91;
+const RE_TRACES: u8 = 0x92;
 
 /// Cap on segment entries in one `ReplStatus` frame, enforced before
 /// the decoder allocates for them.
@@ -904,6 +978,11 @@ impl Response {
             }
             Response::Metrics { text } => {
                 let mut e = Enc::new(RE_METRICS);
+                e.bytes(text.as_bytes());
+                e.buf
+            }
+            Response::Traces { text } => {
+                let mut e = Enc::new(RE_TRACES);
                 e.bytes(text.as_bytes());
                 e.buf
             }
@@ -1021,6 +1100,9 @@ impl Response {
             RE_EVENTS => {
                 Response::Events { text: String::from_utf8_lossy(d.bytes()?).into_owned() }
             }
+            RE_TRACES => {
+                Response::Traces { text: String::from_utf8_lossy(d.bytes()?).into_owned() }
+            }
             RE_HEALTH => Response::Health {
                 state: d.u8()?,
                 role: d.u8()?,
@@ -1123,6 +1205,8 @@ mod tests {
         roundtrip_req(Request::Resume);
         roundtrip_req(Request::Subscribe { shard: 3, from: 0xDEAD_BEEF });
         roundtrip_req(Request::FetchChunk { shard: 0, source: 1, offset: 1 << 40, len: 65536 });
+        roundtrip_req(Request::DumpTraces { max: 0 });
+        roundtrip_req(Request::DumpTraces { max: 4096 });
         roundtrip_req(Request::Insert { table: 2, key: b"k".to_vec(), value: b"v".to_vec() });
         roundtrip_req(Request::Batch {
             isolation: WireIsolation::Snapshot,
@@ -1180,6 +1264,10 @@ mod tests {
             text: "# HELP ermia_x x\n# TYPE ermia_x counter\nermia_x 1\n".into(),
         });
         roundtrip_resp(Response::Events { text: "flight-recorder dump: 0 event(s)".into() });
+        roundtrip_resp(Response::Traces { text: String::new() });
+        roundtrip_resp(Response::Traces {
+            text: "span trace=0000000000000001:0000000000000002\n".into(),
+        });
         roundtrip_resp(Response::Health { state: 0, role: 0, durable_lsn: 0, applied_lsn: 0 });
         roundtrip_resp(Response::Health {
             state: 1,
@@ -1337,5 +1425,92 @@ mod tests {
         e.u8(0);
         e.u32(u32::MAX);
         assert!(matches!(Request::decode(&e.buf), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn trace_envelope_roundtrips() {
+        let ctx = TraceContext { trace_hi: 0xABCD, trace_lo: 0x1234, parent: 7 };
+        let req = Request::Put { table: 3, key: b"k".to_vec(), value: b"v".to_vec() };
+        let wire = req.encode_traced(&ctx);
+        assert_eq!(wire[0], OP_TRACED);
+        let (back, got) = Request::decode_traced(&wire).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(got, Some(ctx));
+    }
+
+    #[test]
+    fn untraced_context_encodes_bare_frame() {
+        let req = Request::Commit { sync: true };
+        let wire = req.encode_traced(&TraceContext::UNTRACED);
+        assert_eq!(wire, req.encode());
+        let (back, got) = Request::decode_traced(&wire).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn old_frames_decode_through_decode_traced() {
+        // Every pre-envelope frame must pass through decode_traced
+        // unchanged — this is the compatibility seam.
+        for req in [
+            Request::Ping,
+            Request::Begin { isolation: WireIsolation::Snapshot },
+            Request::Get { table: 1, key: b"k".to_vec() },
+            Request::Metrics,
+            Request::DumpTraces { max: 64 },
+        ] {
+            let (back, ctx) = Request::decode_traced(&req.encode()).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(ctx, None);
+        }
+    }
+
+    #[test]
+    fn plain_decode_rejects_trace_envelope() {
+        // Old servers (no envelope support) treat 0x12 as an unknown
+        // opcode; the new plain decoder must keep doing the same.
+        let ctx = TraceContext { trace_hi: 1, trace_lo: 2, parent: 0 };
+        let wire = Request::Ping.encode_traced(&ctx);
+        assert!(matches!(Request::decode(&wire), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn corrupt_trace_envelopes_are_malformed() {
+        let ctx = TraceContext { trace_hi: 9, trace_lo: 9, parent: 9 };
+        let good = Request::Ping.encode_traced(&ctx);
+
+        // Truncated context words.
+        for cut in 1..25 {
+            assert!(Request::decode_traced(&good[..cut]).is_err());
+        }
+
+        // Zero trace id inside an envelope is malformed: absence of the
+        // envelope is the only untraced representation.
+        let mut e = Enc::new(OP_TRACED);
+        e.u64(0);
+        e.u64(0);
+        e.u64(0);
+        e.buf.extend_from_slice(&Request::Ping.encode());
+        assert!(matches!(Request::decode_traced(&e.buf), Err(FrameError::Malformed(_))));
+
+        // Nested envelopes must not recurse.
+        let mut e = Enc::new(OP_TRACED);
+        e.u64(1);
+        e.u64(1);
+        e.u64(0);
+        e.buf.extend_from_slice(&Request::Ping.encode_traced(&ctx));
+        assert!(matches!(Request::decode_traced(&e.buf), Err(FrameError::Malformed(_))));
+
+        // Envelope with no inner request at all.
+        let mut e = Enc::new(OP_TRACED);
+        e.u64(1);
+        e.u64(1);
+        e.u64(0);
+        assert!(Request::decode_traced(&e.buf).is_err());
+
+        // Trailing garbage after the inner request still fails.
+        let mut bad = good.clone();
+        bad.push(0xAA);
+        assert!(Request::decode_traced(&bad).is_err());
     }
 }

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ermia::{Database, ShardedDb, ShardedWorkerPool};
-use ermia_telemetry::{EventRing, Sample};
+use ermia_telemetry::{EventRing, Sample, SpanRing};
 use parking_lot::Mutex;
 
 use crate::poll::WakeFd;
@@ -131,6 +131,12 @@ pub(crate) struct ShardHandle {
     /// re-probes them at the end of the loop turn (one group-commit
     /// flush usually lands in between) before paying the parker handoff.
     pub deferred: Mutex<Vec<ParkJob>>,
+    /// Span ring for service-layer spans recorded on the shard thread
+    /// (frame decode, run-queue wait, worker checkout, request).
+    pub trace_ring: Arc<SpanRing>,
+    /// Span ring for the shard's durability parker thread (durability
+    /// waits resolved off the event loop).
+    pub parker_ring: Arc<SpanRing>,
     pub stats: ShardStats,
 }
 
@@ -185,6 +191,8 @@ impl Server {
                 completions: Mutex::new(Vec::new()),
                 park_tx: Mutex::new(Some(tx)),
                 deferred: Mutex::new(Vec::new()),
+                trace_ring: db.telemetry().tracer().ring(),
+                parker_ring: db.telemetry().tracer().ring(),
                 stats: ShardStats::default(),
             });
         }
@@ -260,6 +268,10 @@ impl Server {
         let telemetry = self.state.db.telemetry();
         telemetry.registry().unregister_group(self.state.telemetry_group);
         telemetry.flight().retire(&self.state.svc_ring);
+        for shard in &self.state.shards {
+            telemetry.tracer().retire(&shard.trace_ring);
+            telemetry.tracer().retire(&shard.parker_ring);
+        }
         // Every shard blocks in epoll_wait; its event fd gets it moving.
         for shard in &self.state.shards {
             shard.wake.wake();

@@ -60,15 +60,15 @@ use std::time::{Duration, Instant};
 
 use ermia::{IsolationLevel, NodeRole, PooledShardedWorker, ShardedCommitToken};
 use ermia_common::LogError;
-use ermia_telemetry::EventKind;
+use ermia_telemetry::{render_spans, EventKind, Span, SpanKind, SpanRing};
 
 use crate::conn::{
     aborted, engine_isolation, exec_batch_op, exec_request_op, frame_bytes, Conn, FlushState,
-    Mode, OpenTxn, Out, PendingWork, ReplConnState, Waiting, MAX_HTTP_HEAD,
+    Mode, OpenTxn, Out, PendingWork, ReplConnState, TraceReq, Waiting, MAX_HTTP_HEAD,
 };
 use crate::poll::{Event, Interest, Poller};
 use crate::protocol::{
-    write_frame, BatchOp, ErrorCode, ReplStatus, Request, Response, WireDdl,
+    is_traced_frame, write_frame, BatchOp, ErrorCode, ReplStatus, Request, Response, WireDdl,
 };
 use crate::server::{ServerState, ShardHandle};
 
@@ -76,6 +76,10 @@ use crate::server::{ServerState, ShardHandle};
 /// default (`max == 0`), and the size of the dump captured when a
 /// durability incident is first observed.
 const DEFAULT_DUMP_EVENTS: usize = 128;
+
+/// Spans returned by a `DumpTraces` frame that asks for the server
+/// default (`max == 0`).
+const DEFAULT_DUMP_TRACES: usize = 4096;
 
 const TOK_WAKE: u64 = 0;
 const TOK_LISTENER: u64 = 1;
@@ -89,6 +93,9 @@ pub(crate) struct ParkJob {
     /// Batch per-op results that ride along into the `BatchDone` frame.
     pub batch: Option<Vec<Response>>,
     pub enqueued: Instant,
+    /// Trace of the committing request; resolution records the
+    /// durability-wait span and closes the request span.
+    pub trace: Option<TraceReq>,
 }
 
 /// A resolved durability wait, posted back to the owning shard.
@@ -220,13 +227,23 @@ pub(crate) fn run_shard(state: Arc<ServerState>, idx: usize, mut listener: Optio
                 let Some(conn) = conns.get_mut(&t) else { continue };
                 let deadline = conn.waiting.as_ref().expect("waiting").deadline;
                 let resolved = if now >= deadline {
-                    conn.waiting = None;
+                    let lapsed = conn.waiting.take().expect("waiting");
                     state.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
                     conn.push(&state, Response::Busy);
+                    if let Some((tr, parked_ns)) = lapsed.trace {
+                        let ring = &handle.trace_ring;
+                        ring.record(&tr.child(), SpanKind::RunQueue, parked_ns, ring.now_ns(), 0, 0);
+                        finish_trace(&state, ring, &tr);
+                    }
                     true
                 } else if let Some(w) = state.pool.try_checkout() {
-                    let work = conn.waiting.take().expect("waiting").work;
-                    start_work(&state, handle, conn, work, w);
+                    let Waiting { work, trace, .. } = conn.waiting.take().expect("waiting");
+                    let trace = trace.map(|(tr, parked_ns)| {
+                        let ring = &handle.trace_ring;
+                        ring.record(&tr.child(), SpanKind::RunQueue, parked_ns, ring.now_ns(), 0, 0);
+                        tr
+                    });
+                    start_work(&state, handle, conn, work, w, trace);
                     true
                 } else {
                     false
@@ -589,8 +606,11 @@ fn process_http(state: &Arc<ServerState>, conn: &mut Conn) -> bool {
 // ---------------------------------------------------------------------
 
 fn dispatch(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn, payload: &[u8]) {
-    let req = match Request::decode(payload) {
-        Ok(req) => req,
+    // One branch on the first payload byte is the whole cost tracing
+    // adds to an untraced frame; the clock is read only past it.
+    let t0 = if is_traced_frame(payload) { handle.trace_ring.now_ns() } else { 0 };
+    let (req, ctx) = match Request::decode_traced(payload) {
+        Ok(v) => v,
         Err(e) => {
             state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
             conn.push_err(state, ErrorCode::Protocol, &e.to_string());
@@ -599,19 +619,84 @@ fn dispatch(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn, pay
         }
     };
     state.stats.frames_processed.fetch_add(1, Ordering::Relaxed);
+    let trace = ctx.map(|ctx| {
+        let ring = &handle.trace_ring;
+        let span_id = ring.alloc_span_id();
+        let (table, key) = op_attribution(&req);
+        let tr = TraceReq { ctx, span_id, t0, op: op_name(&req), table, key };
+        ring.record(&tr.child(), SpanKind::FrameDecode, t0, ring.now_ns(), payload.len() as u64, 0);
+        tr
+    });
     if conn.txn.is_some() {
-        dispatch_in_txn(state, handle, conn, req);
+        dispatch_in_txn(state, handle, conn, req, trace);
     } else {
-        dispatch_top(state, handle, conn, req);
+        dispatch_top(state, handle, conn, req, trace);
     }
 }
 
+/// Close a traced request: record its `request` span and offer it to
+/// tail-based slow-op retention.
+fn finish_trace(state: &ServerState, ring: &SpanRing, tr: &TraceReq) {
+    let now = ring.now_ns();
+    ring.record_with_id(&tr.ctx, SpanKind::Request, tr.span_id, tr.t0, now, 0, 0);
+    state.db.telemetry().tracer().maybe_capture_slow(
+        &tr.ctx,
+        tr.op,
+        tr.table,
+        &tr.key,
+        now.saturating_sub(tr.t0),
+    );
+}
+
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "ping",
+        Request::OpenTable { .. } => "open_table",
+        Request::Begin { .. } => "begin",
+        Request::Get { .. } => "get",
+        Request::Put { .. } => "put",
+        Request::Delete { .. } => "delete",
+        Request::Scan { .. } => "scan",
+        Request::Insert { .. } => "insert",
+        Request::Commit { .. } => "commit",
+        Request::Abort => "abort",
+        Request::Batch { .. } => "batch",
+        Request::Metrics => "metrics",
+        Request::DumpEvents { .. } => "dump_events",
+        Request::DumpTraces { .. } => "dump_traces",
+        Request::Health => "health",
+        Request::Resume => "resume",
+        Request::Subscribe { .. } => "subscribe",
+        Request::FetchChunk { .. } => "fetch_chunk",
+    }
+}
+
+/// Table and key-prefix attribution for the slow-op log.
+fn op_attribution(req: &Request) -> (u32, Vec<u8>) {
+    let (table, key) = match req {
+        Request::Get { table, key }
+        | Request::Put { table, key, .. }
+        | Request::Delete { table, key }
+        | Request::Insert { table, key, .. } => (*table, &key[..]),
+        Request::Scan { table, low, .. } => (*table, &low[..]),
+        _ => return (0, Vec::new()),
+    };
+    (table, key[..key.len().min(12)].to_vec())
+}
+
 /// Between transactions.
-fn dispatch_top(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn, req: Request) {
+fn dispatch_top(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+    req: Request,
+    trace: Option<TraceReq>,
+) {
     match req {
         Request::Ping => conn.push(state, Response::Pong),
         Request::Metrics => push_metrics(state, conn),
         Request::DumpEvents { max } => push_events(state, conn, max),
+        Request::DumpTraces { max } => push_traces(state, conn, max),
         Request::Health => push_health(state, conn),
         Request::Resume => do_resume(state, conn),
         Request::OpenTable { name } => open_table(state, conn, &name),
@@ -622,31 +707,46 @@ fn dispatch_top(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn,
         Request::Commit { .. } | Request::Abort => {
             conn.push_err(state, ErrorCode::BadState, "no open txn")
         }
-        Request::Begin { isolation } => need_worker(
-            state,
-            handle,
-            conn,
-            PendingWork::Begin { isolation: engine_isolation(isolation) },
-        ),
-        Request::Batch { isolation, sync, ops } => need_worker(
-            state,
-            handle,
-            conn,
-            PendingWork::Batch { isolation: engine_isolation(isolation), sync, ops },
-        ),
+        Request::Begin { isolation } => {
+            return need_worker(
+                state,
+                handle,
+                conn,
+                PendingWork::Begin { isolation: engine_isolation(isolation) },
+                trace,
+            )
+        }
+        Request::Batch { isolation, sync, ops } => {
+            return need_worker(
+                state,
+                handle,
+                conn,
+                PendingWork::Batch { isolation: engine_isolation(isolation), sync, ops },
+                trace,
+            )
+        }
         // Autocommit: a one-operation transaction.
         req @ (Request::Get { .. }
         | Request::Put { .. }
         | Request::Delete { .. }
         | Request::Scan { .. }
         | Request::Insert { .. }) => {
-            need_worker(state, handle, conn, PendingWork::Auto { req })
+            return need_worker(state, handle, conn, PendingWork::Auto { req }, trace)
         }
+    }
+    if let Some(tr) = trace {
+        finish_trace(state, &handle.trace_ring, &tr);
     }
 }
 
 /// Inside `Begin` … `Commit`/`Abort`.
-fn dispatch_in_txn(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Conn, req: Request) {
+fn dispatch_in_txn(
+    state: &Arc<ServerState>,
+    handle: &ShardHandle,
+    conn: &mut Conn,
+    req: Request,
+    trace: Option<TraceReq>,
+) {
     match req {
         Request::Ping => conn.push(state, Response::Pong),
         // Telemetry reads are legal mid-transaction (and useful: scrape
@@ -655,6 +755,7 @@ fn dispatch_in_txn(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Co
         // abandoning its transaction.
         Request::Metrics => push_metrics(state, conn),
         Request::DumpEvents { max } => push_events(state, conn, max),
+        Request::DumpTraces { max } => push_traces(state, conn, max),
         Request::Health => push_health(state, conn),
         Request::Resume => do_resume(state, conn),
         Request::OpenTable { name } => open_table(state, conn, &name),
@@ -666,28 +767,53 @@ fn dispatch_in_txn(state: &Arc<ServerState>, handle: &ShardHandle, conn: &mut Co
             conn.push_err(state, ErrorCode::BadState, "log shipping inside open txn")
         }
         Request::Abort => {
-            let open = conn.txn.take().expect("open txn");
+            let mut open = conn.txn.take().expect("open txn");
+            let txn_trace = open.trace.take();
             open.finish(|t| t.abort());
             conn.push(state, Response::Aborted);
+            if let Some(tr) = txn_trace {
+                finish_trace(state, &handle.trace_ring, &tr);
+            }
         }
         Request::Commit { sync } => {
-            let open = conn.txn.take().expect("open txn");
+            let mut open = conn.txn.take().expect("open txn");
+            // Prefer the begin frame's trace for the commit outcome —
+            // its request span covers the whole interactive transaction,
+            // begin through durable — over the commit frame's own.
+            let mut txn_trace = open.trace.take();
+            match (&txn_trace, trace) {
+                (None, frame) => txn_trace = frame,
+                (Some(_), Some(frame)) => finish_trace(state, &handle.trace_ring, &frame),
+                (Some(_), None) => {}
+            }
             match open.finish(|t| t.commit_deferred()) {
                 Ok(token) => {
                     state.stats.commits.fetch_add(1, Ordering::Relaxed);
                     if sync && token.end_offset().is_some() {
-                        park_commit(state, handle, conn, token, None);
+                        park_commit(state, handle, conn, token, None, txn_trace);
                     } else {
                         conn.push(state, Response::Committed { lsn: token.lsn().raw() });
+                        if let Some(tr) = txn_trace {
+                            finish_trace(state, &handle.trace_ring, &tr);
+                        }
                     }
                 }
-                Err(reason) => conn.push(state, aborted(reason)),
+                Err(reason) => {
+                    conn.push(state, aborted(reason));
+                    if let Some(tr) = txn_trace {
+                        finish_trace(state, &handle.trace_ring, &tr);
+                    }
+                }
             }
+            return;
         }
         op => {
             let resp = exec_request_op(state, conn.txn.as_mut().expect("open txn").txn(), &op);
             conn.push(state, resp);
         }
+    }
+    if let Some(tr) = trace {
+        finish_trace(state, &handle.trace_ring, &tr);
     }
 }
 
@@ -698,12 +824,23 @@ fn need_worker(
     handle: &ShardHandle,
     conn: &mut Conn,
     work: PendingWork,
+    trace: Option<TraceReq>,
 ) {
+    let t_checkout = if trace.is_some() { handle.trace_ring.now_ns() } else { 0 };
     match state.pool.try_checkout() {
-        Some(w) => start_work(state, handle, conn, work, w),
+        Some(w) => {
+            if let Some(tr) = &trace {
+                let ring = &handle.trace_ring;
+                ring.record(&tr.child(), SpanKind::WorkerCheckout, t_checkout, ring.now_ns(), 0, 0);
+            }
+            start_work(state, handle, conn, work, w, trace)
+        }
         None => {
-            conn.waiting =
-                Some(Waiting { deadline: Instant::now() + state.cfg.checkout_wait, work });
+            conn.waiting = Some(Waiting {
+                deadline: Instant::now() + state.cfg.checkout_wait,
+                work,
+                trace: trace.map(|tr| (tr, t_checkout)),
+            });
             handle.stats.run_queue.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -715,19 +852,27 @@ fn start_work(
     conn: &mut Conn,
     work: PendingWork,
     w: PooledShardedWorker,
+    trace: Option<TraceReq>,
 ) {
     match work {
         PendingWork::Begin { isolation } => {
             conn.push(state, Response::Begun);
-            conn.txn = Some(OpenTxn::begin(w, isolation));
+            // The begin trace stays open on the transaction: its request
+            // span is recorded when the transaction resolves.
+            let trace = trace.map(|mut tr| {
+                tr.op = "txn";
+                tr
+            });
+            conn.txn = Some(OpenTxn::begin(w, isolation, trace));
         }
         PendingWork::Batch { isolation, sync, ops } => {
-            run_batch(state, handle, conn, w, isolation, sync, &ops)
+            run_batch(state, handle, conn, w, isolation, sync, &ops, trace)
         }
         PendingWork::Auto { req } => {
             let mut w = w;
             let resp = {
-                let mut txn = w.begin(IsolationLevel::Snapshot);
+                let mut txn =
+                    w.begin_traced(IsolationLevel::Snapshot, trace.as_ref().map(|t| t.child()));
                 let resp = exec_request_op(state, &mut txn, &req);
                 if matches!(resp, Response::Error { .. }) {
                     txn.abort();
@@ -740,12 +885,16 @@ fn start_work(
                 }
             };
             conn.push(state, resp);
+            if let Some(tr) = trace {
+                finish_trace(state, &handle.trace_ring, &tr);
+            }
         }
     }
 }
 
 /// One-shot batched transaction: begin, run every op, commit — one
 /// request frame, one reply frame. Stops at the first failed op.
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     state: &Arc<ServerState>,
     handle: &ShardHandle,
@@ -754,9 +903,10 @@ fn run_batch(
     isolation: IsolationLevel,
     sync: bool,
     ops: &[BatchOp],
+    trace: Option<TraceReq>,
 ) {
     let mut results = Vec::with_capacity(ops.len());
-    let mut txn = w.begin(isolation);
+    let mut txn = w.begin_traced(isolation, trace.as_ref().map(|t| t.child()));
     let mut failure: Option<Response> = None;
     for op in ops {
         let resp = exec_batch_op(state, &mut txn, op);
@@ -770,27 +920,33 @@ fn run_batch(
     if let Some(err) = failure {
         txn.abort();
         conn.push(state, Response::BatchDone { results, outcome: Box::new(err) });
+        if let Some(tr) = trace {
+            finish_trace(state, &handle.trace_ring, &tr);
+        }
         return;
     }
     match txn.commit_deferred() {
         Ok(token) => {
             state.stats.commits.fetch_add(1, Ordering::Relaxed);
             if sync && token.end_offset().is_some() {
-                park_commit(state, handle, conn, token, Some(results));
-            } else {
-                conn.push(
-                    state,
-                    Response::BatchDone {
-                        results,
-                        outcome: Box::new(Response::Committed { lsn: token.lsn().raw() }),
-                    },
-                );
+                park_commit(state, handle, conn, token, Some(results), trace);
+                return;
             }
+            conn.push(
+                state,
+                Response::BatchDone {
+                    results,
+                    outcome: Box::new(Response::Committed { lsn: token.lsn().raw() }),
+                },
+            );
         }
         Err(reason) => conn.push(
             state,
             Response::BatchDone { results, outcome: Box::new(aborted(reason)) },
         ),
+    }
+    if let Some(tr) = trace {
+        finish_trace(state, &handle.trace_ring, &tr);
     }
 }
 
@@ -802,11 +958,13 @@ fn park_commit(
     conn: &mut Conn,
     token: ShardedCommitToken,
     batch: Option<Vec<Response>>,
+    trace: Option<TraceReq>,
 ) {
     // Group commit means the target is often already durable by the time
     // the reply is built: probe with zero patience before paying the
     // parker round trip (cross-thread handoff, eventfd wake, an extra
     // event-loop turn). The probe also surfaces a poisoned log inline.
+    let t_probe = if trace.is_some() { handle.trace_ring.now_ns() } else { 0 };
     match token.wait_durable(&state.db, Duration::ZERO) {
         Ok(()) => {
             let outcome = Response::Committed { lsn: token.lsn().raw() };
@@ -819,6 +977,11 @@ fn park_commit(
                     None => outcome,
                 },
             );
+            if let Some(tr) = trace {
+                let ring = &handle.trace_ring;
+                ring.record(&tr.child(), SpanKind::DurabilityWait, t_probe, ring.now_ns(), 0, 0);
+                finish_trace(state, ring, &tr);
+            }
             return;
         }
         Err(LogError::Timeout) => {} // not yet durable: park for real
@@ -834,14 +997,26 @@ fn park_commit(
                     None => outcome,
                 },
             );
+            if let Some(tr) = trace {
+                finish_trace(state, &handle.trace_ring, &tr);
+            }
             return;
         }
     }
 
     let seq = conn.push_pending(state);
     state.svc_ring.record(EventKind::SessionParked, conn.token, seq);
-    let job = ParkJob { conn: conn.token, seq, token, batch, enqueued: Instant::now() };
+    let job = ParkJob { conn: conn.token, seq, token, batch, enqueued: Instant::now(), trace };
     handle.deferred.lock().push(job);
+}
+
+/// Record the durability-wait span for a parked commit resolving now
+/// (wait measured from park time) and close its request span.
+fn finish_parked_trace(state: &ServerState, ring: &SpanRing, job_enqueued: Instant, tr: &TraceReq) {
+    let now = ring.now_ns();
+    let start = now.saturating_sub(job_enqueued.elapsed().as_nanos() as u64);
+    ring.record(&tr.child(), SpanKind::DurabilityWait, start, now, 0, 0);
+    finish_trace(state, ring, tr);
 }
 
 /// End-of-turn second chance for commits whose inline probe missed:
@@ -893,6 +1068,9 @@ fn drain_deferred(
                 }
             }
         };
+        if let Some(tr) = &job.trace {
+            finish_parked_trace(state, &handle.trace_ring, job.enqueued, tr);
+        }
         let resp = match job.batch {
             Some(results) => Response::BatchDone { results, outcome: Box::new(outcome) },
             None => outcome,
@@ -923,6 +1101,24 @@ fn push_metrics(state: &Arc<ServerState>, conn: &mut Conn) {
 fn push_events(state: &Arc<ServerState>, conn: &mut Conn, max: u32) {
     let max = if max == 0 { DEFAULT_DUMP_EVENTS } else { max as usize };
     conn.push(state, Response::Events { text: state.db.telemetry().dump_events(max) });
+}
+
+/// Merge span dumps from every shard's tracer (worker and service rings
+/// register on shard 0; recovery/replica apply spans land on the shard
+/// that replayed them) into one bounded, time-sorted text dump.
+fn push_traces(state: &Arc<ServerState>, conn: &mut Conn, max: u32) {
+    let max = if max == 0 { DEFAULT_DUMP_TRACES } else { max as usize };
+    let mut spans: Vec<Span> = Vec::new();
+    for i in 0..state.db.shards() {
+        spans.extend(state.db.shard(i).telemetry().tracer().dump_spans(max));
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.span_id));
+    spans.dedup();
+    if spans.len() > max {
+        let cut = spans.len() - max;
+        spans.drain(..cut);
+    }
+    conn.push(state, Response::Traces { text: render_spans(&spans) });
 }
 
 /// Service-state probe: the database state, the node's replication
@@ -1211,6 +1407,9 @@ pub(crate) fn run_parker(state: Arc<ServerState>, idx: usize, rx: Receiver<ParkJ
                     Response::Error { code: ErrorCode::LogFailed, detail: e.to_string() }
                 }
             };
+            if let Some(tr) = &job.trace {
+                finish_parked_trace(&state, &handle.parker_ring, job.enqueued, tr);
+            }
             let resp = match job.batch {
                 Some(results) => Response::BatchDone { results, outcome: Box::new(outcome) },
                 None => outcome,

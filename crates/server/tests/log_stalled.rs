@@ -119,8 +119,11 @@ fn poisoned_log_surfaces_logfailed_not_a_hang() {
     // Sync commits against the doomed log: the first flush attempt fails
     // its fsync and poisons the log. The waiting commit must get the
     // typed LogFailed error (well before the generous sync_wait), and
-    // once poisoned, later transactions fail fast with a log-failure
-    // abort — the server never hangs and never panics.
+    // once poisoned, later transactions fail fast with a typed refusal —
+    // a log-failure abort, or DegradedReadOnly once the poison hook has
+    // flipped the database read-only (the hook runs on the flusher
+    // thread, so it races the next batch's write admission) — the server
+    // never hangs and never panics.
     let mut saw_log_failed = false;
     let mut saw_fail_fast = false;
     let started = Instant::now();
@@ -140,6 +143,11 @@ fn poisoned_log_surfaces_logfailed_not_a_hang() {
             Response::Error { code: ErrorCode::LogFailed, .. } => saw_log_failed = true,
             Response::Error { code: ErrorCode::TxnAborted(reason), .. } => {
                 assert_eq!(reason.label(), "log-failure", "fail-fast must cite the log");
+                saw_fail_fast = true;
+            }
+            Response::Error { code: ErrorCode::DegradedReadOnly, .. } => {
+                // The poison hook already demoted the database: the
+                // write was refused at admission, before the log.
                 saw_fail_fast = true;
             }
             Response::Committed { .. } => {

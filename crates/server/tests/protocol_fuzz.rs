@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use ermia::{Database, DbConfig};
 use ermia_server::protocol::{crc32, read_frame, write_frame, FrameAssembler, MAX_FRAME_LEN};
-use ermia_server::{Client, Request, Server, ServerConfig, WireIsolation};
+use ermia_server::{Client, Request, Server, ServerConfig, TraceContext, WireIsolation};
 
 use proptest::prelude::*;
 
@@ -68,6 +68,17 @@ fn valid_frame(req: &Request) -> Vec<u8> {
     buf
 }
 
+fn sample_trace() -> TraceContext {
+    TraceContext { trace_hi: 0xdead_beef_cafe_f00d, trace_lo: 0x0123_4567_89ab_cdef, parent: 7 }
+}
+
+/// The same request wrapped in a trace-context envelope.
+fn traced_frame(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &req.encode_traced(&sample_trace())).unwrap();
+    buf
+}
+
 fn sample_requests() -> Vec<Request> {
     vec![
         Request::Ping,
@@ -95,6 +106,34 @@ fn truncation_at_every_cut_point_is_survived() {
 fn corruption_at_every_byte_is_survived() {
     for req in sample_requests() {
         let frame = valid_frame(&req);
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            poke(&bad);
+        }
+    }
+    assert_alive();
+}
+
+#[test]
+fn traced_truncation_at_every_cut_point_is_survived() {
+    for req in sample_requests() {
+        let frame = traced_frame(&req);
+        for cut in 0..frame.len() {
+            poke(&frame[..cut]);
+        }
+    }
+    assert_alive();
+}
+
+#[test]
+fn traced_corruption_at_every_byte_is_survived() {
+    // Bit flips landing anywhere — in the envelope opcode, the trace
+    // words, or the inner request — must never wedge the server. This
+    // includes the flip that zeroes part of the trace id (a malformed
+    // envelope) and the one that turns the envelope into a nested one.
+    for req in sample_requests() {
+        let frame = traced_frame(&req);
         for i in 0..frame.len() {
             let mut bad = frame.clone();
             bad[i] ^= 0x40;
@@ -216,6 +255,58 @@ proptest! {
     #[test]
     fn random_garbage_never_wedges_the_server(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         poke(&bytes);
+        assert_alive();
+    }
+
+    /// The trace envelope is a pure prefix layer: any request under any
+    /// random context round-trips through `decode_traced`; an untraced
+    /// context degrades to the bare pre-envelope encoding (old frames
+    /// and old decoders keep working); and the plain decoder rejects
+    /// envelopes the way an old server would an unknown opcode.
+    #[test]
+    fn trace_envelope_roundtrips_under_random_contexts(
+        p in 0usize..7,
+        hi in any::<u64>(),
+        lo in any::<u64>(),
+        parent in any::<u64>(),
+    ) {
+        let req = sample_requests().remove(p);
+        let ctx = TraceContext { trace_hi: hi, trace_lo: lo, parent };
+        let bytes = req.encode_traced(&ctx);
+        let (got, got_ctx) = Request::decode_traced(&bytes).unwrap();
+        prop_assert_eq!(&got, &req);
+        if ctx.is_traced() {
+            prop_assert_eq!(got_ctx, Some(ctx));
+            prop_assert!(Request::decode(&bytes).is_err(), "plain decoder accepted an envelope");
+        } else {
+            prop_assert_eq!(got_ctx, None);
+            prop_assert_eq!(bytes, req.encode());
+        }
+        // And the un-enveloped frame still decodes through the traced
+        // decoder as untraced.
+        let (bare, bare_ctx) = Request::decode_traced(&req.encode()).unwrap();
+        prop_assert_eq!(bare, req);
+        prop_assert_eq!(bare_ctx, None);
+    }
+
+    /// Corrupting any single byte of the 25-byte envelope header (or the
+    /// inner payload) must yield a decode error or a valid request —
+    /// never a panic — and the live server must keep serving after
+    /// seeing it on the wire.
+    #[test]
+    fn corrupt_trace_envelopes_never_panic(
+        p in 0usize..7,
+        pos in any::<u16>(),
+        mask in 1u8..=255,
+    ) {
+        let req = sample_requests().remove(p);
+        let mut bytes = req.encode_traced(&sample_trace());
+        let pos = pos as usize % bytes.len();
+        bytes[pos] ^= mask;
+        let _ = Request::decode_traced(&bytes);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &bytes).unwrap();
+        poke(&frame);
         assert_alive();
     }
 

@@ -1,6 +1,6 @@
 //! `ermia-telemetry` — the unified observability layer.
 //!
-//! Three pieces, all std-only and allocation-free on the write side:
+//! Four pieces, all std-only and allocation-free on the write side:
 //!
 //! * [`registry`] — per-thread metric slabs (relaxed `AtomicU64`
 //!   counters + [`hist::AtomicHistogram`]s) merged on read, with a
@@ -13,20 +13,30 @@
 //! * [`flight`] — the flight recorder: fixed-size per-worker event
 //!   rings with nanosecond timestamps, merged into a bounded
 //!   human-readable dump on demand or when the log stalls.
+//! * [`trace`] — distributed tracing: per-worker span rings with the
+//!   same seqlock discipline, 128-bit wire-propagated trace ids, a
+//!   worst-K slow-op log, and a Chrome `trace_event` exporter.
 //!
-//! [`Telemetry`] bundles one registry and one flight recorder; the
-//! database owns one instance and every layer hangs its instruments
-//! off it.
+//! [`Telemetry`] bundles one registry, one flight recorder, and one
+//! tracer; the database owns one instance and every layer hangs its
+//! instruments off it.
 
 mod flight;
 mod hist;
 mod prom;
 mod registry;
+mod trace;
 
 pub use flight::{Event, EventKind, EventRing, FlightRecorder};
 pub use hist::{percentile_sorted, AtomicHistogram, Histogram, BUCKETS};
 pub use prom::{parse_exposition, Exposition, ParsedMetric, SampleLine};
 pub use registry::{FamilyDef, MetricDesc, MetricKind, Registry, Sample, Slab};
+pub use trace::{
+    chrome_trace_json, parse_spans, render_spans, SlowOp, Span, SpanKind, SpanRing,
+    TraceContext, Tracer, DEFAULT_SPAN_RING_CAP, SLOW_OP_LOG_CAP, SLOW_OP_SPAN_CAP,
+};
+
+use std::sync::Arc;
 
 /// Default number of slots in each flight-recorder ring.
 pub const DEFAULT_RING_CAP: usize = 512;
@@ -35,6 +45,7 @@ pub const DEFAULT_RING_CAP: usize = 512;
 pub struct Telemetry {
     registry: Registry,
     flight: FlightRecorder,
+    tracer: Arc<Tracer>,
 }
 
 impl Default for Telemetry {
@@ -45,7 +56,34 @@ impl Default for Telemetry {
 
 impl Telemetry {
     pub fn new() -> Telemetry {
-        Telemetry { registry: Registry::new(), flight: FlightRecorder::new(DEFAULT_RING_CAP) }
+        let registry = Registry::new();
+        let tracer = Arc::new(Tracer::new(DEFAULT_SPAN_RING_CAP));
+        // The slow-query log rides the standard exposition: a retained-op
+        // count plus one labeled latency sample per retained op (the
+        // label is the op/table/key/breakdown summary the `ermia_top`
+        // pane lists). Registered here so primaries and replicas alike
+        // expose it without extra wiring.
+        let col = Arc::clone(&tracer);
+        registry.register_collector(0, move |out| {
+            let ops = col.slow_ops();
+            out.push(Sample::gauge(
+                "ermia_slow_ops",
+                "Slow traced operations currently retained in the worst-K log.",
+                ops.len() as f64,
+            ));
+            for (rank, op) in ops.iter().enumerate() {
+                out.push(
+                    Sample::gauge(
+                        "ermia_slow_op_ns",
+                        "Total latency of one retained slow op; the label carries op, \
+                         table, key prefix, and span breakdown.",
+                        op.total_ns as f64,
+                    )
+                    .labeled("op", format!("#{rank} {}", op.summary())),
+                );
+            }
+        });
+        Telemetry { registry, flight: FlightRecorder::new(DEFAULT_RING_CAP), tracer }
     }
 
     pub fn registry(&self) -> &Registry {
@@ -54,6 +92,16 @@ impl Telemetry {
 
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Bounded span dump (all rings + slow-op retention) in the
+    /// `DumpTraces` text format.
+    pub fn dump_traces(&self, max_spans: usize) -> String {
+        render_spans(&self.tracer.dump_spans(max_spans))
     }
 
     /// Full Prometheus exposition of everything registered.

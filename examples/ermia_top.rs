@@ -38,6 +38,7 @@ const ROWS: &[Row] = &[
     ("frames/s", "ermia_server_frames_processed_total", None, true),
     ("idle workers", "ermia_pool_workers", Some(("state", "idle")), false),
     ("checked-out workers", "ermia_pool_workers", Some(("state", "checked_out")), false),
+    ("slow ops retained", "ermia_slow_ops", None, false),
 ];
 
 fn value(exp: &Exposition, name: &str, label: Option<(&str, &str)>) -> Option<f64> {
@@ -77,6 +78,21 @@ fn render(now: &Exposition, prev: Option<(&Exposition, f64)>) {
     }
     if !mix.is_empty() {
         println!("aborts by reason:{mix}");
+    }
+    // Slow-query pane: the worst-K traced ops the server retained,
+    // slowest first. The label already carries op/table/key/breakdown;
+    // we prepend the total so the pane reads like a flat profile.
+    let mut slow: Vec<(f64, &str)> = now
+        .label_values("ermia_slow_op_ns", "op")
+        .into_iter()
+        .filter_map(|op| now.value_with("ermia_slow_op_ns", "op", op).map(|ns| (ns, op)))
+        .collect();
+    if !slow.is_empty() {
+        slow.sort_by(|a, b| b.0.total_cmp(&a.0));
+        println!("\nslow ops (worst retained):");
+        for (ns, op) in slow.iter().take(8) {
+            println!("  {:>9.2}ms  {op}", ns / 1e6);
+        }
     }
 }
 
